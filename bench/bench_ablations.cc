@@ -1,0 +1,150 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Ablations of the design choices DESIGN.md calls out (all on the JOB
+// bundle, runtime-prediction Q-error on held-out queries + plan quality):
+//
+//   1. QPAttention vs plain concatenation of query/plan embeddings (§4.3).
+//   2. VAE cost modeler vs a deterministic MLP regressor (the paper's
+//      central variational-inference claim).
+//   3. Plan-space sampling vs optimizer-best-plan-only training (§5.1).
+//   4. TabSketch data representations vs zeroed (data+queries vs
+//      queries-only, §4.2).
+//   5. MCTS vs greedy planning at inference (§5.2).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/mcts.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+struct Variant {
+  std::string name;
+  core::QpSeekerConfig config;
+};
+
+void Report(const std::string& name, const TaskErrors& errors) {
+  const auto rt = eval::ComputePercentiles(errors.runtime);
+  const auto cd = eval::ComputePercentiles(errors.cardinality);
+  std::printf("%-24s runtime q-err p50 %7.3f p90 %8.2f | card q-err p50 %7.2f\n",
+              name.c_str(), rt.p50, rt.p90, cd.p50);
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Ablations on JOB (scale=%s) ===\n\n", ScaleName(env.scale));
+  auto bundle = MakeJobBundle(env);
+
+  core::QpSeekerConfig base = core::QpSeekerConfig::ForScale(env.scale);
+  base.beta = 100.0;
+
+  std::vector<Variant> variants;
+  variants.push_back({"full model", base});
+  {
+    auto cfg = base;
+    cfg.use_attention = false;
+    variants.push_back({"concat (no QPAttention)", cfg});
+  }
+  {
+    auto cfg = base;
+    cfg.use_vae = false;
+    variants.push_back({"MLP head (no VAE)", cfg});
+  }
+  {
+    auto cfg = base;
+    cfg.encoder.use_data_repr = false;
+    variants.push_back({"no TabSketch (queries)", cfg});
+  }
+
+  std::printf("-- model ablations: held-out prediction quality --\n");
+  std::vector<core::QpSeeker> models;
+  for (auto& v : variants) {
+    auto model = TrainQpSeeker(bundle, v.config.beta,
+                               "abl_" + StrSplit(v.name, ' ')[0], env.scale,
+                               /*cache=*/true, &v.config);
+    Report(v.name, EvalQpSeeker(model, bundle, bundle.TestQeps()));
+    models.push_back(std::move(model));
+  }
+
+  // --- sampling ablation: retrain on optimizer-only JOB plans, reusing the
+  // bundle's query-level split. ---------------------------------------------
+  std::printf("\n-- training-set ablation (plan source) --\n");
+  {
+    Rng rng(881);
+    sampling::DatasetOptions opts;
+    opts.source = sampling::PlanSource::kOptimizer;
+    auto ds = sampling::BuildQepDataset(*bundle.db, *bundle.stats,
+                                        bundle.dataset.queries, opts, &rng);
+    QPS_CHECK(ds.ok());
+    core::QpSeekerConfig cfg = base;
+    core::QpSeeker model(*bundle.db, *bundle.stats, cfg, 1234);
+    // Train on the optimizer-plan QEPs of the training queries only.
+    sampling::QepDataset train;
+    train.queries = ds->queries;
+    std::vector<bool> in_train(ds->queries.size(), false);
+    for (const auto* qep : bundle.TrainQeps()) {
+      in_train[static_cast<size_t>(qep->query_id)] = true;
+    }
+    for (auto& qep : ds->qeps) {
+      if (!in_train[static_cast<size_t>(qep.query_id)]) continue;
+      sampling::Qep copy;
+      copy.query_id = qep.query_id;
+      copy.plan = qep.plan->Clone();
+      train.qeps.push_back(std::move(copy));
+    }
+    model.Train(train, DefaultTrainOptions(env.scale));
+    Report("optimizer-plans-only", EvalQpSeeker(model, bundle, bundle.TestQeps()));
+    Report("sampled-plans (=full)",
+           EvalQpSeeker(models[0], bundle, bundle.TestQeps()));
+  }
+
+  // --- inference ablation: MCTS vs greedy. ---------------------------------
+  std::printf("\n-- inference ablation (planner quality on held-out queries) --\n");
+  {
+    std::vector<query::Query> test_queries;
+    std::vector<bool> seen(bundle.dataset.queries.size(), false);
+    for (const auto* qep : bundle.TestQeps()) {
+      if (seen[static_cast<size_t>(qep->query_id)]) continue;
+      seen[static_cast<size_t>(qep->query_id)] = true;
+      test_queries.push_back(
+          bundle.dataset.queries[static_cast<size_t>(qep->query_id)]);
+    }
+    auto mcts_run = RunWithQpSeeker(models[0], *bundle.db, test_queries);
+    // Greedy.
+    PlannedRun greedy_run;
+    {
+      exec::Executor ex(*bundle.db);
+      for (const auto& q : test_queries) {
+        auto result = core::GreedyPlan(models[0], q);
+        if (!result.ok()) {
+          ++greedy_run.failures;
+          continue;
+        }
+        greedy_run.total_plans_evaluated += result->plans_evaluated;
+        auto plan = result->plan->Clone();
+        auto card = ex.Execute(q, plan.get());
+        const double ms = card.ok() ? plan->actual.runtime_ms
+                                    : ex.last_counters().RuntimeMs();
+        greedy_run.failures += card.ok() ? 0 : 1;
+        greedy_run.total_ms += ms;
+      }
+    }
+    std::printf("%-24s total %10.1f ms  plans evaluated %6d  failures %d\n", "MCTS",
+                mcts_run.total_ms, mcts_run.total_plans_evaluated,
+                mcts_run.failures);
+    std::printf("%-24s total %10.1f ms  plans evaluated %6d  failures %d\n",
+                "greedy", greedy_run.total_ms, greedy_run.total_plans_evaluated,
+                greedy_run.failures);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() { return qps::bench::Run(); }

@@ -1,0 +1,124 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Reproduces Figure 10: queries completed over time per workload, for
+// QPSeeker / Bao / PostgreSQL. Stack uses in-workload training; JOB and
+// its Light/Extended variants use the Synthetic-trained instances (§7.2).
+// Prints the cumulative-time curve at fixed completion percentages.
+
+#include <cstdio>
+
+#include "baselines/bao.h"
+#include "bench/harness.h"
+#include "util/logging.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+void PrintCurve(const std::string& name, const PlannedRun& run) {
+  // Cumulative time when 25/50/75/100% of queries have finished, executing
+  // in workload order.
+  std::vector<double> cum;
+  double total = 0.0;
+  for (double ms : run.per_query_ms) {
+    total += ms;
+    cum.push_back(total);
+  }
+  const size_t n = cum.size();
+  auto at = [&](double frac) {
+    return n == 0 ? 0.0 : cum[std::min(n - 1, static_cast<size_t>(frac * n))];
+  };
+  std::printf("  %-12s 25%%: %10.1f ms  50%%: %10.1f ms  75%%: %10.1f ms  "
+              "100%%: %10.1f ms  (failures %d)\n",
+              name.c_str(), at(0.25), at(0.50), at(0.75), total, run.failures);
+}
+
+void RunWorkload(const std::string& name, const std::vector<query::Query>& queries,
+                 const storage::Database& db, const core::QpSeeker& model,
+                 baselines::Bao* bao, optimizer::Planner* pg) {
+  std::printf("-- %s (%zu queries) --\n", name.c_str(), queries.size());
+  PrintCurve("PostgreSQL", RunWithPostgres(pg, db, queries));
+  PrintCurve("QPSeeker", RunWithQpSeeker(model, db, queries));
+  std::vector<query::PlanPtr> plans;
+  for (const auto& q : queries) {
+    auto plan = bao->Plan(q);
+    plans.push_back(plan.ok() ? std::move(*plan) : nullptr);
+  }
+  PrintCurve("Bao", RunWithPlans(db, queries, plans));
+  std::printf("\n");
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Figure 10: queries completed through time (scale=%s) ===\n\n",
+              ScaleName(env.scale));
+
+  // --- Stack: all systems trained on Stack itself. -------------------------
+  {
+    auto stack = MakeStackSampledBundle(env);
+    auto model = TrainQpSeeker(stack, 100.0, "beta100", env.scale);
+    baselines::BaoConfig cfg;
+    cfg.arms_per_query = 2;
+    baselines::Bao bao(*env.stack, *env.stack_stats, cfg, 1001);
+    std::vector<query::Query> train_queries;
+    std::vector<bool> seen(stack.dataset.queries.size(), false);
+    for (const auto* qep : stack.TrainQeps()) {
+      if (seen[static_cast<size_t>(qep->query_id)]) continue;
+      seen[static_cast<size_t>(qep->query_id)] = true;
+      train_queries.push_back(
+          stack.dataset.queries[static_cast<size_t>(qep->query_id)]);
+      if (train_queries.size() >= 60) break;
+    }
+    exec::Executor ex(*env.stack);
+    QPS_CHECK(bao.TrainOnWorkload(train_queries, &ex, 1002).ok());
+    std::vector<query::Query> test_queries;
+    std::vector<bool> tseen(stack.dataset.queries.size(), false);
+    for (const auto* qep : stack.TestQeps()) {
+      if (tseen[static_cast<size_t>(qep->query_id)]) continue;
+      tseen[static_cast<size_t>(qep->query_id)] = true;
+      test_queries.push_back(
+          stack.dataset.queries[static_cast<size_t>(qep->query_id)]);
+    }
+    optimizer::Planner pg(*env.stack, *env.stack_stats);
+    RunWorkload("Stack", test_queries, *env.stack, model, &bao, &pg);
+  }
+
+  // --- JOB family: transfer setting (trained on Synthetic, §7.2). ---------
+  {
+    auto synthetic = MakeSyntheticSampledBundle(env);
+    auto model = TrainQpSeeker(synthetic, 200.0, "beta200", env.scale);
+    baselines::BaoConfig cfg;
+    cfg.arms_per_query = 2;
+    baselines::Bao bao(*env.imdb, *env.imdb_stats, cfg, 1003);
+    std::vector<query::Query> train_queries;
+    std::vector<bool> seen(synthetic.dataset.queries.size(), false);
+    for (const auto* qep : synthetic.TrainQeps()) {
+      if (seen[static_cast<size_t>(qep->query_id)]) continue;
+      seen[static_cast<size_t>(qep->query_id)] = true;
+      train_queries.push_back(
+          synthetic.dataset.queries[static_cast<size_t>(qep->query_id)]);
+      if (train_queries.size() >= 80) break;
+    }
+    exec::Executor ex(*env.imdb);
+    QPS_CHECK(bao.TrainOnWorkload(train_queries, &ex, 1004).ok());
+    optimizer::Planner pg(*env.imdb, *env.imdb_stats);
+
+    Rng rng(1005);
+    RunWorkload("JOB", eval::JobWorkload(*env.imdb, env.scale, &rng), *env.imdb,
+                model, &bao, &pg);
+    RunWorkload("JOB-Light", eval::JobLightWorkload(*env.imdb, env.scale, &rng),
+                *env.imdb, model, &bao, &pg);
+    RunWorkload("JOB-Extended", eval::JobExtendedWorkload(*env.imdb, env.scale, &rng),
+                *env.imdb, model, &bao, &pg);
+  }
+  std::printf("(paper: QPSeeker tracks PostgreSQL on Stack/JOB, wins on "
+              "JOB-Extended, regresses on JOB-Light; Bao trails everywhere "
+              "except JOB-Light)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() { return qps::bench::Run(); }

@@ -1,0 +1,254 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// google-benchmark micro-benchmarks for the performance-critical pieces:
+// the autodiff engine (matmul / LSTM / attention forward+backward), the
+// executor's operators, the baseline DP planner, TabSketch encoding, and
+// MCTS rollout throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mcts.h"
+#include "core/qpseeker.h"
+#include "exec/executor.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "optimizer/planner.h"
+#include "query/parser.h"
+#include "sampling/plan_sampler.h"
+#include "storage/schemas.h"
+#include "tabert/tabsketch.h"
+
+namespace qps {
+namespace {
+
+// ---- nn ---------------------------------------------------------------
+
+void BM_MatMulForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(n, n, &rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, &rng);
+  nn::Tensor out(n, n);
+  for (auto _ : state) {
+    nn::MatMulInto(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Mlp mlp(64, 128, 32, 3, &rng);
+  nn::Tensor in = nn::Tensor::Randn(1, 64, &rng);
+  for (auto _ : state) {
+    mlp.ZeroGrad();
+    nn::Var loss = nn::SumAll(nn::Square(mlp.Forward(nn::Constant(in))));
+    nn::Backward(loss);
+    benchmark::DoNotOptimize(loss->value(0, 0));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_LstmCellStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::LstmCell cell(139, 64, &rng);
+  nn::Tensor in = nn::Tensor::Randn(1, 139, &rng);
+  auto st = cell.InitialState();
+  for (auto _ : state) {
+    auto next = cell.Forward(nn::Constant(in), st);
+    benchmark::DoNotOptimize(next.h->value(0, 0));
+  }
+}
+BENCHMARK(BM_LstmCellStep);
+
+void BM_CrossAttention(benchmark::State& state) {
+  Rng rng(4);
+  const int64_t nodes = state.range(0);
+  nn::MultiHeadCrossAttention attn(64, 64, 4, 16, 128, &rng);
+  nn::Var q = nn::Constant(nn::Tensor::Randn(1, 64, &rng));
+  nn::Var ctx = nn::Constant(nn::Tensor::Randn(nodes, 64, &rng));
+  for (auto _ : state) {
+    nn::Var out = attn.Forward(q, ctx);
+    benchmark::DoNotOptimize(out->value(0, 0));
+  }
+}
+BENCHMARK(BM_CrossAttention)->Arg(5)->Arg(15)->Arg(31);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(5);
+  nn::Mlp mlp(64, 128, 32, 3, &rng);
+  nn::Adam adam(mlp.Parameters(), 1e-3f);
+  nn::Tensor in = nn::Tensor::Randn(1, 64, &rng);
+  nn::Var loss = nn::SumAll(nn::Square(mlp.Forward(nn::Constant(in))));
+  nn::Backward(loss);
+  for (auto _ : state) {
+    adam.Step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+// ---- storage / exec / optimizer ----------------------------------------
+
+struct ExecFixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<stats::DatabaseStats> stats;
+  query::Query two_join;
+  query::Query filter_only;
+
+  static ExecFixture& Get() {
+    static ExecFixture* f = [] {
+      auto* fx = new ExecFixture();
+      Rng rng(1);
+      fx->db = storage::BuildDatabase(storage::ToySpec(), 2000, &rng).value();
+      fx->stats = stats::DatabaseStats::Analyze(*fx->db);
+      fx->two_join = query::ParseSql(
+                         "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND "
+                         "c.c1 = b.id AND a.a2 < 6;",
+                         *fx->db)
+                         .value();
+      fx->filter_only =
+          query::ParseSql("SELECT COUNT(*) FROM b WHERE b.b3 >= 3;", *fx->db).value();
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_SeqScanExecution(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto plan = BuildLeftDeepPlan(fx.filter_only, {0}, {query::OpType::kSeqScan}, {});
+  exec::Executor ex(*fx.db);
+  for (auto _ : state) {
+    auto card = ex.Execute(fx.filter_only, plan.get());
+    benchmark::DoNotOptimize(card.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          fx.db->table(fx.db->TableIndex("b")).num_rows());
+}
+BENCHMARK(BM_SeqScanExecution);
+
+void BM_HashJoinExecution(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto plan = BuildLeftDeepPlan(
+      fx.two_join, {0, 1, 2},
+      {query::OpType::kSeqScan, query::OpType::kSeqScan, query::OpType::kSeqScan},
+      {query::OpType::kHashJoin, query::OpType::kHashJoin});
+  exec::Executor ex(*fx.db);
+  for (auto _ : state) {
+    auto card = ex.Execute(fx.two_join, plan.get());
+    benchmark::DoNotOptimize(card.ok());
+  }
+}
+BENCHMARK(BM_HashJoinExecution);
+
+void BM_AnalyzeDatabase(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  for (auto _ : state) {
+    auto stats = stats::DatabaseStats::Analyze(*fx.db);
+    benchmark::DoNotOptimize(stats->num_tables());
+  }
+}
+BENCHMARK(BM_AnalyzeDatabase);
+
+void BM_PlannerDp(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  optimizer::Planner planner(*fx.db, *fx.stats);
+  for (auto _ : state) {
+    auto plan = planner.Plan(fx.two_join);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_PlannerDp);
+
+void BM_PlanSampling(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  optimizer::CardinalityEstimator cards(*fx.db, *fx.stats);
+  sampling::PlanSampler sampler(*fx.db, cards);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto plans = sampler.SamplePlans(fx.two_join, &rng);
+    benchmark::DoNotOptimize(plans.size());
+  }
+}
+BENCHMARK(BM_PlanSampling);
+
+// ---- tabert -------------------------------------------------------------
+
+void BM_TabSketchColumn(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  tabert::TabSketchConfig cfg;
+  cfg.k = static_cast<int>(state.range(0));
+  tabert::TabSketch ts(*fx.db, *fx.stats, cfg);
+  query::FilterPredicate pred;
+  pred.rel = 0;
+  pred.column = 1;
+  pred.op = storage::CompareOp::kLe;
+  pred.value = storage::Value::Int(4);
+  for (auto _ : state) {
+    auto rep = ts.ColumnRepresentation(0, 1, &pred);
+    benchmark::DoNotOptimize(rep.data());
+  }
+}
+BENCHMARK(BM_TabSketchColumn)->Arg(1)->Arg(3);
+
+// ---- core ----------------------------------------------------------------
+
+struct ModelFixture {
+  std::unique_ptr<core::QpSeeker> model;
+
+  static ModelFixture& Get() {
+    static ModelFixture* f = [] {
+      auto* fx = new ModelFixture();
+      auto& efx = ExecFixture::Get();
+      core::QpSeekerConfig cfg = core::QpSeekerConfig::ForScale(Scale::kSmoke);
+      fx->model = std::make_unique<core::QpSeeker>(*efx.db, *efx.stats, cfg, 3);
+      // Minimal training pass to fit the normalizer.
+      sampling::DatasetOptions dopts;
+      dopts.source = sampling::PlanSource::kOptimizer;
+      Rng rng(8);
+      auto ds = sampling::BuildQepDataset(*efx.db, *efx.stats,
+                                          {efx.two_join, efx.filter_only}, dopts,
+                                          &rng)
+                    .value();
+      core::TrainOptions topts;
+      topts.epochs = 2;
+      fx->model->Train(ds, topts);
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_QpSeekerPredictPlan(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto& mfx = ModelFixture::Get();
+  auto plan = BuildLeftDeepPlan(
+      fx.two_join, {0, 1, 2},
+      {query::OpType::kSeqScan, query::OpType::kSeqScan, query::OpType::kSeqScan},
+      {query::OpType::kHashJoin, query::OpType::kHashJoin});
+  for (auto _ : state) {
+    auto pred = mfx.model->PredictPlan(fx.two_join, *plan);
+    benchmark::DoNotOptimize(pred.runtime_ms);
+  }
+}
+BENCHMARK(BM_QpSeekerPredictPlan);
+
+void BM_MctsRollouts(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto& mfx = ModelFixture::Get();
+  core::MctsOptions mopts;
+  mopts.time_budget_ms = 1e9;
+  mopts.max_rollouts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::MctsPlan(*mfx.model, fx.two_join, mopts);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MctsRollouts)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace qps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Reproduces Table 1: the evaluation workload inventory (queries, QEPs,
+// plan source, database) plus the §6 distribution characterization
+// (runtime / cost / cardinality ranges per workload).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+void DescribeBundle(const WorkloadBundle& bundle) {
+  size_t queries = bundle.dataset.queries.size();
+  std::vector<double> runtimes, cards, costs, joins;
+  for (const auto& qep : bundle.dataset.qeps) {
+    runtimes.push_back(qep.plan->actual.runtime_ms);
+    cards.push_back(qep.plan->actual.cardinality);
+    costs.push_back(qep.plan->actual.cost);
+  }
+  for (const auto& q : bundle.dataset.queries) {
+    joins.push_back(static_cast<double>(q.joins.size()));
+  }
+  const auto rt = eval::ComputePercentiles(runtimes);
+  const auto cd = eval::ComputePercentiles(cards);
+  const auto cs = eval::ComputePercentiles(costs);
+  const auto jn = eval::ComputePercentiles(joins);
+  std::printf(
+      "%-10s %8zu %8zu  %-12s %-6s  joins[p50=%.0f max~%.0f]  "
+      "runtime ms[p50=%.2f p99=%.1f]  card[p50=%.0f p99=%.0f]  "
+      "cost[p50=%.0f p99=%.0f]\n",
+      bundle.name.c_str(), queries, bundle.dataset.qeps.size(),
+      bundle.source == sampling::PlanSource::kOptimizer ? "DB optimizer" : "sampling",
+      bundle.db->name().c_str(), jn.p50, jn.p99, rt.p50, rt.p99, cd.p50, cd.p99,
+      cs.p50, cs.p99);
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Table 1: evaluation workloads (scale=%s) ===\n",
+              ScaleName(env.scale));
+  std::printf("IMDb-like database: %d tables, %lld rows total\n", env.imdb->num_tables(),
+              static_cast<long long>(env.imdb->TotalRows()));
+  std::printf("Stack-like database: %d tables, %lld rows total\n\n",
+              env.stack->num_tables(), static_cast<long long>(env.stack->TotalRows()));
+  std::printf("%-10s %8s %8s  %-12s %-6s\n", "Workload", "Queries", "QEPs",
+              "Plan Source", "DB");
+
+  DescribeBundle(MakeSyntheticBundle(env));
+  DescribeBundle(MakeJobBundle(env));
+  DescribeBundle(MakeStackBundle(env));
+
+  // JOB-Light / JOB-Extended are evaluation-only (Table 1 bottom rows).
+  Rng rng(3);
+  auto light = eval::JobLightWorkload(*env.imdb, env.scale, &rng);
+  auto ext = eval::JobExtendedWorkload(*env.imdb, env.scale, &rng);
+  std::printf("%-10s %8zu %8zu  %-12s %-6s  (evaluation only)\n", "JOB-Light",
+              light.size(), light.size(), "-", "imdb");
+  std::printf("%-10s %8zu %8zu  %-12s %-6s  (evaluation only)\n", "JOB-Ext.",
+              ext.size(), ext.size(), "-", "imdb");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() { return qps::bench::Run(); }

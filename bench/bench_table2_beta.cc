@@ -1,0 +1,72 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Reproduces Table 2: effect of the KL weight beta ∈ {100, 200, 300} on
+// QPSeeker's cardinality / cost / runtime Q-error percentiles, per
+// workload, evaluated on the held-out QEP split (JOB: held-out queries).
+// The beta with the best runtime p50 is highlighted — that instance is the
+// scoring model MCTS uses (paper §7.1.1).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+void RunWorkload(const WorkloadBundle& bundle, Scale scale) {
+  const double betas[] = {100.0, 200.0, 300.0};
+  std::vector<TaskErrors> per_beta;
+  for (double beta : betas) {
+    auto model = TrainQpSeeker(bundle, beta,
+                               StrFormat("beta%d", static_cast<int>(beta)), scale);
+    per_beta.push_back(EvalQpSeeker(model, bundle, bundle.TestQeps()));
+  }
+
+  auto column = [&](int b, const std::vector<double> TaskErrors::*field) {
+    return std::make_pair(StrFormat("b=%d", static_cast<int>(betas[b])),
+                          per_beta[static_cast<size_t>(b)].*field);
+  };
+  PrintPercentileTable(
+      StrFormat("-- %s / Cardinality Q-error --", bundle.name.c_str()),
+      {column(0, &TaskErrors::cardinality), column(1, &TaskErrors::cardinality),
+       column(2, &TaskErrors::cardinality)});
+  PrintPercentileTable(
+      StrFormat("-- %s / Cost Q-error --", bundle.name.c_str()),
+      {column(0, &TaskErrors::cost), column(1, &TaskErrors::cost),
+       column(2, &TaskErrors::cost)});
+  PrintPercentileTable(
+      StrFormat("-- %s / Runtime Q-error --", bundle.name.c_str()),
+      {column(0, &TaskErrors::runtime), column(1, &TaskErrors::runtime),
+       column(2, &TaskErrors::runtime)});
+
+  int best = 0;
+  double best_p50 = 1e300;
+  for (int b = 0; b < 3; ++b) {
+    const double p50 =
+        eval::ComputePercentiles(per_beta[static_cast<size_t>(b)].runtime).p50;
+    if (p50 < best_p50) {
+      best_p50 = p50;
+      best = b;
+    }
+  }
+  std::printf("\n>> best instance for %s by runtime p50: beta=%d (p50=%.3f)\n\n",
+              bundle.name.c_str(), static_cast<int>(betas[best]), best_p50);
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Table 2: beta effect on QPSeeker Q-errors (scale=%s) ===\n",
+              ScaleName(env.scale));
+  RunWorkload(MakeSyntheticBundle(env), env.scale);
+  RunWorkload(MakeJobBundle(env), env.scale);
+  RunWorkload(MakeStackBundle(env), env.scale);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() { return qps::bench::Run(); }

@@ -1,0 +1,77 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Reproduces Table 4: cardinality-estimation Q-error percentiles of
+// QPSeeker vs MSCN vs PostgreSQL. MSCN is trained per workload on the same
+// training split (query, true cardinality) pairs, following its published
+// setup.
+
+#include <cstdio>
+
+#include "baselines/mscn.h"
+#include "bench/harness.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+void RunWorkload(const WorkloadBundle& bundle, double best_beta, Scale scale) {
+  auto model = TrainQpSeeker(bundle, best_beta,
+                             StrFormat("beta%d", static_cast<int>(best_beta)), scale);
+  auto qps_errors = EvalQpSeeker(model, bundle, bundle.TestQeps());
+
+  // MSCN: (query, cardinality) pairs from the training split. Duplicate
+  // QEPs of one query collapse to the same pair (cardinality is
+  // plan-invariant), mirroring its query-driven setup.
+  baselines::MscnConfig mcfg;
+  mcfg.epochs = scale == Scale::kSmoke ? 40 : 50;
+  mcfg.learning_rate = 2e-3f;
+  baselines::Mscn mscn(*bundle.db, mcfg, 661);
+  std::vector<baselines::CardinalitySample> samples;
+  std::vector<bool> seen(bundle.dataset.queries.size(), false);
+  for (const auto* qep : bundle.TrainQeps()) {
+    if (seen[static_cast<size_t>(qep->query_id)]) continue;
+    seen[static_cast<size_t>(qep->query_id)] = true;
+    samples.push_back({&bundle.dataset.queries[static_cast<size_t>(qep->query_id)],
+                       qep->plan->actual.cardinality});
+  }
+  auto losses = mscn.Train(samples, 662);
+  std::printf("[mscn] %s: %zu training queries, loss %.4f -> %.4f\n",
+              bundle.name.c_str(), samples.size(), losses.front(), losses.back());
+
+  std::vector<double> mscn_errors;
+  std::vector<bool> eval_seen(bundle.dataset.queries.size(), false);
+  for (const auto* qep : bundle.TestQeps()) {
+    if (eval_seen[static_cast<size_t>(qep->query_id)]) continue;
+    eval_seen[static_cast<size_t>(qep->query_id)] = true;
+    const auto& q = bundle.dataset.queries[static_cast<size_t>(qep->query_id)];
+    mscn_errors.push_back(
+        eval::QError(mscn.Predict(q), qep->plan->actual.cardinality));
+  }
+
+  optimizer::Planner planner(*bundle.db, *bundle.stats);
+  auto pg_errors = EvalPostgres(&planner, bundle, bundle.TestQeps());
+
+  PrintPercentileTable(StrFormat("-- %s / Cardinality estimation Q-error --",
+                                 bundle.name.c_str()),
+                       {{"QPSeeker", qps_errors.cardinality},
+                        {"MSCN", mscn_errors},
+                        {"PostgreSQL", pg_errors.cardinality}});
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Table 4: cardinality estimation, QPSeeker vs MSCN vs PostgreSQL "
+              "(scale=%s) ===\n",
+              ScaleName(env.scale));
+  RunWorkload(MakeSyntheticBundle(env), 200.0, env.scale);
+  RunWorkload(MakeJobBundle(env), 100.0, env.scale);
+  RunWorkload(MakeStackBundle(env), 100.0, env.scale);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() { return qps::bench::Run(); }

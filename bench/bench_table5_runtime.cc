@@ -1,0 +1,82 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Reproduces Table 5: execution-time prediction Q-error percentiles of
+// QPSeeker vs QPPNet vs PostgreSQL. QPPNet is trained per workload on the
+// same training QEPs (plan-structured per-operator units).
+
+#include <cstdio>
+
+#include "baselines/qppnet.h"
+#include "bench/harness.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+void RunWorkload(const WorkloadBundle& bundle, double best_beta, Scale scale) {
+  auto model = TrainQpSeeker(bundle, best_beta,
+                             StrFormat("beta%d", static_cast<int>(best_beta)), scale);
+  auto qps_errors = EvalQpSeeker(model, bundle, bundle.TestQeps());
+
+  optimizer::Planner planner(*bundle.db, *bundle.stats);
+  CalibratePostgres(&planner, bundle);
+  auto pg_errors = EvalPostgres(&planner, bundle, bundle.TestQeps());
+
+  // QPPNet consumes plans annotated with the optimizer's estimates; Clone
+  // preserves the ground-truth labels.
+  auto annotate = [&](const sampling::Qep* qep) {
+    auto plan = qep->plan->Clone();
+    planner.cost_model().EstimatePlan(
+        bundle.dataset.queries[static_cast<size_t>(qep->query_id)], plan.get());
+    return plan;
+  };
+  std::vector<query::PlanPtr> train_plans, test_plans;
+  std::vector<baselines::RuntimeSample> train_samples;
+  for (const auto* qep : bundle.TrainQeps()) {
+    train_plans.push_back(annotate(qep));
+    // Copy actuals from the source QEP (Clone preserves them).
+    train_samples.push_back(
+        {&bundle.dataset.queries[static_cast<size_t>(qep->query_id)],
+         train_plans.back().get()});
+  }
+  baselines::QppNetConfig qcfg;
+  qcfg.epochs = scale == Scale::kSmoke ? 40 : 50;
+  qcfg.learning_rate = 2e-3f;
+  baselines::QppNet qpp(*bundle.db, qcfg, 771);
+  auto losses = qpp.Train(train_samples, 772);
+  std::printf("[qppnet] %s: %zu training QEPs, loss %.4f -> %.4f\n",
+              bundle.name.c_str(), train_samples.size(), losses.front(),
+              losses.back());
+
+  std::vector<double> qpp_errors;
+  for (const auto* qep : bundle.TestQeps()) {
+    auto plan = annotate(qep);
+    const auto& q = bundle.dataset.queries[static_cast<size_t>(qep->query_id)];
+    qpp_errors.push_back(eval::QError(qpp.Predict(q, *plan),
+                                      qep->plan->actual.runtime_ms, 0.1));
+  }
+
+  PrintPercentileTable(StrFormat("-- %s / Execution time Q-error --",
+                                 bundle.name.c_str()),
+                       {{"QPSeeker", qps_errors.runtime},
+                        {"QPPNet", qpp_errors},
+                        {"PostgreSQL", pg_errors.runtime}});
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Table 5: runtime prediction, QPSeeker vs QPPNet vs PostgreSQL "
+              "(scale=%s) ===\n",
+              ScaleName(env.scale));
+  RunWorkload(MakeSyntheticBundle(env), 200.0, env.scale);
+  RunWorkload(MakeJobBundle(env), 100.0, env.scale);
+  RunWorkload(MakeStackBundle(env), 100.0, env.scale);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() { return qps::bench::Run(); }

@@ -1,0 +1,382 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "bench/harness.h"
+
+#include "core/mcts.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "storage/schemas.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace bench {
+
+namespace {
+
+int64_t BaseRows(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return 600;
+    case Scale::kCi:
+      return 3000;
+    case Scale::kPaper:
+      return 100000;
+  }
+  return 3000;
+}
+
+constexpr uint64_t kDbSeed = 20240301;
+constexpr uint64_t kWorkloadSeed = 777;
+constexpr uint64_t kDatasetSeed = 4242;
+constexpr uint64_t kSplitSeed = 31;
+constexpr uint64_t kModelSeed = 1234;
+
+exec::ExecOptions ExecOptionsForScale(Scale scale) {
+  exec::ExecOptions opts;
+  opts.max_intermediate_rows = scale == Scale::kPaper ? 20'000'000 : 2'000'000;
+  return opts;
+}
+
+}  // namespace
+
+Env MakeEnv(Scale scale) {
+  Env env;
+  env.scale = scale;
+  Rng rng(kDbSeed);
+  auto imdb = storage::BuildDatabase(storage::ImdbLikeSpec(), BaseRows(scale), &rng);
+  QPS_CHECK(imdb.ok()) << imdb.status().ToString();
+  env.imdb = std::move(imdb).value();
+  auto stack = storage::BuildDatabase(storage::StackLikeSpec(), BaseRows(scale), &rng);
+  QPS_CHECK(stack.ok()) << stack.status().ToString();
+  env.stack = std::move(stack).value();
+  env.imdb_stats = stats::DatabaseStats::Analyze(*env.imdb);
+  env.stack_stats = stats::DatabaseStats::Analyze(*env.stack);
+  return env;
+}
+
+Env MakeEnvFromEnvVar() { return MakeEnv(GetScaleFromEnv(Scale::kCi)); }
+
+std::vector<const sampling::Qep*> WorkloadBundle::TrainQeps() const {
+  std::vector<const sampling::Qep*> out;
+  for (size_t i : train_idx) out.push_back(&dataset.qeps[i]);
+  return out;
+}
+
+std::vector<const sampling::Qep*> WorkloadBundle::TestQeps() const {
+  std::vector<const sampling::Qep*> out;
+  for (size_t i : test_idx) out.push_back(&dataset.qeps[i]);
+  return out;
+}
+
+sampling::QepDataset WorkloadBundle::TrainDataset() const {
+  sampling::QepDataset out;
+  out.queries = dataset.queries;
+  for (size_t i : train_idx) {
+    sampling::Qep qep;
+    qep.query_id = dataset.qeps[i].query_id;
+    qep.plan = dataset.qeps[i].plan->Clone();
+    out.qeps.push_back(std::move(qep));
+  }
+  return out;
+}
+
+namespace {
+
+WorkloadBundle MakeBundle(const Env& env, const std::string& name,
+                          const storage::Database& db,
+                          const stats::DatabaseStats& stats,
+                          std::vector<query::Query> queries,
+                          sampling::PlanSource source, bool query_level_split) {
+  WorkloadBundle bundle;
+  bundle.name = name;
+  bundle.db = &db;
+  bundle.stats = &stats;
+  bundle.source = source;
+
+  sampling::DatasetOptions opts;
+  opts.source = source;
+  opts.exec = ExecOptionsForScale(env.scale);
+  // Per-query sampling volume (paper: JOB 113 queries -> 50K QEPs; we keep
+  // the one-to-many shape at reduced volume).
+  opts.sampler.candidates_per_order = 3;
+  opts.sampler.max_plans_per_query = env.scale == Scale::kPaper ? 100 : 8;
+  opts.sampler.max_join_orders = env.scale == Scale::kPaper ? 400 : 60;
+  Rng rng(kDatasetSeed);
+  auto ds = sampling::BuildQepDataset(db, stats, std::move(queries), opts, &rng);
+  QPS_CHECK(ds.ok()) << name << ": " << ds.status().ToString();
+  bundle.dataset = std::move(ds).value();
+  QPS_CHECK(!bundle.dataset.qeps.empty()) << name << ": no labeled QEPs";
+
+  Rng split_rng(kSplitSeed);
+  if (query_level_split) {
+    // JOB setting: hold out whole queries.
+    std::vector<int> train_q, test_q;
+    eval::SplitQueries(bundle.dataset.queries.size(), 0.8, &split_rng, &train_q,
+                       &test_q);
+    std::vector<bool> is_train(bundle.dataset.queries.size(), false);
+    for (int qid : train_q) is_train[static_cast<size_t>(qid)] = true;
+    for (size_t i = 0; i < bundle.dataset.qeps.size(); ++i) {
+      (is_train[static_cast<size_t>(bundle.dataset.qeps[i].query_id)]
+           ? bundle.train_idx
+           : bundle.test_idx)
+          .push_back(i);
+    }
+  } else {
+    eval::SplitIndices(bundle.dataset.qeps.size(), 0.8, &split_rng,
+                       &bundle.train_idx, &bundle.test_idx);
+  }
+  QPS_CHECK(!bundle.train_idx.empty() && !bundle.test_idx.empty());
+  return bundle;
+}
+
+}  // namespace
+
+WorkloadBundle MakeSyntheticBundle(const Env& env) {
+  Rng rng(kWorkloadSeed);
+  auto queries = eval::SyntheticWorkload(*env.imdb, env.scale, &rng);
+  return MakeBundle(env, "Synthetic", *env.imdb, *env.imdb_stats, std::move(queries),
+                    sampling::PlanSource::kOptimizer, /*query_level_split=*/false);
+}
+
+WorkloadBundle MakeSyntheticSampledBundle(const Env& env) {
+  Rng rng(kWorkloadSeed);
+  auto queries = eval::SyntheticWorkload(*env.imdb, env.scale, &rng);
+  return MakeBundle(env, "SyntheticSampled", *env.imdb, *env.imdb_stats,
+                    std::move(queries), sampling::PlanSource::kSampled,
+                    /*query_level_split=*/false);
+}
+
+WorkloadBundle MakeJobBundle(const Env& env) {
+  Rng rng(kWorkloadSeed + 1);
+  auto queries = eval::JobWorkload(*env.imdb, env.scale, &rng);
+  return MakeBundle(env, "JOB", *env.imdb, *env.imdb_stats, std::move(queries),
+                    sampling::PlanSource::kSampled, /*query_level_split=*/true);
+}
+
+WorkloadBundle MakeStackBundle(const Env& env) {
+  Rng rng(kWorkloadSeed + 2);
+  auto queries = eval::StackWorkload(*env.stack, env.scale, &rng);
+  return MakeBundle(env, "Stack", *env.stack, *env.stack_stats, std::move(queries),
+                    sampling::PlanSource::kOptimizer, /*query_level_split=*/false);
+}
+
+WorkloadBundle MakeStackSampledBundle(const Env& env) {
+  Rng rng(kWorkloadSeed + 2);
+  auto queries = eval::StackWorkload(*env.stack, env.scale, &rng);
+  return MakeBundle(env, "StackSampled", *env.stack, *env.stack_stats,
+                    std::move(queries), sampling::PlanSource::kSampled,
+                    /*query_level_split=*/false);
+}
+
+core::TrainOptions DefaultTrainOptions(Scale scale) {
+  core::TrainOptions opts;
+  opts.learning_rate = 2e-3f;
+  opts.seed = 97;
+  switch (scale) {
+    case Scale::kSmoke:
+      opts.epochs = 30;
+      break;
+    case Scale::kCi:
+      opts.epochs = 25;
+      break;
+    case Scale::kPaper:
+      opts.epochs = 100;
+      break;
+  }
+  return opts;
+}
+
+core::QpSeeker TrainQpSeeker(const WorkloadBundle& bundle, double beta,
+                             const std::string& variant, Scale scale, bool cache,
+                             core::QpSeekerConfig* config_override) {
+  core::QpSeekerConfig cfg = config_override != nullptr
+                                 ? *config_override
+                                 : core::QpSeekerConfig::ForScale(scale);
+  cfg.beta = beta;
+  core::QpSeeker model(*bundle.db, *bundle.stats, cfg, kModelSeed);
+
+  const std::string dir = ".qps_cache";
+  const std::string path = StrFormat("%s/%s_%s_%s.bin", dir.c_str(),
+                                     bundle.name.c_str(), variant.c_str(),
+                                     ScaleName(scale));
+  if (cache && model.Load(path).ok()) {
+    std::printf("[harness] loaded cached model %s\n", path.c_str());
+    return model;
+  }
+  auto train = bundle.TrainDataset();
+  auto report = model.Train(train, DefaultTrainOptions(scale));
+  std::printf("[harness] trained %s (%s): %lld params, %.1fs, final loss %.4f\n",
+              bundle.name.c_str(), variant.c_str(),
+              static_cast<long long>(report.num_parameters), report.train_seconds,
+              report.final_loss);
+  if (cache) {
+    ::mkdir(dir.c_str(), 0755);
+    Status st = model.Save(path);
+    if (!st.ok()) QPS_LOG(Warning) << "model cache write failed: " << st.ToString();
+  }
+  return model;
+}
+
+TaskErrors EvalQpSeeker(const core::QpSeeker& model, const WorkloadBundle& bundle,
+                        const std::vector<const sampling::Qep*>& qeps) {
+  TaskErrors errors;
+  for (const auto* qep : qeps) {
+    const auto& q = bundle.dataset.queries[static_cast<size_t>(qep->query_id)];
+    const auto pred = model.PredictPlan(q, *qep->plan);
+    errors.cardinality.push_back(eval::QError(pred.cardinality,
+                                              qep->plan->actual.cardinality));
+    errors.cost.push_back(eval::QError(pred.cost, qep->plan->actual.cost));
+    errors.runtime.push_back(
+        eval::QError(pred.runtime_ms, qep->plan->actual.runtime_ms, 0.1));
+  }
+  return errors;
+}
+
+void CalibratePostgres(optimizer::Planner* planner, const WorkloadBundle& bundle) {
+  // Least-squares fit of ms_per_cost over the training QEPs (the baseline
+  // gets the same training data access as the learned systems).
+  double num = 0.0, den = 0.0;
+  for (const auto* qep : bundle.TrainQeps()) {
+    const auto& q = bundle.dataset.queries[static_cast<size_t>(qep->query_id)];
+    auto plan = qep->plan->Clone();
+    planner->cost_model().EstimatePlan(q, plan.get());
+    num += plan->estimated.cost * qep->plan->actual.runtime_ms;
+    den += plan->estimated.cost * plan->estimated.cost;
+  }
+  if (den > 0.0) planner->mutable_cost_model()->set_ms_per_cost(num / den);
+}
+
+TaskErrors EvalPostgres(optimizer::Planner* planner, const WorkloadBundle& bundle,
+                        const std::vector<const sampling::Qep*>& qeps) {
+  TaskErrors errors;
+  for (const auto* qep : qeps) {
+    const auto& q = bundle.dataset.queries[static_cast<size_t>(qep->query_id)];
+    auto plan = qep->plan->Clone();
+    planner->cost_model().EstimatePlan(q, plan.get());
+    errors.cardinality.push_back(eval::QError(plan->estimated.cardinality,
+                                              qep->plan->actual.cardinality));
+    errors.cost.push_back(eval::QError(plan->estimated.cost, qep->plan->actual.cost));
+    errors.runtime.push_back(
+        eval::QError(plan->estimated.runtime_ms, qep->plan->actual.runtime_ms, 0.1));
+  }
+  return errors;
+}
+
+namespace {
+
+double ExecuteOrClamp(exec::Executor* ex, const query::Query& q,
+                      query::PlanNode* plan, int* failures) {
+  auto card = ex->Execute(q, plan);
+  if (card.ok()) return plan->actual.runtime_ms;
+  ++*failures;
+  // Statement-timeout clamp: charge the elapsed simulated work.
+  return std::max(plan->actual.runtime_ms, ex->last_counters().RuntimeMs());
+}
+
+}  // namespace
+
+PlannedRun RunWithQpSeeker(const core::QpSeeker& model,
+                           const storage::Database& db,
+                           const std::vector<query::Query>& queries,
+                           double time_budget_ms) {
+  PlannedRun run;
+  exec::Executor ex(db, ExecOptionsForScale(Scale::kCi));
+  core::MctsOptions mopts;
+  mopts.time_budget_ms = time_budget_ms;
+  uint64_t seed = 1000;
+  for (const auto& q : queries) {
+    mopts.seed = seed++;
+    auto result = core::MctsPlan(model, q, mopts);
+    if (!result.ok()) {
+      ++run.failures;
+      run.per_query_ms.push_back(0.0);
+      continue;
+    }
+    run.total_plans_evaluated += result->plans_evaluated;
+    const double ms = ExecuteOrClamp(&ex, q, result->plan.get(), &run.failures);
+    run.per_query_ms.push_back(ms);
+    run.total_ms += ms;
+  }
+  return run;
+}
+
+PlannedRun RunWithPostgres(optimizer::Planner* planner,
+                           const storage::Database& db,
+                           const std::vector<query::Query>& queries) {
+  PlannedRun run;
+  exec::Executor ex(db, ExecOptionsForScale(Scale::kCi));
+  for (const auto& q : queries) {
+    auto plan = planner->Plan(q);
+    if (!plan.ok()) {
+      ++run.failures;
+      run.per_query_ms.push_back(0.0);
+      continue;
+    }
+    const double ms = ExecuteOrClamp(&ex, q, plan->get(), &run.failures);
+    run.per_query_ms.push_back(ms);
+    run.total_ms += ms;
+  }
+  return run;
+}
+
+PlannedRun RunWithPlans(const storage::Database& db,
+                        const std::vector<query::Query>& queries,
+                        const std::vector<query::PlanPtr>& plans) {
+  PlannedRun run;
+  exec::Executor ex(db, ExecOptionsForScale(Scale::kCi));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (plans[i] == nullptr) {
+      ++run.failures;
+      run.per_query_ms.push_back(0.0);
+      continue;
+    }
+    auto plan = plans[i]->Clone();
+    const double ms = ExecuteOrClamp(&ex, queries[i], plan.get(), &run.failures);
+    run.per_query_ms.push_back(ms);
+    run.total_ms += ms;
+  }
+  return run;
+}
+
+void PrintPercentileTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& named_errors) {
+  std::printf("\n%s\n", title.c_str());
+  std::vector<std::string> headers;
+  std::vector<eval::Percentiles> pct;
+  for (const auto& [name, errs] : named_errors) {
+    headers.push_back(name);
+    pct.push_back(eval::ComputePercentiles(errs));
+  }
+  std::printf("%s\n", eval::FormatHeader("Perc", headers).c_str());
+  const char* row_names[] = {"50%", "90%", "95%", "99%", "std"};
+  for (int r = 0; r < 5; ++r) {
+    std::vector<double> cells;
+    for (const auto& p : pct) {
+      switch (r) {
+        case 0:
+          cells.push_back(p.p50);
+          break;
+        case 1:
+          cells.push_back(p.p90);
+          break;
+        case 2:
+          cells.push_back(p.p95);
+          break;
+        case 3:
+          cells.push_back(p.p99);
+          break;
+        case 4:
+          cells.push_back(p.stddev);
+          break;
+      }
+    }
+    std::printf("%s\n", eval::FormatRow(row_names[r], cells).c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace qps

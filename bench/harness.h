@@ -1,0 +1,126 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Shared experiment harness for the paper-reproduction benchmarks. Builds
+// the evaluation databases/workloads at the requested QPS_SCALE, produces
+// labeled QEP datasets (Table 1), trains QPSeeker instances (with a disk
+// cache so later tables reuse Table 2's best models), and provides the
+// evaluation protocol shared by Tables 2-5: Q-error of root-level
+// (cardinality, cost, runtime) predictions on held-out QEPs.
+
+#ifndef QPS_BENCH_HARNESS_H_
+#define QPS_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qpseeker.h"
+#include "eval/metrics.h"
+#include "eval/workloads.h"
+#include "optimizer/planner.h"
+#include "sampling/plan_sampler.h"
+
+namespace qps {
+namespace bench {
+
+/// The simulated lab: both databases, analyzed.
+struct Env {
+  Scale scale;
+  std::unique_ptr<storage::Database> imdb;
+  std::unique_ptr<storage::Database> stack;
+  std::unique_ptr<stats::DatabaseStats> imdb_stats;
+  std::unique_ptr<stats::DatabaseStats> stack_stats;
+};
+
+Env MakeEnv(Scale scale);
+Env MakeEnvFromEnvVar();  ///< scale from QPS_SCALE (default ci)
+
+/// One evaluation workload: labeled QEPs + the paper's train/test split
+/// (80/20; JOB splits at query level so test queries are never seen).
+struct WorkloadBundle {
+  std::string name;
+  const storage::Database* db = nullptr;
+  const stats::DatabaseStats* stats = nullptr;
+  sampling::QepDataset dataset;
+  std::vector<size_t> train_idx;
+  std::vector<size_t> test_idx;
+  sampling::PlanSource source = sampling::PlanSource::kOptimizer;
+
+  std::vector<const sampling::Qep*> TrainQeps() const;
+  std::vector<const sampling::Qep*> TestQeps() const;
+  /// A dataset view containing only the training QEPs (plans cloned).
+  sampling::QepDataset TrainDataset() const;
+};
+
+WorkloadBundle MakeSyntheticBundle(const Env& env);
+/// Synthetic with plan-space sampling instead of optimizer plans — the
+/// paper's §5.1 enriched training set (exposes the model to bad plans,
+/// which the transfer experiments of Figures 9/10 rely on).
+WorkloadBundle MakeSyntheticSampledBundle(const Env& env);
+WorkloadBundle MakeJobBundle(const Env& env);
+WorkloadBundle MakeStackBundle(const Env& env);
+/// Stack with sampled plans (used when a model must *plan*, not just
+/// predict: training on optimizer-best plans only leaves the cost model
+/// blind to bad plans, which MCTS then walks into).
+WorkloadBundle MakeStackSampledBundle(const Env& env);
+
+/// Trains (or loads from the on-disk cache) a QPSeeker instance on the
+/// bundle's training split. `variant` distinguishes configurations in the
+/// cache key (e.g. "beta100"). Pass cache=false to force retraining.
+core::QpSeeker TrainQpSeeker(const WorkloadBundle& bundle, double beta,
+                             const std::string& variant, Scale scale,
+                             bool cache = true,
+                             core::QpSeekerConfig* config_override = nullptr);
+
+/// Per-scale default training options.
+core::TrainOptions DefaultTrainOptions(Scale scale);
+
+/// Q-errors of the root triple for a set of QEPs.
+struct TaskErrors {
+  std::vector<double> cardinality;
+  std::vector<double> cost;
+  std::vector<double> runtime;
+};
+
+TaskErrors EvalQpSeeker(const core::QpSeeker& model, const WorkloadBundle& bundle,
+                        const std::vector<const sampling::Qep*>& qeps);
+
+/// The PostgreSQL baseline's estimates on the same plans (its cost model
+/// re-annotates each plan; runtime = cost * calibrated factor).
+TaskErrors EvalPostgres(optimizer::Planner* planner, const WorkloadBundle& bundle,
+                        const std::vector<const sampling::Qep*>& qeps);
+
+/// Calibrates the planner's cost->ms factor on the bundle's training split.
+void CalibratePostgres(optimizer::Planner* planner, const WorkloadBundle& bundle);
+
+/// End-to-end planner comparison (Figures 8-10): plan every query with a
+/// system, execute the plan, record per-query runtimes.
+struct PlannedRun {
+  std::vector<double> per_query_ms;  ///< simulated execution time per query
+  double total_ms = 0.0;
+  int failures = 0;                  ///< aborted executions (clamped)
+  int total_plans_evaluated = 0;     ///< MCTS only (paper §7.2 counts)
+};
+
+PlannedRun RunWithQpSeeker(const core::QpSeeker& model,
+                           const storage::Database& db,
+                           const std::vector<query::Query>& queries,
+                           double time_budget_ms = 200.0);
+PlannedRun RunWithPostgres(optimizer::Planner* planner,
+                           const storage::Database& db,
+                           const std::vector<query::Query>& queries);
+/// Executes externally supplied plans (e.g. Bao's choices).
+PlannedRun RunWithPlans(const storage::Database& db,
+                        const std::vector<query::Query>& queries,
+                        const std::vector<query::PlanPtr>& plans);
+
+/// Prints a paper-style percentile block (50/90/95/99/std) for one metric
+/// across systems: one column per entry of `named_errors`.
+void PrintPercentileTable(const std::string& title,
+                          const std::vector<std::pair<std::string, std::vector<double>>>&
+                              named_errors);
+
+}  // namespace bench
+}  // namespace qps
+
+#endif  // QPS_BENCH_HARNESS_H_

@@ -1,0 +1,105 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Domain example: using QPSeeker's cost modeler purely as a cardinality /
+// selectivity estimator (the Table 4 task) and comparing it against the
+// statistics-based estimator and MSCN on a Stack-like workload — the
+// "estimator as a library component" use case.
+//
+// Run: ./build/examples/cardinality_estimation
+
+#include <cstdio>
+
+#include "baselines/mscn.h"
+#include "core/qpseeker.h"
+#include "eval/metrics.h"
+#include "eval/workloads.h"
+#include "optimizer/planner.h"
+#include "storage/schemas.h"
+
+using namespace qps;
+
+int main() {
+  Rng rng(21);
+  auto db = storage::BuildDatabase(storage::StackLikeSpec(), 1200, &rng).value();
+  auto stats = stats::DatabaseStats::Analyze(*db);
+
+  eval::WorkloadOptions wo;
+  wo.num_queries = 90;
+  wo.min_joins = 0;
+  wo.max_joins = 3;
+  wo.num_templates = 30;
+  Rng wrng(22);
+  auto queries = eval::GenerateWorkload(*db, wo, &wrng);
+
+  sampling::DatasetOptions dopts;
+  dopts.source = sampling::PlanSource::kOptimizer;
+  Rng drng(23);
+  auto dataset = sampling::BuildQepDataset(*db, *stats, queries, dopts, &drng).value();
+
+  // 80/20 split.
+  Rng srng(24);
+  std::vector<size_t> train_idx, test_idx;
+  eval::SplitIndices(dataset.qeps.size(), 0.8, &srng, &train_idx, &test_idx);
+
+  // Train QPSeeker on the training QEPs.
+  sampling::QepDataset train;
+  train.queries = dataset.queries;
+  for (size_t i : train_idx) {
+    sampling::Qep qep;
+    qep.query_id = dataset.qeps[i].query_id;
+    qep.plan = dataset.qeps[i].plan->Clone();
+    train.qeps.push_back(std::move(qep));
+  }
+  core::QpSeeker seeker(*db, *stats, core::QpSeekerConfig::ForScale(Scale::kSmoke), 3);
+  core::TrainOptions topts;
+  topts.epochs = 40;
+  topts.learning_rate = 2e-3f;
+  seeker.Train(train, topts);
+
+  // Train MSCN on (query, cardinality) pairs of the same split.
+  baselines::MscnConfig mcfg;
+  mcfg.epochs = 50;
+  mcfg.learning_rate = 2e-3f;
+  baselines::Mscn mscn(*db, mcfg, 25);
+  std::vector<baselines::CardinalitySample> samples;
+  for (size_t i : train_idx) {
+    samples.push_back(
+        {&dataset.queries[static_cast<size_t>(dataset.qeps[i].query_id)],
+         dataset.qeps[i].plan->actual.cardinality});
+  }
+  mscn.Train(samples, 26);
+
+  optimizer::Planner planner(*db, *stats);
+  std::vector<double> err_qps, err_mscn, err_pg;
+  std::printf("%-46s %12s %12s %12s %12s\n", "query (held out)", "truth", "QPSeeker",
+              "MSCN", "stats-est");
+  int shown = 0;
+  for (size_t i : test_idx) {
+    const auto& qep = dataset.qeps[i];
+    const auto& q = dataset.queries[static_cast<size_t>(qep.query_id)];
+    const double truth = qep.plan->actual.cardinality;
+    const double p_qps = seeker.PredictPlan(q, *qep.plan).cardinality;
+    const double p_mscn = mscn.Predict(q);
+    auto plan = qep.plan->Clone();
+    planner.cost_model().EstimatePlan(q, plan.get());
+    const double p_pg = plan->estimated.cardinality;
+    err_qps.push_back(eval::QError(p_qps, truth));
+    err_mscn.push_back(eval::QError(p_mscn, truth));
+    err_pg.push_back(eval::QError(p_pg, truth));
+    if (shown++ < 8) {
+      std::string sql = q.ToSql(*db).substr(0, 44);
+      std::printf("%-46s %12.0f %12.0f %12.0f %12.0f\n", sql.c_str(), truth, p_qps,
+                  p_mscn, p_pg);
+    }
+  }
+  auto print_pct = [](const char* name, std::vector<double> errs) {
+    auto p = eval::ComputePercentiles(std::move(errs));
+    std::printf("%-12s q-error p50 %8.2f  p90 %10.2f  p99 %10.2f\n", name, p.p50,
+                p.p90, p.p99);
+  };
+  std::printf("\nheld-out cardinality estimation (%zu QEPs):\n", test_idx.size());
+  print_pct("QPSeeker", err_qps);
+  print_pct("MSCN", err_mscn);
+  print_pct("stats-est", err_pg);
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// qpsql: a small interactive/batch SQL shell over the QPSeeker stack.
+// Generates (or loads) a database, optionally trains a QPSeeker instance,
+// then reads SQL statements from stdin, plans each with the selected
+// planner, executes it, and prints EXPLAIN ANALYZE output.
+//
+// Usage:
+//   qpsql [--db=imdb|stack|toy] [--rows=N] [--planner=baseline|neural|hybrid]
+//         [--train-queries=N] [--seed=N]
+//
+//   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
+//
+// Meta-commands: \tables  \schema <table>  \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/hybrid.h"
+#include "core/qpseeker.h"
+#include "eval/workloads.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+#include "util/string_util.h"
+
+using namespace qps;
+
+namespace {
+
+struct Options {
+  std::string db = "toy";
+  int64_t rows = 500;
+  std::string planner = "baseline";
+  int train_queries = 48;
+  uint64_t seed = 42;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::string {
+      return arg.substr(prefix.size());
+    };
+    if (StartsWith(arg, "--db=")) {
+      opts.db = value("--db=");
+    } else if (StartsWith(arg, "--rows=")) {
+      opts.rows = std::stoll(value("--rows="));
+    } else if (StartsWith(arg, "--planner=")) {
+      opts.planner = value("--planner=");
+    } else if (StartsWith(arg, "--train-queries=")) {
+      opts.train_queries = std::stoi(value("--train-queries="));
+    } else if (StartsWith(arg, "--seed=")) {
+      opts.seed = std::stoull(value("--seed="));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+void PrintTables(const storage::Database& db) {
+  for (int t = 0; t < db.num_tables(); ++t) {
+    std::printf("  %-18s %8lld rows, %d columns\n", db.table(t).name().c_str(),
+                static_cast<long long>(db.table(t).num_rows()),
+                static_cast<int>(db.table(t).num_columns()));
+  }
+}
+
+void PrintSchema(const storage::Database& db, const std::string& name) {
+  const int t = db.TableIndex(name);
+  if (t < 0) {
+    std::printf("no such table: %s\n", name.c_str());
+    return;
+  }
+  const storage::Table& table = db.table(t);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const auto& meta = table.column_meta(c);
+    std::string extra;
+    if (meta.is_primary_key) extra = " PRIMARY KEY";
+    if (!meta.ref_table.empty()) {
+      extra = " REFERENCES " + meta.ref_table + "(" + meta.ref_column + ")";
+    }
+    std::printf("  %-20s %-8s%s\n", table.column(c).name().c_str(),
+                storage::DataTypeName(table.column(c).type()), extra.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = ParseArgs(argc, argv);
+
+  Rng rng(opts.seed);
+  storage::DatabaseSpec spec;
+  if (opts.db == "imdb") {
+    spec = storage::ImdbLikeSpec();
+  } else if (opts.db == "stack") {
+    spec = storage::StackLikeSpec();
+  } else if (opts.db == "toy") {
+    spec = storage::ToySpec();
+  } else {
+    std::fprintf(stderr, "unknown --db: %s (use imdb|stack|toy)\n", opts.db.c_str());
+    return 2;
+  }
+  auto db_or = storage::BuildDatabase(spec, opts.rows, &rng);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "database build failed: %s\n",
+                 db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+  auto stats = stats::DatabaseStats::Analyze(*db);
+  optimizer::Planner baseline(*db, *stats);
+  std::fprintf(stderr, "qpsql: %s database, %lld rows, planner=%s\n",
+               db->name().c_str(), static_cast<long long>(db->TotalRows()),
+               opts.planner.c_str());
+
+  // Train a model when a neural planner is requested.
+  std::unique_ptr<core::QpSeeker> model;
+  if (opts.planner != "baseline") {
+    eval::WorkloadOptions wo;
+    wo.num_queries = opts.train_queries;
+    wo.min_joins = 0;
+    wo.max_joins = 3;
+    wo.num_templates = std::max(4, opts.train_queries / 4);
+    Rng wrng(opts.seed + 1);
+    auto queries = eval::GenerateWorkload(*db, wo, &wrng);
+    sampling::DatasetOptions dopts;
+    dopts.source = sampling::PlanSource::kSampled;
+    dopts.sampler.max_plans_per_query = 6;
+    Rng drng(opts.seed + 2);
+    auto ds = sampling::BuildQepDataset(*db, *stats, queries, dopts, &drng);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "training-set build failed: %s\n",
+                   ds.status().ToString().c_str());
+      return 1;
+    }
+    model = std::make_unique<core::QpSeeker>(
+        *db, *stats, core::QpSeekerConfig::ForScale(Scale::kSmoke), opts.seed);
+    core::TrainOptions topts;
+    topts.epochs = 35;
+    topts.learning_rate = 2e-3f;
+    auto report = model->Train(*ds, topts);
+    std::fprintf(stderr, "qpsql: trained %lld params on %zu QEPs in %.1fs\n",
+                 static_cast<long long>(report.num_parameters), ds->qeps.size(),
+                 report.train_seconds);
+  }
+
+  exec::Executor executor(*db);
+  core::HybridOptions hopts;
+  std::unique_ptr<core::HybridPlanner> hybrid;
+  if (opts.planner == "hybrid") {
+    hybrid = std::make_unique<core::HybridPlanner>(model.get(), &baseline, hopts);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string sql = StrTrim(line);
+    if (sql.empty() || sql[0] == '#') continue;
+    if (sql == "\\quit" || sql == "\\q") break;
+    if (sql == "\\tables") {
+      PrintTables(*db);
+      continue;
+    }
+    if (StartsWith(sql, "\\schema")) {
+      PrintSchema(*db, StrTrim(sql.substr(7)));
+      continue;
+    }
+
+    auto q = query::ParseSql(sql, *db);
+    if (!q.ok()) {
+      std::printf("parse error: %s\n", q.status().ToString().c_str());
+      continue;
+    }
+
+    query::PlanPtr plan;
+    if (opts.planner == "baseline") {
+      auto p = baseline.Plan(*q);
+      if (!p.ok()) {
+        std::printf("plan error: %s\n", p.status().ToString().c_str());
+        continue;
+      }
+      plan = std::move(*p);
+    } else if (opts.planner == "neural") {
+      auto p = core::MctsPlan(*model, *q);
+      if (!p.ok()) {
+        std::printf("plan error: %s\n", p.status().ToString().c_str());
+        continue;
+      }
+      std::printf("-- MCTS evaluated %d plans in %.0f ms\n", p->plans_evaluated,
+                  p->planning_ms);
+      plan = std::move(p->plan);
+    } else if (opts.planner == "hybrid") {
+      auto p = hybrid->Plan(*q);
+      if (!p.ok()) {
+        std::printf("plan error: %s\n", p.status().ToString().c_str());
+        continue;
+      }
+      std::printf("-- hybrid took the %s path\n", p->used_neural ? "neural" : "DP");
+      plan = std::move(p->plan);
+    } else {
+      std::fprintf(stderr, "unknown --planner: %s\n", opts.planner.c_str());
+      return 2;
+    }
+
+    auto card = executor.Execute(*q, plan.get());
+    if (!card.ok()) {
+      std::printf("execution aborted: %s\n", card.status().ToString().c_str());
+      continue;
+    }
+    std::printf("EXPLAIN ANALYZE:\n%s", plan->ToString(*db, *q, true).c_str());
+    std::printf("count(*) = %.0f   (%.2f ms simulated)\n\n", *card,
+                plan->actual.runtime_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Quickstart: the paper's running example (§5, Figure 6) end to end on the
+// toy a/b/c schema —
+//   1. build a database and ANALYZE it,
+//   2. generate a small training workload and sample the plan space per
+//      query (§5.1) to obtain labeled QEPs,
+//   3. train QPSeeker's cost modeler,
+//   4. plan a new query with MCTS and compare with the PostgreSQL-like
+//      baseline, executing both plans.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/mcts.h"
+#include "core/qpseeker.h"
+#include "eval/workloads.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+
+using namespace qps;
+
+int main() {
+  // 1. Build + ANALYZE the running-example database (tables a, b, c).
+  Rng rng(42);
+  auto db_or = storage::BuildDatabase(storage::ToySpec(), 500, &rng);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_or).value();
+  auto stats = stats::DatabaseStats::Analyze(*db);
+  std::printf("database '%s': %d tables, %lld rows, %zu join edges\n\n",
+              db->name().c_str(), db->num_tables(),
+              static_cast<long long>(db->TotalRows()), db->join_edges().size());
+
+  // 2. A small workload; sample the plan space per query for training QEPs.
+  eval::WorkloadOptions wo;
+  wo.num_queries = 48;
+  wo.min_joins = 0;
+  wo.max_joins = 2;
+  wo.num_templates = 12;
+  Rng wrng(7);
+  auto queries = eval::GenerateWorkload(*db, wo, &wrng);
+
+  sampling::DatasetOptions dopts;
+  dopts.source = sampling::PlanSource::kSampled;
+  dopts.sampler.max_plans_per_query = 6;
+  Rng drng(8);
+  auto dataset_or = sampling::BuildQepDataset(*db, *stats, queries, dopts, &drng);
+  if (!dataset_or.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n",
+                 dataset_or.status().ToString().c_str());
+    return 1;
+  }
+  auto dataset = std::move(dataset_or).value();
+  std::printf("training set: %zu queries -> %zu labeled QEPs (%d aborted)\n\n",
+              dataset.queries.size(), dataset.qeps.size(), dataset.aborted);
+
+  // 3. Train the cost modeler.
+  core::QpSeekerConfig cfg = core::QpSeekerConfig::ForScale(Scale::kSmoke);
+  core::QpSeeker seeker(*db, *stats, cfg, /*seed=*/3);
+  core::TrainOptions topts;
+  topts.epochs = 40;
+  topts.learning_rate = 2e-3f;
+  auto report = seeker.Train(dataset, topts);
+  std::printf("trained %lld parameters in %.1fs, loss %.4f -> %.4f\n\n",
+              static_cast<long long>(report.num_parameters), report.train_seconds,
+              report.epoch_losses.front(), report.final_loss);
+
+  // 4. Plan the paper's running-example query with MCTS.
+  auto q_or = query::ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND a.a2 = 1;",
+      *db);
+  if (!q_or.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", q_or.status().ToString().c_str());
+    return 1;
+  }
+  const query::Query q = std::move(q_or).value();
+  std::printf("query: %s\n\n", q.ToSql(*db).c_str());
+
+  core::MctsOptions mopts;
+  mopts.time_budget_ms = 200.0;  // the paper's planning cut-off
+  auto result_or = core::MctsPlan(seeker, q, mopts);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  auto result = std::move(result_or).value();
+
+  optimizer::Planner baseline(*db, *stats);
+  auto pg_plan = baseline.Plan(q);
+
+  exec::Executor ex(*db);
+  auto qps_card = ex.Execute(q, result.plan.get());
+  auto pg_card = ex.Execute(q, pg_plan->get());
+
+  std::printf("QPSeeker plan (MCTS evaluated %d plans in %.0f ms):\n%s",
+              result.plans_evaluated, result.planning_ms,
+              result.plan->ToString(*db, q, /*with_actual=*/true).c_str());
+  std::printf("  -> executed: %.0f rows, %.2f ms (predicted %.2f ms)\n\n",
+              qps_card.ok() ? *qps_card : -1.0, result.plan->actual.runtime_ms,
+              result.predicted_runtime_ms);
+  std::printf("PostgreSQL-like baseline plan:\n%s",
+              (*pg_plan)->ToString(*db, q, true).c_str());
+  std::printf("  -> executed: %.0f rows, %.2f ms\n", pg_card.ok() ? *pg_card : -1.0,
+              (*pg_plan)->actual.runtime_ms);
+  return 0;
+}

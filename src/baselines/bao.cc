@@ -1,0 +1,163 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "baselines/bao.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace baselines {
+
+using nn::Tensor;
+using nn::Var;
+using optimizer::PlanHints;
+
+Bao::Bao(const storage::Database& db, const stats::DatabaseStats& stats,
+         BaoConfig config, uint64_t seed)
+    : db_(db), planner_(db, stats), config_(config) {
+  Rng rng(seed);
+  value_ = std::make_unique<nn::Mlp>(kFeatures, config.hidden, 1, 2, &rng,
+                                     nn::Activation::kRelu, nn::Activation::kSigmoid,
+                                     "value");
+}
+
+std::vector<PlanHints> Bao::AllArms() {
+  std::vector<PlanHints> arms;
+  for (int j = 1; j < 8; ++j) {      // join flag subsets, non-empty
+    for (int s = 1; s < 8; ++s) {    // scan flag subsets, non-empty
+      PlanHints h;
+      h.enable_hashjoin = j & 1;
+      h.enable_mergejoin = j & 2;
+      h.enable_nestloop = j & 4;
+      h.enable_seqscan = s & 1;
+      h.enable_indexscan = s & 2;
+      h.enable_bitmapscan = s & 4;
+      arms.push_back(h);
+    }
+  }
+  return arms;  // 7 x 7 = 49 valid hint sets
+}
+
+Tensor Bao::Featurize(const query::PlanNode& plan) const {
+  Tensor f(1, kFeatures);
+  int nodes = 0;
+  double sum_log_rows = 0.0;
+  plan.PostOrder([&](const query::PlanNode& n) {
+    f(0, static_cast<int>(n.op)) += 1.0f;
+    sum_log_rows += std::log1p(std::max(0.0, n.estimated.cardinality));
+    ++nodes;
+  });
+  // Normalize op counts by node count (tree-conv pooling stand-in).
+  for (int i = 0; i < query::kNumOpTypes; ++i) {
+    f(0, i) /= static_cast<float>(std::max(1, nodes));
+  }
+  int i = query::kNumOpTypes;
+  f(0, i++) = static_cast<float>(std::log1p(std::max(0.0, plan.estimated.cost)) / 25.0);
+  f(0, i++) =
+      static_cast<float>(std::log1p(std::max(0.0, plan.estimated.cardinality)) / 25.0);
+  f(0, i++) = static_cast<float>(sum_log_rows / (20.0 * std::max(1, nodes)));
+  f(0, i++) = static_cast<float>(nodes) / 32.0f;
+  f(0, i++) =
+      static_cast<float>(std::log1p(std::max(0.0, plan.estimated.runtime_ms)) / 15.0);
+  return f;
+}
+
+double Bao::PredictRuntime(const query::PlanNode& plan) const {
+  Var pred = value_->Forward(nn::Constant(Featurize(plan)));
+  return std::expm1(static_cast<double>(pred->value(0, 0)) * log_max_runtime_);
+}
+
+void Bao::FitValueModel(int epochs, uint64_t seed) {
+  if (features_.empty()) return;
+  log_max_runtime_ = 1.0;
+  for (double r : runtimes_) {
+    log_max_runtime_ = std::max(log_max_runtime_, std::log1p(std::max(0.0, r)));
+  }
+  nn::Adam adam(value_->Parameters(), config_.learning_rate);
+  Rng rng(seed);
+  std::vector<size_t> order(features_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    size_t index = 0;
+    while (index < order.size()) {
+      value_->ZeroGrad();
+      const size_t end = std::min(order.size(), index + 32);
+      for (; index < end; ++index) {
+        const size_t s = order[index];
+        const float target = static_cast<float>(
+            std::log1p(std::max(0.0, runtimes_[s])) / log_max_runtime_);
+        Var loss = nn::MseLoss(value_->Forward(nn::Constant(features_[s])),
+                               Tensor::Row({target}));
+        nn::Backward(loss);
+      }
+      adam.Step();
+    }
+  }
+}
+
+Status Bao::TrainOnWorkload(const std::vector<query::Query>& queries,
+                            exec::Executor* executor, uint64_t seed) {
+  const auto arms = AllArms();
+  Rng rng(seed);
+  for (int round = 0; round < config_.rounds; ++round) {
+    for (const auto& q : queries) {
+      // Arm selection: round 0 explores uniformly (plus the no-hint arm);
+      // later rounds exploit the value model and explore around it.
+      std::vector<size_t> chosen;
+      chosen.push_back(arms.size() - 1);  // all-enabled arm is always tried
+      if (round > 0) {
+        double best = INFINITY;
+        size_t best_arm = 0;
+        for (size_t a = 0; a < arms.size(); ++a) {
+          auto plan = planner_.Plan(q, arms[a]);
+          if (!plan.ok()) continue;
+          const double pred = PredictRuntime(**plan);
+          if (pred < best) {
+            best = pred;
+            best_arm = a;
+          }
+        }
+        chosen.push_back(best_arm);
+      }
+      while (chosen.size() < static_cast<size_t>(config_.arms_per_query)) {
+        chosen.push_back(rng.UniformInt(arms.size()));
+      }
+      for (size_t a : chosen) {
+        auto plan = planner_.Plan(q, arms[a]);
+        if (!plan.ok()) continue;
+        auto card = executor->Execute(q, plan->get());
+        if (!card.ok()) {
+          if (card.status().IsResourceExhausted()) continue;  // skip timeouts
+          return card.status();
+        }
+        features_.push_back(Featurize(**plan));
+        runtimes_.push_back((*plan)->actual.runtime_ms);
+      }
+    }
+    FitValueModel(config_.epochs_per_round, seed + static_cast<uint64_t>(round));
+  }
+  return Status::OK();
+}
+
+StatusOr<query::PlanPtr> Bao::Plan(const query::Query& q) const {
+  const auto arms = AllArms();
+  query::PlanPtr best;
+  double best_pred = INFINITY;
+  for (const auto& arm : arms) {
+    auto plan = planner_.Plan(q, arm);
+    if (!plan.ok()) continue;
+    const double pred = PredictRuntime(**plan);
+    if (pred < best_pred || best == nullptr) {
+      best_pred = pred;
+      best = std::move(*plan);
+    }
+  }
+  if (best == nullptr) return Status::Internal("no arm produced a plan");
+  return best;
+}
+
+}  // namespace baselines
+}  // namespace qps

@@ -1,0 +1,76 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Bao (Marcus et al., SIGMOD 2021): the RL query-optimizer baseline of
+// §7.2. Bao does not plan from scratch; it steers the traditional
+// optimizer by choosing a *hint set* (operator enable/disable flags) per
+// query, learning a value model of hinted-plan runtime from execution
+// experience, with Thompson-sampling-style exploration across retraining
+// rounds. Our value model uses pooled plan-tree features in place of the
+// original tree convolution (documented substitution).
+
+#ifndef QPS_BASELINES_BAO_H_
+#define QPS_BASELINES_BAO_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "optimizer/planner.h"
+#include "util/status.h"
+
+namespace qps {
+namespace baselines {
+
+struct BaoConfig {
+  int hidden = 48;
+  int epochs_per_round = 25;
+  float learning_rate = 2e-3f;
+  int arms_per_query = 4;  ///< hinted plans executed per training query
+  int rounds = 2;          ///< explore -> retrain cycles
+};
+
+class Bao {
+ public:
+  Bao(const storage::Database& db, const stats::DatabaseStats& stats,
+      BaoConfig config, uint64_t seed);
+
+  /// All valid hint sets (>=1 join and >=1 scan operator enabled). With the
+  /// paper's 6 flags this yields 49 arms (the paper's SCOPE variant uses 48).
+  static std::vector<optimizer::PlanHints> AllArms();
+
+  /// Gains experience by executing hinted plans of the training queries,
+  /// then fits the value model (repeated for config.rounds rounds; later
+  /// rounds explore around the current best arm, Thompson-style).
+  Status TrainOnWorkload(const std::vector<query::Query>& queries,
+                         exec::Executor* executor, uint64_t seed);
+
+  /// Inference: plans `q` under every arm, returns the plan whose predicted
+  /// runtime is lowest.
+  StatusOr<query::PlanPtr> Plan(const query::Query& q) const;
+
+  /// Predicted runtime (ms) of a planned (estimate-annotated) plan.
+  double PredictRuntime(const query::PlanNode& plan) const;
+
+  int64_t experience_size() const { return static_cast<int64_t>(features_.size()); }
+
+ private:
+  static constexpr int kFeatures = query::kNumOpTypes + 5;
+
+  nn::Tensor Featurize(const query::PlanNode& plan) const;
+  void FitValueModel(int epochs, uint64_t seed);
+
+  const storage::Database& db_;
+  optimizer::Planner planner_;
+  BaoConfig config_;
+  std::unique_ptr<nn::Mlp> value_;
+  std::vector<nn::Tensor> features_;  ///< experience: plan features
+  std::vector<double> runtimes_;      ///< experience: measured runtimes
+  double log_max_runtime_ = 1.0;
+};
+
+}  // namespace baselines
+}  // namespace qps
+
+#endif  // QPS_BASELINES_BAO_H_

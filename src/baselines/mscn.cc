@@ -1,0 +1,143 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "baselines/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace baselines {
+
+using nn::Tensor;
+using nn::Var;
+
+Mscn::Mscn(const storage::Database& db, MscnConfig config, uint64_t seed)
+    : db_(db),
+      config_(config),
+      num_tables_(db.num_tables()),
+      num_joins_(static_cast<int>(db.join_edges().size()) + 1) {
+  int offset = 0;
+  for (int t = 0; t < db.num_tables(); ++t) {
+    column_offset_.push_back(offset);
+    offset += static_cast<int>(db.table(t).num_columns());
+  }
+  num_columns_ = offset;
+  Rng rng(seed);
+  const int pred_in = num_columns_ + 6 + 1;  // column | op one-hot | value
+  rel_mlp_ = std::make_unique<nn::Mlp>(num_tables_, config.hidden, config.set_out,
+                                       config.hidden_layers, &rng,
+                                       nn::Activation::kRelu, nn::Activation::kRelu,
+                                       "rel");
+  join_mlp_ = std::make_unique<nn::Mlp>(num_joins_, config.hidden, config.set_out,
+                                        config.hidden_layers, &rng,
+                                        nn::Activation::kRelu, nn::Activation::kRelu,
+                                        "join");
+  pred_mlp_ = std::make_unique<nn::Mlp>(pred_in, config.hidden, config.set_out,
+                                        config.hidden_layers, &rng,
+                                        nn::Activation::kRelu, nn::Activation::kRelu,
+                                        "pred");
+  out_mlp_ = std::make_unique<nn::Mlp>(3 * config.set_out, config.hidden, 1,
+                                       config.hidden_layers, &rng,
+                                       nn::Activation::kRelu,
+                                       nn::Activation::kSigmoid, "out");
+  RegisterChild("rel", rel_mlp_.get());
+  RegisterChild("join", join_mlp_.get());
+  RegisterChild("pred", pred_mlp_.get());
+  RegisterChild("out", out_mlp_.get());
+}
+
+Var Mscn::Forward(const query::Query& q) const {
+  const int nrel = std::max(1, q.num_relations());
+  Tensor rel(nrel, num_tables_);
+  Tensor rel_mask(nrel, 1);
+  for (int r = 0; r < q.num_relations(); ++r) {
+    rel(r, q.relations[static_cast<size_t>(r)].table_id) = 1.0f;
+    rel_mask(r, 0) = 1.0f;
+  }
+  Var rel_pool = nn::MaskedMeanRows(rel_mlp_->Forward(nn::Constant(rel)), rel_mask);
+
+  const int njoin = std::max(1, static_cast<int>(q.joins.size()));
+  Tensor join(njoin, num_joins_);
+  Tensor join_mask(njoin, 1);
+  for (size_t j = 0; j < q.joins.size(); ++j) {
+    const int edge = q.joins[j].schema_edge;
+    join(static_cast<int64_t>(j), edge >= 0 ? edge : num_joins_ - 1) = 1.0f;
+    join_mask(static_cast<int64_t>(j), 0) = 1.0f;
+  }
+  Var join_pool = nn::MaskedMeanRows(join_mlp_->Forward(nn::Constant(join)), join_mask);
+
+  const int npred = std::max(1, static_cast<int>(q.filters.size()));
+  Tensor pred(npred, num_columns_ + 6 + 1);
+  Tensor pred_mask(npred, 1);
+  for (size_t f = 0; f < q.filters.size(); ++f) {
+    const auto& fp = q.filters[f];
+    const int table = q.relations[static_cast<size_t>(fp.rel)].table_id;
+    const int col = column_offset_[static_cast<size_t>(table)] + fp.column;
+    pred(static_cast<int64_t>(f), col) = 1.0f;
+    pred(static_cast<int64_t>(f), num_columns_ + static_cast<int>(fp.op)) = 1.0f;
+    // Min-max normalized literal (MSCN's value encoding).
+    const auto& c = db_.table(table).column(fp.column);
+    double lo = 0.0, hi = 1.0;
+    if (c.size() > 0) {
+      lo = c.GetDouble(0);
+      hi = lo;
+      for (int64_t r = 0; r < c.size(); ++r) {
+        lo = std::min(lo, c.GetDouble(r));
+        hi = std::max(hi, c.GetDouble(r));
+      }
+    }
+    const double v = fp.value.AsDouble();
+    pred(static_cast<int64_t>(f), num_columns_ + 6) =
+        hi > lo ? static_cast<float>(std::clamp((v - lo) / (hi - lo), 0.0, 1.0)) : 0.5f;
+    pred_mask(static_cast<int64_t>(f), 0) = 1.0f;
+  }
+  Var pred_pool = nn::MaskedMeanRows(pred_mlp_->Forward(nn::Constant(pred)), pred_mask);
+
+  return out_mlp_->Forward(nn::ConcatCols({rel_pool, join_pool, pred_pool}));
+}
+
+std::vector<double> Mscn::Train(const std::vector<CardinalitySample>& samples,
+                                uint64_t seed) {
+  QPS_CHECK(!samples.empty());
+  log_max_card_ = 1.0;
+  for (const auto& s : samples) {
+    log_max_card_ = std::max(log_max_card_, std::log1p(std::max(0.0, s.cardinality)));
+  }
+  nn::Adam adam(Parameters(), config_.learning_rate);
+  Rng rng(seed);
+  std::vector<const CardinalitySample*> items;
+  for (const auto& s : samples) items.push_back(&s);
+  std::vector<double> losses;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&items);
+    double epoch_loss = 0.0;
+    size_t index = 0;
+    while (index < items.size()) {
+      ZeroGrad();
+      const size_t end =
+          std::min(items.size(), index + static_cast<size_t>(config_.batch_size));
+      for (; index < end; ++index) {
+        const auto& s = *items[index];
+        const float target = static_cast<float>(
+            std::log1p(std::max(0.0, s.cardinality)) / log_max_card_);
+        Var loss = nn::MseLoss(Forward(*s.query), Tensor::Row({target}));
+        epoch_loss += loss->value(0, 0);
+        nn::Backward(loss);
+      }
+      adam.ClipGradNorm(5.0f);
+      adam.Step();
+    }
+    losses.push_back(epoch_loss / static_cast<double>(items.size()));
+  }
+  return losses;
+}
+
+double Mscn::Predict(const query::Query& q) const {
+  const float y = Forward(q)->value(0, 0);
+  return std::expm1(static_cast<double>(y) * log_max_card_);
+}
+
+}  // namespace baselines
+}  // namespace qps

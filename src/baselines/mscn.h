@@ -1,0 +1,67 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// MSCN (Kipf et al., CIDR 2019): the multi-set convolutional cardinality
+// estimator the paper compares against in Table 4. Three per-set MLPs
+// (relations, joins, predicates) with masked mean pooling, concatenated
+// into an output MLP that predicts normalized log cardinality.
+
+#ifndef QPS_BASELINES_MSCN_H_
+#define QPS_BASELINES_MSCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace qps {
+namespace baselines {
+
+struct MscnConfig {
+  int hidden = 64;
+  int set_out = 32;
+  int hidden_layers = 2;
+  int epochs = 40;
+  float learning_rate = 1e-3f;
+  int batch_size = 32;
+};
+
+/// A (query, true cardinality) training pair.
+struct CardinalitySample {
+  const query::Query* query;
+  double cardinality;
+};
+
+class Mscn : public nn::Module {
+ public:
+  Mscn(const storage::Database& db, MscnConfig config, uint64_t seed);
+
+  /// Trains on (query, cardinality) pairs; returns per-epoch losses.
+  std::vector<double> Train(const std::vector<CardinalitySample>& samples,
+                            uint64_t seed);
+
+  /// Predicted cardinality (rows) for a query.
+  double Predict(const query::Query& q) const;
+
+ private:
+  nn::Var Forward(const query::Query& q) const;
+
+  const storage::Database& db_;
+  MscnConfig config_;
+  int num_tables_;
+  int num_joins_;
+  int num_columns_;  ///< global flat column id space
+  std::vector<int> column_offset_;  ///< per-table offset into flat ids
+  std::unique_ptr<nn::Mlp> rel_mlp_;
+  std::unique_ptr<nn::Mlp> join_mlp_;
+  std::unique_ptr<nn::Mlp> pred_mlp_;
+  std::unique_ptr<nn::Mlp> out_mlp_;
+  double log_max_card_ = 1.0;
+};
+
+}  // namespace baselines
+}  // namespace qps
+
+#endif  // QPS_BASELINES_MSCN_H_

@@ -1,0 +1,123 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "baselines/qppnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace baselines {
+
+using nn::Tensor;
+using nn::Var;
+
+QppNet::QppNet(const storage::Database& db, QppNetConfig config, uint64_t seed)
+    : db_(db), config_(config) {
+  Rng rng(seed);
+  for (int op = 0; op < query::kNumOpTypes; ++op) {
+    const int in = kFeatures + config.unit_out;  // features + pooled children
+    units_.push_back(std::make_unique<nn::Mlp>(
+        in, config.unit_hidden, config.unit_out, /*hidden_layers=*/2, &rng,
+        nn::Activation::kRelu, nn::Activation::kNone,
+        std::string("unit_") + query::OpTypeName(static_cast<query::OpType>(op))));
+    RegisterChild(std::string("u") + std::to_string(op), units_.back().get());
+  }
+}
+
+Var QppNet::NodeForward(
+    const query::Query& q, const query::PlanNode& node,
+    std::vector<std::pair<const query::PlanNode*, nn::Var>>* all) const {
+  Var child_pool;
+  if (node.is_leaf()) {
+    child_pool = nn::Constant(Tensor::Zeros(1, config_.unit_out));
+  } else {
+    Var l = NodeForward(q, *node.left, all);
+    Var r = NodeForward(q, *node.right, all);
+    child_pool = nn::Scale(nn::Add(l, r), 0.5f);
+  }
+  Tensor feat(1, kFeatures);
+  feat(0, 0) = static_cast<float>(std::log1p(std::max(0.0, node.estimated.cardinality)) / 20.0);
+  feat(0, 1) = static_cast<float>(std::log1p(std::max(0.0, node.estimated.cost)) / 20.0);
+  if (node.is_leaf()) {
+    const auto& t = db_.table(q.relations[static_cast<size_t>(node.rel)].table_id);
+    const double rows = static_cast<double>(t.num_rows());
+    feat(0, 2) = static_cast<float>(std::log1p(rows) / 20.0);
+    feat(0, 3) = rows > 0.0 ? static_cast<float>(std::min(
+                                  1.0, node.estimated.cardinality / rows))
+                            : 0.0f;
+    feat(0, 4) = static_cast<float>(std::log1p(static_cast<double>(t.num_blocks())) / 20.0);
+  } else {
+    feat(0, 5) = static_cast<float>(node.join_preds.size());
+  }
+  Var out = units_[static_cast<size_t>(node.op)]->Forward(
+      nn::ConcatCols({nn::Constant(feat), child_pool}));
+  all->emplace_back(&node, out);
+  return out;
+}
+
+std::vector<double> QppNet::Train(const std::vector<RuntimeSample>& samples,
+                                  uint64_t seed) {
+  QPS_CHECK(!samples.empty());
+  log_max_runtime_ = 1.0;
+  for (const auto& s : samples) {
+    s.plan->PostOrder([this](const query::PlanNode& n) {
+      log_max_runtime_ =
+          std::max(log_max_runtime_, std::log1p(std::max(0.0, n.actual.runtime_ms)));
+    });
+  }
+  nn::Adam adam(Parameters(), config_.learning_rate);
+  Rng rng(seed);
+  std::vector<const RuntimeSample*> items;
+  for (const auto& s : samples) items.push_back(&s);
+  std::vector<double> losses;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&items);
+    double epoch_loss = 0.0;
+    size_t index = 0;
+    while (index < items.size()) {
+      ZeroGrad();
+      const size_t end =
+          std::min(items.size(), index + static_cast<size_t>(config_.batch_size));
+      for (; index < end; ++index) {
+        const auto& s = *items[index];
+        std::vector<std::pair<const query::PlanNode*, Var>> all;
+        Var root = NodeForward(*s.query, *s.plan, &all);
+        const float root_target = static_cast<float>(
+            std::log1p(std::max(0.0, s.plan->actual.runtime_ms)) / log_max_runtime_);
+        Var loss = nn::MseLoss(nn::Sigmoid(nn::SliceCols(root, 0, 1)),
+                               Tensor::Row({root_target}));
+        if (config_.subplan_loss_weight > 0.0f && all.size() > 1) {
+          std::vector<Var> latencies;
+          std::vector<float> targets;
+          for (const auto& [node, out] : all) {
+            latencies.push_back(nn::Sigmoid(nn::SliceCols(out, 0, 1)));
+            targets.push_back(static_cast<float>(
+                std::log1p(std::max(0.0, node->actual.runtime_ms)) /
+                log_max_runtime_));
+          }
+          Var sub_loss =
+              nn::MseLoss(nn::ConcatCols(latencies), Tensor::Row(targets));
+          loss = nn::Add(loss, nn::Scale(sub_loss, config_.subplan_loss_weight));
+        }
+        epoch_loss += loss->value(0, 0);
+        nn::Backward(loss);
+      }
+      adam.ClipGradNorm(5.0f);
+      adam.Step();
+    }
+    losses.push_back(epoch_loss / static_cast<double>(items.size()));
+  }
+  return losses;
+}
+
+double QppNet::Predict(const query::Query& q, const query::PlanNode& plan) const {
+  std::vector<std::pair<const query::PlanNode*, Var>> all;
+  Var root = NodeForward(q, plan, &all);
+  const float y = nn::Sigmoid(nn::SliceCols(root, 0, 1))->value(0, 0);
+  return std::expm1(static_cast<double>(y) * log_max_runtime_);
+}
+
+}  // namespace baselines
+}  // namespace qps

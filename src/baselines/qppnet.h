@@ -1,0 +1,67 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// QPPNet (Marcus & Papaemmanouil, VLDB 2019): the plan-structured runtime
+// predictor the paper compares against in Table 5. One small MLP ("neural
+// unit") per physical operator type; units are assembled dynamically into a
+// network isomorphic to each plan. A unit's input is its operator features
+// concatenated with its children's output vectors (mean-pooled); the first
+// dimension of each unit's output is the subplan's latency prediction.
+
+#ifndef QPS_BASELINES_QPPNET_H_
+#define QPS_BASELINES_QPPNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "query/plan.h"
+#include "storage/database.h"
+
+namespace qps {
+namespace baselines {
+
+struct QppNetConfig {
+  int unit_hidden = 32;
+  int unit_out = 16;  ///< data vector width; dim 0 is the latency output
+  int epochs = 40;
+  float learning_rate = 1e-3f;
+  int batch_size = 16;
+  float subplan_loss_weight = 0.5f;  ///< QPPNet trains every subplan's latency
+};
+
+/// A labeled plan (actual.runtime_ms filled per node; estimated stats
+/// annotated as input features).
+struct RuntimeSample {
+  const query::Query* query;
+  const query::PlanNode* plan;
+};
+
+class QppNet : public nn::Module {
+ public:
+  QppNet(const storage::Database& db, QppNetConfig config, uint64_t seed);
+
+  std::vector<double> Train(const std::vector<RuntimeSample>& samples, uint64_t seed);
+
+  /// Predicted total runtime (ms) for an annotated plan.
+  double Predict(const query::Query& q, const query::PlanNode& plan) const;
+
+ private:
+  /// Features per node: op-specific inputs (estimated rows/cost, table size
+  /// and selectivity for scans).
+  static constexpr int kFeatures = 6;
+
+  nn::Var NodeForward(const query::Query& q, const query::PlanNode& node,
+                      std::vector<std::pair<const query::PlanNode*, nn::Var>>* all)
+      const;
+
+  const storage::Database& db_;
+  QppNetConfig config_;
+  std::vector<std::unique_ptr<nn::Mlp>> units_;  ///< one per OpType
+  double log_max_runtime_ = 1.0;
+};
+
+}  // namespace baselines
+}  // namespace qps
+
+#endif  // QPS_BASELINES_QPPNET_H_

@@ -1,0 +1,112 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "baselines/zeroshot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace baselines {
+
+using nn::Tensor;
+using nn::Var;
+
+ZeroShot::ZeroShot(ZeroShotConfig config, uint64_t seed) : config_(config) {
+  Rng rng(seed);
+  node_mlp_ = std::make_unique<nn::Mlp>(
+      kFeatures + query::kNumOpTypes + config.node_dim, config.hidden,
+      config.node_dim, /*hidden_layers=*/2, &rng, nn::Activation::kRelu,
+      nn::Activation::kRelu, "node");
+  head_ = std::make_unique<nn::Mlp>(config.node_dim, config.hidden, 1, 1, &rng,
+                                    nn::Activation::kRelu, nn::Activation::kSigmoid,
+                                    "head");
+  RegisterChild("node", node_mlp_.get());
+  RegisterChild("head", head_.get());
+}
+
+Var ZeroShot::NodeForward(const storage::Database& db, const query::Query& q,
+                          const query::PlanNode& node) const {
+  Var child_pool;
+  if (node.is_leaf()) {
+    child_pool = nn::Constant(Tensor::Zeros(1, config_.node_dim));
+  } else {
+    Var l = NodeForward(db, q, *node.left);
+    Var r = NodeForward(db, q, *node.right);
+    child_pool = nn::Scale(nn::Add(l, r), 0.5f);
+  }
+  Tensor feat(1, kFeatures + query::kNumOpTypes);
+  int i = 0;
+  feat(0, i + static_cast<int>(node.op)) = 1.0f;
+  i += query::kNumOpTypes;
+  // Transferable features only: sizes, selectivities, block counts — never
+  // table/column identities.
+  feat(0, i++) = static_cast<float>(std::log1p(std::max(0.0, node.estimated.cardinality)) / 20.0);
+  const double lrows = node.left ? node.left->estimated.cardinality : 0.0;
+  const double rrows = node.right ? node.right->estimated.cardinality : 0.0;
+  feat(0, i++) = static_cast<float>(std::log1p(std::max(0.0, lrows)) / 20.0);
+  feat(0, i++) = static_cast<float>(std::log1p(std::max(0.0, rrows)) / 20.0);
+  if (node.is_leaf()) {
+    const auto& t = db.table(q.relations[static_cast<size_t>(node.rel)].table_id);
+    const double rows = static_cast<double>(t.num_rows());
+    feat(0, i++) = static_cast<float>(std::log1p(rows) / 20.0);
+    feat(0, i++) = static_cast<float>(std::log1p(static_cast<double>(t.num_blocks())) / 20.0);
+    feat(0, i++) = rows > 0.0 ? static_cast<float>(std::min(
+                                    1.0, node.estimated.cardinality / rows))
+                              : 0.0f;
+    feat(0, i++) = static_cast<float>(q.FiltersFor(node.rel).size());
+  } else {
+    i += 3;
+    feat(0, i++) = static_cast<float>(node.join_preds.size());
+  }
+  feat(0, i++) = node.is_leaf() ? 1.0f : 0.0f;
+  return node_mlp_->Forward(nn::ConcatCols({nn::Constant(feat), child_pool}));
+}
+
+std::vector<double> ZeroShot::Train(const std::vector<CostSample>& samples,
+                                    uint64_t seed) {
+  QPS_CHECK(!samples.empty());
+  log_max_cost_ = 1.0;
+  for (const auto& s : samples) {
+    log_max_cost_ =
+        std::max(log_max_cost_, std::log1p(std::max(0.0, s.plan->actual.cost)));
+  }
+  nn::Adam adam(Parameters(), config_.learning_rate);
+  Rng rng(seed);
+  std::vector<const CostSample*> items;
+  for (const auto& s : samples) items.push_back(&s);
+  std::vector<double> losses;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&items);
+    double epoch_loss = 0.0;
+    size_t index = 0;
+    while (index < items.size()) {
+      ZeroGrad();
+      const size_t end =
+          std::min(items.size(), index + static_cast<size_t>(config_.batch_size));
+      for (; index < end; ++index) {
+        const auto& s = *items[index];
+        Var pred = head_->Forward(NodeForward(*s.db, *s.query, *s.plan));
+        const float target = static_cast<float>(
+            std::log1p(std::max(0.0, s.plan->actual.cost)) / log_max_cost_);
+        Var loss = nn::MseLoss(pred, Tensor::Row({target}));
+        epoch_loss += loss->value(0, 0);
+        nn::Backward(loss);
+      }
+      adam.ClipGradNorm(5.0f);
+      adam.Step();
+    }
+    losses.push_back(epoch_loss / static_cast<double>(items.size()));
+  }
+  return losses;
+}
+
+double ZeroShot::Predict(const storage::Database& db, const query::Query& q,
+                         const query::PlanNode& plan) const {
+  Var pred = head_->Forward(NodeForward(db, q, plan));
+  return std::expm1(static_cast<double>(pred->value(0, 0)) * log_max_cost_);
+}
+
+}  // namespace baselines
+}  // namespace qps

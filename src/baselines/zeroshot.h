@@ -1,0 +1,67 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Zero-Shot cost estimation (Hilprecht & Binnig, VLDB 2022): the Table 3
+// competitor. Plans are featurized with *transferable* features only (no
+// schema one-hots): operator type, log input/output sizes, selectivities,
+// table block counts. Shared MLPs do bottom-up message passing and a head
+// predicts cost. Trained on several *other* databases + workloads, then
+// evaluated on the target database without fine-tuning — the zero-shot
+// paradigm.
+
+#ifndef QPS_BASELINES_ZEROSHOT_H_
+#define QPS_BASELINES_ZEROSHOT_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "query/plan.h"
+#include "storage/database.h"
+
+namespace qps {
+namespace baselines {
+
+struct ZeroShotConfig {
+  int hidden = 48;
+  int node_dim = 24;
+  int epochs = 30;
+  float learning_rate = 1e-3f;
+  int batch_size = 32;
+};
+
+/// A labeled plan from a training database (estimated stats annotated,
+/// actual.cost is the target).
+struct CostSample {
+  const storage::Database* db;
+  const query::Query* query;
+  const query::PlanNode* plan;
+};
+
+class ZeroShot : public nn::Module {
+ public:
+  ZeroShot(ZeroShotConfig config, uint64_t seed);
+
+  /// Trains on plans from (multiple) databases.
+  std::vector<double> Train(const std::vector<CostSample>& samples, uint64_t seed);
+
+  /// Predicted plan cost for an unseen database (no fine-tuning).
+  double Predict(const storage::Database& db, const query::Query& q,
+                 const query::PlanNode& plan) const;
+
+ private:
+  static constexpr int kFeatures = 9;
+
+  nn::Var NodeForward(const storage::Database& db, const query::Query& q,
+                      const query::PlanNode& node) const;
+
+  ZeroShotConfig config_;
+  std::unique_ptr<nn::Mlp> node_mlp_;
+  std::unique_ptr<nn::Mlp> head_;
+  double log_max_cost_ = 1.0;
+};
+
+}  // namespace baselines
+}  // namespace qps
+
+#endif  // QPS_BASELINES_ZEROSHOT_H_

@@ -1,0 +1,27 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "core/hybrid.h"
+
+#include "util/timer.h"
+
+namespace qps {
+namespace core {
+
+StatusOr<HybridResult> HybridPlanner::Plan(const query::Query& q) const {
+  HybridResult result;
+  Timer timer;
+  if (q.num_relations() >= options_.neural_min_relations) {
+    QPS_ASSIGN_OR_RETURN(MctsResult mcts, MctsPlan(*model_, q, options_.mcts));
+    result.plan = std::move(mcts.plan);
+    result.used_neural = true;
+    result.plans_evaluated = mcts.plans_evaluated;
+  } else {
+    QPS_ASSIGN_OR_RETURN(result.plan, baseline_->Plan(q));
+    result.used_neural = false;
+  }
+  result.planning_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace core
+}  // namespace qps

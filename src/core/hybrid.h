@@ -1,0 +1,54 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Hybrid optimizer — the paper's §7.3 future-work direction, implemented:
+// "a possible direction towards hybrid optimizers where a neural planner
+// kicks in for complex queries where traditional optimizers have trouble
+// handling". Simple queries (few joins) go to the statistics-based DP
+// planner, whose estimates are accurate there (Tables 4/5 show PostgreSQL
+// winning on Synthetic); complex queries go to QPSeeker+MCTS, which wins
+// on JOB/Stack-class queries.
+
+#ifndef QPS_CORE_HYBRID_H_
+#define QPS_CORE_HYBRID_H_
+
+#include "core/mcts.h"
+#include "optimizer/planner.h"
+
+namespace qps {
+namespace core {
+
+struct HybridOptions {
+  /// Queries with at least this many relations are planned neurally.
+  int neural_min_relations = 4;
+  MctsOptions mcts;
+};
+
+struct HybridResult {
+  query::PlanPtr plan;
+  bool used_neural = false;
+  double planning_ms = 0.0;
+  int plans_evaluated = 0;  ///< 0 on the traditional path
+};
+
+/// Routes planning between the traditional DP planner and QPSeeker's MCTS
+/// by query complexity.
+class HybridPlanner {
+ public:
+  HybridPlanner(const QpSeeker* model, const optimizer::Planner* baseline,
+                HybridOptions options = {})
+      : model_(model), baseline_(baseline), options_(options) {}
+
+  StatusOr<HybridResult> Plan(const query::Query& q) const;
+
+  const HybridOptions& options() const { return options_; }
+
+ private:
+  const QpSeeker* model_;
+  const optimizer::Planner* baseline_;
+  HybridOptions options_;
+};
+
+}  // namespace core
+}  // namespace qps
+
+#endif  // QPS_CORE_HYBRID_H_

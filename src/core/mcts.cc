@@ -1,0 +1,260 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "core/mcts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace qps {
+namespace core {
+
+using query::OpType;
+using query::PlanNode;
+using query::PlanPtr;
+using query::Query;
+
+namespace {
+
+/// One planning step: append `rel` scanned with `scan`; joined in via `join`
+/// (ignored for the first step).
+struct Action {
+  int rel = -1;
+  OpType scan = OpType::kSeqScan;
+  OpType join = OpType::kHashJoin;
+};
+
+struct TreeNode {
+  Action action;
+  TreeNode* parent = nullptr;
+  std::vector<std::unique_ptr<TreeNode>> children;
+  bool expanded = false;
+  int visits = 0;
+  double reward = 0.0;
+};
+
+/// Builds the left-deep plan for an action sequence; nullptr on cross join.
+PlanPtr PlanFromActions(const Query& q, const std::vector<Action>& actions) {
+  std::vector<int> order;
+  std::vector<OpType> scans, joins;
+  for (size_t i = 0; i < actions.size(); ++i) {
+    order.push_back(actions[i].rel);
+    scans.push_back(actions[i].scan);
+    if (i > 0) joins.push_back(actions[i].join);
+  }
+  return BuildLeftDeepPlan(q, order, scans, joins);
+}
+
+/// Relations joinable to the current prefix (all relations when empty).
+std::vector<int> CandidateRelations(const Query& q, uint64_t used_mask) {
+  std::vector<int> out;
+  const int n = q.num_relations();
+  if (used_mask == 0) {
+    for (int r = 0; r < n; ++r) out.push_back(r);
+    return out;
+  }
+  for (int r = 0; r < n; ++r) {
+    if ((used_mask >> r) & 1) continue;
+    for (const auto& jp : q.joins) {
+      const bool connects = (jp.left_rel == r && ((used_mask >> jp.right_rel) & 1)) ||
+                            (jp.right_rel == r && ((used_mask >> jp.left_rel) & 1));
+      if (connects) {
+        out.push_back(r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Action> EnumerateActions(const Query& q, uint64_t used_mask) {
+  std::vector<Action> out;
+  const bool first = used_mask == 0;
+  for (int r : CandidateRelations(q, used_mask)) {
+    for (OpType scan : query::ScanOps()) {
+      if (first) {
+        out.push_back(Action{r, scan, OpType::kHashJoin});
+      } else {
+        for (OpType join : query::JoinOps()) {
+          out.push_back(Action{r, scan, join});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t MaskOfPath(const std::vector<Action>& actions) {
+  uint64_t mask = 0;
+  for (const auto& a : actions) mask |= uint64_t{1} << a.rel;
+  return mask;
+}
+
+/// Completes an action prefix uniformly at random (the rollout step).
+bool RandomCompletion(const Query& q, std::vector<Action>* actions, Rng* rng) {
+  uint64_t mask = MaskOfPath(*actions);
+  const int n = q.num_relations();
+  while (static_cast<int>(actions->size()) < n) {
+    auto candidates = EnumerateActions(q, mask);
+    if (candidates.empty()) return false;
+    const Action a = candidates[rng->UniformInt(candidates.size())];
+    actions->push_back(a);
+    mask |= uint64_t{1} << a.rel;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
+                              const MctsOptions& opts) {
+  if (q.num_relations() == 0) return Status::InvalidArgument("empty query");
+  if (q.num_relations() > 1 && !q.IsConnected()) {
+    return Status::NotImplemented("cross products are not supported");
+  }
+  Timer timer;
+  Rng rng(opts.seed);
+  MctsResult result;
+  auto root = std::make_unique<TreeNode>();
+  std::vector<Action> best_actions;
+  double best_runtime = INFINITY;
+
+  const int n = q.num_relations();
+  while (result.plans_evaluated < opts.max_rollouts &&
+         timer.ElapsedMillis() < opts.time_budget_ms) {
+    // 1. Selection: walk down by UCT until an unexpanded or terminal node.
+    TreeNode* node = root.get();
+    std::vector<Action> path;
+    while (node->expanded && !node->children.empty()) {
+      // Unvisited children first (uniformly at random), then UCT.
+      std::vector<TreeNode*> unvisited;
+      for (auto& child : node->children) {
+        if (child->visits == 0) unvisited.push_back(child.get());
+      }
+      TreeNode* chosen = nullptr;
+      if (!unvisited.empty()) {
+        chosen = unvisited[rng.UniformInt(unvisited.size())];
+      } else {
+        double best_uct = -INFINITY;
+        for (auto& child : node->children) {
+          const double uct =
+              child->reward / static_cast<double>(child->visits) +
+              opts.exploration_c *
+                  std::sqrt(std::log(static_cast<double>(std::max(1, node->visits))) /
+                            static_cast<double>(child->visits));
+          if (uct > best_uct || chosen == nullptr) {
+            best_uct = uct;
+            chosen = child.get();
+          }
+        }
+      }
+      node = chosen;
+      path.push_back(node->action);
+    }
+
+    // 2. Expansion.
+    if (!node->expanded && static_cast<int>(path.size()) < n) {
+      node->expanded = true;
+      for (const Action& a : EnumerateActions(q, MaskOfPath(path))) {
+        auto child = std::make_unique<TreeNode>();
+        child->action = a;
+        child->parent = node;
+        node->children.push_back(std::move(child));
+      }
+      if (!node->children.empty()) {
+        const size_t pick = rng.UniformInt(node->children.size());
+        node = node->children[pick].get();
+        path.push_back(node->action);
+      }
+    }
+
+    // 3. Rollout: random completion.
+    std::vector<Action> actions = path;
+    if (!RandomCompletion(q, &actions, &rng)) {
+      // Dead end (cannot happen for connected queries, but stay safe).
+      node->visits += 1;
+      continue;
+    }
+    PlanPtr plan = PlanFromActions(q, actions);
+    if (plan == nullptr) {
+      node->visits += 1;
+      continue;
+    }
+
+    // 4. Evaluation with the learned cost model.
+    const query::NodeStats pred = model.PredictPlan(q, *plan);
+    result.plans_evaluated += 1;
+    const bool improved = pred.runtime_ms < best_runtime;
+    if (improved) {
+      best_runtime = pred.runtime_ms;
+      best_actions = actions;
+    }
+
+    // 5. Backpropagation: a node earns one unit each time it is part of the
+    // best plan discovered so far.
+    for (TreeNode* cur = node; cur != nullptr; cur = cur->parent) {
+      cur->visits += 1;
+      if (improved) cur->reward += 1.0;
+    }
+  }
+
+  if (best_actions.empty()) return Status::Internal("MCTS found no plan");
+  result.plan = PlanFromActions(q, best_actions);
+  model.AnnotateEstimates(q, result.plan.get());
+  result.predicted_runtime_ms = best_runtime;
+  result.planning_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
+  if (q.num_relations() == 0) return Status::InvalidArgument("empty query");
+  if (q.num_relations() > 1 && !q.IsConnected()) {
+    return Status::NotImplemented("cross products are not supported");
+  }
+  Timer timer;
+  MctsResult result;
+  std::vector<Action> prefix;
+  const int n = q.num_relations();
+  Rng rng(7);
+  for (int step = 0; step < n; ++step) {
+    Action best_action;
+    double best_runtime = INFINITY;
+    bool found = false;
+    for (const Action& a : EnumerateActions(q, MaskOfPath(prefix))) {
+      std::vector<Action> candidate = prefix;
+      candidate.push_back(a);
+      // Deterministic cheap completion: hash joins + seq scans, first-fit.
+      std::vector<Action> completed = candidate;
+      uint64_t mask = MaskOfPath(completed);
+      while (static_cast<int>(completed.size()) < n) {
+        auto rels = CandidateRelations(q, mask);
+        if (rels.empty()) break;
+        completed.push_back(Action{rels[0], OpType::kSeqScan, OpType::kHashJoin});
+        mask |= uint64_t{1} << rels[0];
+      }
+      if (static_cast<int>(completed.size()) != n) continue;
+      PlanPtr plan = PlanFromActions(q, completed);
+      if (plan == nullptr) continue;
+      const auto pred = model.PredictPlan(q, *plan);
+      result.plans_evaluated += 1;
+      if (pred.runtime_ms < best_runtime) {
+        best_runtime = pred.runtime_ms;
+        best_action = a;
+        found = true;
+      }
+    }
+    if (!found) return Status::Internal("greedy planner stuck");
+    prefix.push_back(best_action);
+  }
+  result.plan = PlanFromActions(q, prefix);
+  if (result.plan == nullptr) return Status::Internal("greedy produced no plan");
+  model.AnnotateEstimates(q, result.plan.get());
+  result.predicted_runtime_ms = model.PredictPlan(q, *result.plan).runtime_ms;
+  result.planning_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace core
+}  // namespace qps

@@ -1,0 +1,46 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Inference-time planning (paper §5.2): vanilla Monte Carlo Tree Search
+// over left-deep plan prefixes. Each action appends one relation (with a
+// scan operator) and, for non-first actions, a join operator. Rollouts
+// complete the plan uniformly at random; the completed plan is scored with
+// QPSeeker's learned cost model (predicted runtime). UCT guides selection;
+// a node's reward counts how often it appears in the best plan found so
+// far, exactly as in the paper.
+
+#ifndef QPS_CORE_MCTS_H_
+#define QPS_CORE_MCTS_H_
+
+#include <memory>
+
+#include "core/qpseeker.h"
+
+namespace qps {
+namespace core {
+
+struct MctsOptions {
+  double time_budget_ms = 200.0;  ///< paper: 200ms planning cut-off
+  int max_rollouts = 100000;      ///< secondary cap (deterministic tests)
+  double exploration_c = 0.5;     ///< paper: C = 0.5 after sweeping {0.25,0.5,0.75}
+  uint64_t seed = 99;
+};
+
+struct MctsResult {
+  query::PlanPtr plan;             ///< best plan found (estimates annotated)
+  double predicted_runtime_ms = 0.0;
+  int plans_evaluated = 0;         ///< paper §7.2 reports these counts
+  double planning_ms = 0.0;
+};
+
+/// Plans `q` with MCTS guided by a trained QPSeeker model.
+StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const query::Query& q,
+                              const MctsOptions& opts = {});
+
+/// Greedy baseline for the MCTS ablation: at each step append the relation/
+/// operator pair whose completed-by-greedy plan the model scores best.
+StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const query::Query& q);
+
+}  // namespace core
+}  // namespace qps
+
+#endif  // QPS_CORE_MCTS_H_

@@ -1,0 +1,265 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "core/qpseeker.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "nn/optim.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace qps {
+namespace core {
+
+using nn::Var;
+using query::PlanNode;
+using query::Query;
+
+QpSeekerConfig QpSeekerConfig::ForScale(Scale scale) {
+  QpSeekerConfig cfg;
+  switch (scale) {
+    case Scale::kSmoke:
+      cfg.encoder = encoder::EncoderConfig::Smoke();
+      cfg.latent_dim = 8;
+      cfg.vae_hidden_layers = 2;
+      break;
+    case Scale::kCi:
+      cfg.encoder = encoder::EncoderConfig::Ci();
+      cfg.latent_dim = 16;
+      cfg.vae_hidden_layers = 3;
+      break;
+    case Scale::kPaper:
+      cfg.encoder = encoder::EncoderConfig::Paper();
+      cfg.latent_dim = 32;  // paper: 32 latent features
+      cfg.vae_hidden_layers = 5;
+      break;
+  }
+  return cfg;
+}
+
+/// Exposes every trainable submodule as one Module (for Adam / serialize).
+class QpSeeker::Bundle : public nn::Module {
+ public:
+  Bundle(encoder::QueryEncoder* qe, encoder::PlanEncoder* pe,
+         encoder::QpAttention* at, nn::Vae* vae, nn::Linear* head) {
+    RegisterChild("query_encoder", qe);
+    RegisterChild("plan_encoder", pe);
+    RegisterChild("qp_attention", at);
+    RegisterChild("vae", vae);
+    RegisterChild("head", head);
+  }
+};
+
+QpSeeker::QpSeeker(const storage::Database& db, const stats::DatabaseStats& stats,
+                   QpSeekerConfig config, uint64_t seed)
+    : db_(db), stats_(stats), config_(config) {
+  cards_ = std::make_unique<optimizer::CardinalityEstimator>(db, stats);
+  cost_model_ = std::make_unique<optimizer::CostModel>(*cards_);
+  Rng rng(seed);
+  // TabSketch plays the role of *pretrained* TaBERT weights: fixed seed,
+  // identical across model instances (and thus across Save/Load).
+  tabert_ = std::make_unique<tabert::TabSketch>(db, stats, config_.tabert,
+                                                /*seed=*/0x7ab5);
+  query_encoder_ = std::make_unique<encoder::QueryEncoder>(db, config_.encoder, &rng);
+  plan_encoder_ =
+      std::make_unique<encoder::PlanEncoder>(db, *tabert_, config_.encoder, &rng);
+  attention_ = std::make_unique<encoder::QpAttention>(
+      query_encoder_->out_dim(), plan_encoder_->node_out_dim(), config_.encoder, &rng);
+  const int qep_dim = attention_->out_dim();
+  vae_ = std::make_unique<nn::Vae>(qep_dim, config_.latent_dim,
+                                   config_.vae_hidden_layers, &rng);
+  head_ = std::make_unique<nn::Linear>(qep_dim, 3, &rng, "head");
+  bundle_ = std::make_unique<Bundle>(query_encoder_.get(), plan_encoder_.get(),
+                                     attention_.get(), vae_.get(), head_.get());
+}
+
+QpSeeker::QpSeeker(QpSeeker&&) noexcept = default;
+QpSeeker::~QpSeeker() = default;
+
+int64_t QpSeeker::NumParameters() const { return bundle_->NumParameters(); }
+
+std::vector<nn::NamedParam> QpSeeker::AllParameters() const {
+  return bundle_->Parameters();
+}
+
+void QpSeeker::AnnotateEstimates(const Query& q, PlanNode* plan) const {
+  // EXPLAIN-style annotations from the statistics-based cost model — the
+  // paper feeds "estimations ... from the DB optimizer" (§4.2) into each
+  // node, and the model learns the mapping from these to true values.
+  cost_model_->EstimatePlan(q, plan);
+}
+
+QpSeeker::ForwardOut QpSeeker::Forward(const Query& q, const PlanNode& plan,
+                                       Rng* sample_rng) const {
+  ForwardOut out;
+  Var query_emb = query_encoder_->Encode(q);
+  out.plan_out = plan_encoder_->Encode(q, plan, normalizer_);
+  if (config_.use_attention) {
+    out.qep_embedding = attention_->Combine(query_emb, out.plan_out);
+  } else {
+    // Ablation: plain concatenation of query and plan embeddings (§4.3
+    // argues attention beats this).
+    out.qep_embedding = nn::ConcatCols({query_emb, out.plan_out.root});
+  }
+  // Linear (unbounded) output head: normalized targets live in [0, 1], but
+  // an unseen workload's plans can be costlier than anything in training
+  // and the planner must still *rank* them (the Figure 9 transfer setting).
+  if (config_.use_vae) {
+    out.vae = vae_->Forward(out.qep_embedding, sample_rng);
+    out.preds = head_->Forward(out.vae.recon);
+  } else {
+    // Ablation: deterministic regressor, no variational bottleneck.
+    out.vae.recon = out.qep_embedding;
+    out.vae.mu = out.qep_embedding;
+    out.vae.logvar = out.qep_embedding;
+    out.preds = head_->Forward(out.qep_embedding);
+  }
+  return out;
+}
+
+TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
+                            const TrainOptions& opts) {
+  TrainReport report;
+  report.num_parameters = NumParameters();
+  QPS_CHECK(!dataset.qeps.empty()) << "empty training set";
+
+  normalizer_ = encoder::LabelNormalizer();
+  for (const auto& qep : dataset.qeps) normalizer_.Observe(*qep.plan);
+  normalizer_.Finalize();
+
+  // Annotate input estimates once (leaf EXPLAIN stats the encoder consumes).
+  std::vector<const sampling::Qep*> items;
+  for (const auto& qep : dataset.qeps) {
+    AnnotateEstimates(dataset.queries[static_cast<size_t>(qep.query_id)],
+                      qep.plan.get());
+    items.push_back(&qep);
+  }
+
+  nn::Adam adam(AllParameters(), opts.learning_rate);
+  Rng rng(opts.seed);
+  Timer timer;
+  const float beta_eff = static_cast<float>(config_.beta * config_.beta_scale);
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&items);
+    double epoch_loss = 0.0;
+    size_t index = 0;
+    while (index < items.size()) {
+      bundle_->ZeroGrad();
+      const size_t batch_end =
+          std::min(items.size(), index + static_cast<size_t>(opts.batch_size));
+      double batch_loss = 0.0;
+      for (; index < batch_end; ++index) {
+        const sampling::Qep& qep = *items[index];
+        const Query& q = dataset.queries[static_cast<size_t>(qep.query_id)];
+        ForwardOut fwd = Forward(q, *qep.plan, &rng);
+
+        // (1) Plan-level target MSE.
+        const auto target3 = normalizer_.Normalize(qep.plan->actual);
+        Var loss = nn::Scale(
+            nn::MseLoss(fwd.preds,
+                        nn::Tensor::Row({target3[0], target3[1], target3[2]})),
+            static_cast<float>(config_.pred_weight));
+        // (2) VAE reconstruction + KL (the variational objective).
+        if (config_.use_vae) {
+          Var recon_loss = nn::MeanAll(
+              nn::Square(nn::Sub(fwd.vae.recon, fwd.qep_embedding)));
+          loss = nn::Add(loss, nn::Scale(recon_loss,
+                                         static_cast<float>(config_.recon_weight)));
+          loss = nn::Add(loss, nn::Scale(nn::GaussianKl(fwd.vae.mu, fwd.vae.logvar),
+                                         beta_eff));
+        }
+        // (3) Per-node supervision of the plan encoder's stat dims.
+        if (config_.node_loss_weight > 0.0) {
+          const int dvec = plan_encoder_->data_vec_dim();
+          std::vector<Var> node_preds;
+          std::vector<float> node_targets;
+          for (size_t ni = 0; ni < fwd.plan_out.nodes.size(); ++ni) {
+            node_preds.push_back(nn::SliceCols(fwd.plan_out.node_outputs[ni], dvec,
+                                               dvec + 3));
+            const auto n3 = normalizer_.Normalize(fwd.plan_out.nodes[ni]->actual);
+            node_targets.insert(node_targets.end(), {n3[0], n3[1], n3[2]});
+          }
+          Var stacked = nn::ConcatCols(node_preds);
+          Var node_loss = nn::MseLoss(stacked, nn::Tensor::Row(node_targets));
+          loss = nn::Add(loss, nn::Scale(node_loss,
+                                         static_cast<float>(config_.node_loss_weight)));
+        }
+        batch_loss += loss->value(0, 0);
+        nn::Backward(loss);
+      }
+      adam.ClipGradNorm(opts.grad_clip);
+      adam.Step();
+      epoch_loss += batch_loss;
+    }
+    epoch_loss /= static_cast<double>(items.size());
+    report.epoch_losses.push_back(epoch_loss);
+    if (opts.verbose) {
+      QPS_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss;
+    }
+  }
+  report.final_loss = report.epoch_losses.empty() ? 0.0 : report.epoch_losses.back();
+  report.train_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+query::NodeStats QpSeeker::PredictPlan(const Query& q, const PlanNode& plan) const {
+  auto annotated = plan.Clone();
+  AnnotateEstimates(q, annotated.get());
+  ForwardOut fwd = Forward(q, *annotated, /*sample_rng=*/nullptr);
+  return normalizer_.Denormalize(fwd.preds->value(0, 0), fwd.preds->value(0, 1),
+                                 fwd.preds->value(0, 2));
+}
+
+std::vector<query::NodeStats> QpSeeker::PredictNodes(const Query& q,
+                                                     const PlanNode& plan) const {
+  auto annotated = plan.Clone();
+  AnnotateEstimates(q, annotated.get());
+  ForwardOut fwd = Forward(q, *annotated, nullptr);
+  const int dvec = plan_encoder_->data_vec_dim();
+  std::vector<query::NodeStats> out;
+  for (const auto& node_out : fwd.plan_out.node_outputs) {
+    out.push_back(normalizer_.Denormalize(node_out->value(0, dvec),
+                                          node_out->value(0, dvec + 1),
+                                          node_out->value(0, dvec + 2)));
+  }
+  return out;
+}
+
+std::vector<float> QpSeeker::LatentVector(const Query& q, const PlanNode& plan) const {
+  auto annotated = plan.Clone();
+  AnnotateEstimates(q, annotated.get());
+  ForwardOut fwd = Forward(q, *annotated, nullptr);
+  return fwd.vae.mu->value.ToVector();
+}
+
+Status QpSeeker::Save(const std::string& path) const {
+  QPS_RETURN_IF_ERROR(nn::SaveModule(*bundle_, path));
+  std::ofstream norm(path + ".norm");
+  if (!norm) return Status::IOError("cannot write " + path + ".norm");
+  norm.precision(17);
+  norm << normalizer_.log_max(0) << " " << normalizer_.log_max(1) << " "
+       << normalizer_.log_max(2) << "\n";
+  return Status::OK();
+}
+
+Status QpSeeker::Load(const std::string& path) {
+  QPS_RETURN_IF_ERROR(nn::LoadModule(bundle_.get(), path));
+  std::ifstream norm(path + ".norm");
+  if (!norm) return Status::IOError("cannot read " + path + ".norm");
+  double c = 0, k = 0, r = 0;
+  norm >> c >> k >> r;
+  normalizer_ = encoder::LabelNormalizer();
+  query::PlanNode fake;
+  fake.actual.cardinality = std::expm1(c);
+  fake.actual.cost = std::expm1(k);
+  fake.actual.runtime_ms = std::expm1(r);
+  normalizer_.Observe(fake);
+  normalizer_.Finalize();
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace qps

@@ -1,0 +1,145 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// QPSeeker: the end-to-end neural planner (paper §3-§5). Composition:
+//
+//   QueryEncoder(T_q, J_q) ------------------+
+//                                            v
+//   PlanEncoder(plan, TabSketch reps) -> QPAttention -> VAE (Cost Modeler)
+//                                                        |-> reconstruction
+//                                                        '-> dense head ->
+//                                                  (cardinality, cost, runtime)
+//
+// Training minimizes  ||x - x_hat||^2 + beta_eff * KL(N(mu,sigma) || N(0,1))
+// + MSE(preds, labels) (+ per-node supervision of the plan encoder's stat
+// dims). Inference pairs the learned cost model with MCTS (mcts.h).
+
+#ifndef QPS_CORE_QPSEEKER_H_
+#define QPS_CORE_QPSEEKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "encoder/plan_encoder.h"
+#include "encoder/qp_attention.h"
+#include "encoder/query_encoder.h"
+#include "optimizer/cost_model.h"
+#include "sampling/plan_sampler.h"
+#include "util/scale.h"
+
+namespace qps {
+namespace core {
+
+struct QpSeekerConfig {
+  encoder::EncoderConfig encoder;
+  tabert::TabSketchConfig tabert;
+  int latent_dim = 16;        ///< paper: 32
+  int vae_hidden_layers = 3;  ///< paper: 5
+  double beta = 100.0;        ///< KL weight knob from the paper (100/200/300)
+  /// beta is multiplied by this to land on our loss scale; the paper's
+  /// ratios (1x/2x/3x) are preserved.
+  double beta_scale = 1e-5;
+  double node_loss_weight = 0.5;
+  double recon_weight = 1.0;
+  double pred_weight = 3.0;  ///< weight on the target-triple MSE
+  /// Ablations (bench_ablation_*): plain concatenation instead of
+  /// QPAttention; deterministic MLP head instead of the VAE cost modeler.
+  bool use_attention = true;
+  bool use_vae = true;
+
+  static QpSeekerConfig ForScale(Scale scale);
+};
+
+struct TrainOptions {
+  int epochs = 25;
+  int batch_size = 16;     ///< paper §6.2
+  float learning_rate = 1e-3f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 17;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_losses;
+  double final_loss = 0.0;
+  double train_seconds = 0.0;
+  int64_t num_parameters = 0;
+};
+
+/// The trained system: model + normalizer + estimate annotator.
+class QpSeeker {
+ public:
+  QpSeeker(const storage::Database& db, const stats::DatabaseStats& stats,
+           QpSeekerConfig config = {}, uint64_t seed = 1234);
+  QpSeeker(QpSeeker&&) noexcept;
+  ~QpSeeker();
+
+  /// Trains on labeled QEPs (fits the label normalizer first).
+  TrainReport Train(const sampling::QepDataset& dataset, const TrainOptions& opts);
+
+  /// Plan-level predictions for an arbitrary plan of `q`. Input estimates
+  /// (leaf EXPLAIN stats) are annotated internally.
+  query::NodeStats PredictPlan(const query::Query& q, const query::PlanNode& plan) const;
+
+  /// Per-node predictions, post-order (the plan encoder's stat dims).
+  std::vector<query::NodeStats> PredictNodes(const query::Query& q,
+                                             const query::PlanNode& plan) const;
+
+  /// Latent mean vector (mu) of a QEP — the Figure 5 embedding.
+  std::vector<float> LatentVector(const query::Query& q,
+                                  const query::PlanNode& plan) const;
+
+  /// Attention scores of the last PredictPlan call (heads x nodes), empty
+  /// for single-node plans.
+  nn::Tensor LastAttentionScores() const { return attention_->last_scores(); }
+
+  /// Fills plan->estimated with the statistics-based annotations the model
+  /// consumes (leaf cardinalities + user-defined costs).
+  void AnnotateEstimates(const query::Query& q, query::PlanNode* plan) const;
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  const encoder::LabelNormalizer& normalizer() const { return normalizer_; }
+  const QpSeekerConfig& config() const { return config_; }
+  const storage::Database& db() const { return db_; }
+  const tabert::TabSketch& tabert() const { return *tabert_; }
+  int64_t NumParameters() const;
+
+ private:
+  struct ForwardOut {
+    nn::Var qep_embedding;
+    nn::Vae::Output vae;
+    nn::Var preds;  ///< 1x3 normalized
+    encoder::PlanEncoder::Output plan_out;
+  };
+
+  ForwardOut Forward(const query::Query& q, const query::PlanNode& plan,
+                     Rng* sample_rng) const;
+
+  std::vector<nn::NamedParam> AllParameters() const;
+
+  const storage::Database& db_;
+  const stats::DatabaseStats& stats_;
+  QpSeekerConfig config_;
+  // Heap-held so QpSeeker stays movable (CostModel references the
+  // estimator; member addresses must be stable across moves).
+  std::unique_ptr<optimizer::CardinalityEstimator> cards_;
+  std::unique_ptr<optimizer::CostModel> cost_model_;  ///< EXPLAIN-style annotations
+  std::unique_ptr<tabert::TabSketch> tabert_;
+  std::unique_ptr<encoder::QueryEncoder> query_encoder_;
+  std::unique_ptr<encoder::PlanEncoder> plan_encoder_;
+  std::unique_ptr<encoder::QpAttention> attention_;
+  std::unique_ptr<nn::Vae> vae_;
+  std::unique_ptr<nn::Linear> head_;
+  encoder::LabelNormalizer normalizer_;
+
+  /// Wrapper module exposing all submodules for optimizers/serialization.
+  class Bundle;
+  std::unique_ptr<Bundle> bundle_;
+};
+
+}  // namespace core
+}  // namespace qps
+
+#endif  // QPS_CORE_QPSEEKER_H_

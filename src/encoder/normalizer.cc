@@ -1,0 +1,43 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "encoder/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qps {
+namespace encoder {
+
+LabelNormalizer::LabelNormalizer() { log_max_.fill(1.0); }
+
+void LabelNormalizer::Observe(const query::PlanNode& plan) {
+  plan.PostOrder([this](const query::PlanNode& node) {
+    log_max_[kCardinality] =
+        std::max(log_max_[kCardinality], std::log1p(std::max(0.0, node.actual.cardinality)));
+    log_max_[kCost] = std::max(log_max_[kCost], std::log1p(std::max(0.0, node.actual.cost)));
+    log_max_[kRuntime] =
+        std::max(log_max_[kRuntime], std::log1p(std::max(0.0, node.actual.runtime_ms)));
+  });
+}
+
+void LabelNormalizer::Finalize() { finalized_ = true; }
+
+std::array<float, 3> LabelNormalizer::Normalize(const query::NodeStats& stats) const {
+  return {
+      static_cast<float>(std::log1p(std::max(0.0, stats.cardinality)) / log_max_[0]),
+      static_cast<float>(std::log1p(std::max(0.0, stats.cost)) / log_max_[1]),
+      static_cast<float>(std::log1p(std::max(0.0, stats.runtime_ms)) / log_max_[2]),
+  };
+}
+
+query::NodeStats LabelNormalizer::Denormalize(float card, float cost,
+                                              float runtime) const {
+  query::NodeStats out;
+  out.cardinality = std::expm1(std::max(0.0, static_cast<double>(card)) * log_max_[0]);
+  out.cost = std::expm1(std::max(0.0, static_cast<double>(cost)) * log_max_[1]);
+  out.runtime_ms = std::expm1(std::max(0.0, static_cast<double>(runtime)) * log_max_[2]);
+  return out;
+}
+
+}  // namespace encoder
+}  // namespace qps

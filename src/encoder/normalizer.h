@@ -1,0 +1,47 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Target normalization. Cardinalities, costs and runtimes span many orders
+// of magnitude; QPSeeker (like MSCN and friends) learns them in normalized
+// log space: y = log1p(x) / log1p(max_x), fit on the training split.
+
+#ifndef QPS_ENCODER_NORMALIZER_H_
+#define QPS_ENCODER_NORMALIZER_H_
+
+#include <array>
+
+#include "query/plan.h"
+
+namespace qps {
+namespace encoder {
+
+/// Indices into the per-node target triple.
+enum TargetIndex { kCardinality = 0, kCost = 1, kRuntime = 2 };
+
+class LabelNormalizer {
+ public:
+  LabelNormalizer();
+
+  /// Expands the fitted range with one labeled plan (all nodes).
+  void Observe(const query::PlanNode& plan);
+
+  /// Must be called after all Observe() calls, before Normalize().
+  void Finalize();
+
+  /// Normalized triple in [0, ~1] from raw node stats.
+  std::array<float, 3> Normalize(const query::NodeStats& stats) const;
+
+  /// Raw stats from a normalized triple (inverse transform).
+  query::NodeStats Denormalize(float card, float cost, float runtime) const;
+
+  bool finalized() const { return finalized_; }
+  double log_max(int target) const { return log_max_[static_cast<size_t>(target)]; }
+
+ private:
+  std::array<double, 3> log_max_;
+  bool finalized_ = false;
+};
+
+}  // namespace encoder
+}  // namespace qps
+
+#endif  // QPS_ENCODER_NORMALIZER_H_

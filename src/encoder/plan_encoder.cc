@@ -1,0 +1,119 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "encoder/plan_encoder.h"
+
+#include "util/logging.h"
+
+namespace qps {
+namespace encoder {
+
+using nn::Tensor;
+using nn::Var;
+
+PlanEncoder::PlanEncoder(const storage::Database& db, const tabert::TabSketch& tabert,
+                         const EncoderConfig& config, Rng* rng)
+    : db_(db), tabert_(tabert), config_(config) {
+  // Input layout: [child data vector | child stats(3) | own EXPLAIN
+  // estimates(3) | op one-hot | data repr | relation one-hot sum].
+  input_dim_ = 6 + query::kNumOpTypes + tabert_.embedding_dim() + db.num_tables() +
+               (config_.node_out - 3);
+  cell_ = std::make_unique<nn::LstmCell>(input_dim_, config_.node_out, rng, "plan_cell");
+  out_proj_ = std::make_unique<nn::Linear>(config_.node_out, config_.node_out, rng,
+                                           "plan_out");
+  RegisterChild("cell", cell_.get());
+  RegisterChild("out", out_proj_.get());
+}
+
+PlanEncoder::NodeState PlanEncoder::EncodeNode(const query::Query& q,
+                                               const query::PlanNode& node,
+                                               const LabelNormalizer& norm,
+                                               Output* out) const {
+  const int dvec = data_vec_dim();
+  Var stats_in, data_repr, child_data;
+  nn::LstmCell::State state;
+
+  if (node.is_leaf()) {
+    // (a) Leaves have no children: zero child-stats.
+    stats_in = nn::Constant(Tensor::Zeros(1, 3));
+    // (c) TabSketch representation of the data processed (filtered column
+    // or table [CLS]).
+    data_repr = nn::Constant(tabert_.ScanDataRepresentation(q, node.rel));
+    // (e) Leaves have no children: zero padding tells the cell so.
+    child_data = nn::Constant(Tensor::Zeros(1, dvec));
+    state = cell_->InitialState();
+  } else {
+    NodeState left = EncodeNode(q, *node.left, norm, out);
+    NodeState right = EncodeNode(q, *node.right, norm, out);
+    // (a) Mean-pool the children's own stat predictions (last 3 dims).
+    Var lstats = nn::SliceCols(left.output, dvec, config_.node_out);
+    Var rstats = nn::SliceCols(right.output, dvec, config_.node_out);
+    stats_in = nn::Scale(nn::Add(lstats, rstats), 0.5f);
+    // (c) Mean of [CLS] representations of every relation joined so far.
+    const uint64_t mask = node.RelMask();
+    Tensor cls(1, tabert_.embedding_dim());
+    int count = 0;
+    for (int r = 0; r < q.num_relations(); ++r) {
+      if (!((mask >> r) & 1)) continue;
+      const Tensor rep =
+          tabert_.TableRepresentation(q.relations[static_cast<size_t>(r)].table_id);
+      cls.AddInPlace(rep);
+      ++count;
+    }
+    if (count > 0) cls.ScaleInPlace(1.0f / static_cast<float>(count));
+    data_repr = nn::Constant(cls);
+    // (e) Mean of the children's data vectors (information flowing up).
+    Var ldata = nn::SliceCols(left.output, 0, dvec);
+    Var rdata = nn::SliceCols(right.output, 0, dvec);
+    child_data = nn::Scale(nn::Add(ldata, rdata), 0.5f);
+    // LSTM state: children's states pooled.
+    state.h = nn::Scale(nn::Add(left.lstm.h, right.lstm.h), 0.5f);
+    state.c = nn::Scale(nn::Add(left.lstm.c, right.lstm.c), 0.5f);
+  }
+
+  // (b) Operator one-hot.
+  Tensor op(1, query::kNumOpTypes);
+  op(0, static_cast<int>(node.op)) = 1.0f;
+  // (d) Relation one-hot sum over the subtree.
+  Tensor rels(1, db_.num_tables());
+  const uint64_t mask = node.RelMask();
+  for (int r = 0; r < q.num_relations(); ++r) {
+    if ((mask >> r) & 1) {
+      rels(0, q.relations[static_cast<size_t>(r)].table_id) += 1.0f;
+    }
+  }
+
+  if (!config_.use_data_repr) {
+    data_repr = nn::Constant(Tensor::Zeros(1, tabert_.embedding_dim()));
+  }
+  // Own-node EXPLAIN-style estimates (normalized); for leaves this is what
+  // the paper feeds from EXPLAIN, and providing the same signal at join
+  // nodes lets the learned cost model generalize to plan depths never seen
+  // in training (the Figure 9 transfer setting).
+  const auto own3 = norm.Normalize(node.estimated);
+  Var own_est = nn::Constant(Tensor::Row({own3[0], own3[1], own3[2]}));
+  Var input = nn::ConcatCols({child_data, stats_in, own_est, nn::Constant(op),
+                              data_repr, nn::Constant(rels)});
+  // Reorder check: layout documented in the header is logical; the exact
+  // concatenation order is fixed here and learned end-to-end.
+  QPS_DCHECK(input->value.cols() == input_dim_);
+
+  NodeState result;
+  result.lstm = cell_->Forward(input, state);
+  result.output = out_proj_->Forward(result.lstm.h);
+  out->node_outputs.push_back(result.output);
+  out->nodes.push_back(&node);
+  return result;
+}
+
+PlanEncoder::Output PlanEncoder::Encode(const query::Query& q,
+                                        const query::PlanNode& plan,
+                                        const LabelNormalizer& norm) const {
+  Output out;
+  NodeState root = EncodeNode(q, plan, norm, &out);
+  out.root = root.output;
+  out.node_matrix = nn::ConcatRows(out.node_outputs);
+  return out;
+}
+
+}  // namespace encoder
+}  // namespace qps

@@ -1,0 +1,69 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Plan encoder (paper §4.2): one shared LSTM cell applied bottom-up over
+// the plan tree. Each node's input concatenates (a) the (estimated or
+// child-pooled) stats triple, (b) the physical operator one-hot, (c) the
+// TabSketch data representation, (d) the subtree's relation one-hot sum,
+// and (e) the mean of the children's data vectors. Each node's output is a
+// vector whose last three dimensions are the node's normalized cardinality
+// / cost / runtime predictions; the root holds the whole plan's values.
+
+#ifndef QPS_ENCODER_PLAN_ENCODER_H_
+#define QPS_ENCODER_PLAN_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "encoder/normalizer.h"
+#include "encoder/query_encoder.h"
+#include "tabert/tabsketch.h"
+
+namespace qps {
+namespace encoder {
+
+class PlanEncoder : public nn::Module {
+ public:
+  PlanEncoder(const storage::Database& db, const tabert::TabSketch& tabert,
+              const EncoderConfig& config, Rng* rng);
+
+  struct Output {
+    /// Node output vectors in post-order; each 1 x node_out.
+    std::vector<nn::Var> node_outputs;
+    /// Pointers to the plan nodes in the same post-order.
+    std::vector<const query::PlanNode*> nodes;
+    /// Stacked matrix (num_nodes x node_out), attention context.
+    nn::Var node_matrix;
+    /// Root output (== node_outputs.back()).
+    nn::Var root;
+  };
+
+  /// Encodes a plan. Leaf stat inputs come from plan.estimated (the "DB
+  /// optimizer EXPLAIN estimates" of the paper), normalized by `norm`.
+  Output Encode(const query::Query& q, const query::PlanNode& plan,
+                const LabelNormalizer& norm) const;
+
+  int node_out_dim() const { return config_.node_out; }
+  int node_input_dim() const { return input_dim_; }
+  int data_vec_dim() const { return config_.node_out - 3; }
+
+ private:
+  struct NodeState {
+    nn::LstmCell::State lstm;
+    nn::Var output;  ///< 1 x node_out
+  };
+
+  NodeState EncodeNode(const query::Query& q, const query::PlanNode& node,
+                       const LabelNormalizer& norm, Output* out) const;
+
+  const storage::Database& db_;
+  const tabert::TabSketch& tabert_;
+  EncoderConfig config_;
+  int input_dim_;
+  std::unique_ptr<nn::LstmCell> cell_;
+  std::unique_ptr<nn::Linear> out_proj_;
+};
+
+}  // namespace encoder
+}  // namespace qps
+
+#endif  // QPS_ENCODER_PLAN_ENCODER_H_

@@ -1,0 +1,27 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "encoder/qp_attention.h"
+
+namespace qps {
+namespace encoder {
+
+QpAttention::QpAttention(int query_dim, int node_dim, const EncoderConfig& config,
+                         Rng* rng)
+    : query_dim_(query_dim), node_dim_(node_dim) {
+  attn_ = std::make_unique<nn::MultiHeadCrossAttention>(
+      query_dim, node_dim, config.attn_heads, config.attn_head_dim,
+      query_dim + node_dim, rng, "qp_attn");
+  RegisterChild("attn", attn_.get());
+}
+
+nn::Var QpAttention::Combine(const nn::Var& query_emb,
+                             const PlanEncoder::Output& plan) const {
+  if (plan.node_outputs.size() <= 1) {
+    // Single-operator plan: attention over one node is a no-op; concatenate.
+    return nn::ConcatCols({query_emb, plan.root});
+  }
+  return attn_->Forward(query_emb, plan.node_matrix);
+}
+
+}  // namespace encoder
+}  // namespace qps

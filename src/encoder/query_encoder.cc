@@ -1,0 +1,60 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "encoder/query_encoder.h"
+
+namespace qps {
+namespace encoder {
+
+using nn::Tensor;
+using nn::Var;
+
+QueryEncoder::QueryEncoder(const storage::Database& db, const EncoderConfig& config,
+                           Rng* rng)
+    : db_(db),
+      config_(config),
+      num_tables_(db.num_tables()),
+      num_joins_(static_cast<int>(db.join_edges().size())) {
+  rel_mlp_ = std::make_unique<nn::Mlp>(num_tables_, config_.set_hidden,
+                                       config_.set_out, config_.set_hidden_layers,
+                                       rng, nn::Activation::kRelu,
+                                       nn::Activation::kRelu, "rel");
+  join_mlp_ = std::make_unique<nn::Mlp>(join_onehot_dim(), config_.set_hidden,
+                                        config_.set_out, config_.set_hidden_layers,
+                                        rng, nn::Activation::kRelu,
+                                        nn::Activation::kRelu, "join");
+  RegisterChild("rel", rel_mlp_.get());
+  RegisterChild("join", join_mlp_.get());
+}
+
+Var QueryEncoder::Encode(const query::Query& q) const {
+  // Relation set: one row per relation instance, one-hot by table id.
+  const int nrel = std::max(1, q.num_relations());
+  Tensor rel(nrel, num_tables_);
+  Tensor rel_mask(nrel, 1);
+  for (int r = 0; r < q.num_relations(); ++r) {
+    rel(r, q.relations[static_cast<size_t>(r)].table_id) = 1.0f;
+    rel_mask(r, 0) = 1.0f;
+  }
+  Var rel_pooled =
+      nn::MaskedMeanRows(rel_mlp_->Forward(nn::Constant(rel)), rel_mask);
+
+  // Join set: one row per join predicate, one-hot by schema edge (the last
+  // bucket collects ad-hoc joins not in the FK graph). Queries without
+  // joins pool to zero through an all-zero mask (the paper feeds an all-
+  // zeros matrix).
+  const int njoin = std::max(1, static_cast<int>(q.joins.size()));
+  Tensor join(njoin, join_onehot_dim());
+  Tensor join_mask(njoin, 1);
+  for (size_t j = 0; j < q.joins.size(); ++j) {
+    const int edge = q.joins[j].schema_edge;
+    join(static_cast<int64_t>(j), edge >= 0 ? edge : num_joins_) = 1.0f;
+    join_mask(static_cast<int64_t>(j), 0) = 1.0f;
+  }
+  Var join_pooled =
+      nn::MaskedMeanRows(join_mlp_->Forward(nn::Constant(join)), join_mask);
+
+  return nn::ConcatCols({rel_pooled, join_pooled});
+}
+
+}  // namespace encoder
+}  // namespace qps

@@ -1,0 +1,68 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace eval {
+
+double QError(double predicted, double truth, double floor) {
+  const double p = std::max(std::abs(predicted), floor);
+  const double t = std::max(std::abs(truth), floor);
+  return std::max(p / t, t / p);
+}
+
+namespace {
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Percentiles ComputePercentiles(std::vector<double> values) {
+  Percentiles out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.p50 = Quantile(values, 0.50);
+  out.p90 = Quantile(values, 0.90);
+  out.p95 = Quantile(values, 0.95);
+  out.p99 = Quantile(values, 0.99);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+std::string FormatRow(const std::string& label, const std::vector<double>& cells,
+                      int width) {
+  std::string out = StrFormat("%-8s", label.c_str());
+  for (double c : cells) {
+    out += StrFormat("%*s", width, FormatSig(c, 4).c_str());
+  }
+  return out;
+}
+
+std::string FormatHeader(const std::string& label,
+                         const std::vector<std::string>& columns, int width) {
+  std::string out = StrFormat("%-8s", label.c_str());
+  for (const auto& c : columns) {
+    out += StrFormat("%*s", width, c.c_str());
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace qps

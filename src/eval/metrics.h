@@ -1,0 +1,43 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Evaluation metrics: Q-Error (Moerkotte et al.) and the percentile
+// summaries (50/90/95/99 + std) every table in the paper reports.
+
+#ifndef QPS_EVAL_METRICS_H_
+#define QPS_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace qps {
+namespace eval {
+
+/// Q-Error: max(pred/truth, truth/pred), both floored at `floor` to avoid
+/// division blow-ups on empty results (the standard convention).
+double QError(double predicted, double truth, double floor = 1.0);
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+};
+
+/// Percentiles by linear interpolation over the sorted values.
+Percentiles ComputePercentiles(std::vector<double> values);
+
+/// One row of a paper-style table: "  50%   1.97   8.89   116.98".
+std::string FormatRow(const std::string& label, const std::vector<double>& cells,
+                      int width = 12);
+
+/// Header row with right-aligned column names.
+std::string FormatHeader(const std::string& label,
+                         const std::vector<std::string>& columns, int width = 12);
+
+}  // namespace eval
+}  // namespace qps
+
+#endif  // QPS_EVAL_METRICS_H_

@@ -1,0 +1,208 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace eval {
+
+namespace {
+
+double SquaredDistance(const std::vector<float>& a, const std::vector<float>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// Binary-searches the Gaussian bandwidth for one point to hit the target
+/// perplexity; returns the row of conditional probabilities p_{j|i}.
+std::vector<double> ConditionalP(const std::vector<double>& dist_row, size_t self,
+                                 double perplexity) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = 0.0, beta_max = INFINITY;
+  std::vector<double> p(dist_row.size(), 0.0);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    for (size_t j = 0; j < dist_row.size(); ++j) {
+      p[j] = j == self ? 0.0 : std::exp(-beta * dist_row[j]);
+      sum += p[j];
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    double entropy = 0.0;
+    for (size_t j = 0; j < dist_row.size(); ++j) {
+      p[j] /= sum;
+      if (p[j] > 1e-12) entropy -= p[j] * std::log(p[j]);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-4) break;
+    if (diff > 0) {  // entropy too high -> increase beta
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::array<double, 2>> RunTsne(
+    const std::vector<std::vector<float>>& points, const TsneOptions& options) {
+  const size_t n = points.size();
+  std::vector<std::array<double, 2>> y(n, {0.0, 0.0});
+  if (n == 0) return y;
+  QPS_CHECK(options.perplexity > 1.0);
+
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = SquaredDistance(points[i], points[j]);
+    }
+  }
+  // Symmetrized joint probabilities.
+  const double perplexity = std::min(options.perplexity, static_cast<double>(n) / 3.0 + 1.01);
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    auto row = ConditionalP(dist[i], i, perplexity);
+    for (size_t j = 0; j < n; ++j) p[i][j] = row[j];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = std::max(1e-12, (p[i][j] + p[j][i]) / (2.0 * static_cast<double>(n)));
+      p[i][j] = p[j][i] = v;
+    }
+    p[i][i] = 1e-12;
+  }
+
+  Rng rng(options.seed);
+  for (auto& yi : y) {
+    yi[0] = rng.Normal() * 1e-2;
+    yi[1] = rng.Normal() * 1e-2;
+  }
+  std::vector<std::array<double, 2>> velocity(n, {0.0, 0.0});
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Low-dimensional affinities (Student-t kernel).
+    std::vector<std::vector<double>> qnum(n, std::vector<double>(n, 0.0));
+    double qsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double dy0 = y[i][0] - y[j][0];
+        const double dy1 = y[i][1] - y[j][1];
+        const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        qnum[i][j] = qnum[j][i] = v;
+        qsum += 2.0 * v;
+      }
+    }
+    qsum = std::max(qsum, 1e-12);
+    const double momentum = iter < 80 ? 0.5 : 0.8;
+    const double exaggeration = iter < 80 ? 4.0 : 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double coeff =
+            (exaggeration * p[i][j] - qnum[i][j] / qsum) * qnum[i][j];
+        g0 += coeff * (y[i][0] - y[j][0]);
+        g1 += coeff * (y[i][1] - y[j][1]);
+      }
+      velocity[i][0] = momentum * velocity[i][0] - options.learning_rate * 4.0 * g0;
+      velocity[i][1] = momentum * velocity[i][1] - options.learning_rate * 4.0 * g1;
+      y[i][0] += velocity[i][0];
+      y[i][1] += velocity[i][1];
+    }
+    // Re-center (removes the drift mode and keeps coordinates bounded).
+    double m0 = 0.0, m1 = 0.0;
+    for (const auto& yi : y) {
+      m0 += yi[0];
+      m1 += yi[1];
+    }
+    m0 /= static_cast<double>(n);
+    m1 /= static_cast<double>(n);
+    for (auto& yi : y) {
+      yi[0] -= m0;
+      yi[1] -= m1;
+    }
+  }
+  return y;
+}
+
+double SilhouetteScore(const std::vector<std::vector<float>>& points,
+                       const std::vector<int>& labels) {
+  const size_t n = points.size();
+  QPS_CHECK(labels.size() == n);
+  if (n < 3) return 0.0;
+  double total = 0.0;
+  int counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double intra = 0.0;
+    int intra_count = 0;
+    // Mean distance to every other cluster, tracked per label.
+    std::vector<std::pair<int, std::pair<double, int>>> inter;  // label -> (sum, n)
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = std::sqrt(SquaredDistance(points[i], points[j]));
+      if (labels[j] == labels[i]) {
+        intra += d;
+        ++intra_count;
+      } else {
+        bool found = false;
+        for (auto& [lab, acc] : inter) {
+          if (lab == labels[j]) {
+            acc.first += d;
+            acc.second += 1;
+            found = true;
+            break;
+          }
+        }
+        if (!found) inter.push_back({labels[j], {d, 1}});
+      }
+    }
+    if (intra_count == 0 || inter.empty()) continue;
+    const double a = intra / intra_count;
+    double b = INFINITY;
+    for (const auto& [lab, acc] : inter) {
+      b = std::min(b, acc.first / acc.second);
+    }
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+double KnnLabelPurity(const std::vector<std::vector<float>>& points,
+                      const std::vector<int>& labels, int k) {
+  const size_t n = points.size();
+  QPS_CHECK(labels.size() == n);
+  if (n < 2 || k <= 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<double, size_t>> dist;
+    dist.reserve(n - 1);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      dist.emplace_back(SquaredDistance(points[i], points[j]), j);
+    }
+    const size_t kk = std::min<size_t>(static_cast<size_t>(k), dist.size());
+    std::partial_sort(dist.begin(), dist.begin() + static_cast<ptrdiff_t>(kk),
+                      dist.end());
+    int same = 0;
+    for (size_t m = 0; m < kk; ++m) same += labels[dist[m].second] == labels[i];
+    total += static_cast<double>(same) / static_cast<double>(kk);
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace eval
+}  // namespace qps

@@ -1,0 +1,45 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Exact t-SNE (van der Maaten & Hinton) for the Figure 5 latent-space
+// visualization, plus a silhouette score to quantify the clustering by
+// query template that the paper shows visually.
+
+#ifndef QPS_EVAL_TSNE_H_
+#define QPS_EVAL_TSNE_H_
+
+#include <array>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qps {
+namespace eval {
+
+struct TsneOptions {
+  double perplexity = 15.0;
+  int iterations = 300;
+  double learning_rate = 10.0;
+  uint64_t seed = 42;
+};
+
+/// Embeds `points` (n rows of equal dimension) into 2-D. O(n^2) exact
+/// gradient — fine for the few thousand QEPs Figure 5 plots.
+std::vector<std::array<double, 2>> RunTsne(
+    const std::vector<std::vector<float>>& points, const TsneOptions& options);
+
+/// Mean silhouette coefficient of `points` under integer `labels` (higher =
+/// tighter per-label clusters). Works in the original or embedded space.
+double SilhouetteScore(const std::vector<std::vector<float>>& points,
+                       const std::vector<int>& labels);
+
+/// Mean fraction of each point's k nearest neighbours sharing its label —
+/// a local clustering measure matching Figure 5's visual claim (same-
+/// template QEPs land next to each other). Random baseline: the mean
+/// squared label frequency (= chance of agreeing with a random point).
+double KnnLabelPurity(const std::vector<std::vector<float>>& points,
+                      const std::vector<int>& labels, int k);
+
+}  // namespace eval
+}  // namespace qps
+
+#endif  // QPS_EVAL_TSNE_H_

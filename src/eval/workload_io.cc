@@ -1,0 +1,59 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "eval/workload_io.h"
+
+#include <fstream>
+
+#include "query/parser.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace eval {
+
+Status SaveWorkload(const std::vector<query::Query>& queries,
+                    const storage::Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const auto& q : queries) {
+    if (!q.template_id.empty()) {
+      out << "# template: " << q.template_id << "\n";
+    }
+    out << q.ToSql(db) << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<query::Query>> LoadWorkload(const storage::Database& db,
+                                                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<query::Query> out;
+  std::string line;
+  std::string pending_template;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = StrTrim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '#') {
+      const std::string prefix = "# template: ";
+      if (StartsWith(trimmed, prefix)) {
+        pending_template = trimmed.substr(prefix.size());
+      }
+      continue;
+    }
+    auto q = query::ParseSql(trimmed, db);
+    if (!q.ok()) {
+      return Status::InvalidArgument(StrFormat("%s:%d: %s", path.c_str(), line_no,
+                                               q.status().ToString().c_str()));
+    }
+    q->template_id = pending_template;
+    pending_template.clear();
+    out.push_back(std::move(q).value());
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace qps

@@ -1,0 +1,31 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Workload persistence: save generated workloads as plain SQL files (one
+// statement per line, '#' comments carry template ids) and load them back.
+// Lets experiments pin exact query sets and users bring their own.
+
+#ifndef QPS_EVAL_WORKLOAD_IO_H_
+#define QPS_EVAL_WORKLOAD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace qps {
+namespace eval {
+
+/// Writes queries as SQL, one per line, preceded by "# template: <id>".
+Status SaveWorkload(const std::vector<query::Query>& queries,
+                    const storage::Database& db, const std::string& path);
+
+/// Parses a workload file against `db`. Unparseable lines fail the load
+/// with a line-numbered error.
+StatusOr<std::vector<query::Query>> LoadWorkload(const storage::Database& db,
+                                                 const std::string& path);
+
+}  // namespace eval
+}  // namespace qps
+
+#endif  // QPS_EVAL_WORKLOAD_IO_H_

@@ -1,0 +1,325 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "eval/workloads.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace eval {
+
+using query::FilterPredicate;
+using query::JoinPredicate;
+using query::Query;
+using query::RelationRef;
+using storage::CompareOp;
+
+namespace {
+
+/// Grows a connected query by walking the schema join graph.
+Query RandomStructure(const storage::Database& db, int num_joins, Rng* rng) {
+  Query q;
+  const auto& edges = db.join_edges();
+  QPS_CHECK(!edges.empty() || num_joins == 0);
+
+  auto add_relation = [&](int table_id) {
+    RelationRef ref;
+    ref.table_id = table_id;
+    ref.alias = StrFormat("t%d", q.num_relations());
+    q.relations.push_back(ref);
+    return q.num_relations() - 1;
+  };
+
+  if (num_joins == 0) {
+    add_relation(static_cast<int>(rng->UniformInt(static_cast<uint64_t>(db.num_tables()))));
+    return q;
+  }
+
+  // Seed with a random edge.
+  const auto& first = edges[rng->UniformInt(edges.size())];
+  const int rel_l = add_relation(first.left_table);
+  const int rel_r = add_relation(first.right_table);
+  JoinPredicate jp;
+  jp.left_rel = rel_l;
+  jp.left_column = first.left_column;
+  jp.right_rel = rel_r;
+  jp.right_column = first.right_column;
+  jp.schema_edge = db.FindJoinEdge(first.left_table, first.left_column,
+                                   first.right_table, first.right_column);
+  q.joins.push_back(jp);
+
+  for (int j = 1; j < num_joins; ++j) {
+    // Pick a relation already in the query and an incident schema edge.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const int anchor =
+          static_cast<int>(rng->UniformInt(static_cast<uint64_t>(q.num_relations())));
+      const int anchor_table = q.relations[static_cast<size_t>(anchor)].table_id;
+      std::vector<int> incident;
+      for (size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].left_table == anchor_table || edges[e].right_table == anchor_table) {
+          incident.push_back(static_cast<int>(e));
+        }
+      }
+      if (incident.empty()) continue;
+      const auto& edge = edges[static_cast<size_t>(incident[rng->UniformInt(incident.size())])];
+      const bool anchor_is_left = edge.left_table == anchor_table;
+      const int new_table = anchor_is_left ? edge.right_table : edge.left_table;
+      const int new_rel = add_relation(new_table);
+      JoinPredicate njp;
+      njp.left_rel = anchor;
+      njp.left_column = anchor_is_left ? edge.left_column : edge.right_column;
+      njp.right_rel = new_rel;
+      njp.right_column = anchor_is_left ? edge.right_column : edge.left_column;
+      njp.schema_edge = db.FindJoinEdge(edge.left_table, edge.left_column,
+                                        edge.right_table, edge.right_column);
+      q.joins.push_back(njp);
+      break;
+    }
+  }
+  return q;
+}
+
+/// Columns eligible for filtering on a table (everything but FK columns,
+/// which rarely carry filters in the real workloads).
+std::vector<int> FilterableColumns(const storage::Table& table) {
+  std::vector<int> out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (!table.column_meta(c).ref_table.empty()) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Chooses the filter *sites* (relation, column, op) for a template.
+struct FilterSite {
+  int rel;
+  int column;
+  CompareOp op;
+};
+
+std::vector<FilterSite> RandomFilterSites(const storage::Database& db, const Query& q,
+                                          int num_filters, Rng* rng) {
+  std::vector<FilterSite> sites;
+  static const CompareOp kNumericOps[] = {CompareOp::kEq, CompareOp::kLt,
+                                          CompareOp::kLe, CompareOp::kGt,
+                                          CompareOp::kGe};
+  for (int f = 0; f < num_filters; ++f) {
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const int rel =
+          static_cast<int>(rng->UniformInt(static_cast<uint64_t>(q.num_relations())));
+      const auto& table = db.table(q.relations[static_cast<size_t>(rel)].table_id);
+      const auto cols = FilterableColumns(table);
+      if (cols.empty()) continue;
+      const int col = cols[rng->UniformInt(cols.size())];
+      CompareOp op;
+      if (table.column(col).type() == storage::DataType::kString) {
+        op = rng->Bernoulli(0.8) ? CompareOp::kEq : CompareOp::kNe;
+      } else {
+        op = kNumericOps[rng->UniformInt(5)];
+      }
+      bool duplicate = false;
+      for (const auto& s : sites) {
+        duplicate = duplicate || (s.rel == rel && s.column == col);
+      }
+      if (duplicate) continue;
+      sites.push_back(FilterSite{rel, col, op});
+      break;
+    }
+  }
+  return sites;
+}
+
+/// Samples a literal from the column's actual values (selectivities then
+/// span the realistic range, including empty and huge results).
+storage::Value SampleLiteral(const storage::Table& table, int col, Rng* rng) {
+  const auto& column = table.column(col);
+  if (column.size() == 0) return storage::Value::Int(0);
+  const int64_t row = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(column.size())));
+  switch (column.type()) {
+    case storage::DataType::kInt64:
+      return storage::Value::Int(column.GetInt(row));
+    case storage::DataType::kFloat64:
+      return storage::Value::Float(column.GetDouble(row));
+    case storage::DataType::kString: {
+      storage::Value v =
+          storage::Value::Str(column.dictionary()[static_cast<size_t>(column.GetInt(row))]);
+      v.i = column.GetInt(row);
+      return v;
+    }
+  }
+  return storage::Value::Int(0);
+}
+
+Query Instantiate(const storage::Database& db, const Query& structure,
+                  const std::vector<FilterSite>& sites, const std::string& template_id,
+                  Rng* rng) {
+  Query q = structure;
+  q.template_id = template_id;
+  for (const auto& s : sites) {
+    FilterPredicate fp;
+    fp.rel = s.rel;
+    fp.column = s.column;
+    fp.op = s.op;
+    const auto& table = db.table(q.relations[static_cast<size_t>(s.rel)].table_id);
+    fp.value = SampleLiteral(table, s.column, rng);
+    q.filters.push_back(fp);
+  }
+  return q;
+}
+
+}  // namespace
+
+std::vector<Query> GenerateWorkload(const storage::Database& db,
+                                    const WorkloadOptions& options, Rng* rng) {
+  std::vector<Query> out;
+  const int templates =
+      options.num_templates > 0 ? options.num_templates : options.num_queries;
+  struct Template {
+    Query structure;
+    std::vector<FilterSite> sites;
+  };
+  std::vector<Template> tpls;
+  for (int t = 0; t < templates; ++t) {
+    const int joins = static_cast<int>(
+        rng->UniformInt(static_cast<int64_t>(options.min_joins),
+                        static_cast<int64_t>(options.max_joins)));
+    Template tpl;
+    tpl.structure = RandomStructure(db, joins, rng);
+    const int filters = static_cast<int>(
+        rng->UniformInt(static_cast<int64_t>(options.min_filters),
+                        static_cast<int64_t>(options.max_filters)));
+    tpl.sites = RandomFilterSites(db, tpl.structure, filters, rng);
+    tpls.push_back(std::move(tpl));
+  }
+  for (int i = 0; i < options.num_queries; ++i) {
+    const int t = i % templates;
+    out.push_back(Instantiate(db, tpls[static_cast<size_t>(t)].structure,
+                              tpls[static_cast<size_t>(t)].sites,
+                              StrFormat("%s_tpl%d", options.name_prefix.c_str(), t),
+                              rng));
+  }
+  return out;
+}
+
+std::vector<Query> SyntheticWorkload(const storage::Database& imdb, Scale scale,
+                                     Rng* rng) {
+  WorkloadOptions o;
+  o.min_joins = 0;
+  o.max_joins = 2;
+  o.min_filters = 1;
+  o.max_filters = 3;
+  o.name_prefix = "synthetic";
+  switch (scale) {
+    case Scale::kSmoke:
+      o.num_queries = 40;
+      break;
+    case Scale::kCi:
+      o.num_queries = 400;
+      break;
+    case Scale::kPaper:
+      o.num_queries = 100000;
+      break;
+  }
+  return GenerateWorkload(imdb, o, rng);
+}
+
+std::vector<Query> JobWorkload(const storage::Database& imdb, Scale scale, Rng* rng) {
+  WorkloadOptions o;
+  o.num_templates = 33;  // JOB: 113 queries from 33 template families
+  o.num_queries = 113;
+  o.min_filters = 1;
+  o.max_filters = 4;
+  o.name_prefix = "job";
+  switch (scale) {
+    case Scale::kSmoke:
+      o.num_templates = 8;
+      o.num_queries = 24;
+      o.min_joins = 2;
+      o.max_joins = 4;
+      break;
+    case Scale::kCi:
+      o.min_joins = 3;
+      o.max_joins = 6;
+      break;
+    case Scale::kPaper:
+      o.min_joins = 4;
+      o.max_joins = 16;
+      break;
+  }
+  return GenerateWorkload(imdb, o, rng);
+}
+
+std::vector<Query> StackWorkload(const storage::Database& stack, Scale scale,
+                                 Rng* rng) {
+  WorkloadOptions o;
+  o.min_filters = 1;
+  o.max_filters = 3;
+  o.name_prefix = "stack";
+  switch (scale) {
+    case Scale::kSmoke:
+      o.num_queries = 30;
+      o.min_joins = 1;
+      o.max_joins = 3;
+      break;
+    case Scale::kCi:
+      o.num_queries = 250;
+      o.min_joins = 1;
+      o.max_joins = 6;
+      break;
+    case Scale::kPaper:
+      o.num_queries = 6200;
+      o.min_joins = 1;
+      o.max_joins = 12;
+      break;
+  }
+  return GenerateWorkload(stack, o, rng);
+}
+
+std::vector<Query> JobLightWorkload(const storage::Database& imdb, Scale scale,
+                                    Rng* rng) {
+  WorkloadOptions o;
+  o.num_queries = scale == Scale::kSmoke ? 12 : 70;
+  o.min_joins = 1;
+  o.max_joins = 3;
+  o.min_filters = 1;
+  o.max_filters = 2;
+  o.name_prefix = "job_light";
+  return GenerateWorkload(imdb, o, rng);
+}
+
+std::vector<Query> JobExtendedWorkload(const storage::Database& imdb, Scale scale,
+                                       Rng* rng) {
+  WorkloadOptions o;
+  o.num_queries = scale == Scale::kSmoke ? 8 : 24;
+  o.min_joins = scale == Scale::kSmoke ? 3 : 5;
+  o.max_joins = scale == Scale::kSmoke ? 5 : 8;
+  o.min_filters = 2;
+  o.max_filters = 4;
+  o.name_prefix = "job_ext";
+  return GenerateWorkload(imdb, o, rng);
+}
+
+void SplitIndices(size_t n, double train_fraction, Rng* rng,
+                  std::vector<size_t>* train, std::vector<size_t>* test) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  rng->Shuffle(&all);
+  const size_t cut = static_cast<size_t>(train_fraction * static_cast<double>(n));
+  train->assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(cut));
+  test->assign(all.begin() + static_cast<ptrdiff_t>(cut), all.end());
+}
+
+void SplitQueries(size_t num_queries, double train_fraction, Rng* rng,
+                  std::vector<int>* train_queries, std::vector<int>* test_queries) {
+  std::vector<size_t> train, test;
+  SplitIndices(num_queries, train_fraction, rng, &train, &test);
+  train_queries->clear();
+  test_queries->clear();
+  for (size_t i : train) train_queries->push_back(static_cast<int>(i));
+  for (size_t i : test) test_queries->push_back(static_cast<int>(i));
+}
+
+}  // namespace eval
+}  // namespace qps

@@ -1,0 +1,66 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Workload generation for the paper's evaluation (Table 1):
+//   Synthetic — MSCN-style, 0-2 joins over the IMDb-like database
+//   JOB       — 113 multi-join queries drawn from 33 template families
+//   Stack     — Bao's StackExchange workload shape
+//   JOB-Light / JOB-Extended — the evaluation-only JOB variants
+//
+// Queries are generated as connected random walks over the schema join
+// graph with literal constants sampled from real column values, so filter
+// selectivities span the same wide range the real workloads exhibit.
+
+#ifndef QPS_EVAL_WORKLOADS_H_
+#define QPS_EVAL_WORKLOADS_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/scale.h"
+
+namespace qps {
+namespace eval {
+
+struct WorkloadOptions {
+  int num_queries = 100;
+  int min_joins = 0;
+  int max_joins = 2;
+  int min_filters = 1;
+  int max_filters = 3;
+  /// >0: generate this many structural templates and cycle through them,
+  /// varying filter constants (JOB-style); 0: every query independent.
+  int num_templates = 0;
+  std::string name_prefix = "q";
+};
+
+/// Generates a connected conjunctive workload over `db`'s join graph.
+std::vector<query::Query> GenerateWorkload(const storage::Database& db,
+                                           const WorkloadOptions& options, Rng* rng);
+
+/// The paper's named workloads, scaled by `scale` (paper counts: Synthetic
+/// 100K, JOB 113 queries / 50K sampled QEPs, Stack 6.2K, JOB-Light 70,
+/// JOB-Extended 24).
+std::vector<query::Query> SyntheticWorkload(const storage::Database& imdb,
+                                            Scale scale, Rng* rng);
+std::vector<query::Query> JobWorkload(const storage::Database& imdb, Scale scale,
+                                      Rng* rng);
+std::vector<query::Query> StackWorkload(const storage::Database& stack, Scale scale,
+                                        Rng* rng);
+std::vector<query::Query> JobLightWorkload(const storage::Database& imdb, Scale scale,
+                                           Rng* rng);
+std::vector<query::Query> JobExtendedWorkload(const storage::Database& imdb,
+                                              Scale scale, Rng* rng);
+
+/// 80/20 split by QEP index (Synthetic/Stack) — returns shuffled indices.
+void SplitIndices(size_t n, double train_fraction, Rng* rng,
+                  std::vector<size_t>* train, std::vector<size_t>* test);
+
+/// Query-level split (JOB setting: held-out queries never seen in training).
+void SplitQueries(size_t num_queries, double train_fraction, Rng* rng,
+                  std::vector<int>* train_queries, std::vector<int>* test_queries);
+
+}  // namespace eval
+}  // namespace qps
+
+#endif  // QPS_EVAL_WORKLOADS_H_

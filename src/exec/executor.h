@@ -1,0 +1,114 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Plan execution with ground-truth label extraction. This plays the role
+// pgCuckoo plays in the paper: any physical plan tree — not just the
+// built-in optimizer's choice — can be executed directly, yielding true
+// per-node cardinalities, costs and runtimes for training QEPs.
+//
+// Runtime labels are produced by a deterministic work-based model: each
+// operator accrues counters (blocks read, tuples scanned, hash probes,
+// comparisons, ...) that are converted to milliseconds with fixed weights.
+// Join *outputs* are computed via hashing regardless of the plan's join
+// operator (output tuples are operator-independent), while the counters are
+// synthesized per operator (a nested loop accrues |L|*|R| comparisons, a
+// merge join accrues both sorts, ...). This keeps label generation fast and
+// bit-reproducible while preserving the operator-dependent cost structure
+// the paper's cost model learns.
+
+#ifndef QPS_EXEC_EXECUTOR_H_
+#define QPS_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/plan.h"
+#include "query/query.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace qps {
+namespace exec {
+
+/// Work accounting for one operator.
+struct WorkCounters {
+  int64_t blocks_read = 0;      ///< sequential block reads
+  int64_t random_reads = 0;     ///< random page fetches (index probes)
+  int64_t tuples_scanned = 0;   ///< base tuples materialized
+  int64_t hash_build = 0;       ///< tuples inserted into hash tables
+  int64_t hash_probe = 0;       ///< hash probes
+  int64_t sort_compares = 0;    ///< comparisons in sorts (merge join)
+  int64_t loop_compares = 0;    ///< nested-loop pair comparisons
+  int64_t output_tuples = 0;
+
+  void Add(const WorkCounters& other);
+
+  /// Deterministic runtime in milliseconds.
+  double RuntimeMs() const;
+};
+
+/// Per-tuple work weights in ms (the simulated machine).
+struct WorkWeights {
+  double block_read = 0.05;
+  double random_read = 0.2;
+  double tuple_scan = 0.0005;
+  double hash_build = 0.0015;
+  double hash_probe = 0.0008;
+  double sort_compare = 0.0004;
+  double loop_compare = 0.00015;
+  double output_tuple = 0.0008;
+};
+
+struct ExecOptions {
+  /// Abort (Status::ResourceExhausted) if an intermediate result exceeds
+  /// this many tuples — the analogue of a statement timeout.
+  int64_t max_intermediate_rows = 2'000'000;
+  /// Also abort if simulated runtime exceeds this budget (<=0: no limit).
+  double timeout_ms = 0.0;
+};
+
+/// Executes physical plans over a database.
+class Executor {
+ public:
+  explicit Executor(const storage::Database& db, ExecOptions opts = {});
+
+  /// Runs `plan` for `q`, filling plan->actual on every node (cardinality,
+  /// cost per the paper's user-defined cost model, cumulative runtime).
+  /// Returns the root output cardinality.
+  ///
+  /// On resource exhaustion the filled-in labels up to the abort point are
+  /// preserved and Status::ResourceExhausted is returned; callers may clamp.
+  StatusOr<double> Execute(const query::Query& q, query::PlanNode* plan);
+
+  /// Counters accumulated by the last Execute call (whole plan).
+  const WorkCounters& last_counters() const { return total_; }
+
+ private:
+  struct RowSet {
+    std::vector<int> rels;                     ///< relation indices, column order
+    std::vector<std::vector<uint32_t>> cols;   ///< cols[i]: row ids for rels[i]
+    int64_t num_rows() const {
+      return cols.empty() ? 0 : static_cast<int64_t>(cols[0].size());
+    }
+    int ColForRel(int rel) const;
+  };
+
+  StatusOr<RowSet> ExecNode(const query::Query& q, query::PlanNode* node);
+  StatusOr<RowSet> ExecScan(const query::Query& q, query::PlanNode* node);
+  StatusOr<RowSet> ExecJoin(const query::Query& q, query::PlanNode* node);
+
+  const storage::Database& db_;
+  ExecOptions opts_;
+  WorkWeights weights_;
+  WorkCounters total_;
+};
+
+/// The paper's user-defined cost model (§5.1), evaluated on true
+/// cardinalities. Used both for labeling plans and by the plan sampler.
+double UserDefinedNodeCost(const storage::Database& db, const query::Query& q,
+                           const query::PlanNode& node, double left_rows,
+                           double right_rows, double out_rows);
+
+}  // namespace exec
+}  // namespace qps
+
+#endif  // QPS_EXEC_EXECUTOR_H_

@@ -1,0 +1,228 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace nn {
+
+std::vector<NamedParam> Module::Parameters() const {
+  std::vector<NamedParam> out = params_;
+  for (const auto& [name, child] : children_) {
+    for (const auto& p : child->Parameters()) {
+      out.push_back({name + "." + p.name, p.var});
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (const auto& p : Parameters()) p.var->ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.var->value.size();
+  return n;
+}
+
+Var Module::RegisterParam(const std::string& name, Tensor init) {
+  Var v = Parameter(std::move(init));
+  params_.push_back({name, v});
+  return v;
+}
+
+void Module::RegisterChild(const std::string& name, Module* child) {
+  children_.emplace_back(name, child);
+}
+
+Var ApplyActivation(const Var& x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kLeakyRelu:
+      return LeakyRelu(x);
+    case Activation::kNone:
+      return x;
+  }
+  return x;
+}
+
+Linear::Linear(int64_t in, int64_t out, Rng* rng, const std::string& name)
+    : in_(in), out_(out) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(in + out));
+  w_ = RegisterParam(name + ".w", Tensor::RandUniform(in, out, rng, limit));
+  b_ = RegisterParam(name + ".b", Tensor::Zeros(1, out));
+}
+
+Var Linear::Forward(const Var& x) const {
+  QPS_CHECK(x->value.cols() == in_) << "Linear input width " << x->value.cols()
+                                    << " != " << in_;
+  return AddRowBroadcast(MatMul(x, w_), b_);
+}
+
+Mlp::Mlp(int64_t in, int64_t hidden, int64_t out, int hidden_layers, Rng* rng,
+         Activation act, Activation out_act, const std::string& name)
+    : act_(act), out_act_(out_act) {
+  QPS_CHECK(hidden_layers >= 0);
+  int64_t cur = in;
+  for (int i = 0; i < hidden_layers; ++i) {
+    layers_.push_back(std::make_unique<Linear>(cur, hidden, rng,
+                                               name + ".h" + std::to_string(i)));
+    cur = hidden;
+  }
+  layers_.push_back(std::make_unique<Linear>(cur, out, rng, name + ".out"));
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    RegisterChild("l" + std::to_string(i), layers_[i].get());
+  }
+}
+
+Var Mlp::Forward(const Var& x) const {
+  Var cur = x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    cur = ApplyActivation(layers_[i]->Forward(cur), act_);
+  }
+  cur = layers_.back()->Forward(cur);
+  return ApplyActivation(cur, out_act_);
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng,
+                   const std::string& name)
+    : input_(input_size), hidden_(hidden_size) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(input_ + 5 * hidden_));
+  w_ = RegisterParam(name + ".w",
+                     Tensor::RandUniform(input_ + hidden_, 4 * hidden_, rng, limit));
+  Tensor bias = Tensor::Zeros(1, 4 * hidden_);
+  // Forget-gate bias 1.0 keeps early gradients flowing through the plan tree.
+  for (int64_t j = hidden_; j < 2 * hidden_; ++j) bias(0, j) = 1.0f;
+  b_ = RegisterParam(name + ".b", std::move(bias));
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{Constant(Tensor::Zeros(1, hidden_)), Constant(Tensor::Zeros(1, hidden_))};
+}
+
+LstmCell::State LstmCell::Forward(const Var& x, const State& prev) const {
+  QPS_CHECK(x->value.cols() == input_) << "LstmCell input width";
+  Var xh = ConcatCols({x, prev.h});
+  Var gates = AddRowBroadcast(MatMul(xh, w_), b_);
+  Var i = Sigmoid(SliceCols(gates, 0, hidden_));
+  Var f = Sigmoid(SliceCols(gates, hidden_, 2 * hidden_));
+  Var g = Tanh(SliceCols(gates, 2 * hidden_, 3 * hidden_));
+  Var o = Sigmoid(SliceCols(gates, 3 * hidden_, 4 * hidden_));
+  Var c = Add(Mul(f, prev.c), Mul(i, g));
+  Var h = Mul(o, Tanh(c));
+  return State{h, c};
+}
+
+MultiHeadCrossAttention::MultiHeadCrossAttention(int64_t query_dim,
+                                                 int64_t context_dim, int heads,
+                                                 int64_t head_dim, int64_t out_dim,
+                                                 Rng* rng, const std::string& name)
+    : heads_(heads), head_dim_(head_dim) {
+  const float ql = std::sqrt(6.0f / static_cast<float>(query_dim + head_dim));
+  const float cl = std::sqrt(6.0f / static_cast<float>(context_dim + head_dim));
+  for (int h = 0; h < heads; ++h) {
+    wq_.push_back(RegisterParam(name + ".wq" + std::to_string(h),
+                                Tensor::RandUniform(query_dim, head_dim, rng, ql)));
+    wk_.push_back(RegisterParam(name + ".wk" + std::to_string(h),
+                                Tensor::RandUniform(context_dim, head_dim, rng, cl)));
+    wv_.push_back(RegisterParam(name + ".wv" + std::to_string(h),
+                                Tensor::RandUniform(context_dim, head_dim, rng, cl)));
+  }
+  out_proj_ = std::make_unique<Linear>(heads * head_dim, out_dim, rng, name + ".proj");
+  RegisterChild("proj", out_proj_.get());
+}
+
+Var MultiHeadCrossAttention::Forward(const Var& query, const Var& context) const {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Var> head_outs;
+  last_scores_ = Tensor(heads_, context->value.rows());
+  for (int h = 0; h < heads_; ++h) {
+    Var q = MatMul(query, wq_[h]);                       // (1, d)
+    Var k = MatMul(context, wk_[h]);                     // (n, d)
+    Var v = MatMul(context, wv_[h]);                     // (n, d)
+    Var scores = Scale(MatMul(q, Transpose(k)), scale);  // (1, n)
+    Var attn = SoftmaxRows(scores);
+    for (int64_t j = 0; j < attn->value.cols(); ++j) {
+      last_scores_(h, j) = attn->value(0, j);
+    }
+    head_outs.push_back(MatMul(attn, v));  // (1, d)
+  }
+  return out_proj_->Forward(ConcatCols(head_outs));
+}
+
+Vae::Vae(int64_t input_dim, int64_t latent_dim, int hidden_layers, Rng* rng,
+         const std::string& name)
+    : input_(input_dim), latent_(latent_dim) {
+  // Encoder widths halve per layer; decoder mirrors them (paper §6.2).
+  std::vector<int64_t> widths;
+  int64_t w = input_dim;
+  for (int i = 0; i < hidden_layers; ++i) {
+    w = std::max<int64_t>(2 * latent_dim, w / 2);
+    widths.push_back(w);
+  }
+  int64_t cur = input_dim;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    enc_.push_back(std::make_unique<Linear>(cur, widths[i], rng,
+                                            name + ".enc" + std::to_string(i)));
+    cur = widths[i];
+  }
+  enc_head_ = std::make_unique<Linear>(cur, 2 * latent_dim, rng, name + ".enc_head");
+  // Start with small posterior variance (logvar ~ -4, std ~ 0.14) so the
+  // reparameterization noise does not swamp mu early in training — the
+  // classic guard against posterior collapse.
+  for (int64_t j = latent_dim; j < 2 * latent_dim; ++j) {
+    enc_head_->bias()->value(0, j) = -4.0f;
+  }
+  cur = latent_dim;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const int64_t out = widths[widths.size() - 1 - i];
+    dec_.push_back(std::make_unique<Linear>(cur, out, rng,
+                                            name + ".dec" + std::to_string(i)));
+    cur = out;
+  }
+  dec_.push_back(std::make_unique<Linear>(cur, input_dim, rng, name + ".dec_out"));
+  for (size_t i = 0; i < enc_.size(); ++i) RegisterChild("e" + std::to_string(i), enc_[i].get());
+  RegisterChild("eh", enc_head_.get());
+  for (size_t i = 0; i < dec_.size(); ++i) RegisterChild("d" + std::to_string(i), dec_[i].get());
+}
+
+std::pair<Var, Var> Vae::Encode(const Var& x) const {
+  QPS_CHECK(x->value.cols() == input_) << "Vae input width";
+  Var cur = x;
+  for (const auto& l : enc_) cur = Relu(l->Forward(cur));
+  Var head = enc_head_->Forward(cur);
+  Var mu = SliceCols(head, 0, latent_);
+  Var logvar = SliceCols(head, latent_, 2 * latent_);
+  return {mu, logvar};
+}
+
+Var Vae::Decode(const Var& z) const {
+  Var cur = z;
+  for (size_t i = 0; i + 1 < dec_.size(); ++i) cur = Relu(dec_[i]->Forward(cur));
+  return dec_.back()->Forward(cur);
+}
+
+Vae::Output Vae::Forward(const Var& x, Rng* rng) const {
+  auto [mu, logvar] = Encode(x);
+  Var z;
+  if (rng != nullptr) {
+    Tensor eps = Tensor::Randn(1, latent_, rng);
+    z = Reparameterize(mu, logvar, eps);
+  } else {
+    z = mu;
+  }
+  Var recon = Decode(z);
+  return Output{mu, logvar, z, recon};
+}
+
+}  // namespace nn
+}  // namespace qps

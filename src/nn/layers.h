@@ -1,0 +1,175 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Neural building blocks used by QPSeeker and the baselines: Linear / MLP,
+// an LSTM cell (plan-tree encoder node), multi-head cross-attention
+// (QPAttention), and a VAE (the Cost Modeler).
+
+#ifndef QPS_NN_LAYERS_H_
+#define QPS_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace nn {
+
+/// A named trainable tensor (leaf Var kept alive across steps).
+struct NamedParam {
+  std::string name;
+  Var var;
+};
+
+/// Base class for trainable components. Subclasses register parameters and
+/// child modules; Parameters() flattens the tree for optimizers/serializers.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, depth-first, with hierarchical names.
+  std::vector<NamedParam> Parameters() const;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const;
+
+ protected:
+  Var RegisterParam(const std::string& name, Tensor init);
+  void RegisterChild(const std::string& name, Module* child);
+
+ private:
+  std::vector<NamedParam> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+/// Nonlinearity selector for MLP hidden layers.
+enum class Activation { kRelu, kTanh, kSigmoid, kLeakyRelu, kNone };
+
+Var ApplyActivation(const Var& x, Activation act);
+
+/// y = x @ W + b with Xavier-uniform init.
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, Rng* rng, const std::string& name = "linear");
+
+  /// x: (m, in) -> (m, out).
+  Var Forward(const Var& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+  /// Direct parameter access (e.g. for custom bias initialization).
+  const Var& weight() const { return w_; }
+  const Var& bias() const { return b_; }
+
+ private:
+  int64_t in_, out_;
+  Var w_, b_;
+};
+
+/// Feed-forward stack: `hidden_layers` hidden Linear+activation layers of
+/// width `hidden`, then a Linear to `out` (optionally activated).
+class Mlp : public Module {
+ public:
+  Mlp(int64_t in, int64_t hidden, int64_t out, int hidden_layers, Rng* rng,
+      Activation act = Activation::kRelu, Activation out_act = Activation::kNone,
+      const std::string& name = "mlp");
+
+  Var Forward(const Var& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation act_;
+  Activation out_act_;
+};
+
+/// A single LSTM cell; the plan encoder instantiates one shared cell and
+/// applies it at every plan node (bottom-up over the plan tree).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng,
+           const std::string& name = "lstm");
+
+  struct State {
+    Var h;  ///< (1, hidden)
+    Var c;  ///< (1, hidden)
+  };
+
+  /// Zero initial state (used for leaf nodes, which have no children).
+  State InitialState() const;
+
+  /// One step: x (1, input), prev state -> next state.
+  State Forward(const Var& x, const State& prev) const;
+
+  int64_t hidden_size() const { return hidden_; }
+  int64_t input_size() const { return input_; }
+
+ private:
+  int64_t input_, hidden_;
+  Var w_;  ///< (input+hidden, 4*hidden), gate order [i, f, g, o]
+  Var b_;  ///< (1, 4*hidden); forget gate bias initialized to 1
+};
+
+/// Multi-head cross-attention between one query vector and n context rows
+/// (QPSeeker's QPAttention, Perceiver-style). Output: (1, out_dim).
+class MultiHeadCrossAttention : public Module {
+ public:
+  MultiHeadCrossAttention(int64_t query_dim, int64_t context_dim, int heads,
+                          int64_t head_dim, int64_t out_dim, Rng* rng,
+                          const std::string& name = "xattn");
+
+  /// query: (1, query_dim); context: (n, context_dim).
+  Var Forward(const Var& query, const Var& context) const;
+
+  /// Attention weights of the last Forward call, one row per head (heads, n).
+  /// Useful for inspecting which plan nodes dominate the estimate.
+  const Tensor& last_scores() const { return last_scores_; }
+
+ private:
+  int heads_;
+  int64_t head_dim_;
+  std::vector<Var> wq_, wk_, wv_;  ///< per head
+  std::unique_ptr<Linear> out_proj_;
+  mutable Tensor last_scores_;
+};
+
+/// Variational autoencoder over QEP embeddings (the Cost Modeler, §4.4).
+/// Encoder/decoder are MLPs whose hidden widths halve/double per layer, as
+/// described in §6.2 of the paper.
+class Vae : public Module {
+ public:
+  Vae(int64_t input_dim, int64_t latent_dim, int hidden_layers, Rng* rng,
+      const std::string& name = "vae");
+
+  struct Output {
+    Var mu;       ///< (1, latent)
+    Var logvar;   ///< (1, latent)
+    Var z;        ///< (1, latent) sampled (training) or = mu (inference)
+    Var recon;    ///< (1, input_dim)
+  };
+
+  /// Full pass. If `rng` is null the latent is deterministic (z = mu).
+  Output Forward(const Var& x, Rng* rng) const;
+
+  /// Encoder only: returns (mu, logvar).
+  std::pair<Var, Var> Encode(const Var& x) const;
+  Var Decode(const Var& z) const;
+
+  int64_t latent_dim() const { return latent_; }
+
+ private:
+  int64_t input_, latent_;
+  std::vector<std::unique_ptr<Linear>> enc_;
+  std::unique_ptr<Linear> enc_head_;  ///< to 2*latent (mu | logvar)
+  std::vector<std::unique_ptr<Linear>> dec_;
+};
+
+}  // namespace nn
+}  // namespace qps
+
+#endif  // QPS_NN_LAYERS_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace qps {
+namespace nn {
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params_) {
+    if (!p.var->grad.SameShape(p.var->value)) continue;
+    const float n = p.var->grad.FrobeniusNorm();
+    total_sq += static_cast<double>(n) * n;
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const auto& p : params_) {
+      if (p.var->grad.SameShape(p.var->value)) p.var->grad.ScaleInPlace(scale);
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<NamedParam> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (const auto& p : params_) {
+    velocity_.emplace_back(Tensor::Zeros(p.var->value.rows(), p.var->value.cols()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& var = *params_[i].var;
+    if (!var.grad.SameShape(var.value)) continue;
+    if (momentum_ > 0.0f) {
+      velocity_[i].ScaleInPlace(momentum_);
+      velocity_[i].AddInPlace(var.grad);
+      var.value.AddScaledInPlace(velocity_[i], -lr_);
+    } else {
+      var.value.AddScaledInPlace(var.grad, -lr_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<NamedParam> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (const auto& p : params_) {
+    m_.emplace_back(Tensor::Zeros(p.var->value.rows(), p.var->value.cols()));
+    v_.emplace_back(Tensor::Zeros(p.var->value.rows(), p.var->value.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& var = *params_[i].var;
+    if (!var.grad.SameShape(var.value)) continue;
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    float* w = var.value.data();
+    const float* g = var.grad.data();
+    for (int64_t j = 0; j < var.value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace qps

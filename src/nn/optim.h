@@ -1,0 +1,61 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// First-order optimizers over Module parameters.
+
+#ifndef QPS_NN_OPTIM_H_
+#define QPS_NN_OPTIM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace qps {
+namespace nn {
+
+/// Common interface: Step() applies accumulated gradients, then the caller
+/// zero-grads before the next batch.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<NamedParam> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  /// Global-norm gradient clipping; returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<NamedParam> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<NamedParam> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the paper trains with lr 1e-3 (§6.2).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<NamedParam> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace nn
+}  // namespace qps
+
+#endif  // QPS_NN_OPTIM_H_

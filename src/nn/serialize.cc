@@ -1,0 +1,76 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace qps {
+namespace nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x51505301;  // "QPS\1"
+}
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const auto params = module.Parameters();
+  const uint32_t magic = kMagic;
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    const uint64_t name_len = p.name.size();
+    const int64_t rows = p.var->value.rows();
+    const int64_t cols = p.var->value.cols();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p.name.data(), static_cast<std::streamsize>(name_len));
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p.var->value.data()),
+              static_cast<std::streamsize>(sizeof(float) * rows * cols));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadModule(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) return Status::InvalidArgument("bad magic in " + path);
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  auto params = module->Parameters();
+  std::unordered_map<std::string, Var> by_name;
+  for (auto& p : params) by_name[p.name] = p.var;
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    int64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("parameter not in module: " + name);
+    }
+    Tensor& dst = it->second->value;
+    if (dst.rows() != rows || dst.cols() != cols) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    in.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(sizeof(float) * rows * cols));
+    if (!in) return Status::IOError("truncated file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace qps

@@ -1,0 +1,27 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Binary (de)serialization of module parameters so trained QPSeeker models
+// can be saved and reloaded (e.g. train once, benchmark many times).
+
+#ifndef QPS_NN_SERIALIZE_H_
+#define QPS_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/layers.h"
+#include "util/status.h"
+
+namespace qps {
+namespace nn {
+
+/// Writes all parameters (name, shape, float32 data) to `path`.
+Status SaveModule(const Module& module, const std::string& path);
+
+/// Loads parameters by name into an already-constructed module. Fails if a
+/// stored name is missing or a shape differs.
+Status LoadModule(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace qps
+
+#endif  // QPS_NN_SERIALIZE_H_

@@ -1,0 +1,137 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace nn {
+
+Tensor Tensor::Row(const std::vector<float>& values) {
+  Tensor t(1, static_cast<int64_t>(values.size()));
+  t.data_ = values;
+  return t;
+}
+
+Tensor Tensor::Randn(int64_t rows, int64_t cols, Rng* rng, float stddev) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) v = static_cast<float>(rng->Normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::RandUniform(int64_t rows, int64_t cols, Rng* rng, float limit) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) v = static_cast<float>(rng->Uniform(-limit, limit));
+  return t;
+}
+
+void Tensor::Fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  QPS_DCHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < size(); ++i) dst[i] += src[i];
+}
+
+void Tensor::AddScaledInPlace(const Tensor& other, float a) {
+  QPS_DCHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  for (int64_t i = 0; i < size(); ++i) dst[i] += a * src[i];
+}
+
+void Tensor::ScaleInPlace(float a) {
+  for (auto& x : data_) x *= a;
+}
+
+float Tensor::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Max() const {
+  float m = -INFINITY;
+  for (float x : data_) m = std::max(m, x);
+  return m;
+}
+
+std::string Tensor::DebugString(int64_t max_entries) const {
+  std::ostringstream os;
+  os << "Tensor(" << rows_ << "x" << cols_ << ") [";
+  for (int64_t i = 0; i < std::min<int64_t>(size(), max_entries); ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (size() > max_entries) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  QPS_DCHECK(a.cols() == b.rows());
+  QPS_DCHECK(out->rows() == a.rows() && out->cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  out->Fill(0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out->data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate) {
+  // out (m x n) = a (m x k) @ b^T (k x n) where b is (n x k).
+  QPS_DCHECK(a.cols() == b.cols());
+  QPS_DCHECK(out->rows() == a.rows() && out->cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (!accumulate) out->Fill(0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out->data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+void MatMulTransAInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate) {
+  // out (k x n) = a^T (k x m) @ b (m x n) where a is (m x k).
+  QPS_DCHECK(a.rows() == b.rows());
+  QPS_DCHECK(out->rows() == a.cols() && out->cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (!accumulate) out->Fill(0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    const float* brow = b.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out->data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace qps

@@ -1,0 +1,91 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Dense row-major float32 matrix. All neural components in QPSeeker operate
+// on rank-2 tensors; vectors are represented as 1 x n rows.
+
+#ifndef QPS_NN_TENSOR_H_
+#define QPS_NN_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qps {
+namespace nn {
+
+/// A row-major rows x cols float matrix with value semantics.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int64_t rows, int64_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), fill) {}
+
+  /// Builds a 1 x n row vector from values.
+  static Tensor Row(const std::vector<float>& values);
+
+  /// All-zeros / all-ones / constant factories.
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols, 0.0f); }
+  static Tensor Ones(int64_t rows, int64_t cols) { return Tensor(rows, cols, 1.0f); }
+  static Tensor Full(int64_t rows, int64_t cols, float v) { return Tensor(rows, cols, v); }
+
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(int64_t rows, int64_t cols, Rng* rng, float stddev = 1.0f);
+
+  /// Uniform(-limit, limit) entries (for Xavier/He init).
+  static Tensor RandUniform(int64_t rows, int64_t cols, Rng* rng, float limit);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(int64_t r, int64_t c) { return data_[static_cast<size_t>(r * cols_ + c)]; }
+  float operator()(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float& at(int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// In-place helpers used by optimizers and gradient accumulation.
+  void Fill(float v);
+  void AddInPlace(const Tensor& other);               ///< this += other
+  void AddScaledInPlace(const Tensor& other, float a);  ///< this += a * other
+  void ScaleInPlace(float a);                         ///< this *= a
+
+  /// Frobenius norm and sums, for diagnostics and gradient clipping.
+  float FrobeniusNorm() const;
+  float Sum() const;
+  float Mean() const { return size() > 0 ? Sum() / static_cast<float>(size()) : 0.0f; }
+  float Max() const;
+
+  /// Flattened copy of the data.
+  std::vector<float> ToVector() const { return data_; }
+
+  std::string DebugString(int64_t max_entries = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+/// out = a @ b. Shapes must agree ((m x k) @ (k x n)).
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a @ b^T and out += a^T @ b, used by MatMul backward.
+void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate);
+void MatMulTransAInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate);
+
+}  // namespace nn
+}  // namespace qps
+
+#endif  // QPS_NN_TENSOR_H_

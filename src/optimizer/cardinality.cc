@@ -1,0 +1,63 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qps {
+namespace optimizer {
+
+double CardinalityEstimator::FilterSelectivity(const query::Query& q, int rel) const {
+  const int table_id = q.relations[static_cast<size_t>(rel)].table_id;
+  double sel = 1.0;
+  for (const auto& f : q.filters) {
+    if (f.rel != rel) continue;
+    const auto& cs = stats_.column(table_id, f.column);
+    sel *= std::clamp(cs.Selectivity(f.op, f.value.AsDouble()), 0.0, 1.0);
+  }
+  return sel;
+}
+
+double CardinalityEstimator::ScanRows(const query::Query& q, int rel) const {
+  const int table_id = q.relations[static_cast<size_t>(rel)].table_id;
+  const double rows = static_cast<double>(stats_.table(table_id).row_count);
+  return std::max(1.0, rows * FilterSelectivity(q, rel));
+}
+
+double CardinalityEstimator::JoinPredicateSelectivity(
+    const query::Query& q, const query::JoinPredicate& jp) const {
+  const int lt = q.relations[static_cast<size_t>(jp.left_rel)].table_id;
+  const int rt = q.relations[static_cast<size_t>(jp.right_rel)].table_id;
+  const double ndv_l =
+      std::max<double>(1.0, static_cast<double>(stats_.column(lt, jp.left_column).distinct_count));
+  const double ndv_r =
+      std::max<double>(1.0, static_cast<double>(stats_.column(rt, jp.right_column).distinct_count));
+  return 1.0 / std::max(ndv_l, ndv_r);
+}
+
+double CardinalityEstimator::JoinRows(const query::Query& q, double left_rows,
+                                      double right_rows,
+                                      const std::vector<int>& join_preds) const {
+  double sel = 1.0;
+  for (int p : join_preds) {
+    sel *= JoinPredicateSelectivity(q, q.joins[static_cast<size_t>(p)]);
+  }
+  return std::max(1.0, left_rows * right_rows * sel);
+}
+
+void CardinalityEstimator::EstimatePlanCardinalities(const query::Query& q,
+                                                     query::PlanNode* plan) const {
+  plan->PostOrderMutable([&](query::PlanNode& node) {
+    if (node.is_leaf()) {
+      node.estimated.cardinality = ScanRows(q, node.rel);
+    } else {
+      node.estimated.cardinality =
+          JoinRows(q, node.left->estimated.cardinality,
+                   node.right->estimated.cardinality, node.join_preds);
+    }
+  });
+}
+
+}  // namespace optimizer
+}  // namespace qps

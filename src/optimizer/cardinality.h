@@ -1,0 +1,54 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Statistics-based cardinality estimation — the estimator inside the
+// PostgreSQL-like baseline. Uses per-column histograms/MCVs with attribute
+// independence and the classic |L ⋈ R| = |L||R| / max(ndv_l, ndv_r) join
+// formula. Its systematic errors on many-join queries (paper §7.1.3,
+// Table 4 "PostgreSQL" column) are exactly the classic ones.
+
+#ifndef QPS_OPTIMIZER_CARDINALITY_H_
+#define QPS_OPTIMIZER_CARDINALITY_H_
+
+#include "query/plan.h"
+#include "query/query.h"
+#include "stats/analyze.h"
+#include "storage/database.h"
+
+namespace qps {
+namespace optimizer {
+
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const storage::Database& db, const stats::DatabaseStats& stats)
+      : db_(db), stats_(stats) {}
+
+  /// Combined selectivity of all filters on one relation (independence).
+  double FilterSelectivity(const query::Query& q, int rel) const;
+
+  /// Estimated output rows of a scan over `rel` (filters applied).
+  double ScanRows(const query::Query& q, int rel) const;
+
+  /// Selectivity of one join predicate: 1 / max(ndv_left, ndv_right).
+  double JoinPredicateSelectivity(const query::Query& q,
+                                  const query::JoinPredicate& jp) const;
+
+  /// Estimated rows of joining subresults of `left_rows` x `right_rows` via
+  /// the given predicates (selectivities multiply).
+  double JoinRows(const query::Query& q, double left_rows, double right_rows,
+                  const std::vector<int>& join_preds) const;
+
+  /// Fills `estimated.cardinality` on every node of a plan, bottom-up.
+  void EstimatePlanCardinalities(const query::Query& q, query::PlanNode* plan) const;
+
+  const stats::DatabaseStats& stats() const { return stats_; }
+  const storage::Database& db() const { return db_; }
+
+ private:
+  const storage::Database& db_;
+  const stats::DatabaseStats& stats_;
+};
+
+}  // namespace optimizer
+}  // namespace qps
+
+#endif  // QPS_OPTIMIZER_CARDINALITY_H_

@@ -1,0 +1,73 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qps {
+namespace optimizer {
+
+using query::OpType;
+
+double CostModel::NodeCost(const query::Query& q, const query::PlanNode& node,
+                           double left_rows, double right_rows,
+                           double out_rows) const {
+  const CostParams& p = params_;
+  if (query::IsScan(node.op)) {
+    const int table_id = q.relations[static_cast<size_t>(node.rel)].table_id;
+    const storage::Table& t = cards_.db().table(table_id);
+    const double blocks = static_cast<double>(t.num_blocks());
+    const double rows = static_cast<double>(t.num_rows());
+    const double sel = rows > 0.0 ? std::min(1.0, out_rows / rows) : 1.0;
+    const double height = static_cast<double>(t.IndexHeight());
+    switch (node.op) {
+      case OpType::kSeqScan:
+        return blocks * p.seq_page_cost + rows * p.cpu_tuple_cost;
+      case OpType::kIndexScan:
+        // Descend + fetch one heap page per matching tuple (random).
+        return height * p.random_page_cost +
+               sel * rows * (p.cpu_index_tuple_cost + p.random_page_cost);
+      case OpType::kBitmapIndexScan:
+        return height * p.random_page_cost +
+               sel * rows * p.cpu_index_tuple_cost +
+               std::min(blocks, sel * rows) * p.seq_page_cost +
+               sel * rows * p.cpu_tuple_cost;
+      default:
+        break;
+    }
+    return 0.0;
+  }
+  const double l = std::max(1.0, left_rows);
+  const double r = std::max(1.0, right_rows);
+  switch (node.op) {
+    case OpType::kHashJoin:
+      return r * (p.cpu_tuple_cost + p.cpu_operator_cost) +  // build inner
+             l * p.cpu_operator_cost +                       // probe outer
+             out_rows * p.cpu_tuple_cost;
+    case OpType::kMergeJoin:
+      return (l * std::log2(l + 1.0) + r * std::log2(r + 1.0)) * p.cpu_operator_cost +
+             (l + r) * p.cpu_operator_cost + out_rows * p.cpu_tuple_cost;
+    case OpType::kNestedLoopJoin:
+      return l * r * p.cpu_operator_cost + out_rows * p.cpu_tuple_cost;
+    default:
+      break;
+  }
+  return 0.0;
+}
+
+void CostModel::EstimatePlan(const query::Query& q, query::PlanNode* plan) const {
+  cards_.EstimatePlanCardinalities(q, plan);
+  plan->PostOrderMutable([&](query::PlanNode& node) {
+    const double lr = node.left ? node.left->estimated.cardinality : 0.0;
+    const double rr = node.right ? node.right->estimated.cardinality : 0.0;
+    double cost = NodeCost(q, node, lr, rr, node.estimated.cardinality);
+    if (node.left) cost += node.left->estimated.cost;
+    if (node.right) cost += node.right->estimated.cost;
+    node.estimated.cost = cost;
+    node.estimated.runtime_ms = cost * ms_per_cost_;
+  });
+}
+
+}  // namespace optimizer
+}  // namespace qps

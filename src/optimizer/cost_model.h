@@ -1,0 +1,56 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// The baseline optimizer's cost model (PostgreSQL-flavoured formulas over
+// estimated cardinalities) plus a cost->milliseconds calibration used for
+// the baseline's runtime predictions in Tables 3 and 5.
+
+#ifndef QPS_OPTIMIZER_COST_MODEL_H_
+#define QPS_OPTIMIZER_COST_MODEL_H_
+
+#include "optimizer/cardinality.h"
+#include "query/plan.h"
+
+namespace qps {
+namespace optimizer {
+
+/// Cost constants (PostgreSQL defaults).
+struct CostParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;
+  double cpu_index_tuple_cost = 0.005;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const CardinalityEstimator& cards, CostParams params = {})
+      : cards_(cards), params_(params) {}
+
+  /// Cost of one operator given its (estimated) input/output cardinalities,
+  /// excluding children. Scans pass left_rows = right_rows = 0.
+  double NodeCost(const query::Query& q, const query::PlanNode& node,
+                  double left_rows, double right_rows, double out_rows) const;
+
+  /// Fills estimated.cardinality and estimated.cost (cumulative, like
+  /// EXPLAIN's total cost) on every node of the plan; estimated.runtime_ms
+  /// uses the calibration factor.
+  void EstimatePlan(const query::Query& q, query::PlanNode* plan) const;
+
+  /// ms per cost unit used for estimated.runtime_ms. Default calibration is
+  /// roughly right for the simulated machine; Planner::Calibrate refines it.
+  void set_ms_per_cost(double v) { ms_per_cost_ = v; }
+  double ms_per_cost() const { return ms_per_cost_; }
+
+  const CardinalityEstimator& cards() const { return cards_; }
+
+ private:
+  const CardinalityEstimator& cards_;
+  CostParams params_;
+  double ms_per_cost_ = 0.05;
+};
+
+}  // namespace optimizer
+}  // namespace qps
+
+#endif  // QPS_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,215 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace optimizer {
+
+using query::OpType;
+using query::PlanNode;
+using query::PlanPtr;
+using query::Query;
+
+std::vector<OpType> PlanHints::AllowedScans() const {
+  std::vector<OpType> out;
+  if (enable_seqscan) out.push_back(OpType::kSeqScan);
+  if (enable_indexscan) out.push_back(OpType::kIndexScan);
+  if (enable_bitmapscan) out.push_back(OpType::kBitmapIndexScan);
+  return out;
+}
+
+std::vector<OpType> PlanHints::AllowedJoins() const {
+  std::vector<OpType> out;
+  if (enable_hashjoin) out.push_back(OpType::kHashJoin);
+  if (enable_mergejoin) out.push_back(OpType::kMergeJoin);
+  if (enable_nestloop) out.push_back(OpType::kNestedLoopJoin);
+  return out;
+}
+
+bool PlanHints::Valid() const {
+  return !AllowedScans().empty() && !AllowedJoins().empty();
+}
+
+std::string PlanHints::ToString() const {
+  std::vector<std::string> joins, scans;
+  if (enable_hashjoin) joins.push_back("hash");
+  if (enable_mergejoin) joins.push_back("merge");
+  if (enable_nestloop) joins.push_back("nl");
+  if (enable_seqscan) scans.push_back("seq");
+  if (enable_indexscan) scans.push_back("index");
+  if (enable_bitmapscan) scans.push_back("bitmap");
+  return StrJoin(joins, ",") + "|" + StrJoin(scans, ",");
+}
+
+Planner::Planner(const storage::Database& db, const stats::DatabaseStats& stats)
+    : db_(db), cards_(db, stats), cost_(cards_) {}
+
+PlanPtr Planner::BestScan(const Query& q, int rel, const PlanHints& hints) const {
+  PlanPtr best;
+  const double rows = cards_.ScanRows(q, rel);
+  const bool has_filter = !q.FiltersFor(rel).empty();
+  for (OpType op : hints.AllowedScans()) {
+    // Index-driven scans need a filter to drive the index; otherwise they
+    // degrade to full sweeps the cost model penalizes but we still allow.
+    auto leaf = std::make_unique<PlanNode>();
+    leaf->op = op;
+    leaf->rel = rel;
+    leaf->estimated.cardinality = rows;
+    double out_rows_for_cost = rows;
+    if (!has_filter && op != OpType::kSeqScan) {
+      // Full index sweep: every tuple fetched.
+      const int table_id = q.relations[static_cast<size_t>(rel)].table_id;
+      out_rows_for_cost = static_cast<double>(db_.table(table_id).num_rows());
+    }
+    leaf->estimated.cost = cost_.NodeCost(q, *leaf, 0, 0, out_rows_for_cost);
+    leaf->estimated.runtime_ms = leaf->estimated.cost * cost_.ms_per_cost();
+    if (!best || leaf->estimated.cost < best->estimated.cost) best = std::move(leaf);
+  }
+  return best;
+}
+
+PlanPtr Planner::BestJoin(const Query& q, PlanPtr left, int rel,
+                          const PlanHints& hints) const {
+  const uint64_t mask = left->RelMask();
+  std::vector<int> preds;
+  for (size_t p = 0; p < q.joins.size(); ++p) {
+    const auto& jp = q.joins[p];
+    if (((mask >> jp.left_rel) & 1 && jp.right_rel == rel) ||
+        ((mask >> jp.right_rel) & 1 && jp.left_rel == rel)) {
+      preds.push_back(static_cast<int>(p));
+    }
+  }
+  if (preds.empty()) return nullptr;
+
+  PlanPtr right = BestScan(q, rel, hints);
+  const double out_rows = cards_.JoinRows(q, left->estimated.cardinality,
+                                          right->estimated.cardinality, preds);
+  PlanPtr best;
+  for (OpType op : hints.AllowedJoins()) {
+    auto join = std::make_unique<PlanNode>();
+    join->op = op;
+    join->join_preds = preds;
+    join->estimated.cardinality = out_rows;
+    const double own = cost_.NodeCost(q, *join, left->estimated.cardinality,
+                                      right->estimated.cardinality, out_rows);
+    join->estimated.cost = own + left->estimated.cost + right->estimated.cost;
+    join->estimated.runtime_ms = join->estimated.cost * cost_.ms_per_cost();
+    if (!best || join->estimated.cost < best->estimated.cost) {
+      if (best == nullptr) {
+        best = std::move(join);
+      } else {
+        best->op = join->op;
+        best->estimated = join->estimated;
+      }
+    }
+  }
+  best->left = std::move(left);
+  best->right = std::move(right);
+  return best;
+}
+
+PlanPtr Planner::PlanDp(const Query& q, const PlanHints& hints) const {
+  const int n = q.num_relations();
+  // best[mask] = cheapest left-deep plan covering mask.
+  std::unordered_map<uint64_t, PlanPtr> best;
+  for (int r = 0; r < n; ++r) {
+    best[uint64_t{1} << r] = BestScan(q, r, hints);
+  }
+  // Enumerate masks in increasing popcount order via plain mask order (any
+  // superset has a larger value than its subsets with this construction).
+  const uint64_t full = (uint64_t{1} << n) - 1;
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    auto it = best.find(mask);
+    if (it == best.end()) continue;
+    for (int r = 0; r < n; ++r) {
+      if ((mask >> r) & 1) continue;
+      PlanPtr candidate = BestJoin(q, it->second->Clone(), r, hints);
+      if (candidate == nullptr) continue;
+      const uint64_t next = mask | (uint64_t{1} << r);
+      auto existing = best.find(next);
+      if (existing == best.end() ||
+          candidate->estimated.cost < existing->second->estimated.cost) {
+        best[next] = std::move(candidate);
+      }
+    }
+  }
+  auto it = best.find(full);
+  if (it == best.end()) return nullptr;
+  return std::move(it->second);
+}
+
+PlanPtr Planner::PlanGreedy(const Query& q, const PlanHints& hints) const {
+  const int n = q.num_relations();
+  // Start from the relation with the fewest estimated rows, repeatedly add
+  // the connecting relation whose join is cheapest.
+  int start = 0;
+  double best_rows = 1e300;
+  for (int r = 0; r < n; ++r) {
+    const double rows = cards_.ScanRows(q, r);
+    if (rows < best_rows) {
+      best_rows = rows;
+      start = r;
+    }
+  }
+  PlanPtr cur = BestScan(q, start, hints);
+  uint64_t mask = uint64_t{1} << start;
+  for (int step = 1; step < n; ++step) {
+    PlanPtr best;
+    int best_rel = -1;
+    for (int r = 0; r < n; ++r) {
+      if ((mask >> r) & 1) continue;
+      PlanPtr candidate = BestJoin(q, cur->Clone(), r, hints);
+      if (candidate == nullptr) continue;
+      if (!best || candidate->estimated.cost < best->estimated.cost) {
+        best = std::move(candidate);
+        best_rel = r;
+      }
+    }
+    if (best == nullptr) return nullptr;  // disconnected
+    cur = std::move(best);
+    mask |= uint64_t{1} << best_rel;
+  }
+  return cur;
+}
+
+StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints) const {
+  if (q.num_relations() == 0) return Status::InvalidArgument("empty FROM list");
+  if (!hints.Valid()) return Status::InvalidArgument("hints disable all operators");
+  if (q.num_relations() > 1 && !q.IsConnected()) {
+    return Status::NotImplemented("cross products are not supported");
+  }
+  PlanPtr plan = q.num_relations() <= kDpRelationLimit ? PlanDp(q, hints)
+                                                       : PlanGreedy(q, hints);
+  if (plan == nullptr) return Status::Internal("no plan found");
+  // Re-estimate top-down for a consistent final annotation.
+  cost_.EstimatePlan(q, plan.get());
+  return plan;
+}
+
+double Planner::Calibrate(const std::vector<Query>& sample, exec::Executor* ex) {
+  double num = 0.0, den = 0.0;
+  for (const auto& q : sample) {
+    auto plan = Plan(q);
+    if (!plan.ok()) continue;
+    auto card = ex->Execute(q, plan->get());
+    if (!card.ok()) continue;
+    num += (*plan)->estimated.cost * (*plan)->actual.runtime_ms;
+    den += (*plan)->estimated.cost * (*plan)->estimated.cost;
+  }
+  if (den > 0.0) cost_.set_ms_per_cost(num / den);
+  return cost_.ms_per_cost();
+}
+
+std::string Planner::Explain(const Query& q, const PlanNode& plan) const {
+  return plan.ToString(db_, q, /*with_actual=*/false);
+}
+
+}  // namespace optimizer
+}  // namespace qps

@@ -1,0 +1,82 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// The PostgreSQL-like baseline planner: Selinger-style dynamic programming
+// over connected left-deep join orders with per-node operator selection,
+// falling back to a greedy heuristic for very large queries (the analogue
+// of GEQO). Also provides EXPLAIN and hint-style operator masking, which
+// the Bao baseline drives.
+
+#ifndef QPS_OPTIMIZER_PLANNER_H_
+#define QPS_OPTIMIZER_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "optimizer/cost_model.h"
+#include "util/status.h"
+
+namespace qps {
+namespace optimizer {
+
+/// Operator-availability hints (Bao-style "disable" flags).
+struct PlanHints {
+  bool enable_seqscan = true;
+  bool enable_indexscan = true;
+  bool enable_bitmapscan = true;
+  bool enable_hashjoin = true;
+  bool enable_mergejoin = true;
+  bool enable_nestloop = true;
+
+  std::vector<query::OpType> AllowedScans() const;
+  std::vector<query::OpType> AllowedJoins() const;
+  bool Valid() const;  ///< at least one scan and one join enabled
+
+  /// Compact rendering like "hash,merge|seq,index".
+  std::string ToString() const;
+};
+
+class Planner {
+ public:
+  Planner(const storage::Database& db, const stats::DatabaseStats& stats);
+
+  /// Chooses a plan for `q` and fills estimated stats on every node.
+  StatusOr<query::PlanPtr> Plan(const query::Query& q,
+                                const PlanHints& hints = {}) const;
+
+  /// Fits ms_per_cost by executing the chosen plans of `sample` queries
+  /// (least squares through the origin). Returns the fitted factor.
+  double Calibrate(const std::vector<query::Query>& sample, exec::Executor* ex);
+
+  /// EXPLAIN-style rendering of a plan with this planner's estimates.
+  std::string Explain(const query::Query& q, const query::PlanNode& plan) const;
+
+  const CostModel& cost_model() const { return cost_; }
+  CostModel* mutable_cost_model() { return &cost_; }
+  const CardinalityEstimator& cards() const { return cards_; }
+
+  /// Queries with more relations than this use the greedy fallback.
+  static constexpr int kDpRelationLimit = 12;
+
+ private:
+  query::PlanPtr PlanDp(const query::Query& q, const PlanHints& hints) const;
+  query::PlanPtr PlanGreedy(const query::Query& q, const PlanHints& hints) const;
+
+  /// Cheapest scan leaf for one relation under the hints.
+  query::PlanPtr BestScan(const query::Query& q, int rel, const PlanHints& hints) const;
+
+  /// Cheapest join node combining `left` with scan of `rel` (nullptr if no
+  /// connecting predicate exists).
+  query::PlanPtr BestJoin(const query::Query& q, query::PlanPtr left, int rel,
+                          const PlanHints& hints) const;
+
+  const storage::Database& db_;
+  CardinalityEstimator cards_;
+  CostModel cost_;
+};
+
+}  // namespace optimizer
+}  // namespace qps
+
+#endif  // QPS_OPTIMIZER_PLANNER_H_

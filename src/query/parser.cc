@@ -1,0 +1,306 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "query/parser.h"
+
+#include <cctype>
+#include <optional>
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace query {
+
+namespace {
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  StatusOr<Token> Next() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    Token tok;
+    tok.pos = pos_;
+    if (pos_ >= in_.size()) return tok;
+    const char c = in_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < in_.size() &&
+             (std::isalnum(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = StrLower(in_.substr(start, pos_ - start));
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < in_.size() &&
+         std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < in_.size() &&
+             (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '.')) {
+        ++pos_;
+      }
+      tok.kind = TokKind::kNumber;
+      tok.text = in_.substr(start, pos_ - start);
+      return tok;
+    }
+    if (c == '\'') {
+      size_t start = ++pos_;
+      while (pos_ < in_.size() && in_[pos_] != '\'') ++pos_;
+      if (pos_ >= in_.size()) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string at %zu", start));
+      }
+      tok.kind = TokKind::kString;
+      tok.text = in_.substr(start, pos_ - start);
+      ++pos_;
+      return tok;
+    }
+    // Multi-char comparison operators.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+    for (const char* op : kTwoChar) {
+      if (in_.compare(pos_, 2, op) == 0) {
+        tok.kind = TokKind::kSymbol;
+        tok.text = op;
+        pos_ += 2;
+        return tok;
+      }
+    }
+    tok.kind = TokKind::kSymbol;
+    tok.text = std::string(1, c);
+    ++pos_;
+    return tok;
+  }
+
+ private:
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+struct ColumnRef {
+  int rel = -1;
+  int column = -1;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& sql, const storage::Database& db) : lexer_(sql), db_(db) {}
+
+  StatusOr<Query> Parse() {
+    QPS_RETURN_IF_ERROR(Advance());
+    QPS_RETURN_IF_ERROR(ExpectIdent("select"));
+    // Accept COUNT(*) or *.
+    if (cur_.kind == TokKind::kIdent && cur_.text == "count") {
+      QPS_RETURN_IF_ERROR(Advance());
+      QPS_RETURN_IF_ERROR(ExpectSymbol("("));
+      QPS_RETURN_IF_ERROR(ExpectSymbol("*"));
+      QPS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      QPS_RETURN_IF_ERROR(ExpectSymbol("*"));
+    }
+    QPS_RETURN_IF_ERROR(ExpectIdent("from"));
+    QPS_RETURN_IF_ERROR(ParseFromList());
+    if (cur_.kind == TokKind::kIdent && cur_.text == "where") {
+      QPS_RETURN_IF_ERROR(Advance());
+      QPS_RETURN_IF_ERROR(ParseConjunction());
+    }
+    if (cur_.kind == TokKind::kSymbol && cur_.text == ";") {
+      QPS_RETURN_IF_ERROR(Advance());
+    }
+    if (cur_.kind != TokKind::kEnd) {
+      return Status::InvalidArgument(
+          StrFormat("trailing input at %zu: '%s'", cur_.pos, cur_.text.c_str()));
+    }
+    return std::move(query_);
+  }
+
+ private:
+  Status Advance() {
+    QPS_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Status ExpectIdent(const std::string& kw) {
+    if (cur_.kind != TokKind::kIdent || cur_.text != kw) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%s' at %zu, got '%s'", kw.c_str(), cur_.pos,
+                    cur_.text.c_str()));
+    }
+    return Advance();
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (cur_.kind != TokKind::kSymbol || cur_.text != sym) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%s' at %zu, got '%s'", sym.c_str(), cur_.pos,
+                    cur_.text.c_str()));
+    }
+    return Advance();
+  }
+
+  Status ParseFromList() {
+    while (true) {
+      if (cur_.kind != TokKind::kIdent) {
+        return Status::InvalidArgument(
+            StrFormat("expected table name at %zu", cur_.pos));
+      }
+      const int table_id = db_.TableIndex(cur_.text);
+      if (table_id < 0) {
+        return Status::NotFound("unknown table: " + cur_.text);
+      }
+      RelationRef ref;
+      ref.table_id = table_id;
+      ref.alias = cur_.text;
+      QPS_RETURN_IF_ERROR(Advance());
+      // Optional alias (identifier that is not WHERE).
+      if (cur_.kind == TokKind::kIdent && cur_.text != "where") {
+        ref.alias = cur_.text;
+        QPS_RETURN_IF_ERROR(Advance());
+      }
+      for (const auto& existing : query_.relations) {
+        if (existing.alias == ref.alias) {
+          return Status::AlreadyExists("duplicate alias: " + ref.alias);
+        }
+      }
+      query_.relations.push_back(ref);
+      if (cur_.kind == TokKind::kSymbol && cur_.text == ",") {
+        QPS_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseConjunction() {
+    while (true) {
+      QPS_RETURN_IF_ERROR(ParsePredicate());
+      if (cur_.kind == TokKind::kIdent && cur_.text == "and") {
+        QPS_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  StatusOr<ColumnRef> ParseColumnRef() {
+    if (cur_.kind != TokKind::kIdent) {
+      return Status::InvalidArgument(StrFormat("expected column ref at %zu", cur_.pos));
+    }
+    const std::string alias = cur_.text;
+    QPS_RETURN_IF_ERROR(Advance());
+    QPS_RETURN_IF_ERROR(ExpectSymbol("."));
+    if (cur_.kind != TokKind::kIdent) {
+      return Status::InvalidArgument(StrFormat("expected column name at %zu", cur_.pos));
+    }
+    const std::string col = cur_.text;
+    QPS_RETURN_IF_ERROR(Advance());
+    ColumnRef ref;
+    for (size_t i = 0; i < query_.relations.size(); ++i) {
+      if (query_.relations[i].alias == alias) {
+        ref.rel = static_cast<int>(i);
+        break;
+      }
+    }
+    if (ref.rel < 0) return Status::NotFound("unknown alias: " + alias);
+    const auto& table = db_.table(query_.relations[static_cast<size_t>(ref.rel)].table_id);
+    ref.column = table.ColumnIndex(col);
+    if (ref.column < 0) {
+      return Status::NotFound("unknown column: " + alias + "." + col);
+    }
+    return ref;
+  }
+
+  static std::optional<storage::CompareOp> ToCompareOp(const std::string& s) {
+    using storage::CompareOp;
+    if (s == "=") return CompareOp::kEq;
+    if (s == "<>" || s == "!=") return CompareOp::kNe;
+    if (s == "<") return CompareOp::kLt;
+    if (s == "<=") return CompareOp::kLe;
+    if (s == ">") return CompareOp::kGt;
+    if (s == ">=") return CompareOp::kGe;
+    return std::nullopt;
+  }
+
+  Status ParsePredicate() {
+    QPS_ASSIGN_OR_RETURN(ColumnRef lhs, ParseColumnRef());
+    if (cur_.kind != TokKind::kSymbol) {
+      return Status::InvalidArgument(StrFormat("expected operator at %zu", cur_.pos));
+    }
+    const auto op = ToCompareOp(cur_.text);
+    if (!op.has_value()) {
+      return Status::InvalidArgument("unsupported operator: " + cur_.text);
+    }
+    QPS_RETURN_IF_ERROR(Advance());
+
+    if (cur_.kind == TokKind::kIdent) {
+      // Join predicate: alias.column = alias.column (equality only).
+      if (*op != storage::CompareOp::kEq) {
+        return Status::NotImplemented("non-equi joins are not supported");
+      }
+      QPS_ASSIGN_OR_RETURN(ColumnRef rhs, ParseColumnRef());
+      JoinPredicate jp;
+      jp.left_rel = lhs.rel;
+      jp.left_column = lhs.column;
+      jp.right_rel = rhs.rel;
+      jp.right_column = rhs.column;
+      jp.schema_edge = db_.FindJoinEdge(
+          query_.relations[static_cast<size_t>(lhs.rel)].table_id, lhs.column,
+          query_.relations[static_cast<size_t>(rhs.rel)].table_id, rhs.column);
+      query_.joins.push_back(jp);
+      return Status::OK();
+    }
+
+    FilterPredicate fp;
+    fp.rel = lhs.rel;
+    fp.column = lhs.column;
+    fp.op = *op;
+    const auto& table = db_.table(query_.relations[static_cast<size_t>(lhs.rel)].table_id);
+    const auto& column = table.column(lhs.column);
+    if (cur_.kind == TokKind::kNumber) {
+      if (column.type() == storage::DataType::kFloat64) {
+        fp.value = storage::Value::Float(std::stod(cur_.text));
+      } else {
+        fp.value = storage::Value::Int(std::stoll(cur_.text));
+      }
+    } else if (cur_.kind == TokKind::kString) {
+      if (column.type() != storage::DataType::kString) {
+        return Status::InvalidArgument("string literal on non-string column " +
+                                       column.name());
+      }
+      storage::Value v = storage::Value::Str(cur_.text);
+      v.i = column.LookupDictCode(cur_.text);  // -1 if absent: matches nothing on =
+      fp.value = v;
+    } else {
+      return Status::InvalidArgument(StrFormat("expected literal at %zu", cur_.pos));
+    }
+    QPS_RETURN_IF_ERROR(Advance());
+    query_.filters.push_back(fp);
+    return Status::OK();
+  }
+
+  Lexer lexer_;
+  const storage::Database& db_;
+  Token cur_;
+  Query query_;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseSql(const std::string& sql, const storage::Database& db) {
+  Parser parser(sql, db);
+  return parser.Parse();
+}
+
+}  // namespace query
+}  // namespace qps

@@ -1,0 +1,28 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// A parser for the SQL subset QPSeeker's workloads use (the same fragment
+// MSCN/JOB-light queries live in): conjunctive SELECT COUNT(*) queries with
+// equi-joins and constant comparisons.
+//
+//   SELECT COUNT(*) FROM title t, movie_info mi
+//   WHERE t.id = mi.movie_id AND t.production_year > 50 AND mi.info_hash = 3;
+
+#ifndef QPS_QUERY_PARSER_H_
+#define QPS_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace qps {
+namespace query {
+
+/// Parses `sql` against `db`'s catalog. Returns InvalidArgument with a
+/// position-annotated message on syntax or binding errors.
+StatusOr<Query> ParseSql(const std::string& sql, const storage::Database& db);
+
+}  // namespace query
+}  // namespace qps
+
+#endif  // QPS_QUERY_PARSER_H_

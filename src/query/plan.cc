@@ -1,0 +1,251 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "query/plan.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace query {
+
+bool IsScan(OpType op) {
+  return op == OpType::kSeqScan || op == OpType::kIndexScan ||
+         op == OpType::kBitmapIndexScan;
+}
+
+bool IsJoin(OpType op) { return !IsScan(op); }
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kSeqScan:
+      return "SeqScan";
+    case OpType::kIndexScan:
+      return "IndexScan";
+    case OpType::kBitmapIndexScan:
+      return "BitmapIndexScan";
+    case OpType::kHashJoin:
+      return "HashJoin";
+    case OpType::kMergeJoin:
+      return "MergeJoin";
+    case OpType::kNestedLoopJoin:
+      return "NestedLoop";
+  }
+  return "?";
+}
+
+const std::vector<OpType>& ScanOps() {
+  static const std::vector<OpType> kOps = {OpType::kSeqScan, OpType::kIndexScan,
+                                           OpType::kBitmapIndexScan};
+  return kOps;
+}
+
+const std::vector<OpType>& JoinOps() {
+  static const std::vector<OpType> kOps = {OpType::kHashJoin, OpType::kMergeJoin,
+                                           OpType::kNestedLoopJoin};
+  return kOps;
+}
+
+uint64_t PlanNode::RelMask() const {
+  if (is_leaf()) return rel >= 0 ? (uint64_t{1} << rel) : 0;
+  uint64_t mask = 0;
+  if (left) mask |= left->RelMask();
+  if (right) mask |= right->RelMask();
+  return mask;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  node->rel = rel;
+  node->join_preds = join_preds;
+  node->estimated = estimated;
+  node->actual = actual;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+void PlanNode::PostOrder(const std::function<void(const PlanNode&)>& fn) const {
+  if (left) left->PostOrder(fn);
+  if (right) right->PostOrder(fn);
+  fn(*this);
+}
+
+void PlanNode::PostOrderMutable(const std::function<void(PlanNode&)>& fn) {
+  if (left) left->PostOrderMutable(fn);
+  if (right) right->PostOrderMutable(fn);
+  fn(*this);
+}
+
+int PlanNode::NumNodes() const {
+  int n = 1;
+  if (left) n += left->NumNodes();
+  if (right) n += right->NumNodes();
+  return n;
+}
+
+namespace {
+
+void RenderNode(const PlanNode& node, const storage::Database& db, const Query& q,
+                bool with_actual, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << "-> " << OpTypeName(node.op);
+  if (node.is_leaf() && node.rel >= 0) {
+    const auto& ref = q.relations[static_cast<size_t>(node.rel)];
+    *os << " on " << db.table(ref.table_id).name() << " " << ref.alias;
+  }
+  *os << StrFormat("  (rows=%.0f cost=%.1f time=%.2fms)", node.estimated.cardinality,
+                   node.estimated.cost, node.estimated.runtime_ms);
+  if (with_actual) {
+    *os << StrFormat("  [actual rows=%.0f cost=%.1f time=%.2fms]",
+                     node.actual.cardinality, node.actual.cost, node.actual.runtime_ms);
+  }
+  *os << "\n";
+  if (node.left) RenderNode(*node.left, db, q, with_actual, depth + 1, os);
+  if (node.right) RenderNode(*node.right, db, q, with_actual, depth + 1, os);
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(const storage::Database& db, const Query& q,
+                               bool with_actual) const {
+  std::ostringstream os;
+  RenderNode(*this, db, q, with_actual, 0, &os);
+  return os.str();
+}
+
+PlanPtr BuildLeftDeepPlan(const Query& q, const std::vector<int>& order,
+                          const std::vector<OpType>& scan_ops,
+                          const std::vector<OpType>& join_ops) {
+  QPS_CHECK(order.size() == scan_ops.size());
+  QPS_CHECK(order.empty() || join_ops.size() == order.size() - 1);
+  if (order.empty()) return nullptr;
+
+  auto make_scan = [&](size_t i) {
+    auto leaf = std::make_unique<PlanNode>();
+    leaf->op = scan_ops[i];
+    leaf->rel = order[i];
+    return leaf;
+  };
+
+  PlanPtr cur = make_scan(0);
+  uint64_t mask = uint64_t{1} << order[0];
+  for (size_t i = 1; i < order.size(); ++i) {
+    auto join = std::make_unique<PlanNode>();
+    join->op = join_ops[i - 1];
+    // Attach every join predicate connecting the accumulated left side to
+    // the newly added relation.
+    for (size_t p = 0; p < q.joins.size(); ++p) {
+      const auto& jp = q.joins[p];
+      const bool connects =
+          ((mask >> jp.left_rel) & 1 && jp.right_rel == order[i]) ||
+          ((mask >> jp.right_rel) & 1 && jp.left_rel == order[i]);
+      if (connects) join->join_preds.push_back(static_cast<int>(p));
+    }
+    if (join->join_preds.empty()) return nullptr;  // would be a cross product
+    join->left = std::move(cur);
+    join->right = make_scan(i);
+    cur = std::move(join);
+    mask |= uint64_t{1} << order[i];
+  }
+  return cur;
+}
+
+PlanPtr BuildRandomBushyPlan(const Query& q, Rng* rng) {
+  const int n = q.num_relations();
+  if (n == 0) return nullptr;
+  struct Component {
+    PlanPtr plan;
+    uint64_t mask;
+  };
+  std::vector<Component> components;
+  const auto& scan_ops = ScanOps();
+  const auto& join_ops = JoinOps();
+  for (int r = 0; r < n; ++r) {
+    auto leaf = std::make_unique<PlanNode>();
+    leaf->op = scan_ops[rng->UniformInt(scan_ops.size())];
+    leaf->rel = r;
+    components.push_back(Component{std::move(leaf), uint64_t{1} << r});
+  }
+  while (components.size() > 1) {
+    // All component pairs connected by at least one join predicate.
+    std::vector<std::pair<size_t, size_t>> joinable;
+    for (size_t i = 0; i < components.size(); ++i) {
+      for (size_t j = i + 1; j < components.size(); ++j) {
+        for (const auto& jp : q.joins) {
+          const bool crosses =
+              (((components[i].mask >> jp.left_rel) & 1) &&
+               ((components[j].mask >> jp.right_rel) & 1)) ||
+              (((components[i].mask >> jp.right_rel) & 1) &&
+               ((components[j].mask >> jp.left_rel) & 1));
+          if (crosses) {
+            joinable.emplace_back(i, j);
+            break;
+          }
+        }
+      }
+    }
+    if (joinable.empty()) return nullptr;  // disconnected query
+    auto [a, b] = joinable[rng->UniformInt(joinable.size())];
+    auto join = std::make_unique<PlanNode>();
+    join->op = join_ops[rng->UniformInt(join_ops.size())];
+    for (size_t p = 0; p < q.joins.size(); ++p) {
+      const auto& jp = q.joins[p];
+      const bool crosses = (((components[a].mask >> jp.left_rel) & 1) &&
+                            ((components[b].mask >> jp.right_rel) & 1)) ||
+                           (((components[a].mask >> jp.right_rel) & 1) &&
+                            ((components[b].mask >> jp.left_rel) & 1));
+      if (crosses) join->join_preds.push_back(static_cast<int>(p));
+    }
+    join->left = std::move(components[a].plan);
+    join->right = std::move(components[b].plan);
+    components[a].plan = std::move(join);
+    components[a].mask |= components[b].mask;
+    components.erase(components.begin() + static_cast<ptrdiff_t>(b));
+  }
+  return std::move(components[0].plan);
+}
+
+namespace {
+
+void ExtendOrders(const Query& q, const std::vector<std::vector<int>>& adj,
+                  std::vector<int>* order, uint64_t mask, size_t limit,
+                  std::vector<std::vector<int>>* out) {
+  if (out->size() >= limit) return;
+  const int n = q.num_relations();
+  if (static_cast<int>(order->size()) == n) {
+    out->push_back(*order);
+    return;
+  }
+  for (int r = 0; r < n; ++r) {
+    if ((mask >> r) & 1) continue;
+    // The next relation must connect to the current prefix (no x-products),
+    // unless the query has no joins at all.
+    bool connected = q.joins.empty();
+    for (int nb : adj[static_cast<size_t>(r)]) {
+      if ((mask >> nb) & 1) {
+        connected = true;
+        break;
+      }
+    }
+    if (!connected && !order->empty()) continue;
+    order->push_back(r);
+    ExtendOrders(q, adj, order, mask | (uint64_t{1} << r), limit, out);
+    order->pop_back();
+    if (out->size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> EnumerateJoinOrders(const Query& q, size_t limit) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> order;
+  ExtendOrders(q, q.JoinAdjacency(), &order, 0, limit, &out);
+  return out;
+}
+
+}  // namespace query
+}  // namespace qps

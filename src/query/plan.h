@@ -1,0 +1,109 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Physical execution plans: binary trees whose leaves are scans over the
+// query's relations and whose internal nodes are joins (paper §3.1). Plans
+// carry both estimated statistics (from an optimizer or learned model) and
+// true statistics (from the executor) for each node — a node's triple
+// (cardinality, cost, runtime) is exactly what QPSeeker learns to predict.
+
+#ifndef QPS_QUERY_PLAN_H_
+#define QPS_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace query {
+
+/// Physical operators (PostgreSQL's core set, as sampled in paper §5.1).
+enum class OpType {
+  kSeqScan,
+  kIndexScan,
+  kBitmapIndexScan,
+  kHashJoin,
+  kMergeJoin,
+  kNestedLoopJoin,
+};
+
+constexpr int kNumOpTypes = 6;
+
+bool IsScan(OpType op);
+bool IsJoin(OpType op);
+const char* OpTypeName(OpType op);
+
+/// All scan / join operator alternatives (used by plan samplers).
+const std::vector<OpType>& ScanOps();
+const std::vector<OpType>& JoinOps();
+
+/// Per-node statistics triple. Costs are in abstract cost units, runtimes
+/// in milliseconds, cardinalities in rows.
+struct NodeStats {
+  double cardinality = 0.0;
+  double cost = 0.0;
+  double runtime_ms = 0.0;
+};
+
+/// A node of a physical plan tree.
+struct PlanNode {
+  OpType op = OpType::kSeqScan;
+  int rel = -1;                  ///< scans: relation index in the query
+  std::vector<int> join_preds;   ///< joins: indexes into Query::joins
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  NodeStats estimated;  ///< optimizer / learned-model estimates
+  NodeStats actual;     ///< ground truth from the executor
+
+  /// Bitmask of relation indices covered by this subtree.
+  uint64_t RelMask() const;
+
+  bool is_leaf() const { return left == nullptr && right == nullptr; }
+
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Post-order traversal (children before parents), the order in which the
+  /// plan encoder and executor process nodes.
+  void PostOrder(const std::function<void(const PlanNode&)>& fn) const;
+  void PostOrderMutable(const std::function<void(PlanNode&)>& fn);
+
+  /// Number of nodes in the subtree.
+  int NumNodes() const;
+
+  /// EXPLAIN-style indented rendering.
+  std::string ToString(const storage::Database& db, const Query& q,
+                       bool with_actual = false) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Builds a left-deep plan from a join order (relation indices) plus an
+/// operator choice per position: scan_ops[i] for relation order[i], and
+/// join_ops[i-1] for the join adding order[i] (i >= 1). Join predicates are
+/// resolved automatically: every query join with one side already in the
+/// left subtree and the other equal to the added relation is attached.
+/// Returns nullptr if some join step has no connecting predicate (would be
+/// a cross product).
+PlanPtr BuildLeftDeepPlan(const Query& q, const std::vector<int>& order,
+                          const std::vector<OpType>& scan_ops,
+                          const std::vector<OpType>& join_ops);
+
+/// Builds a uniformly random *bushy* plan by repeatedly joining two
+/// connected components with random operators (extension beyond the
+/// paper's left-deep sampling; the executor runs arbitrary shapes).
+/// Returns nullptr for disconnected queries.
+PlanPtr BuildRandomBushyPlan(const Query& q, Rng* rng);
+
+/// Enumerates all connected left-deep join orders (permutations where each
+/// prefix is connected in the join graph). Caps output at `limit` orders.
+std::vector<std::vector<int>> EnumerateJoinOrders(const Query& q, size_t limit);
+
+}  // namespace query
+}  // namespace qps
+
+#endif  // QPS_QUERY_PLAN_H_

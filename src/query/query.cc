@@ -1,0 +1,80 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "query/query.h"
+
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace query {
+
+std::vector<FilterPredicate> Query::FiltersFor(int rel) const {
+  std::vector<FilterPredicate> out;
+  for (const auto& f : filters) {
+    if (f.rel == rel) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> Query::JoinAdjacency() const {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_relations()));
+  for (const auto& j : joins) {
+    adj[static_cast<size_t>(j.left_rel)].push_back(j.right_rel);
+    adj[static_cast<size_t>(j.right_rel)].push_back(j.left_rel);
+  }
+  return adj;
+}
+
+bool Query::IsConnected() const {
+  const int n = num_relations();
+  if (n <= 1) return true;
+  auto adj = JoinAdjacency();
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    for (int next : adj[static_cast<size_t>(cur)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        ++count;
+        stack.push_back(next);
+      }
+    }
+  }
+  return count == n;
+}
+
+std::string Query::ToSql(const storage::Database& db) const {
+  std::vector<std::string> from;
+  for (const auto& r : relations) {
+    from.push_back(db.table(r.table_id).name() + " " + r.alias);
+  }
+  std::vector<std::string> where;
+  for (const auto& j : joins) {
+    const auto& lt = db.table(relations[static_cast<size_t>(j.left_rel)].table_id);
+    const auto& rt = db.table(relations[static_cast<size_t>(j.right_rel)].table_id);
+    where.push_back(StrFormat(
+        "%s.%s = %s.%s", relations[static_cast<size_t>(j.left_rel)].alias.c_str(),
+        lt.column(j.left_column).name().c_str(),
+        relations[static_cast<size_t>(j.right_rel)].alias.c_str(),
+        rt.column(j.right_column).name().c_str()));
+  }
+  for (const auto& f : filters) {
+    const auto& t = db.table(relations[static_cast<size_t>(f.rel)].table_id);
+    where.push_back(StrFormat("%s.%s %s %s",
+                              relations[static_cast<size_t>(f.rel)].alias.c_str(),
+                              t.column(f.column).name().c_str(),
+                              storage::CompareOpSymbol(f.op),
+                              f.value.ToString().c_str()));
+  }
+  std::string sql = "SELECT COUNT(*) FROM " + StrJoin(from, ", ");
+  if (!where.empty()) sql += " WHERE " + StrJoin(where, " AND ");
+  return sql + ";";
+}
+
+}  // namespace query
+}  // namespace qps

@@ -1,0 +1,69 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Query intermediate representation. A query is the triple the paper (and
+// MSCN) extracts: the set of relations T_q, the set of equi-joins J_q, and
+// the set of filter predicates P_q. Relation *instances* are used so the
+// same table may appear twice (JOB-style self-joins via aliases).
+
+#ifndef QPS_QUERY_QUERY_H_
+#define QPS_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace qps {
+namespace query {
+
+/// A base-table occurrence in the FROM list.
+struct RelationRef {
+  int table_id = -1;   ///< index into the database catalog
+  std::string alias;   ///< unique within the query
+};
+
+/// rel[left_rel].left_column = rel[right_rel].right_column
+struct JoinPredicate {
+  int left_rel = -1;    ///< index into Query::relations
+  int left_column = -1;
+  int right_rel = -1;
+  int right_column = -1;
+  int schema_edge = -1;  ///< id in Database::join_edges(), or -1 if ad hoc
+};
+
+/// rel[rel].column op value
+struct FilterPredicate {
+  int rel = -1;
+  int column = -1;
+  storage::CompareOp op = storage::CompareOp::kEq;
+  storage::Value value;
+};
+
+/// A (conjunctive, equi-join) query over a database.
+struct Query {
+  std::vector<RelationRef> relations;
+  std::vector<JoinPredicate> joins;
+  std::vector<FilterPredicate> filters;
+  std::string template_id;  ///< workload bookkeeping (e.g. JOB template)
+
+  int num_relations() const { return static_cast<int>(relations.size()); }
+
+  /// Filters attached to one relation instance.
+  std::vector<FilterPredicate> FiltersFor(int rel) const;
+
+  /// Adjacency of the join graph over relation indices.
+  std::vector<std::vector<int>> JoinAdjacency() const;
+
+  /// True if the join graph connects all relations (no cross products).
+  bool IsConnected() const;
+
+  /// SQL-ish rendering for logs and docs.
+  std::string ToSql(const storage::Database& db) const;
+};
+
+}  // namespace query
+}  // namespace qps
+
+#endif  // QPS_QUERY_QUERY_H_

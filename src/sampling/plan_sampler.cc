@@ -1,0 +1,117 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "sampling/plan_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qps {
+namespace sampling {
+
+using query::OpType;
+using query::PlanPtr;
+using query::Query;
+
+PlanSampler::PlanSampler(const storage::Database& db,
+                         const optimizer::CardinalityEstimator& cards,
+                         SamplerOptions opts)
+    : db_(db), cards_(cards), opts_(opts) {}
+
+double PlanSampler::UserDefinedPlanCost(const Query& q, query::PlanNode* plan) const {
+  cards_.EstimatePlanCardinalities(q, plan);
+  plan->PostOrderMutable([&](query::PlanNode& node) {
+    const double lr = node.left ? node.left->estimated.cardinality : 0.0;
+    const double rr = node.right ? node.right->estimated.cardinality : 0.0;
+    double cost =
+        exec::UserDefinedNodeCost(db_, q, node, lr, rr, node.estimated.cardinality);
+    if (node.left) cost += node.left->estimated.cost;
+    if (node.right) cost += node.right->estimated.cost;
+    node.estimated.cost = cost;
+  });
+  return plan->estimated.cost;
+}
+
+std::vector<PlanPtr> PlanSampler::SamplePlans(const Query& q, Rng* rng) const {
+  std::vector<PlanPtr> candidates;
+  const auto orders = query::EnumerateJoinOrders(q, opts_.max_join_orders);
+  const auto& scan_ops = query::ScanOps();
+  const auto& join_ops = query::JoinOps();
+  for (const auto& order : orders) {
+    for (size_t c = 0; c < opts_.candidates_per_order; ++c) {
+      std::vector<OpType> scans, joins;
+      for (size_t i = 0; i < order.size(); ++i) {
+        scans.push_back(scan_ops[rng->UniformInt(scan_ops.size())]);
+        if (i > 0) joins.push_back(join_ops[rng->UniformInt(join_ops.size())]);
+      }
+      PlanPtr plan = BuildLeftDeepPlan(q, order, scans, joins);
+      if (plan == nullptr) continue;
+      UserDefinedPlanCost(q, plan.get());
+      candidates.push_back(std::move(plan));
+    }
+  }
+  if (opts_.bushy_fraction > 0.0) {
+    const size_t extra = static_cast<size_t>(
+        opts_.bushy_fraction * static_cast<double>(candidates.size()));
+    for (size_t i = 0; i < extra; ++i) {
+      PlanPtr plan = BuildRandomBushyPlan(q, rng);
+      if (plan == nullptr) continue;
+      UserDefinedPlanCost(q, plan.get());
+      candidates.push_back(std::move(plan));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PlanPtr& a, const PlanPtr& b) {
+              return a->estimated.cost < b->estimated.cost;
+            });
+  size_t keep = static_cast<size_t>(
+      std::ceil(opts_.keep_fraction * static_cast<double>(candidates.size())));
+  keep = std::clamp(keep, std::min(opts_.min_plans_per_query, candidates.size()),
+                    std::min(opts_.max_plans_per_query, candidates.size()));
+  candidates.resize(keep);
+  return candidates;
+}
+
+StatusOr<QepDataset> BuildQepDataset(const storage::Database& db,
+                                     const stats::DatabaseStats& stats,
+                                     std::vector<query::Query> queries,
+                                     const DatasetOptions& options, Rng* rng) {
+  QepDataset dataset;
+  dataset.queries = std::move(queries);
+  optimizer::Planner planner(db, stats);
+  PlanSampler sampler(db, planner.cards(), options.sampler);
+  exec::Executor executor(db, options.exec);
+
+  for (size_t qi = 0; qi < dataset.queries.size(); ++qi) {
+    const Query& q = dataset.queries[qi];
+    std::vector<PlanPtr> plans;
+    if (options.source == PlanSource::kOptimizer) {
+      auto plan = planner.Plan(q);
+      if (!plan.ok()) return plan.status();
+      plans.push_back(std::move(plan).value());
+    } else {
+      plans = sampler.SamplePlans(q, rng);
+      if (plans.empty()) {
+        return Status::Internal("no plans sampled for query " + std::to_string(qi));
+      }
+    }
+    for (auto& plan : plans) {
+      auto card = executor.Execute(q, plan.get());
+      if (!card.ok()) {
+        if (card.status().IsResourceExhausted() && options.drop_aborted) {
+          ++dataset.aborted;
+          continue;
+        }
+        return card.status();
+      }
+      Qep qep;
+      qep.query_id = static_cast<int>(qi);
+      qep.plan = std::move(plan);
+      dataset.qeps.push_back(std::move(qep));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace sampling
+}  // namespace qps

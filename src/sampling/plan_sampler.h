@@ -1,0 +1,91 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Training-set generation by sampling the query plan space (paper §5.1):
+// enumerate join orderings from the query graph, build left-deep trees,
+// draw random physical operators per node, score every candidate with the
+// user-defined cost model, keep the cheapest 15%, and execute the keepers
+// to obtain ground-truth (cardinality, cost, runtime) labels per node.
+
+#ifndef QPS_SAMPLING_PLAN_SAMPLER_H_
+#define QPS_SAMPLING_PLAN_SAMPLER_H_
+
+#include <vector>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/planner.h"
+#include "query/plan.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace sampling {
+
+struct SamplerOptions {
+  size_t max_join_orders = 200;      ///< cap on enumerated orders
+  size_t candidates_per_order = 3;   ///< random operator draws per order
+  double keep_fraction = 0.15;       ///< paper: cheapest 15%
+  size_t max_plans_per_query = 40;   ///< hard cap on kept plans
+  size_t min_plans_per_query = 2;    ///< keep at least this many if available
+  /// Extension: fraction of candidates drawn as random bushy trees instead
+  /// of left-deep (0 reproduces the paper exactly).
+  double bushy_fraction = 0.0;
+};
+
+/// Samples candidate plans for one query. Plans come back with
+/// estimated.cardinality (statistics-based) and estimated.cost (the §5.1
+/// user-defined model) filled, sorted cheapest-first.
+class PlanSampler {
+ public:
+  PlanSampler(const storage::Database& db, const optimizer::CardinalityEstimator& cards,
+              SamplerOptions opts = {});
+
+  std::vector<query::PlanPtr> SamplePlans(const query::Query& q, Rng* rng) const;
+
+  /// Scores a plan with the user-defined cost model over estimated
+  /// cardinalities (fills plan->estimated).
+  double UserDefinedPlanCost(const query::Query& q, query::PlanNode* plan) const;
+
+ private:
+  const storage::Database& db_;
+  const optimizer::CardinalityEstimator& cards_;
+  SamplerOptions opts_;
+};
+
+/// One labeled query-execution-plan pair (paper: "QEP").
+struct Qep {
+  int query_id = -1;      ///< index into the workload's query list
+  query::PlanPtr plan;    ///< actual.* filled on every node
+};
+
+/// How training plans are produced for a workload (paper §3.1).
+enum class PlanSource {
+  kOptimizer,  ///< one plan per query: the baseline optimizer's choice
+  kSampled,    ///< many plans per query via PlanSampler
+};
+
+struct DatasetOptions {
+  PlanSource source = PlanSource::kOptimizer;
+  SamplerOptions sampler;
+  exec::ExecOptions exec;
+  /// Plans whose execution aborts (row limit / timeout) are dropped; the
+  /// count is reported here.
+  bool drop_aborted = true;
+};
+
+struct QepDataset {
+  std::vector<query::Query> queries;
+  std::vector<Qep> qeps;
+  int aborted = 0;  ///< plans dropped due to executor limits
+};
+
+/// Builds a labeled QEP dataset for a workload: plans per `options.source`,
+/// each executed for ground truth labels.
+StatusOr<QepDataset> BuildQepDataset(const storage::Database& db,
+                                     const stats::DatabaseStats& stats,
+                                     std::vector<query::Query> queries,
+                                     const DatasetOptions& options, Rng* rng);
+
+}  // namespace sampling
+}  // namespace qps
+
+#endif  // QPS_SAMPLING_PLAN_SAMPLER_H_

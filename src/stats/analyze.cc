@@ -1,0 +1,72 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "stats/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace qps {
+namespace stats {
+
+ColumnStats ComputeColumnStats(const storage::Column& column, int histogram_buckets,
+                               int mcv_count) {
+  ColumnStats cs;
+  cs.type = column.type();
+  cs.row_count = column.size();
+  if (cs.row_count == 0) return cs;
+
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(cs.row_count));
+  for (int64_t r = 0; r < cs.row_count; ++r) values.push_back(column.GetDouble(r));
+
+  double sum = 0.0, sum_sq = 0.0;
+  cs.min = values[0];
+  cs.max = values[0];
+  std::unordered_map<double, int64_t> freq;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+    cs.min = std::min(cs.min, v);
+    cs.max = std::max(cs.max, v);
+    ++freq[v];
+  }
+  const double n = static_cast<double>(cs.row_count);
+  cs.mean = sum / n;
+  cs.stddev = std::sqrt(std::max(0.0, sum_sq / n - cs.mean * cs.mean));
+  cs.distinct_count = static_cast<int64_t>(freq.size());
+
+  // MCVs: top-k by frequency.
+  std::vector<std::pair<double, int64_t>> pairs(freq.begin(), freq.end());
+  const size_t k = std::min<size_t>(static_cast<size_t>(mcv_count), pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<ptrdiff_t>(k), pairs.end(),
+                    [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (size_t i = 0; i < k; ++i) {
+    cs.mcv.values.push_back(pairs[i].first);
+    cs.mcv.fractions.push_back(static_cast<double>(pairs[i].second) / n);
+  }
+
+  cs.histogram = EquiDepthHistogram::Build(std::move(values), histogram_buckets);
+  return cs;
+}
+
+std::unique_ptr<DatabaseStats> DatabaseStats::Analyze(const storage::Database& db,
+                                                      int histogram_buckets,
+                                                      int mcv_count) {
+  auto stats = std::make_unique<DatabaseStats>();
+  stats->tables_.resize(static_cast<size_t>(db.num_tables()));
+  for (int t = 0; t < db.num_tables(); ++t) {
+    const storage::Table& table = db.table(t);
+    TableStats& ts = stats->tables_[static_cast<size_t>(t)];
+    ts.row_count = table.num_rows();
+    ts.columns.reserve(static_cast<size_t>(table.num_columns()));
+    for (int c = 0; c < table.num_columns(); ++c) {
+      ts.columns.push_back(
+          ComputeColumnStats(table.column(c), histogram_buckets, mcv_count));
+    }
+  }
+  return stats;
+}
+
+}  // namespace stats
+}  // namespace qps

@@ -1,0 +1,51 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// ANALYZE: computes per-table / per-column statistics for a database, the
+// equivalent of the paper's "we have updated the internal statistics using
+// the ANALYZE command" (§7.1.4).
+
+#ifndef QPS_STATS_ANALYZE_H_
+#define QPS_STATS_ANALYZE_H_
+
+#include <memory>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "storage/database.h"
+
+namespace qps {
+namespace stats {
+
+/// Statistics for one table.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Statistics for all tables in a database.
+class DatabaseStats {
+ public:
+  /// Scans every table; `histogram_buckets` and `mcv_count` mirror
+  /// PostgreSQL's default_statistics_target knobs.
+  static std::unique_ptr<DatabaseStats> Analyze(const storage::Database& db,
+                                                int histogram_buckets = 32,
+                                                int mcv_count = 8);
+
+  const TableStats& table(int idx) const { return tables_[static_cast<size_t>(idx)]; }
+  const ColumnStats& column(int table, int col) const {
+    return tables_[static_cast<size_t>(table)].columns[static_cast<size_t>(col)];
+  }
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+ private:
+  std::vector<TableStats> tables_;
+};
+
+/// Builds ColumnStats from raw values (exposed for tests and TabSketch).
+ColumnStats ComputeColumnStats(const storage::Column& column, int histogram_buckets,
+                               int mcv_count);
+
+}  // namespace stats
+}  // namespace qps
+
+#endif  // QPS_STATS_ANALYZE_H_

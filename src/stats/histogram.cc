@@ -1,0 +1,165 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qps {
+namespace stats {
+
+using storage::CompareOp;
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             int buckets) {
+  EquiDepthHistogram h;
+  h.row_count_ = static_cast<int64_t>(values.size());
+  if (values.empty() || buckets <= 0) return h;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  h.bounds_.reserve(static_cast<size_t>(buckets) + 1);
+  h.bounds_.push_back(values.front());
+  for (int b = 1; b < buckets; ++b) {
+    const size_t idx = std::min(n - 1, (n * static_cast<size_t>(b)) / static_cast<size_t>(buckets));
+    h.bounds_.push_back(values[idx]);
+  }
+  h.bounds_.push_back(values.back());
+  return h;
+}
+
+double EquiDepthHistogram::FractionBelow(double v) const {
+  if (empty()) return 0.5;
+  if (v <= bounds_.front()) return 0.0;
+  if (v > bounds_.back()) return 1.0;
+  const int nb = num_buckets();
+  const double per_bucket = 1.0 / static_cast<double>(nb);
+  double frac = 0.0;
+  for (int b = 0; b < nb; ++b) {
+    const double lo = bounds_[static_cast<size_t>(b)];
+    const double hi = bounds_[static_cast<size_t>(b) + 1];
+    if (v > hi) {
+      frac += per_bucket;
+      continue;
+    }
+    if (hi > lo) frac += per_bucket * (v - lo) / (hi - lo);
+    break;
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double EquiDepthHistogram::Selectivity(CompareOp op, double v) const {
+  if (empty()) return 0.33;
+  const double below = FractionBelow(v);
+  // Equality mass: approximate with local bucket density over one "value".
+  double eq = 0.0;
+  if (v >= bounds_.front() && v <= bounds_.back()) {
+    const int nb = num_buckets();
+    const double per_bucket = 1.0 / static_cast<double>(nb);
+    for (int b = 0; b < nb; ++b) {
+      const double lo = bounds_[static_cast<size_t>(b)];
+      const double hi = bounds_[static_cast<size_t>(b) + 1];
+      if (v >= lo && v <= hi) {
+        const double width = std::max(hi - lo, 1.0);
+        eq = std::max(eq, per_bucket / width);
+      }
+    }
+  }
+  eq = std::clamp(eq, 0.0, 1.0);
+  // `below` interpolates through the boundary value's own mass; splitting the
+  // estimated equality mass symmetrically keeps kLe + kGt == 1 and stays
+  // accurate for both continuous and discrete domains.
+  switch (op) {
+    case CompareOp::kEq:
+      return eq;
+    case CompareOp::kNe:
+      return std::clamp(1.0 - eq, 0.0, 1.0);
+    case CompareOp::kLt:
+      return std::clamp(below - eq / 2.0, 0.0, 1.0);
+    case CompareOp::kLe:
+      return std::clamp(below + eq / 2.0, 0.0, 1.0);
+    case CompareOp::kGt:
+      return std::clamp(1.0 - below - eq / 2.0, 0.0, 1.0);
+    case CompareOp::kGe:
+      return std::clamp(1.0 - below + eq / 2.0, 0.0, 1.0);
+  }
+  return 0.33;
+}
+
+double EquiDepthHistogram::ConditionalEntropy(CompareOp op, double v) const {
+  if (empty()) return 0.0;
+  const int nb = num_buckets();
+  std::vector<double> mass(static_cast<size_t>(nb), 0.0);
+  double total = 0.0;
+  for (int b = 0; b < nb; ++b) {
+    const double lo = bounds_[static_cast<size_t>(b)];
+    const double hi = bounds_[static_cast<size_t>(b) + 1];
+    double keep = 0.0;
+    switch (op) {
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        keep = v >= hi ? 1.0 : (v <= lo ? 0.0 : (v - lo) / std::max(hi - lo, 1e-12));
+        break;
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        keep = v <= lo ? 1.0 : (v >= hi ? 0.0 : (hi - v) / std::max(hi - lo, 1e-12));
+        break;
+      case CompareOp::kEq:
+        keep = (v >= lo && v <= hi) ? 1.0 : 0.0;
+        break;
+      case CompareOp::kNe:
+        keep = 1.0;
+        break;
+    }
+    mass[static_cast<size_t>(b)] = keep;
+    total += keep;
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double m : mass) {
+    if (m <= 0.0) continue;
+    const double p = m / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+std::string EquiDepthHistogram::DebugString() const {
+  std::ostringstream os;
+  os << "hist[" << num_buckets() << " buckets, " << row_count_ << " rows]";
+  return os.str();
+}
+
+double MostCommonValues::FractionFor(double v) const {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == v) return fractions[i];
+  }
+  return -1.0;
+}
+
+double MostCommonValues::TotalFraction() const {
+  double total = 0.0;
+  for (double f : fractions) total += f;
+  return total;
+}
+
+double ColumnStats::Selectivity(CompareOp op, double v) const {
+  if (row_count == 0) return 0.0;
+  if (op == CompareOp::kEq) {
+    const double mcv_frac = mcv.FractionFor(v);
+    if (mcv_frac >= 0.0) return mcv_frac;
+    // Non-MCV equality: remaining mass spread over remaining distinct values.
+    const double rest_mass = std::max(0.0, 1.0 - mcv.TotalFraction());
+    const double rest_distinct =
+        std::max(1.0, static_cast<double>(distinct_count) -
+                          static_cast<double>(mcv.values.size()));
+    return std::clamp(rest_mass / rest_distinct, 0.0, 1.0);
+  }
+  if (op == CompareOp::kNe) {
+    return std::clamp(1.0 - Selectivity(CompareOp::kEq, v), 0.0, 1.0);
+  }
+  return histogram.Selectivity(op, v);
+}
+
+}  // namespace stats
+}  // namespace qps

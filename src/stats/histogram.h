@@ -1,0 +1,86 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// ANALYZE-style statistics: equi-depth histograms, most-common values, and
+// distinct counts. These drive (a) the PostgreSQL-like baseline optimizer's
+// selectivity estimation and (b) the TabSketch data representations that
+// substitute for TaBERT.
+
+#ifndef QPS_STATS_HISTOGRAM_H_
+#define QPS_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace qps {
+namespace stats {
+
+/// Equi-depth histogram over a column's numeric representation.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from (a copy of) the values with `buckets` equal-count buckets.
+  static EquiDepthHistogram Build(std::vector<double> values, int buckets);
+
+  /// Fraction of rows satisfying (x op v), in [0, 1].
+  double Selectivity(storage::CompareOp op, double v) const;
+
+  /// Fraction of rows strictly below v.
+  double FractionBelow(double v) const;
+
+  double min() const { return bounds_.empty() ? 0.0 : bounds_.front(); }
+  double max() const { return bounds_.empty() ? 0.0 : bounds_.back(); }
+  int num_buckets() const { return static_cast<int>(bounds_.size()) - 1; }
+  int64_t row_count() const { return row_count_; }
+  bool empty() const { return bounds_.size() < 2; }
+
+  /// Bucket boundaries (num_buckets + 1 values). The *shape* of these
+  /// quantiles is the distribution fingerprint TabSketch embeds.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Shannon entropy (nats) of the bucket mass distribution after clipping
+  /// the histogram to rows satisfying (x op v); measures residual spread.
+  double ConditionalEntropy(storage::CompareOp op, double v) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<double> bounds_;  ///< quantile boundaries, size buckets+1
+  int64_t row_count_ = 0;
+};
+
+/// Most-common values with frequencies (fractions of the table).
+struct MostCommonValues {
+  std::vector<double> values;
+  std::vector<double> fractions;
+
+  /// Fraction for an exact value if tracked; -1 if not an MCV.
+  double FractionFor(double v) const;
+  /// Total mass covered by the MCV list.
+  double TotalFraction() const;
+};
+
+/// Per-column statistics produced by Analyze().
+struct ColumnStats {
+  storage::DataType type = storage::DataType::kInt64;
+  int64_t row_count = 0;
+  int64_t distinct_count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  EquiDepthHistogram histogram;
+  MostCommonValues mcv;
+
+  /// Estimated selectivity of (col op v) combining MCVs and the histogram —
+  /// the same approach PostgreSQL's eqsel/scalarltsel take.
+  double Selectivity(storage::CompareOp op, double v) const;
+};
+
+}  // namespace stats
+}  // namespace qps
+
+#endif  // QPS_STATS_HISTOGRAM_H_

@@ -1,0 +1,206 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "storage/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace storage {
+
+namespace {
+
+std::string QuoteCsv(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honoring quoted fields.
+StatusOr<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote: " + line);
+  fields.push_back(cur);
+  return fields;
+}
+
+std::string HeaderField(const Table& table, int c) {
+  std::string field = table.column(c).name();
+  field += ":";
+  field += DataTypeName(table.column(c).type());
+  const ColumnMeta& meta = table.column_meta(c);
+  if (meta.is_primary_key) {
+    field += ":pk";
+  } else if (!meta.ref_table.empty()) {
+    field += ":fk(" + meta.ref_table + "." + meta.ref_column + ")";
+  }
+  return field;
+}
+
+}  // namespace
+
+Status ExportTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::vector<std::string> header;
+  for (int c = 0; c < table.num_columns(); ++c) header.push_back(HeaderField(table, c));
+  out << StrJoin(header, ",") << "\n";
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> fields;
+    for (int c = 0; c < table.num_columns(); ++c) {
+      const Column& col = table.column(c);
+      switch (col.type()) {
+        case DataType::kInt64:
+          fields.push_back(std::to_string(col.GetInt(r)));
+          break;
+        case DataType::kFloat64:
+          fields.push_back(StrFormat("%.17g", col.GetDouble(r)));
+          break;
+        case DataType::kString:
+          fields.push_back(
+              QuoteCsv(col.dictionary()[static_cast<size_t>(col.GetInt(r))]));
+          break;
+      }
+    }
+    out << StrJoin(fields, ",") << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Table>> ImportTableCsv(const std::string& table_name,
+                                                const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::InvalidArgument("empty file: " + path);
+
+  auto table = std::make_unique<Table>(table_name);
+  QPS_ASSIGN_OR_RETURN(auto header, SplitCsvLine(line));
+  std::vector<DataType> types;
+  for (const std::string& field : header) {
+    auto parts = StrSplit(field, ':');
+    if (parts.size() < 2) {
+      return Status::InvalidArgument("bad header field: " + field);
+    }
+    DataType type;
+    if (parts[1] == "int64") {
+      type = DataType::kInt64;
+    } else if (parts[1] == "float64") {
+      type = DataType::kFloat64;
+    } else if (parts[1] == "string") {
+      type = DataType::kString;
+    } else {
+      return Status::InvalidArgument("unknown type: " + parts[1]);
+    }
+    ColumnMeta meta;
+    if (parts.size() >= 3) {
+      if (parts[2] == "pk") {
+        meta.is_primary_key = true;
+      } else if (StartsWith(parts[2], "fk(")) {
+        // fk(table.column) — note ':' already split; reassemble remainder.
+        std::string ref = field.substr(field.find("fk(") + 3);
+        if (ref.empty() || ref.back() != ')') {
+          return Status::InvalidArgument("bad fk annotation: " + field);
+        }
+        ref.pop_back();
+        const size_t dot = ref.find('.');
+        if (dot == std::string::npos) {
+          return Status::InvalidArgument("bad fk target: " + field);
+        }
+        meta.ref_table = ref.substr(0, dot);
+        meta.ref_column = ref.substr(dot + 1);
+      }
+    }
+    table->AddColumn(parts[0], type, meta);
+    types.push_back(type);
+  }
+
+  // Parse rows; string values buffered until the dictionary is known.
+  std::vector<std::vector<std::string>> string_values(types.size());
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StrTrim(line).empty()) continue;
+    QPS_ASSIGN_OR_RETURN(auto fields, SplitCsvLine(line));
+    if (fields.size() != types.size()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected %zu fields, got %zu", path.c_str(), line_no,
+                    types.size(), fields.size()));
+    }
+    for (size_t c = 0; c < types.size(); ++c) {
+      Column* col = table->mutable_column(static_cast<int>(c));
+      switch (types[c]) {
+        case DataType::kInt64:
+          try {
+            col->AppendInt(std::stoll(fields[c]));
+          } catch (...) {
+            return Status::InvalidArgument(
+                StrFormat("%s:%d: bad int '%s'", path.c_str(), line_no,
+                          fields[c].c_str()));
+          }
+          break;
+        case DataType::kFloat64:
+          try {
+            col->AppendDouble(std::stod(fields[c]));
+          } catch (...) {
+            return Status::InvalidArgument(
+                StrFormat("%s:%d: bad float '%s'", path.c_str(), line_no,
+                          fields[c].c_str()));
+          }
+          break;
+        case DataType::kString:
+          string_values[c].push_back(fields[c]);
+          break;
+      }
+    }
+  }
+
+  // Dictionary-encode string columns with sorted dictionaries.
+  for (size_t c = 0; c < types.size(); ++c) {
+    if (types[c] != DataType::kString) continue;
+    std::vector<std::string> dict = string_values[c];
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+    Column* col = table->mutable_column(static_cast<int>(c));
+    col->SetDictionary(dict);
+    for (const std::string& v : string_values[c]) {
+      col->AppendInt(col->LookupDictCode(v));
+    }
+  }
+  return table;
+}
+
+}  // namespace storage
+}  // namespace qps

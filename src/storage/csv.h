@@ -1,0 +1,33 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// CSV import/export so users can run QPSeeker over their own data instead
+// of the synthetic generators. Exported files round-trip exactly.
+//
+// Format: first line is a header of `name:type[:pk|:fk(table.column)]`
+// fields; values are comma-separated, strings quoted with doubled quotes.
+
+#ifndef QPS_STORAGE_CSV_H_
+#define QPS_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace qps {
+namespace storage {
+
+/// Writes `table` (data + schema header) to `path`.
+Status ExportTableCsv(const Table& table, const std::string& path);
+
+/// Reads a table written by ExportTableCsv (or hand-authored in the same
+/// format). String columns are dictionary-encoded on load with a sorted
+/// dictionary, exactly like generated tables.
+StatusOr<std::unique_ptr<Table>> ImportTableCsv(const std::string& table_name,
+                                                const std::string& path);
+
+}  // namespace storage
+}  // namespace qps
+
+#endif  // QPS_STORAGE_CSV_H_

@@ -1,0 +1,66 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "storage/database.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace storage {
+
+std::string JoinEdge::DebugString(const Database& db) const {
+  return StrFormat("%s.%s = %s.%s", db.table(left_table).name().c_str(),
+                   db.table(left_table).column(left_column).name().c_str(),
+                   db.table(right_table).name().c_str(),
+                   db.table(right_table).column(right_column).name().c_str());
+}
+
+int Database::AddTable(std::unique_ptr<Table> table) {
+  tables_.push_back(std::move(table));
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+int Database::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Database::BuildJoinGraph() {
+  join_edges_.clear();
+  for (int t = 0; t < num_tables(); ++t) {
+    const Table& tab = table(t);
+    for (int c = 0; c < tab.num_columns(); ++c) {
+      const ColumnMeta& meta = tab.column_meta(c);
+      if (meta.ref_table.empty()) continue;
+      const int rt = TableIndex(meta.ref_table);
+      QPS_CHECK(rt >= 0) << "FK references unknown table " << meta.ref_table;
+      const int rc = table(rt).ColumnIndex(meta.ref_column);
+      QPS_CHECK(rc >= 0) << "FK references unknown column " << meta.ref_column;
+      join_edges_.push_back(JoinEdge{t, c, rt, rc});
+    }
+  }
+}
+
+int Database::FindJoinEdge(int ta, int ca, int tb, int cb) const {
+  for (size_t i = 0; i < join_edges_.size(); ++i) {
+    const JoinEdge& e = join_edges_[i];
+    if ((e.left_table == ta && e.left_column == ca && e.right_table == tb &&
+         e.right_column == cb) ||
+        (e.left_table == tb && e.left_column == cb && e.right_table == ta &&
+         e.right_column == ca)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+}  // namespace storage
+}  // namespace qps

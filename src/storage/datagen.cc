@@ -1,0 +1,136 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "storage/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace storage {
+
+namespace {
+
+/// Synthetic vocabulary: "v000", "v001", ... (sorted, so dictionary codes
+/// preserve lexicographic order).
+std::vector<std::string> MakeVocabulary(int64_t size) {
+  std::vector<std::string> vocab;
+  vocab.reserve(static_cast<size_t>(size));
+  for (int64_t i = 0; i < size; ++i) {
+    vocab.push_back(StrFormat("v%04d", static_cast<int>(i)));
+  }
+  return vocab;
+}
+
+Status FillColumn(const ColumnSpec& spec, int64_t rows, const Database& db,
+                  Table* table, Column* col, Rng* rng) {
+  switch (spec.gen) {
+    case GenKind::kPrimaryKey:
+      for (int64_t r = 0; r < rows; ++r) col->AppendInt(r);
+      return Status::OK();
+
+    case GenKind::kForeignKey: {
+      const int pt = db.TableIndex(spec.ref_table);
+      if (pt < 0) {
+        return Status::InvalidArgument("FK parent not built yet: " + spec.ref_table);
+      }
+      const int64_t parent_rows = db.table(pt).num_rows();
+      if (parent_rows <= 0) return Status::InvalidArgument("empty FK parent");
+      if (spec.fk_skew > 0.0) {
+        ZipfDistribution zipf(static_cast<uint64_t>(parent_rows), spec.fk_skew);
+        // Map hot ranks to pseudo-random parent ids so heat is not correlated
+        // with key order (mirrors real-world popularity).
+        for (int64_t r = 0; r < rows; ++r) {
+          const uint64_t rank = zipf.Sample(rng) - 1;
+          const int64_t parent =
+              static_cast<int64_t>((rank * 2654435761ULL) % static_cast<uint64_t>(parent_rows));
+          col->AppendInt(parent);
+        }
+      } else {
+        for (int64_t r = 0; r < rows; ++r) {
+          col->AppendInt(static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(parent_rows))));
+        }
+      }
+      return Status::OK();
+    }
+
+    case GenKind::kZipfInt: {
+      ZipfDistribution zipf(static_cast<uint64_t>(std::max<int64_t>(1, spec.domain)),
+                            spec.zipf_s);
+      for (int64_t r = 0; r < rows; ++r) {
+        col->AppendInt(static_cast<int64_t>(zipf.Sample(rng)) - 1);
+      }
+      return Status::OK();
+    }
+
+    case GenKind::kUniformInt:
+      for (int64_t r = 0; r < rows; ++r) {
+        col->AppendInt(static_cast<int64_t>(rng->UniformInt(
+            static_cast<uint64_t>(std::max<int64_t>(1, spec.domain)))));
+      }
+      return Status::OK();
+
+    case GenKind::kNormal:
+      for (int64_t r = 0; r < rows; ++r) {
+        col->AppendDouble(rng->Normal(spec.mean, spec.stddev));
+      }
+      return Status::OK();
+
+    case GenKind::kCategorical: {
+      const int64_t vocab_size = std::max<int64_t>(1, spec.domain);
+      col->SetDictionary(MakeVocabulary(vocab_size));
+      ZipfDistribution zipf(static_cast<uint64_t>(vocab_size), spec.zipf_s);
+      for (int64_t r = 0; r < rows; ++r) {
+        col->AppendInt(static_cast<int64_t>(zipf.Sample(rng)) - 1);
+      }
+      return Status::OK();
+    }
+
+    case GenKind::kCorrelated: {
+      const int src = table->ColumnIndex(spec.corr_source);
+      if (src < 0) {
+        return Status::InvalidArgument("correlation source not built yet: " +
+                                       spec.corr_source);
+      }
+      const Column& source = table->column(src);
+      ZipfDistribution noise(
+          static_cast<uint64_t>(std::max(2.0, spec.corr_noise)), 1.2);
+      for (int64_t r = 0; r < rows; ++r) {
+        const int64_t base = static_cast<int64_t>(std::llround(source.GetDouble(r) * 0.5));
+        col->AppendInt(base + static_cast<int64_t>(noise.Sample(rng)) - 1);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled GenKind");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Database>> BuildDatabase(const DatabaseSpec& spec,
+                                                  int64_t base_rows, Rng* rng) {
+  auto db = std::make_unique<Database>(spec.name);
+  for (const TableSpec& tspec : spec.tables) {
+    const int64_t rows = std::max<int64_t>(
+        2, static_cast<int64_t>(std::llround(tspec.rel_rows * static_cast<double>(base_rows))));
+    auto table = std::make_unique<Table>(tspec.name);
+    for (const ColumnSpec& cspec : tspec.columns) {
+      ColumnMeta meta;
+      meta.is_primary_key = cspec.gen == GenKind::kPrimaryKey;
+      if (cspec.gen == GenKind::kForeignKey) {
+        meta.ref_table = cspec.ref_table;
+        meta.ref_column = cspec.ref_column.empty() ? "id" : cspec.ref_column;
+      }
+      const int idx = table->AddColumn(cspec.name, cspec.type, meta);
+      QPS_RETURN_IF_ERROR(
+          FillColumn(cspec, rows, *db, table.get(), table->mutable_column(idx), rng));
+    }
+    db->AddTable(std::move(table));
+  }
+  db->BuildJoinGraph();
+  return db;
+}
+
+}  // namespace storage
+}  // namespace qps

@@ -1,0 +1,73 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Spec-driven synthetic database generation. The paper evaluates on IMDb
+// (7.2 GB) and StackExchange (100 GB); we cannot ship those, so we generate
+// structurally faithful stand-ins: same table/FK topology, skewed value
+// distributions (Zipf), cross-column correlation, and wide cardinality
+// ranges, which is what makes selectivity/join estimation hard.
+
+#ifndef QPS_STORAGE_DATAGEN_H_
+#define QPS_STORAGE_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qps {
+namespace storage {
+
+/// How a column's values are produced.
+enum class GenKind {
+  kPrimaryKey,   ///< 0..n-1
+  kForeignKey,   ///< parent keys sampled with Zipf skew (hot parents)
+  kZipfInt,      ///< Zipf rank over [0, domain)
+  kUniformInt,   ///< uniform over [0, domain)
+  kNormal,       ///< N(mean, stddev) doubles
+  kCategorical,  ///< dictionary-encoded string, Zipf over vocabulary
+  kCorrelated,   ///< round(source * 0.5) + Zipf noise; induces correlation
+};
+
+/// Column recipe.
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kInt64;
+  GenKind gen = GenKind::kUniformInt;
+
+  std::string ref_table;    // kForeignKey
+  std::string ref_column;   // kForeignKey (defaults to "id")
+  double fk_skew = 1.05;    // kForeignKey Zipf exponent; <=0 means uniform
+
+  int64_t domain = 100;     // kZipfInt / kUniformInt / kCategorical vocab size
+  double zipf_s = 1.1;      // kZipfInt / kCategorical skew
+  double mean = 0.0;        // kNormal
+  double stddev = 1.0;      // kNormal
+  std::string corr_source;  // kCorrelated: source column in the same table
+  double corr_noise = 4.0;  // kCorrelated: noise domain
+};
+
+/// Table recipe; rows = max(2, rel_rows * base_rows).
+struct TableSpec {
+  std::string name;
+  double rel_rows = 1.0;
+  std::vector<ColumnSpec> columns;
+};
+
+/// Whole-database recipe.
+struct DatabaseSpec {
+  std::string name;
+  std::vector<TableSpec> tables;
+};
+
+/// Materializes a database from a spec. Parent tables must precede children
+/// in the spec (FKs resolve against already-built tables).
+StatusOr<std::unique_ptr<Database>> BuildDatabase(const DatabaseSpec& spec,
+                                                  int64_t base_rows, Rng* rng);
+
+}  // namespace storage
+}  // namespace qps
+
+#endif  // QPS_STORAGE_DATAGEN_H_

@@ -1,0 +1,166 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "storage/schemas.h"
+
+namespace qps {
+namespace storage {
+
+namespace {
+
+ColumnSpec Pk() {
+  ColumnSpec c;
+  c.name = "id";
+  c.gen = GenKind::kPrimaryKey;
+  return c;
+}
+
+ColumnSpec Fk(const std::string& name, const std::string& parent, double skew = 1.05) {
+  ColumnSpec c;
+  c.name = name;
+  c.gen = GenKind::kForeignKey;
+  c.ref_table = parent;
+  c.ref_column = "id";
+  c.fk_skew = skew;
+  return c;
+}
+
+ColumnSpec Zipf(const std::string& name, int64_t domain, double s = 1.1) {
+  ColumnSpec c;
+  c.name = name;
+  c.gen = GenKind::kZipfInt;
+  c.domain = domain;
+  c.zipf_s = s;
+  return c;
+}
+
+ColumnSpec Uni(const std::string& name, int64_t domain) {
+  ColumnSpec c;
+  c.name = name;
+  c.gen = GenKind::kUniformInt;
+  c.domain = domain;
+  return c;
+}
+
+ColumnSpec Cat(const std::string& name, int64_t vocab, double s = 1.2) {
+  ColumnSpec c;
+  c.name = name;
+  c.type = DataType::kString;
+  c.gen = GenKind::kCategorical;
+  c.domain = vocab;
+  c.zipf_s = s;
+  return c;
+}
+
+ColumnSpec Corr(const std::string& name, const std::string& source, double noise = 6.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.gen = GenKind::kCorrelated;
+  c.corr_source = source;
+  c.corr_noise = noise;
+  return c;
+}
+
+TableSpec T(const std::string& name, double rel, std::vector<ColumnSpec> cols) {
+  TableSpec t;
+  t.name = name;
+  t.rel_rows = rel;
+  t.columns = std::move(cols);
+  return t;
+}
+
+}  // namespace
+
+DatabaseSpec ImdbLikeSpec() {
+  DatabaseSpec spec;
+  spec.name = "imdb";
+  // Dimension tables first (FK parents), fact tables after. Relative sizes
+  // roughly follow JOB's IMDb snapshot (title : cast_info ~ 1 : 14).
+  spec.tables = {
+      T("kind_type", 0.0004, {Pk(), Cat("kind", 7)}),
+      T("info_type", 0.004, {Pk(), Cat("info", 113)}),
+      T("company_type", 0.0002, {Pk(), Cat("kind", 4)}),
+      T("comp_cast_type", 0.0002, {Pk(), Cat("kind", 4)}),
+      T("link_type", 0.0006, {Pk(), Cat("link", 18)}),
+      T("role_type", 0.0005, {Pk(), Cat("role", 12)}),
+      T("company_name", 0.09, {Pk(), Cat("country_code", 130, 1.4), Zipf("name_hash", 5000)}),
+      T("keyword", 0.05, {Pk(), Zipf("keyword_hash", 20000, 0.9)}),
+      T("name", 1.6, {Pk(), Cat("gender", 3, 0.8), Zipf("name_pcode", 1000)}),
+      T("char_name", 1.2, {Pk(), Zipf("name_pcode", 1000)}),
+      T("title", 1.0,
+        {Pk(), Fk("kind_id", "kind_type", 1.3), Uni("production_year", 130),
+         Corr("phonetic_code", "production_year"), Zipf("season_nr", 40, 1.3)}),
+      T("aka_name", 0.35, {Pk(), Fk("person_id", "name")}),
+      T("aka_title", 0.15, {Pk(), Fk("movie_id", "title"), Uni("production_year", 130)}),
+      T("cast_info", 14.0,
+        {Pk(), Fk("movie_id", "title", 1.1), Fk("person_id", "name", 1.05),
+         Fk("person_role_id", "char_name", 1.05), Fk("role_id", "role_type", 1.2),
+         Zipf("nr_order", 80, 1.4)}),
+      T("complete_cast", 0.05,
+        {Pk(), Fk("movie_id", "title"), Fk("subject_id", "comp_cast_type", 1.0),
+         Fk("status_id", "comp_cast_type", 1.0)}),
+      T("movie_companies", 1.0,
+        {Pk(), Fk("movie_id", "title", 1.1), Fk("company_id", "company_name", 1.3),
+         Fk("company_type_id", "company_type", 1.1)}),
+      T("movie_info", 5.7,
+        {Pk(), Fk("movie_id", "title", 1.05), Fk("info_type_id", "info_type", 1.3),
+         Zipf("info_hash", 4000, 1.1)}),
+      T("movie_info_idx", 0.5,
+        {Pk(), Fk("movie_id", "title", 1.05), Fk("info_type_id", "info_type", 1.5),
+         Zipf("info_val", 100, 1.0)}),
+      T("movie_keyword", 1.8,
+        {Pk(), Fk("movie_id", "title", 1.15), Fk("keyword_id", "keyword", 1.2)}),
+      T("movie_link", 0.012,
+        {Pk(), Fk("movie_id", "title"), Fk("linked_movie_id", "title"),
+         Fk("link_type_id", "link_type", 1.0)}),
+      T("person_info", 1.1,
+        {Pk(), Fk("person_id", "name", 1.1), Fk("info_type_id", "info_type", 1.4)}),
+  };
+  return spec;
+}
+
+DatabaseSpec StackLikeSpec() {
+  DatabaseSpec spec;
+  spec.name = "stack";
+  spec.tables = {
+      T("site", 0.001, {Pk(), Cat("site_name", 170, 1.1)}),
+      T("account", 0.8, {Pk(), Zipf("website_hash", 2000, 1.0)}),
+      T("so_user", 1.0,
+        {Pk(), Fk("site_id", "site", 1.2), Fk("account_id", "account", 1.0),
+         Zipf("reputation", 10000, 1.5), Corr("upvotes", "reputation")}),
+      T("tag", 0.02, {Pk(), Fk("site_id", "site", 1.1), Zipf("name_hash", 5000, 0.9)}),
+      T("question", 2.0,
+        {Pk(), Fk("site_id", "site", 1.2), Fk("owner_user_id", "so_user", 1.3),
+         Zipf("score", 200, 1.6), Corr("view_count", "score", 20.0),
+         Uni("creation_year", 15)}),
+      T("answer", 3.0,
+        {Pk(), Fk("site_id", "site", 1.2), Fk("question_id", "question", 1.15),
+         Fk("owner_user_id", "so_user", 1.3), Zipf("score", 150, 1.7)}),
+      T("comment", 4.0,
+        {Pk(), Fk("site_id", "site", 1.2), Fk("post_id", "question", 1.2),
+         Fk("user_id", "so_user", 1.25), Zipf("score", 50, 1.8)}),
+      T("tag_question", 3.5,
+        {Pk(), Fk("site_id", "site", 1.2), Fk("tag_id", "tag", 1.3),
+         Fk("question_id", "question", 1.05)}),
+      T("badge", 1.5,
+        {Pk(), Fk("site_id", "site", 1.2), Fk("user_id", "so_user", 1.35),
+         Cat("name", 400, 1.3)}),
+      T("post_link", 0.15,
+        {Pk(), Fk("site_id", "site", 1.1), Fk("post_id_from", "question", 1.0),
+         Fk("post_id_to", "question", 1.2)}),
+  };
+  return spec;
+}
+
+DatabaseSpec ToySpec() {
+  DatabaseSpec spec;
+  spec.name = "toy";
+  spec.tables = {
+      T("a", 1.0, {Pk(), Zipf("a2", 20, 1.2)}),
+      T("b", 2.0, {Pk(), Fk("b1", "a", 1.1), Zipf("b3", 10, 1.0)}),
+      T("c", 1.5, {Pk(), Fk("c1", "b", 1.1), Uni("c2", 50)}),
+  };
+  return spec;
+}
+
+}  // namespace storage
+}  // namespace qps

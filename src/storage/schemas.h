@@ -1,0 +1,32 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Ready-made database specs used throughout the evaluation:
+//  - ImdbLikeSpec:  21 tables mirroring the IMDb schema of the Join Order
+//    Benchmark (title, cast_info, movie_info, ... with the real FK topology).
+//  - StackLikeSpec: 10 tables mirroring the StackExchange schema used by Bao.
+//  - ToySpec:       the 3-table a/b/c schema from the paper's running example
+//    (Figure 6): "select * from a, b, c where a.a1=b.b1 and b.b2=c.c1 ...".
+
+#ifndef QPS_STORAGE_SCHEMAS_H_
+#define QPS_STORAGE_SCHEMAS_H_
+
+#include "storage/datagen.h"
+
+namespace qps {
+namespace storage {
+
+/// IMDb-like schema (Join Order Benchmark topology). `base_rows` scales the
+/// anchor table `title`; other tables keep JOB-like relative sizes.
+DatabaseSpec ImdbLikeSpec();
+
+/// StackExchange-like schema (Bao's Stack benchmark topology).
+DatabaseSpec StackLikeSpec();
+
+/// The paper's running-example schema: tables a, b, c with a.a1=b.b1,
+/// b.b2=c.c1 joins and a filterable a.a2.
+DatabaseSpec ToySpec();
+
+}  // namespace storage
+}  // namespace qps
+
+#endif  // QPS_STORAGE_SCHEMAS_H_

@@ -1,0 +1,71 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "storage/value.h"
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace storage {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type) {
+    case DataType::kInt64:
+      return std::to_string(i);
+    case DataType::kFloat64:
+      return StrFormat("%g", d);
+    case DataType::kString:
+      return "'" + s + "'";
+  }
+  return "?";
+}
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareDoubles(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace storage
+}  // namespace qps

@@ -1,0 +1,73 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Scalar values and data types for the storage engine.
+
+#ifndef QPS_STORAGE_VALUE_H_
+#define QPS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qps {
+namespace storage {
+
+/// Column data types. Strings are dictionary-encoded with codes that
+/// preserve lexicographic order, so range predicates work uniformly.
+enum class DataType { kInt64, kFloat64, kString };
+
+const char* DataTypeName(DataType t);
+
+/// A typed scalar used in predicates and generated data.
+struct Value {
+  DataType type = DataType::kInt64;
+  int64_t i = 0;      ///< kInt64 payload, or dictionary code for kString
+  double d = 0.0;     ///< kFloat64 payload
+  std::string s;      ///< kString payload (source form)
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.type = DataType::kInt64;
+    out.i = v;
+    return out;
+  }
+  static Value Float(double v) {
+    Value out;
+    out.type = DataType::kFloat64;
+    out.d = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.type = DataType::kString;
+    out.s = std::move(v);
+    return out;
+  }
+
+  /// Numeric view used by statistics and comparisons (dict code for strings).
+  double AsDouble() const {
+    switch (type) {
+      case DataType::kInt64:
+        return static_cast<double>(i);
+      case DataType::kFloat64:
+        return d;
+      case DataType::kString:
+        return static_cast<double>(i);
+    }
+    return 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Comparison operators supported in predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// Applies `op` to numeric representations.
+bool CompareDoubles(double lhs, CompareOp op, double rhs);
+
+}  // namespace storage
+}  // namespace qps
+
+#endif  // QPS_STORAGE_VALUE_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Minimal leveled logging plus CHECK macros (Arrow/Google style).
+
+#ifndef QPS_UTIL_LOGGING_H_
+#define QPS_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace qps {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are dropped. Default kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace qps
+
+#define QPS_LOG(level)                                           \
+  ::qps::internal::LogMessage(::qps::LogLevel::k##level, __FILE__, __LINE__)
+
+#define QPS_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  ::qps::internal::LogMessage(::qps::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define QPS_CHECK_OK(expr)                                       \
+  do {                                                           \
+    ::qps::Status _st = (expr);                                  \
+    QPS_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define QPS_DCHECK(cond) QPS_CHECK(cond)
+
+#endif  // QPS_UTIL_LOGGING_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "util/scale.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace qps {
+
+Scale GetScaleFromEnv(Scale fallback) {
+  const char* env = std::getenv("QPS_SCALE");
+  if (env == nullptr) return fallback;
+  const std::string v = StrLower(env);
+  if (v == "smoke") return Scale::kSmoke;
+  if (v == "ci") return Scale::kCi;
+  if (v == "paper") return Scale::kPaper;
+  return fallback;
+}
+
+const char* ScaleName(Scale s) {
+  switch (s) {
+    case Scale::kSmoke:
+      return "smoke";
+    case Scale::kCi:
+      return "ci";
+    case Scale::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+}  // namespace qps

@@ -1,0 +1,30 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Experiment scaling. Paper-scale workloads (100K queries, 100 GB databases,
+// 10.8M-parameter models) do not fit a single-core CI box; every harness
+// reads the QPS_SCALE environment variable to pick a preset. The `ci`
+// preset preserves all qualitative results (who wins, where crossovers
+// fall) at a fraction of the compute; `paper` uses the published sizes.
+
+#ifndef QPS_UTIL_SCALE_H_
+#define QPS_UTIL_SCALE_H_
+
+#include <string>
+
+namespace qps {
+
+enum class Scale {
+  kSmoke,  ///< seconds-level, for ctest
+  kCi,     ///< minutes-level, default for bench harnesses
+  kPaper,  ///< published sizes
+};
+
+/// Reads QPS_SCALE ("smoke" | "ci" | "paper"); defaults to `fallback`.
+Scale GetScaleFromEnv(Scale fallback = Scale::kCi);
+
+/// Human-readable name.
+const char* ScaleName(Scale s);
+
+}  // namespace qps
+
+#endif  // QPS_UTIL_SCALE_H_

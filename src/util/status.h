@@ -1,0 +1,148 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Status / StatusOr: exception-free error propagation across module
+// boundaries, following the RocksDB / Arrow idiom.
+
+#ifndef QPS_UTIL_STATUS_H_
+#define QPS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qps {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+  kNotImplemented,
+  kAborted,
+  kIOError,
+};
+
+/// Returns a human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Use `ok()` before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Implicit conversion from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qps
+
+/// Propagates a non-OK Status to the caller.
+#define QPS_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::qps::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define QPS_ASSIGN_OR_RETURN(lhs, expr)       \
+  QPS_ASSIGN_OR_RETURN_IMPL(                  \
+      QPS_STATUS_MACRO_CONCAT(_status_or, __LINE__), lhs, expr)
+
+#define QPS_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                              \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).value();
+
+#define QPS_STATUS_MACRO_CONCAT_INNER(x, y) x##y
+#define QPS_STATUS_MACRO_CONCAT(x, y) QPS_STATUS_MACRO_CONCAT_INNER(x, y)
+
+#endif  // QPS_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Wall-clock stopwatch used for planning budgets and latency accounting.
+
+#ifndef QPS_UTIL_TIMER_H_
+#define QPS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace qps {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qps
+
+#endif  // QPS_UTIL_TIMER_H_

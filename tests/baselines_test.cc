@@ -1,0 +1,215 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include "baselines/bao.h"
+#include "baselines/mscn.h"
+#include "baselines/qppnet.h"
+#include "baselines/zeroshot.h"
+#include "eval/metrics.h"
+#include "eval/workloads.h"
+#include "sampling/plan_sampler.h"
+#include "storage/schemas.h"
+
+namespace qps {
+namespace baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    auto db = storage::BuildDatabase(storage::ToySpec(), 400, &rng);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    stats_ = stats::DatabaseStats::Analyze(*db_);
+
+    eval::WorkloadOptions wo;
+    wo.num_queries = 60;
+    wo.min_joins = 0;
+    wo.max_joins = 2;
+    wo.num_templates = 12;
+    Rng wrng(2);
+    queries_ = eval::GenerateWorkload(*db_, wo, &wrng);
+
+    sampling::DatasetOptions dopts;
+    dopts.source = sampling::PlanSource::kOptimizer;
+    Rng drng(3);
+    auto ds = sampling::BuildQepDataset(*db_, *stats_, queries_, dopts, &drng);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::move(ds).value();
+    ASSERT_GT(dataset_.qeps.size(), 30u);
+
+    // Annotate estimated stats (input features for plan-based baselines).
+    optimizer::Planner planner(*db_, *stats_);
+    for (auto& qep : dataset_.qeps) {
+      planner.cost_model().EstimatePlan(
+          dataset_.queries[static_cast<size_t>(qep.query_id)], qep.plan.get());
+    }
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<stats::DatabaseStats> stats_;
+  std::vector<query::Query> queries_;
+  sampling::QepDataset dataset_;
+};
+
+TEST_F(BaselinesTest, MscnLearnsCardinalities) {
+  MscnConfig cfg;
+  cfg.epochs = 60;
+  cfg.learning_rate = 2e-3f;
+  Mscn mscn(*db_, cfg, 7);
+  std::vector<CardinalitySample> samples;
+  for (const auto& qep : dataset_.qeps) {
+    samples.push_back({&dataset_.queries[static_cast<size_t>(qep.query_id)],
+                       qep.plan->actual.cardinality});
+  }
+  auto losses = mscn.Train(samples, 8);
+  EXPECT_LT(losses.back(), losses.front() * 0.5) << "training must converge";
+  std::vector<double> errs;
+  for (const auto& s : samples) {
+    errs.push_back(eval::QError(mscn.Predict(*s.query), s.cardinality));
+  }
+  const auto pct = eval::ComputePercentiles(errs);
+  EXPECT_LT(pct.p50, 4.0) << "median train q-error";
+}
+
+TEST_F(BaselinesTest, MscnPredictionsArePositiveAndFinite) {
+  Mscn mscn(*db_, MscnConfig{}, 7);
+  for (const auto& q : queries_) {
+    const double pred = mscn.Predict(q);
+    EXPECT_GE(pred, 0.0);
+    EXPECT_TRUE(std::isfinite(pred));
+  }
+}
+
+TEST_F(BaselinesTest, QppNetLearnsRuntimes) {
+  QppNetConfig cfg;
+  cfg.epochs = 60;
+  cfg.learning_rate = 2e-3f;
+  QppNet qpp(*db_, cfg, 9);
+  std::vector<RuntimeSample> samples;
+  for (const auto& qep : dataset_.qeps) {
+    samples.push_back(
+        {&dataset_.queries[static_cast<size_t>(qep.query_id)], qep.plan.get()});
+  }
+  auto losses = qpp.Train(samples, 10);
+  EXPECT_LT(losses.back(), losses.front() * 0.7);
+  std::vector<double> errs;
+  for (const auto& s : samples) {
+    errs.push_back(eval::QError(qpp.Predict(*s.query, *s.plan),
+                                s.plan->actual.runtime_ms, 0.1));
+  }
+  EXPECT_LT(eval::ComputePercentiles(errs).p50, 4.0);
+}
+
+TEST_F(BaselinesTest, QppNetHasOneUnitPerOperator) {
+  QppNet qpp(*db_, QppNetConfig{}, 9);
+  // 6 operator units, each a 3-layer MLP with 2 params per layer.
+  EXPECT_EQ(qpp.Parameters().size(), 6u * 3u * 2u);
+}
+
+TEST_F(BaselinesTest, ZeroShotTransfersAcrossDatabases) {
+  // Train on plans from two *other* databases...
+  Rng rng(11);
+  auto db_a = storage::BuildDatabase(storage::StackLikeSpec(), 120, &rng);
+  auto db_b = storage::BuildDatabase(storage::ImdbLikeSpec(), 60, &rng);
+  ASSERT_TRUE(db_a.ok() && db_b.ok());
+  std::vector<sampling::QepDataset> train_sets;
+  std::vector<const storage::Database*> dbs = {db_a->get(), db_b->get()};
+  std::vector<std::unique_ptr<stats::DatabaseStats>> all_stats;
+  for (const auto* tdb : dbs) {
+    auto tstats = stats::DatabaseStats::Analyze(*tdb);
+    eval::WorkloadOptions wo;
+    wo.num_queries = 25;
+    wo.min_joins = 0;
+    wo.max_joins = 2;
+    Rng wrng(12);
+    auto qs = eval::GenerateWorkload(*tdb, wo, &wrng);
+    sampling::DatasetOptions dopts;
+    dopts.source = sampling::PlanSource::kOptimizer;
+    Rng drng(13);
+    auto ds = sampling::BuildQepDataset(*tdb, *tstats, qs, dopts, &drng);
+    ASSERT_TRUE(ds.ok());
+    optimizer::Planner planner(*tdb, *tstats);
+    for (auto& qep : ds->qeps) {
+      planner.cost_model().EstimatePlan(
+          ds->queries[static_cast<size_t>(qep.query_id)], qep.plan.get());
+    }
+    train_sets.push_back(std::move(ds).value());
+    all_stats.push_back(std::move(tstats));
+  }
+  std::vector<CostSample> samples;
+  for (size_t d = 0; d < train_sets.size(); ++d) {
+    for (const auto& qep : train_sets[d].qeps) {
+      samples.push_back({dbs[d],
+                         &train_sets[d].queries[static_cast<size_t>(qep.query_id)],
+                         qep.plan.get()});
+    }
+  }
+  ZeroShotConfig zcfg;
+  zcfg.epochs = 40;
+  ZeroShot zs(zcfg, 14);
+  auto losses = zs.Train(samples, 15);
+  EXPECT_LT(losses.back(), losses.front());
+
+  // ...then predict on the toy database without fine-tuning.
+  std::vector<double> errs;
+  for (const auto& qep : dataset_.qeps) {
+    const auto& q = dataset_.queries[static_cast<size_t>(qep.query_id)];
+    errs.push_back(eval::QError(zs.Predict(*db_, q, *qep.plan),
+                                qep.plan->actual.cost, 1.0));
+  }
+  // Zero-shot: no target-db training, so only demand non-degenerate output.
+  const auto pct = eval::ComputePercentiles(errs);
+  EXPECT_TRUE(std::isfinite(pct.p50));
+  EXPECT_LT(pct.p50, 100.0);
+}
+
+TEST_F(BaselinesTest, BaoHas49Arms) {
+  const auto arms = Bao::AllArms();
+  EXPECT_EQ(arms.size(), 49u);
+  for (const auto& arm : arms) EXPECT_TRUE(arm.Valid());
+}
+
+TEST_F(BaselinesTest, BaoCollectsExperienceAndPlans) {
+  BaoConfig cfg;
+  cfg.arms_per_query = 2;
+  cfg.rounds = 1;
+  cfg.epochs_per_round = 10;
+  Bao bao(*db_, *stats_, cfg, 21);
+  std::vector<query::Query> train(queries_.begin(), queries_.begin() + 10);
+  exec::Executor ex(*db_);
+  ASSERT_TRUE(bao.TrainOnWorkload(train, &ex, 22).ok());
+  EXPECT_GT(bao.experience_size(), 10);
+
+  auto plan = bao.Plan(queries_[12]);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->RelMask(),
+            (uint64_t{1} << queries_[12].num_relations()) - 1);
+}
+
+TEST_F(BaselinesTest, BaoValueModelDifferentiatesPlans) {
+  BaoConfig cfg;
+  cfg.arms_per_query = 3;
+  cfg.rounds = 2;
+  Bao bao(*db_, *stats_, cfg, 21);
+  std::vector<query::Query> train(queries_.begin(), queries_.begin() + 15);
+  exec::Executor ex(*db_);
+  ASSERT_TRUE(bao.TrainOnWorkload(train, &ex, 22).ok());
+  // Predicted runtimes differ between a cheap and an expensive plan shape.
+  optimizer::Planner planner(*db_, *stats_);
+  auto q = queries_[0];
+  optimizer::PlanHints nl_only;
+  nl_only.enable_hashjoin = false;
+  nl_only.enable_mergejoin = false;
+  auto cheap = planner.Plan(q);
+  auto expensive = planner.Plan(q, nl_only);
+  if (cheap.ok() && expensive.ok() && q.num_relations() > 1) {
+    EXPECT_NE(bao.PredictRuntime(**cheap), bao.PredictRuntime(**expensive));
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace qps

@@ -1,0 +1,178 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Property-based tests for the baseline cost model and cardinality
+// estimator: monotonicity in input sizes, consistency across operators,
+// and agreement laws between the estimator and ground truth on key shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+
+namespace qps {
+namespace optimizer {
+namespace {
+
+struct CostFixture {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<stats::DatabaseStats> stats;
+  std::unique_ptr<CardinalityEstimator> cards;
+  std::unique_ptr<CostModel> cost;
+
+  static const CostFixture& Get() {
+    static CostFixture* f = [] {
+      auto* fx = new CostFixture();
+      Rng rng(1);
+      fx->db = storage::BuildDatabase(storage::ToySpec(), 600, &rng).value();
+      fx->stats = stats::DatabaseStats::Analyze(*fx->db);
+      fx->cards = std::make_unique<CardinalityEstimator>(*fx->db, *fx->stats);
+      fx->cost = std::make_unique<CostModel>(*fx->cards);
+      return fx;
+    }();
+    return *f;
+  }
+
+  query::Query Parse(const std::string& sql) const {
+    return query::ParseSql(sql, *db).value();
+  }
+};
+
+// Join cost is monotone in both input cardinalities, for every operator.
+class JoinCostMonotoneTest : public ::testing::TestWithParam<query::OpType> {};
+
+TEST_P(JoinCostMonotoneTest, MonotoneInInputs) {
+  const auto& fx = CostFixture::Get();
+  auto q = fx.Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  query::PlanNode join;
+  join.op = GetParam();
+  join.join_preds = {0};
+  double prev = -1.0;
+  for (double rows : {10.0, 100.0, 1000.0, 10000.0}) {
+    const double c = fx.cost->NodeCost(q, join, rows, rows, rows);
+    EXPECT_GT(c, prev) << query::OpTypeName(GetParam()) << " at " << rows;
+    prev = c;
+  }
+  // And monotone in each side separately.
+  EXPECT_LE(fx.cost->NodeCost(q, join, 100, 500, 100),
+            fx.cost->NodeCost(q, join, 200, 500, 100));
+  EXPECT_LE(fx.cost->NodeCost(q, join, 100, 500, 100),
+            fx.cost->NodeCost(q, join, 100, 1000, 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllJoins, JoinCostMonotoneTest,
+                         ::testing::ValuesIn(query::JoinOps()));
+
+TEST(CostModelLawsTest, NestedLoopDominatesHashOnLargeInputs) {
+  const auto& fx = CostFixture::Get();
+  auto q = fx.Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  query::PlanNode hash, nl;
+  hash.op = query::OpType::kHashJoin;
+  hash.join_preds = {0};
+  nl.op = query::OpType::kNestedLoopJoin;
+  nl.join_preds = {0};
+  EXPECT_GT(fx.cost->NodeCost(q, nl, 1e4, 1e4, 1e4),
+            fx.cost->NodeCost(q, hash, 1e4, 1e4, 1e4) * 10.0)
+      << "quadratic beats linear by a wide margin at scale";
+}
+
+TEST(CostModelLawsTest, SelectiveIndexScanBeatsSeqScan) {
+  const auto& fx = CostFixture::Get();
+  auto q = fx.Parse("SELECT COUNT(*) FROM b WHERE b.id = 3;");
+  query::PlanNode seq, idx;
+  seq.op = query::OpType::kSeqScan;
+  seq.rel = 0;
+  idx.op = query::OpType::kIndexScan;
+  idx.rel = 0;
+  const double out_rows = 1.0;
+  EXPECT_LT(fx.cost->NodeCost(q, idx, 0, 0, out_rows),
+            fx.cost->NodeCost(q, seq, 0, 0, out_rows));
+}
+
+TEST(CostModelLawsTest, UnselectiveIndexScanLosesToSeqScan) {
+  const auto& fx = CostFixture::Get();
+  auto q = fx.Parse("SELECT COUNT(*) FROM b WHERE b.b3 >= 0;");
+  const double all_rows =
+      static_cast<double>(fx.db->table(fx.db->TableIndex("b")).num_rows());
+  query::PlanNode seq, idx;
+  seq.op = query::OpType::kSeqScan;
+  seq.rel = 0;
+  idx.op = query::OpType::kIndexScan;
+  idx.rel = 0;
+  EXPECT_GT(fx.cost->NodeCost(q, idx, 0, 0, all_rows),
+            fx.cost->NodeCost(q, seq, 0, 0, all_rows));
+}
+
+// Estimated join cardinality never exceeds the cross product and never
+// drops below 1 row.
+class JoinCardBoundsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinCardBoundsTest, WithinBounds) {
+  const auto& fx = CostFixture::Get();
+  auto q = fx.Parse("SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;");
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 20; ++i) {
+    const double l = rng.Uniform(1.0, 1e5);
+    const double r = rng.Uniform(1.0, 1e5);
+    const double est = fx.cards->JoinRows(q, l, r, {0});
+    EXPECT_GE(est, 1.0);
+    EXPECT_LE(est, l * r + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinCardBoundsTest, ::testing::Values(1, 2, 3));
+
+TEST(CardinalityLawsTest, FkPkJoinEstimatesChildSize) {
+  const auto& fx = CostFixture::Get();
+  auto q = fx.Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  const double a_rows =
+      static_cast<double>(fx.db->table(fx.db->TableIndex("a")).num_rows());
+  const double b_rows =
+      static_cast<double>(fx.db->table(fx.db->TableIndex("b")).num_rows());
+  const double est = fx.cards->JoinRows(q, a_rows, b_rows, {0});
+  // Each b row matches exactly one a row: estimate should be ~|b|.
+  EXPECT_NEAR(est, b_rows, b_rows * 0.3);
+}
+
+TEST(CardinalityLawsTest, FilterSelectivityMultiplies) {
+  const auto& fx = CostFixture::Get();
+  auto one = fx.Parse("SELECT COUNT(*) FROM b WHERE b.b3 <= 3;");
+  auto two = fx.Parse("SELECT COUNT(*) FROM b WHERE b.b3 <= 3 AND b.b1 < 100;");
+  EXPECT_LT(fx.cards->FilterSelectivity(two, 0) - 1e-12,
+            fx.cards->FilterSelectivity(one, 0))
+      << "adding a filter cannot increase selectivity";
+}
+
+TEST(CalibrationLawsTest, CalibrationReducesRuntimeError) {
+  const auto& fx = CostFixture::Get();
+  Planner planner(*fx.db, *fx.stats);
+  std::vector<query::Query> sample = {
+      fx.Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;"),
+      fx.Parse("SELECT COUNT(*) FROM b, c WHERE c.c1 = b.id AND b.b3 < 4;"),
+      fx.Parse("SELECT COUNT(*) FROM a WHERE a.a2 <= 2;"),
+  };
+  auto mean_err = [&](Planner* p) {
+    double total = 0.0;
+    for (const auto& q : sample) {
+      auto plan = p->Plan(q);
+      exec::Executor ex(*fx.db);
+      EXPECT_TRUE(ex.Execute(q, plan->get()).ok());
+      const double est = (*plan)->estimated.runtime_ms;
+      const double truth = (*plan)->actual.runtime_ms;
+      total += std::max(est / truth, truth / est);
+    }
+    return total / static_cast<double>(sample.size());
+  };
+  const double before = mean_err(&planner);
+  exec::Executor ex(*fx.db);
+  planner.Calibrate(sample, &ex);
+  const double after = mean_err(&planner);
+  EXPECT_LE(after, before * 1.05) << "calibration must not hurt the fit";
+}
+
+}  // namespace
+}  // namespace optimizer
+}  // namespace qps

@@ -1,0 +1,223 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/metrics.h"
+#include "eval/tsne.h"
+#include "eval/workloads.h"
+#include "storage/schemas.h"
+
+namespace qps {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, QErrorBasics) {
+  EXPECT_DOUBLE_EQ(QError(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(100.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(QError(10.0, 100.0), 10.0);
+  // Floors avoid division blow-ups on empty results.
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(5.0, 0.0), 5.0);
+}
+
+TEST(MetricsTest, PercentilesOnKnownData) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const auto p = ComputePercentiles(v);
+  EXPECT_NEAR(p.p50, 50.5, 0.01);
+  EXPECT_NEAR(p.p90, 90.1, 0.2);
+  EXPECT_NEAR(p.p99, 99.01, 0.2);
+  EXPECT_NEAR(p.mean, 50.5, 1e-9);
+  EXPECT_EQ(p.count, 100u);
+  EXPECT_GT(p.stddev, 25.0);
+}
+
+TEST(MetricsTest, PercentilesDegenerateCases) {
+  EXPECT_EQ(ComputePercentiles({}).count, 0u);
+  const auto one = ComputePercentiles({3.0});
+  EXPECT_DOUBLE_EQ(one.p50, 3.0);
+  EXPECT_DOUBLE_EQ(one.p99, 3.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+}
+
+TEST(MetricsTest, FormatRowAligned) {
+  const std::string row = FormatRow("50%", {1.5, 22.25}, 10);
+  EXPECT_NE(row.find("1.5"), std::string::npos);
+  EXPECT_NE(row.find("22.25"), std::string::npos);
+  const std::string hdr = FormatHeader("Perc", {"A", "B"}, 10);
+  EXPECT_NE(hdr.find("Perc"), std::string::npos);
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    auto imdb = storage::BuildDatabase(storage::ImdbLikeSpec(), 200, &rng);
+    ASSERT_TRUE(imdb.ok());
+    imdb_ = std::move(imdb).value();
+    auto stack = storage::BuildDatabase(storage::StackLikeSpec(), 200, &rng);
+    ASSERT_TRUE(stack.ok());
+    stack_ = std::move(stack).value();
+  }
+  std::unique_ptr<storage::Database> imdb_;
+  std::unique_ptr<storage::Database> stack_;
+};
+
+TEST_F(WorkloadTest, GeneratedQueriesAreConnectedAndBound) {
+  WorkloadOptions o;
+  o.num_queries = 50;
+  o.min_joins = 1;
+  o.max_joins = 5;
+  Rng rng(2);
+  auto queries = GenerateWorkload(*imdb_, o, &rng);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_GE(q.joins.size(), 1u);
+    EXPECT_LE(q.joins.size(), 5u + 2u);  // walk may add parallel edges
+    EXPECT_EQ(q.num_relations(), static_cast<int>(q.joins.size()) + 1);
+    for (const auto& f : q.filters) {
+      EXPECT_GE(f.rel, 0);
+      EXPECT_LT(f.rel, q.num_relations());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, TemplatesShareStructure) {
+  WorkloadOptions o;
+  o.num_queries = 30;
+  o.num_templates = 5;
+  o.min_joins = 1;
+  o.max_joins = 3;
+  Rng rng(3);
+  auto queries = GenerateWorkload(*imdb_, o, &rng);
+  std::set<std::string> templates;
+  for (const auto& q : queries) templates.insert(q.template_id);
+  EXPECT_EQ(templates.size(), 5u);
+  // Queries of the same template share relations and joins.
+  for (size_t i = 5; i < queries.size(); ++i) {
+    const auto& a = queries[i - 5];
+    const auto& b = queries[i];
+    ASSERT_EQ(a.template_id, b.template_id);
+    EXPECT_EQ(a.num_relations(), b.num_relations());
+    EXPECT_EQ(a.joins.size(), b.joins.size());
+  }
+}
+
+TEST_F(WorkloadTest, NamedWorkloadsMatchTable1Shapes) {
+  Rng rng(4);
+  auto synthetic = SyntheticWorkload(*imdb_, Scale::kSmoke, &rng);
+  EXPECT_EQ(synthetic.size(), 40u);
+  for (const auto& q : synthetic) EXPECT_LE(q.joins.size(), 2u);
+
+  auto job = JobWorkload(*imdb_, Scale::kSmoke, &rng);
+  EXPECT_EQ(job.size(), 24u);
+  for (const auto& q : job) EXPECT_GE(q.joins.size(), 2u);
+
+  auto job_ci = JobWorkload(*imdb_, Scale::kCi, &rng);
+  EXPECT_EQ(job_ci.size(), 113u) << "JOB has 113 queries";
+
+  auto stack = StackWorkload(*stack_, Scale::kSmoke, &rng);
+  EXPECT_EQ(stack.size(), 30u);
+
+  auto light = JobLightWorkload(*imdb_, Scale::kCi, &rng);
+  EXPECT_EQ(light.size(), 70u);
+  for (const auto& q : light) EXPECT_LE(q.joins.size(), 3u);
+
+  auto ext = JobExtendedWorkload(*imdb_, Scale::kCi, &rng);
+  EXPECT_EQ(ext.size(), 24u);
+  for (const auto& q : ext) EXPECT_GE(q.joins.size(), 5u);
+}
+
+TEST_F(WorkloadTest, GenerationIsDeterministic) {
+  Rng r1(7), r2(7);
+  WorkloadOptions o;
+  o.num_queries = 10;
+  o.max_joins = 3;
+  auto q1 = GenerateWorkload(*imdb_, o, &r1);
+  auto q2 = GenerateWorkload(*imdb_, o, &r2);
+  for (size_t i = 0; i < q1.size(); ++i) {
+    EXPECT_EQ(q1[i].ToSql(*imdb_), q2[i].ToSql(*imdb_));
+  }
+}
+
+TEST(SplitTest, SplitProportionsAndDisjointness) {
+  Rng rng(5);
+  std::vector<size_t> train, test;
+  SplitIndices(100, 0.8, &rng, &train, &test);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  std::set<size_t> all(train.begin(), train.end());
+  for (size_t t : test) EXPECT_EQ(all.count(t), 0u);
+  all.insert(test.begin(), test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TsneTest, SeparatesTwoBlobs) {
+  Rng rng(6);
+  std::vector<std::vector<float>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<float> p(8);
+    const int label = i < 15 ? 0 : 1;
+    for (auto& v : p) {
+      v = static_cast<float>(rng.Normal()) * 0.3f + (label == 0 ? -2.0f : 2.0f);
+    }
+    points.push_back(std::move(p));
+    labels.push_back(label);
+  }
+  TsneOptions opts;
+  opts.iterations = 200;
+  auto embedded = RunTsne(points, opts);
+  ASSERT_EQ(embedded.size(), 30u);
+  // The 2-d embedding must keep the blobs separable: silhouette > 0.
+  std::vector<std::vector<float>> emb2;
+  for (const auto& e : embedded) {
+    emb2.push_back({static_cast<float>(e[0]), static_cast<float>(e[1])});
+  }
+  EXPECT_GT(SilhouetteScore(emb2, labels), 0.3);
+}
+
+TEST(TsneTest, SilhouetteOnPerfectAndRandomClusters) {
+  // Perfectly separated clusters -> near 1; one point per cluster -> 0.
+  std::vector<std::vector<float>> points = {{0, 0}, {0.1f, 0}, {10, 10}, {10.1f, 10}};
+  EXPECT_GT(SilhouetteScore(points, {0, 0, 1, 1}), 0.9);
+  Rng rng(8);
+  std::vector<std::vector<float>> random;
+  std::vector<int> rnd_labels;
+  for (int i = 0; i < 40; ++i) {
+    random.push_back({static_cast<float>(rng.Normal()), static_cast<float>(rng.Normal())});
+    rnd_labels.push_back(i % 2);
+  }
+  EXPECT_LT(std::abs(SilhouetteScore(random, rnd_labels)), 0.25);
+}
+
+TEST(TsneTest, KnnPurityDiscriminates) {
+  // Tight label-pure clusters -> purity ~1; shuffled labels -> ~0.5.
+  Rng rng(10);
+  std::vector<std::vector<float>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    points.push_back({static_cast<float>(rng.Normal()) * 0.1f + label * 10.0f,
+                      static_cast<float>(rng.Normal()) * 0.1f});
+    labels.push_back(label);
+  }
+  EXPECT_GT(KnnLabelPurity(points, labels, 5), 0.95);
+  std::vector<int> shuffled = labels;
+  rng.Shuffle(&shuffled);
+  EXPECT_NEAR(KnnLabelPurity(points, shuffled, 5), 0.5, 0.15);
+  EXPECT_EQ(KnnLabelPurity({}, {}, 5), 0.0);
+}
+
+TEST(TsneTest, EmptyAndTinyInputs) {
+  EXPECT_TRUE(RunTsne({}, {}).empty());
+  std::vector<std::vector<float>> two = {{0.0f, 1.0f}, {1.0f, 0.0f}};
+  EXPECT_EQ(RunTsne(two, {}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace qps

@@ -1,0 +1,192 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Property-based executor tests: for a sweep of queries, *every* physical
+// plan — any connected join order, any operator assignment, left-deep or
+// bushy — must produce the same cardinality at the root (plan invariance),
+// with positive deterministic runtimes and cumulative cost/runtime
+// monotone up the tree.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "stats/analyze.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace exec {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<storage::Database> db;
+  std::vector<query::Query> queries;
+
+  static const Fixture& Get() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      Rng rng(1);
+      fx->db = storage::BuildDatabase(storage::ToySpec(), 250, &rng).value();
+      const char* sqls[] = {
+          "SELECT COUNT(*) FROM a WHERE a.a2 <= 4;",
+          "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;",
+          "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 = 0 AND b.b3 > 1;",
+          "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;",
+          "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id "
+          "AND c.c2 < 25 AND a.a2 <> 3;",
+      };
+      for (const char* sql : sqls) {
+        fx->queries.push_back(query::ParseSql(sql, *fx->db).value());
+      }
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+class PlanInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanInvarianceTest, AllPlansAgreeOnCardinality) {
+  const auto& fx = Fixture::Get();
+  const query::Query& q = fx.queries[static_cast<size_t>(GetParam())];
+
+  // Reference: first order, all-hash, all-seq.
+  auto orders = query::EnumerateJoinOrders(q, 24);
+  ASSERT_FALSE(orders.empty());
+  const size_t n = orders[0].size();
+  auto ref_plan = BuildLeftDeepPlan(
+      q, orders[0], std::vector<query::OpType>(n, query::OpType::kSeqScan),
+      std::vector<query::OpType>(n > 0 ? n - 1 : 0, query::OpType::kHashJoin));
+  ASSERT_NE(ref_plan, nullptr);
+  Executor ref_ex(*fx.db);
+  auto ref_card = ref_ex.Execute(q, ref_plan.get());
+  ASSERT_TRUE(ref_card.ok());
+
+  // Sweep: every enumerated order x assorted operator assignments.
+  Rng rng(99);
+  for (const auto& order : orders) {
+    for (int variant = 0; variant < 4; ++variant) {
+      std::vector<query::OpType> scans, joins;
+      for (size_t i = 0; i < order.size(); ++i) {
+        scans.push_back(query::ScanOps()[rng.UniformInt(3)]);
+        if (i > 0) joins.push_back(query::JoinOps()[rng.UniformInt(3)]);
+      }
+      auto plan = BuildLeftDeepPlan(q, order, scans, joins);
+      ASSERT_NE(plan, nullptr);
+      Executor ex(*fx.db);
+      auto card = ex.Execute(q, plan.get());
+      ASSERT_TRUE(card.ok()) << card.status().ToString();
+      EXPECT_EQ(*card, *ref_card) << "plan:\n" << plan->ToString(*fx.db, q);
+    }
+  }
+}
+
+TEST_P(PlanInvarianceTest, BushyPlansAgreeWithLeftDeep) {
+  const auto& fx = Fixture::Get();
+  const query::Query& q = fx.queries[static_cast<size_t>(GetParam())];
+  auto orders = query::EnumerateJoinOrders(q, 1);
+  const size_t n = orders[0].size();
+  auto ref_plan = BuildLeftDeepPlan(
+      q, orders[0], std::vector<query::OpType>(n, query::OpType::kSeqScan),
+      std::vector<query::OpType>(n > 0 ? n - 1 : 0, query::OpType::kHashJoin));
+  Executor ref_ex(*fx.db);
+  auto ref_card = ref_ex.Execute(q, ref_plan.get());
+  ASSERT_TRUE(ref_card.ok());
+
+  Rng rng(7);
+  for (int i = 0; i < 6; ++i) {
+    auto bushy = query::BuildRandomBushyPlan(q, &rng);
+    ASSERT_NE(bushy, nullptr);
+    EXPECT_EQ(bushy->RelMask(), (uint64_t{1} << q.num_relations()) - 1);
+    Executor ex(*fx.db);
+    auto card = ex.Execute(q, bushy.get());
+    ASSERT_TRUE(card.ok());
+    EXPECT_EQ(*card, *ref_card) << "bushy plan:\n" << bushy->ToString(*fx.db, q);
+  }
+}
+
+TEST_P(PlanInvarianceTest, CumulativeStatsMonotoneUpTheTree) {
+  const auto& fx = Fixture::Get();
+  const query::Query& q = fx.queries[static_cast<size_t>(GetParam())];
+  Rng rng(11);
+  auto plan = query::BuildRandomBushyPlan(q, &rng);
+  ASSERT_NE(plan, nullptr);
+  Executor ex(*fx.db);
+  ASSERT_TRUE(ex.Execute(q, plan.get()).ok());
+  plan->PostOrder([](const query::PlanNode& node) {
+    EXPECT_GT(node.actual.runtime_ms, 0.0);
+    EXPECT_GT(node.actual.cost, 0.0);
+    if (node.left != nullptr) {
+      EXPECT_GE(node.actual.runtime_ms, node.left->actual.runtime_ms);
+      EXPECT_GE(node.actual.cost, node.left->actual.cost);
+    }
+    if (node.right != nullptr) {
+      EXPECT_GE(node.actual.runtime_ms, node.right->actual.runtime_ms);
+      EXPECT_GE(node.actual.cost, node.right->actual.cost);
+    }
+  });
+}
+
+TEST_P(PlanInvarianceTest, ExecutionIsDeterministic) {
+  const auto& fx = Fixture::Get();
+  const query::Query& q = fx.queries[static_cast<size_t>(GetParam())];
+  Rng rng(13);
+  auto p1 = query::BuildRandomBushyPlan(q, &rng);
+  auto p2 = p1->Clone();
+  Executor e1(*fx.db), e2(*fx.db);
+  ASSERT_TRUE(e1.Execute(q, p1.get()).ok());
+  ASSERT_TRUE(e2.Execute(q, p2.get()).ok());
+  EXPECT_EQ(p1->actual.cardinality, p2->actual.cardinality);
+  EXPECT_EQ(p1->actual.runtime_ms, p2->actual.runtime_ms);
+  EXPECT_EQ(p1->actual.cost, p2->actual.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, PlanInvarianceTest,
+                         ::testing::Range(0, 5));
+
+// ---- Selectivity-estimation property sweep -------------------------------
+
+struct SelectivityCase {
+  const char* column;
+  storage::CompareOp op;
+  int64_t value;
+};
+
+class SelectivityTest : public ::testing::TestWithParam<SelectivityCase> {};
+
+TEST_P(SelectivityTest, EstimateWithinTolerance) {
+  const auto& fx = Fixture::Get();
+  auto dbstats = qps::stats::DatabaseStats::Analyze(*fx.db);
+  const auto& param = GetParam();
+  const int table = fx.db->TableIndex("b");
+  const int col = fx.db->table(table).ColumnIndex(param.column);
+  ASSERT_GE(col, 0);
+  const auto& column = fx.db->table(table).column(col);
+  int64_t truth = 0;
+  for (int64_t r = 0; r < column.size(); ++r) {
+    truth += storage::CompareDoubles(column.GetDouble(r), param.op,
+                                     static_cast<double>(param.value));
+  }
+  const double truth_sel =
+      static_cast<double>(truth) / static_cast<double>(column.size());
+  const double est = dbstats->column(table, col).Selectivity(
+      param.op, static_cast<double>(param.value));
+  EXPECT_NEAR(est, truth_sel, 0.12)
+      << param.column << " " << storage::CompareOpSymbol(param.op) << " "
+      << param.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RangeSweep, SelectivityTest,
+    ::testing::Values(SelectivityCase{"b3", storage::CompareOp::kLe, 2},
+                      SelectivityCase{"b3", storage::CompareOp::kGt, 5},
+                      SelectivityCase{"b3", storage::CompareOp::kEq, 0},
+                      SelectivityCase{"b3", storage::CompareOp::kNe, 1},
+                      SelectivityCase{"b1", storage::CompareOp::kLt, 100},
+                      SelectivityCase{"b1", storage::CompareOp::kGe, 200},
+                      SelectivityCase{"id", storage::CompareOp::kLt, 250},
+                      SelectivityCase{"id", storage::CompareOp::kEq, 7}));
+
+}  // namespace
+}  // namespace exec
+}  // namespace qps

@@ -1,0 +1,246 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace exec {
+namespace {
+
+using query::OpType;
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    auto db = storage::BuildDatabase(storage::ToySpec(), 300, &rng);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+
+  query::Query Parse(const std::string& sql) {
+    auto q = query::ParseSql(sql, *db_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  // Ground truth by brute force over all row combinations (tiny inputs only).
+  int64_t BruteForceCount(const query::Query& q) {
+    std::vector<int64_t> sizes;
+    for (const auto& r : q.relations) sizes.push_back(db_->table(r.table_id).num_rows());
+    std::vector<int64_t> rows(q.relations.size(), 0);
+    int64_t count = 0;
+    while (true) {
+      bool pass = true;
+      for (const auto& f : q.filters) {
+        const auto& t = db_->table(q.relations[static_cast<size_t>(f.rel)].table_id);
+        if (!storage::CompareDoubles(t.column(f.column).GetDouble(rows[static_cast<size_t>(f.rel)]),
+                                     f.op, f.value.AsDouble())) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        for (const auto& j : q.joins) {
+          const auto& lt = db_->table(q.relations[static_cast<size_t>(j.left_rel)].table_id);
+          const auto& rt = db_->table(q.relations[static_cast<size_t>(j.right_rel)].table_id);
+          if (lt.column(j.left_column).GetDouble(rows[static_cast<size_t>(j.left_rel)]) !=
+              rt.column(j.right_column).GetDouble(rows[static_cast<size_t>(j.right_rel)])) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      count += pass;
+      // Odometer increment.
+      size_t d = 0;
+      while (d < rows.size()) {
+        if (++rows[d] < sizes[d]) break;
+        rows[d] = 0;
+        ++d;
+      }
+      if (d == rows.size()) break;
+    }
+    return count;
+  }
+
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(ExecTest, SingleTableScanCountsMatchBruteForce) {
+  auto q = Parse("SELECT COUNT(*) FROM a WHERE a.a2 > 3;");
+  for (OpType scan : query::ScanOps()) {
+    auto plan = BuildLeftDeepPlan(q, {0}, {scan}, {});
+    ASSERT_NE(plan, nullptr);
+    Executor ex(*db_);
+    auto card = ex.Execute(q, plan.get());
+    ASSERT_TRUE(card.ok()) << card.status().ToString();
+    EXPECT_EQ(*card, static_cast<double>(BruteForceCount(q)))
+        << query::OpTypeName(scan);
+  }
+}
+
+TEST_F(ExecTest, ScanWithMultipleFilters) {
+  auto q = Parse("SELECT COUNT(*) FROM b WHERE b.b3 >= 2 AND b.b1 < 100;");
+  for (OpType scan : query::ScanOps()) {
+    auto plan = BuildLeftDeepPlan(q, {0}, {scan}, {});
+    Executor ex(*db_);
+    auto card = ex.Execute(q, plan.get());
+    ASSERT_TRUE(card.ok());
+    EXPECT_EQ(*card, static_cast<double>(BruteForceCount(q)));
+  }
+}
+
+TEST_F(ExecTest, EqualityAndInequalityFilters) {
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM a WHERE a.a2 = 0;", "SELECT COUNT(*) FROM a WHERE a.a2 <> 0;",
+        "SELECT COUNT(*) FROM a WHERE a.a2 <= 2;", "SELECT COUNT(*) FROM a WHERE a.a2 >= 9;"}) {
+    auto q = Parse(sql);
+    for (OpType scan : query::ScanOps()) {
+      auto plan = BuildLeftDeepPlan(q, {0}, {scan}, {});
+      Executor ex(*db_);
+      auto card = ex.Execute(q, plan.get());
+      ASSERT_TRUE(card.ok());
+      EXPECT_EQ(*card, static_cast<double>(BruteForceCount(q))) << sql;
+    }
+  }
+}
+
+TEST_F(ExecTest, TwoWayJoinMatchesBruteForce) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 < 4;");
+  const int64_t truth = BruteForceCount(q);
+  for (OpType join : query::JoinOps()) {
+    auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan}, {join});
+    Executor ex(*db_);
+    auto card = ex.Execute(q, plan.get());
+    ASSERT_TRUE(card.ok());
+    EXPECT_EQ(*card, static_cast<double>(truth)) << query::OpTypeName(join);
+  }
+}
+
+TEST_F(ExecTest, ThreeWayJoinAllOrdersAgree) {
+  auto q = Parse(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND a.a2 < 6;");
+  const int64_t truth = BruteForceCount(q);
+  for (const auto& order : EnumerateJoinOrders(q, 10)) {
+    auto plan = BuildLeftDeepPlan(q, order, std::vector<OpType>(3, OpType::kSeqScan),
+                                  std::vector<OpType>(2, OpType::kHashJoin));
+    ASSERT_NE(plan, nullptr);
+    Executor ex(*db_);
+    auto card = ex.Execute(q, plan.get());
+    ASSERT_TRUE(card.ok());
+    EXPECT_EQ(*card, static_cast<double>(truth));
+  }
+}
+
+TEST_F(ExecTest, PerNodeActualsAreFilled) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kIndexScan},
+                                {OpType::kHashJoin});
+  Executor ex(*db_);
+  ASSERT_TRUE(ex.Execute(q, plan.get()).ok());
+  plan->PostOrder([](const query::PlanNode& n) {
+    EXPECT_GE(n.actual.cardinality, 0.0);
+    EXPECT_GT(n.actual.runtime_ms, 0.0);
+    EXPECT_GT(n.actual.cost, 0.0);
+  });
+  // Root runtime/cost are cumulative: at least each child's.
+  EXPECT_GE(plan->actual.runtime_ms, plan->left->actual.runtime_ms);
+  EXPECT_GE(plan->actual.cost, plan->left->actual.cost);
+  // Leaf card <= table rows; join card is the query cardinality.
+  EXPECT_LE(plan->left->actual.cardinality,
+            static_cast<double>(db_->table(0).num_rows()));
+}
+
+TEST_F(ExecTest, OperatorChoiceChangesRuntimeNotCardinality) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  double cards[3], runtimes[3];
+  int i = 0;
+  for (OpType join : query::JoinOps()) {
+    auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan}, {join});
+    Executor ex(*db_);
+    auto card = ex.Execute(q, plan.get());
+    ASSERT_TRUE(card.ok());
+    cards[i] = *card;
+    runtimes[i] = plan->actual.runtime_ms;
+    ++i;
+  }
+  EXPECT_EQ(cards[0], cards[1]);
+  EXPECT_EQ(cards[1], cards[2]);
+  // Nested loop over unfiltered inputs must be the slowest by far.
+  EXPECT_GT(runtimes[2], runtimes[0]);
+}
+
+TEST_F(ExecTest, RowLimitAborts) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  ExecOptions opts;
+  opts.max_intermediate_rows = 5;
+  Executor ex(*db_, opts);
+  auto card = ex.Execute(q, plan.get());
+  EXPECT_FALSE(card.ok());
+  EXPECT_TRUE(card.status().IsResourceExhausted());
+}
+
+TEST_F(ExecTest, TimeoutAborts) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kNestedLoopJoin});
+  ExecOptions opts;
+  opts.timeout_ms = 1e-6;
+  Executor ex(*db_, opts);
+  EXPECT_FALSE(ex.Execute(q, plan.get()).ok());
+}
+
+TEST_F(ExecTest, DeterministicRuntimes) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 > 2;");
+  auto p1 = BuildLeftDeepPlan(q, {0, 1}, {OpType::kIndexScan, OpType::kSeqScan},
+                              {OpType::kMergeJoin});
+  auto p2 = p1->Clone();
+  Executor e1(*db_), e2(*db_);
+  ASSERT_TRUE(e1.Execute(q, p1.get()).ok());
+  ASSERT_TRUE(e2.Execute(q, p2.get()).ok());
+  EXPECT_EQ(p1->actual.runtime_ms, p2->actual.runtime_ms);
+  EXPECT_EQ(p1->actual.cost, p2->actual.cost);
+}
+
+TEST_F(ExecTest, EmptyResultJoin) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 > 100000;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  Executor ex(*db_);
+  auto card = ex.Execute(q, plan.get());
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(*card, 0.0);
+}
+
+TEST_F(ExecTest, IndexScanCheaperThanSeqScanForSelectiveFilter) {
+  auto q = Parse("SELECT COUNT(*) FROM b WHERE b.id = 5;");
+  auto seq = BuildLeftDeepPlan(q, {0}, {OpType::kSeqScan}, {});
+  auto idx = BuildLeftDeepPlan(q, {0}, {OpType::kIndexScan}, {});
+  Executor e1(*db_), e2(*db_);
+  ASSERT_TRUE(e1.Execute(q, seq.get()).ok());
+  ASSERT_TRUE(e2.Execute(q, idx.get()).ok());
+  EXPECT_LT(idx->actual.runtime_ms, seq->actual.runtime_ms);
+}
+
+TEST(WorkCountersTest, RuntimeIsMonotoneInWork) {
+  WorkCounters a;
+  a.blocks_read = 10;
+  WorkCounters b = a;
+  b.hash_probe = 1000;
+  EXPECT_GT(b.RuntimeMs(), a.RuntimeMs());
+  WorkCounters sum;
+  sum.Add(a);
+  sum.Add(b);
+  EXPECT_NEAR(sum.RuntimeMs(), a.RuntimeMs() + b.RuntimeMs(), 1e-9);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace qps

@@ -1,0 +1,188 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Property-based autodiff tests: every differentiable op passes a central
+// finite-difference gradient check across a parameterized sweep of shapes
+// and seeds, and composite graphs satisfy linearity/accumulation laws.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/autograd.h"
+#include "nn/layers.h"
+
+namespace qps {
+namespace nn {
+namespace {
+
+using BuildFn = std::function<Var(const std::vector<Var>&)>;
+
+struct OpCase {
+  const char* name;
+  int num_leaves;
+  int64_t rows;
+  int64_t cols;
+  BuildFn build;
+};
+
+void CheckGradients(std::vector<Var> leaves, const BuildFn& build,
+                    float tol = 3e-2f, float eps = 1e-3f) {
+  Var loss = build(leaves);
+  for (auto& l : leaves) l->ZeroGrad();
+  Backward(loss);
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    Var& leaf = leaves[li];
+    leaf->EnsureGrad();
+    for (int64_t i = 0; i < leaf->value.size(); ++i) {
+      const float orig = leaf->value.at(i);
+      leaf->value.at(i) = orig + eps;
+      const float up = build(leaves)->value(0, 0);
+      leaf->value.at(i) = orig - eps;
+      const float down = build(leaves)->value(0, 0);
+      leaf->value.at(i) = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = leaf->grad.at(i);
+      const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(analytic)});
+      ASSERT_NEAR(analytic, numeric, tol * scale)
+          << "leaf " << li << " elem " << i;
+    }
+  }
+}
+
+class OpGradientTest
+    : public ::testing::TestWithParam<std::tuple<OpCase, uint64_t>> {};
+
+TEST_P(OpGradientTest, MatchesFiniteDifferences) {
+  const auto& [op_case, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<Var> leaves;
+  for (int l = 0; l < op_case.num_leaves; ++l) {
+    leaves.push_back(Parameter(Tensor::Randn(op_case.rows, op_case.cols, &rng, 0.5f)));
+  }
+  CheckGradients(leaves, op_case.build);
+}
+
+std::vector<OpCase> AllOpCases() {
+  return {
+      {"sigmoid", 1, 2, 3,
+       [](const std::vector<Var>& l) { return SumAll(Sigmoid(l[0])); }},
+      {"tanh", 1, 2, 3,
+       [](const std::vector<Var>& l) { return SumAll(Tanh(l[0])); }},
+      {"leaky_relu", 1, 2, 3,
+       [](const std::vector<Var>& l) { return SumAll(LeakyRelu(l[0])); }},
+      {"exp", 1, 1, 4, [](const std::vector<Var>& l) { return SumAll(Exp(l[0])); }},
+      {"square", 1, 2, 2,
+       [](const std::vector<Var>& l) { return SumAll(Square(l[0])); }},
+      {"softmax", 1, 2, 4,
+       [](const std::vector<Var>& l) {
+         return SumAll(Square(SoftmaxRows(l[0])));
+       }},
+      {"add_mul", 2, 2, 3,
+       [](const std::vector<Var>& l) { return SumAll(Mul(Add(l[0], l[1]), l[0])); }},
+      {"matmul", 2, 3, 3,
+       [](const std::vector<Var>& l) { return SumAll(MatMul(l[0], l[1])); }},
+      {"transpose_chain", 1, 2, 4,
+       [](const std::vector<Var>& l) {
+         return SumAll(MatMul(l[0], Transpose(l[0])));
+       }},
+      {"concat_slice", 2, 2, 3,
+       [](const std::vector<Var>& l) {
+         Var cat = ConcatCols({l[0], l[1]});
+         return SumAll(Square(SliceCols(cat, 1, 5)));
+       }},
+      {"row_broadcast", 2, 1, 4,
+       [](const std::vector<Var>& l) {
+         Var wide = ConcatRows({l[0], l[1]});
+         return SumAll(Square(AddRowBroadcast(wide, l[0])));
+       }},
+      {"mean_rows", 1, 4, 3,
+       [](const std::vector<Var>& l) { return SumAll(Square(MeanRows(l[0]))); }},
+      {"kl", 2, 1, 4,
+       [](const std::vector<Var>& l) { return GaussianKl(l[0], l[1]); }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsBySeeds, OpGradientTest,
+    ::testing::Combine(::testing::ValuesIn(AllOpCases()),
+                       ::testing::Values(1u, 7u, 1234u)),
+    [](const ::testing::TestParamInfo<std::tuple<OpCase, uint64_t>>& info) {
+      return std::string(std::get<0>(info.param).name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- Algebraic laws -------------------------------------------------------
+
+class AutogradLawTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutogradLawTest, GradOfSumIsSumOfGrads) {
+  Rng rng(GetParam());
+  Tensor init = Tensor::Randn(2, 3, &rng);
+  // d(f+g)/dx == df/dx + dg/dx.
+  Var x1 = Parameter(init);
+  Backward(Add(SumAll(Square(x1)), SumAll(Tanh(x1))));
+  Var x2 = Parameter(init);
+  Backward(SumAll(Square(x2)));
+  Var x3 = Parameter(init);
+  Backward(SumAll(Tanh(x3)));
+  for (int64_t i = 0; i < init.size(); ++i) {
+    EXPECT_NEAR(x1->grad.at(i), x2->grad.at(i) + x3->grad.at(i), 1e-5f);
+  }
+}
+
+TEST_P(AutogradLawTest, ScaleCommutesWithGradient) {
+  Rng rng(GetParam() + 100);
+  Tensor init = Tensor::Randn(1, 5, &rng);
+  Var a = Parameter(init);
+  Backward(Scale(SumAll(Square(a)), 3.0f));
+  Var b = Parameter(init);
+  Backward(SumAll(Square(b)));
+  for (int64_t i = 0; i < init.size(); ++i) {
+    EXPECT_NEAR(a->grad.at(i), 3.0f * b->grad.at(i), 1e-4f);
+  }
+}
+
+TEST_P(AutogradLawTest, ConstantsReceiveNoGradient) {
+  Rng rng(GetParam() + 200);
+  Var c = Constant(Tensor::Randn(2, 2, &rng));
+  Var p = Parameter(Tensor::Randn(2, 2, &rng));
+  Backward(SumAll(Mul(c, p)));
+  EXPECT_FALSE(c->grad.SameShape(c->value)) << "constant grad must stay unallocated";
+  EXPECT_TRUE(p->grad.SameShape(p->value));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradLawTest, ::testing::Values(3u, 17u, 99u));
+
+// ---- Module invariants across widths ---------------------------------------
+
+class MlpShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MlpShapeTest, ForwardShapeAndParamCount) {
+  const auto& [in, hidden, layers] = GetParam();
+  Rng rng(5);
+  Mlp mlp(in, hidden, 7, layers, &rng);
+  EXPECT_EQ(mlp.Parameters().size(), static_cast<size_t>(layers + 1) * 2);
+  Var out = mlp.Forward(Constant(Tensor::Randn(3, in, &rng)));
+  EXPECT_EQ(out->value.rows(), 3);
+  EXPECT_EQ(out->value.cols(), 7);
+  // Parameter count formula: sum of (in*out + out) per layer.
+  int64_t expected = 0;
+  int64_t cur = in;
+  for (int i = 0; i < layers; ++i) {
+    expected += cur * hidden + hidden;
+    cur = hidden;
+  }
+  expected += cur * 7 + 7;
+  EXPECT_EQ(mlp.NumParameters(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MlpShapeTest,
+                         ::testing::Combine(::testing::Values(4, 16),
+                                            ::testing::Values(8, 32),
+                                            ::testing::Values(0, 2, 5)));
+
+}  // namespace
+}  // namespace nn
+}  // namespace qps

@@ -1,0 +1,194 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/plan.h"
+#include "storage/schemas.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace query {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    auto db = storage::BuildDatabase(storage::ToySpec(), 100, &rng);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+  }
+  std::unique_ptr<storage::Database> db_;
+};
+
+TEST_F(QueryTest, ParseSimpleJoinQuery) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND a.a2 > 3;",
+      *db_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_relations(), 3);
+  EXPECT_EQ(q->joins.size(), 2u);
+  EXPECT_EQ(q->filters.size(), 1u);
+  EXPECT_TRUE(q->IsConnected());
+  // Joins matching schema FKs get a schema edge id.
+  EXPECT_GE(q->joins[0].schema_edge, 0);
+}
+
+TEST_F(QueryTest, ParseWithAliasesAndSelfJoin) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM b b1x, b b2x, a WHERE b1x.b1 = a.id AND b2x.b1 = a.id;",
+      *db_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_relations(), 3);
+  EXPECT_EQ(q->relations[0].table_id, q->relations[1].table_id);
+  EXPECT_TRUE(q->IsConnected());
+}
+
+TEST_F(QueryTest, ParserRejectsBadInput) {
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM ghost;", *db_).ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM a WHERE a.nope = 1;", *db_).ok());
+  EXPECT_FALSE(ParseSql("FROM a;", *db_).ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM a, a;", *db_).ok())
+      << "duplicate alias must be rejected";
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM a WHERE a.a2 <", *db_).ok());
+  EXPECT_FALSE(ParseSql("SELECT COUNT(*) FROM a WHERE a.a2 = 'oops", *db_).ok());
+  // Non-equi join predicates are unsupported.
+  EXPECT_FALSE(
+      ParseSql("SELECT COUNT(*) FROM a, b WHERE a.id < b.b1;", *db_).ok());
+}
+
+TEST_F(QueryTest, ToSqlRoundTripsThroughParser) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 <= 5;", *db_);
+  ASSERT_TRUE(q.ok());
+  const std::string sql = q->ToSql(*db_);
+  auto q2 = ParseSql(sql, *db_);
+  ASSERT_TRUE(q2.ok()) << sql << " -> " << q2.status().ToString();
+  EXPECT_EQ(q2->num_relations(), q->num_relations());
+  EXPECT_EQ(q2->joins.size(), q->joins.size());
+  EXPECT_EQ(q2->filters.size(), q->filters.size());
+}
+
+TEST_F(QueryTest, FiltersForSelectsByRelation) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 > 1 AND b.b3 = 2;", *db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->FiltersFor(0).size(), 1u);
+  EXPECT_EQ(q->FiltersFor(1).size(), 1u);
+  EXPECT_EQ(q->FiltersFor(2).size(), 0u);
+}
+
+TEST_F(QueryTest, DisconnectedQueryDetected) {
+  auto q = ParseSql("SELECT COUNT(*) FROM a, c;", *db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsConnected());
+}
+
+TEST_F(QueryTest, BuildLeftDeepPlanStructure) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  auto plan = BuildLeftDeepPlan(*q, {0, 1, 2},
+                                {OpType::kSeqScan, OpType::kIndexScan, OpType::kSeqScan},
+                                {OpType::kHashJoin, OpType::kMergeJoin});
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->NumNodes(), 5);
+  EXPECT_EQ(plan->op, OpType::kMergeJoin);
+  EXPECT_EQ(plan->left->op, OpType::kHashJoin);
+  EXPECT_TRUE(plan->right->is_leaf());
+  EXPECT_EQ(plan->RelMask(), 0b111u);
+  EXPECT_EQ(plan->left->RelMask(), 0b011u);
+}
+
+TEST_F(QueryTest, BuildLeftDeepPlanRejectsCrossProduct) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  // Order (a, c, b): a-c have no join predicate.
+  auto plan = BuildLeftDeepPlan(*q, {0, 2, 1},
+                                {OpType::kSeqScan, OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin, OpType::kHashJoin});
+  EXPECT_EQ(plan, nullptr);
+}
+
+TEST_F(QueryTest, PlanCloneIsDeep) {
+  auto q = ParseSql("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  auto plan = BuildLeftDeepPlan(*q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  ASSERT_NE(plan, nullptr);
+  plan->estimated.cardinality = 42.0;
+  auto copy = plan->Clone();
+  copy->estimated.cardinality = 7.0;
+  copy->left->op = OpType::kIndexScan;
+  EXPECT_EQ(plan->estimated.cardinality, 42.0);
+  EXPECT_EQ(plan->left->op, OpType::kSeqScan);
+}
+
+TEST_F(QueryTest, PostOrderVisitsChildrenFirst) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  auto plan = BuildLeftDeepPlan(*q, {0, 1, 2},
+                                {OpType::kSeqScan, OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin, OpType::kHashJoin});
+  std::vector<bool> leaf_flags;
+  plan->PostOrder([&](const PlanNode& n) { leaf_flags.push_back(n.is_leaf()); });
+  ASSERT_EQ(leaf_flags.size(), 5u);
+  // Left-deep: leaf, leaf, join, leaf, join.
+  EXPECT_TRUE(leaf_flags[0]);
+  EXPECT_TRUE(leaf_flags[1]);
+  EXPECT_FALSE(leaf_flags[2]);
+  EXPECT_TRUE(leaf_flags[3]);
+  EXPECT_FALSE(leaf_flags[4]);
+}
+
+TEST_F(QueryTest, EnumerateJoinOrdersConnectedOnly) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  auto orders = EnumerateJoinOrders(*q, 100);
+  // Chain a-b-c: connected permutations are abc, bac, bca, cba (and b first
+  // both directions): {a,b,c},{b,a,c},{b,c,a},{c,b,a}.
+  EXPECT_EQ(orders.size(), 4u);
+  for (const auto& order : orders) {
+    auto plan = BuildLeftDeepPlan(
+        *q, order, std::vector<OpType>(3, OpType::kSeqScan),
+        std::vector<OpType>(2, OpType::kHashJoin));
+    EXPECT_NE(plan, nullptr) << "every enumerated order must be plannable";
+  }
+}
+
+TEST_F(QueryTest, EnumerateJoinOrdersHonorsLimit) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(EnumerateJoinOrders(*q, 2).size(), 2u);
+}
+
+TEST_F(QueryTest, SingleRelationOrder) {
+  auto q = ParseSql("SELECT COUNT(*) FROM a WHERE a.a2 = 1;", *db_);
+  ASSERT_TRUE(q.ok());
+  auto orders = EnumerateJoinOrders(*q, 10);
+  ASSERT_EQ(orders.size(), 1u);
+  auto plan = BuildLeftDeepPlan(*q, orders[0], {OpType::kIndexScan}, {});
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->is_leaf());
+}
+
+TEST(OpTypeTest, Classification) {
+  EXPECT_TRUE(IsScan(OpType::kSeqScan));
+  EXPECT_TRUE(IsScan(OpType::kIndexScan));
+  EXPECT_TRUE(IsScan(OpType::kBitmapIndexScan));
+  EXPECT_TRUE(IsJoin(OpType::kHashJoin));
+  EXPECT_TRUE(IsJoin(OpType::kMergeJoin));
+  EXPECT_TRUE(IsJoin(OpType::kNestedLoopJoin));
+  EXPECT_EQ(ScanOps().size(), 3u);
+  EXPECT_EQ(JoinOps().size(), 3u);
+  EXPECT_STREQ(OpTypeName(OpType::kHashJoin), "HashJoin");
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace qps

@@ -1,0 +1,155 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include "sampling/plan_sampler.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace sampling {
+namespace {
+
+class SamplingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    auto db = storage::BuildDatabase(storage::ToySpec(), 300, &rng);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    stats_ = stats::DatabaseStats::Analyze(*db_);
+    cards_ = std::make_unique<optimizer::CardinalityEstimator>(*db_, *stats_);
+  }
+
+  query::Query Parse(const std::string& sql) {
+    auto q = query::ParseSql(sql, *db_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return std::move(q).value();
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<stats::DatabaseStats> stats_;
+  std::unique_ptr<optimizer::CardinalityEstimator> cards_;
+};
+
+TEST_F(SamplingTest, SamplesAreSortedByCostAndCapped) {
+  auto q = Parse(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND a.a2 < 8;");
+  SamplerOptions opts;
+  opts.candidates_per_order = 5;
+  opts.max_plans_per_query = 6;
+  PlanSampler sampler(*db_, *cards_, opts);
+  Rng rng(2);
+  auto plans = sampler.SamplePlans(q, &rng);
+  ASSERT_FALSE(plans.empty());
+  EXPECT_LE(plans.size(), 6u);
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1]->estimated.cost, plans[i]->estimated.cost);
+  }
+  for (const auto& p : plans) {
+    EXPECT_EQ(p->RelMask(), 0b111u);
+  }
+}
+
+TEST_F(SamplingTest, KeepFractionRoughlyRespected) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;");
+  SamplerOptions opts;
+  opts.candidates_per_order = 10;
+  opts.keep_fraction = 0.15;
+  opts.max_plans_per_query = 1000;
+  PlanSampler sampler(*db_, *cards_, opts);
+  Rng rng(3);
+  auto plans = sampler.SamplePlans(q, &rng);
+  // 4 connected orders x 10 candidates = 40 (minus cross-product rejects,
+  // which cannot happen for connected orders); 15% of 40 = 6.
+  EXPECT_NEAR(static_cast<double>(plans.size()), 6.0, 2.0);
+}
+
+TEST_F(SamplingTest, SamplingIsDeterministicPerSeed) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  PlanSampler sampler(*db_, *cards_);
+  Rng rng1(7), rng2(7);
+  auto p1 = sampler.SamplePlans(q, &rng1);
+  auto p2 = sampler.SamplePlans(q, &rng2);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i]->estimated.cost, p2[i]->estimated.cost);
+    EXPECT_EQ(p1[i]->op, p2[i]->op);
+  }
+}
+
+TEST_F(SamplingTest, DatasetFromOptimizerHasOneQepPerQuery) {
+  std::vector<query::Query> queries = {
+      Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;"),
+      Parse("SELECT COUNT(*) FROM b, c WHERE c.c1 = b.id AND b.b3 > 2;"),
+  };
+  DatasetOptions opts;
+  opts.source = PlanSource::kOptimizer;
+  Rng rng(4);
+  auto ds = BuildQepDataset(*db_, *stats_, std::move(queries), opts, &rng);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->qeps.size(), 2u);
+  EXPECT_EQ(ds->aborted, 0);
+  for (const auto& qep : ds->qeps) {
+    qep.plan->PostOrder([](const query::PlanNode& n) {
+      EXPECT_GT(n.actual.runtime_ms, 0.0) << "labels must be filled";
+    });
+  }
+}
+
+TEST_F(SamplingTest, DatasetFromSamplingHasManyQepsPerQuery) {
+  std::vector<query::Query> queries = {
+      Parse("SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;"),
+  };
+  DatasetOptions opts;
+  opts.source = PlanSource::kSampled;
+  opts.sampler.candidates_per_order = 6;
+  Rng rng(5);
+  auto ds = BuildQepDataset(*db_, *stats_, std::move(queries), opts, &rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_GT(ds->qeps.size(), 1u);
+  for (const auto& qep : ds->qeps) EXPECT_EQ(qep.query_id, 0);
+}
+
+TEST_F(SamplingTest, LabelsVaryAcrossPlansOfSameQuery) {
+  std::vector<query::Query> queries = {
+      Parse("SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;"),
+  };
+  DatasetOptions opts;
+  opts.source = PlanSource::kSampled;
+  opts.sampler.candidates_per_order = 8;
+  opts.sampler.keep_fraction = 0.5;
+  Rng rng(6);
+  auto ds = BuildQepDataset(*db_, *stats_, std::move(queries), opts, &rng);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_GT(ds->qeps.size(), 2u);
+  // Root cardinality is plan-invariant; runtimes differ across plans.
+  double card0 = ds->qeps[0].plan->actual.cardinality;
+  bool runtime_varies = false;
+  for (const auto& qep : ds->qeps) {
+    EXPECT_EQ(qep.plan->actual.cardinality, card0);
+    if (qep.plan->actual.runtime_ms != ds->qeps[0].plan->actual.runtime_ms) {
+      runtime_varies = true;
+    }
+  }
+  EXPECT_TRUE(runtime_varies);
+}
+
+TEST_F(SamplingTest, AbortedPlansAreDroppedAndCounted) {
+  std::vector<query::Query> queries = {
+      Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;"),
+  };
+  DatasetOptions opts;
+  opts.source = PlanSource::kSampled;
+  opts.exec.max_intermediate_rows = 3;  // everything aborts
+  Rng rng(7);
+  auto ds = BuildQepDataset(*db_, *stats_, std::move(queries), opts, &rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->qeps.size(), 0u);
+  EXPECT_GT(ds->aborted, 0);
+}
+
+}  // namespace
+}  // namespace sampling
+}  // namespace qps

@@ -1,0 +1,130 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/analyze.h"
+#include "storage/schemas.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace stats {
+namespace {
+
+using storage::CompareOp;
+
+std::vector<double> Uniform01(int n, Rng* rng) {
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) v.push_back(rng->Uniform());
+  return v;
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  EquiDepthHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLt, 5.0), 0.33, 1e-9);
+}
+
+TEST(HistogramTest, FractionBelowOnUniform) {
+  Rng rng(1);
+  auto h = EquiDepthHistogram::Build(Uniform01(20000, &rng), 32);
+  EXPECT_NEAR(h.FractionBelow(0.25), 0.25, 0.02);
+  EXPECT_NEAR(h.FractionBelow(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.FractionBelow(0.9), 0.9, 0.02);
+  EXPECT_EQ(h.FractionBelow(-1.0), 0.0);
+  EXPECT_EQ(h.FractionBelow(2.0), 1.0);
+}
+
+TEST(HistogramTest, RangeSelectivities) {
+  Rng rng(2);
+  auto h = EquiDepthHistogram::Build(Uniform01(20000, &rng), 32);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kLt, 0.3), 0.3, 0.03);
+  EXPECT_NEAR(h.Selectivity(CompareOp::kGt, 0.3), 0.7, 0.03);
+  const double le = h.Selectivity(CompareOp::kLe, 0.3);
+  const double gt = h.Selectivity(CompareOp::kGt, 0.3);
+  EXPECT_NEAR(le + gt, 1.0, 1e-6);
+}
+
+TEST(HistogramTest, SkewedDataQuantilesFollowSkew) {
+  Rng rng(3);
+  ZipfDistribution zipf(1000, 1.2);
+  std::vector<double> v;
+  for (int i = 0; i < 30000; ++i) v.push_back(static_cast<double>(zipf.Sample(&rng)));
+  auto h = EquiDepthHistogram::Build(std::move(v), 16);
+  // More than half the mass sits at small ranks.
+  EXPECT_GT(h.FractionBelow(10.0), 0.5);
+}
+
+TEST(HistogramTest, ConditionalEntropyShrinksWithSelectivity) {
+  Rng rng(4);
+  auto h = EquiDepthHistogram::Build(Uniform01(10000, &rng), 32);
+  const double full = h.ConditionalEntropy(CompareOp::kNe, 0.0);
+  const double half = h.ConditionalEntropy(CompareOp::kLt, 0.5);
+  const double tiny = h.ConditionalEntropy(CompareOp::kLt, 0.05);
+  EXPECT_GT(full, half);
+  EXPECT_GT(half, tiny);
+}
+
+TEST(ColumnStatsTest, MomentsAndDistinct) {
+  storage::Column col("x", storage::DataType::kInt64);
+  for (int i = 0; i < 100; ++i) col.AppendInt(i % 10);
+  auto cs = ComputeColumnStats(col, 8, 4);
+  EXPECT_EQ(cs.row_count, 100);
+  EXPECT_EQ(cs.distinct_count, 10);
+  EXPECT_EQ(cs.min, 0.0);
+  EXPECT_EQ(cs.max, 9.0);
+  EXPECT_NEAR(cs.mean, 4.5, 1e-9);
+}
+
+TEST(ColumnStatsTest, McvCapturesHeavyHitter) {
+  storage::Column col("x", storage::DataType::kInt64);
+  for (int i = 0; i < 900; ++i) col.AppendInt(7);
+  for (int i = 0; i < 100; ++i) col.AppendInt(i);
+  auto cs = ComputeColumnStats(col, 8, 4);
+  const double f = cs.mcv.FractionFor(7.0);
+  EXPECT_NEAR(f, 0.9, 0.01);
+  // Equality selectivity uses the MCV for the hitter...
+  EXPECT_NEAR(cs.Selectivity(CompareOp::kEq, 7.0), 0.9, 0.01);
+  // ...and the uniform remainder otherwise.
+  EXPECT_LT(cs.Selectivity(CompareOp::kEq, 3.0), 0.05);
+}
+
+TEST(ColumnStatsTest, NeComplementsEq) {
+  storage::Column col("x", storage::DataType::kInt64);
+  for (int i = 0; i < 100; ++i) col.AppendInt(i % 4);
+  auto cs = ComputeColumnStats(col, 8, 4);
+  EXPECT_NEAR(cs.Selectivity(CompareOp::kEq, 1.0) + cs.Selectivity(CompareOp::kNe, 1.0),
+              1.0, 1e-9);
+}
+
+TEST(AnalyzeTest, CoversWholeDatabase) {
+  Rng rng(5);
+  auto db = storage::BuildDatabase(storage::ToySpec(), 300, &rng);
+  ASSERT_TRUE(db.ok());
+  auto stats = DatabaseStats::Analyze(**db);
+  ASSERT_EQ(stats->num_tables(), 3);
+  const int b = (*db)->TableIndex("b");
+  EXPECT_EQ(stats->table(b).row_count, (*db)->table(b).num_rows());
+  const auto& pk_stats = stats->column(b, 0);
+  EXPECT_EQ(pk_stats.distinct_count, (*db)->table(b).num_rows());
+}
+
+TEST(AnalyzeTest, SelectivityMatchesTruthOnGeneratedData) {
+  Rng rng(6);
+  auto db = storage::BuildDatabase(storage::ToySpec(), 2000, &rng);
+  ASSERT_TRUE(db.ok());
+  auto stats = DatabaseStats::Analyze(**db);
+  const int a = (*db)->TableIndex("a");
+  const auto& col = (*db)->table(a).column(1);  // zipf a2
+  const auto& cs = stats->column(a, 1);
+  // Compare estimated vs true selectivity of a2 <= 3.
+  int64_t true_count = 0;
+  for (int64_t r = 0; r < col.size(); ++r) true_count += col.GetDouble(r) <= 3.0;
+  const double truth = static_cast<double>(true_count) / static_cast<double>(col.size());
+  EXPECT_NEAR(cs.Selectivity(CompareOp::kLe, 3.0), truth, 0.08);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace qps

@@ -1,0 +1,182 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/scale.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::OK().IsNotFound());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseParse(int x, int* out) {
+  QPS_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto good = ParsePositive(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UseParse(-2, &out).ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-3}, int64_t{4});
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 4);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(42);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(ZipfTest, RankOneMostFrequent) {
+  Rng rng(13);
+  ZipfDistribution zipf(100, 1.1);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[1], counts[50] * 5);
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
+}
+
+TEST(StringUtilTest, SplitTrimLowerJoin) {
+  auto parts = StrSplit("a, b ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(StrTrim(parts[1]), "b");
+  EXPECT_EQ(StrLower("AbC"), "abc");
+  EXPECT_EQ(StrJoin({"x", "y"}, "|"), "x|y");
+  EXPECT_TRUE(StartsWith("select *", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyTokens) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(ScaleTest, EnvParsing) {
+  setenv("QPS_SCALE", "paper", 1);
+  EXPECT_EQ(GetScaleFromEnv(), Scale::kPaper);
+  setenv("QPS_SCALE", "smoke", 1);
+  EXPECT_EQ(GetScaleFromEnv(), Scale::kSmoke);
+  setenv("QPS_SCALE", "garbage", 1);
+  EXPECT_EQ(GetScaleFromEnv(Scale::kCi), Scale::kCi);
+  unsetenv("QPS_SCALE");
+  EXPECT_EQ(GetScaleFromEnv(Scale::kSmoke), Scale::kSmoke);
+}
+
+}  // namespace
+}  // namespace qps
