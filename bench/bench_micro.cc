@@ -17,6 +17,7 @@
 #include "sampling/plan_sampler.h"
 #include "storage/schemas.h"
 #include "tabert/tabsketch.h"
+#include "util/fault.h"
 
 namespace qps {
 namespace {
@@ -233,6 +234,42 @@ void BM_QpSeekerPredictPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QpSeekerPredictPlan);
+
+// ---- fault injection ----------------------------------------------------
+//
+// PredictPlan carries the "vae.forward" fault point on its hot path; the
+// pair below demonstrates the disarmed registry costs ≤1% (one relaxed
+// atomic load per call — compare against BM_QpSeekerPredictPlan).
+
+void BM_FaultPointDisarmed(benchmark::State& state) {
+  fault::FaultInjector::Global().DisarmAll();
+  for (auto _ : state) {
+    Status st = fault::Check("bench.disarmed");
+    benchmark::DoNotOptimize(st.ok());
+    benchmark::DoNotOptimize(fault::CorruptDouble("bench.disarmed", 1.0));
+  }
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+void BM_QpSeekerPredictPlanFaultArmed(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto& mfx = ModelFixture::Get();
+  auto plan = BuildLeftDeepPlan(
+      fx.two_join, {0, 1, 2},
+      {query::OpType::kSeqScan, query::OpType::kSeqScan, query::OpType::kSeqScan},
+      {query::OpType::kHashJoin, query::OpType::kHashJoin});
+  // An armed-but-never-firing spec on an unrelated point: the worst case for
+  // the hot path, which must now take the registry lock on every check.
+  fault::FaultSpec spec;
+  spec.probability = 0.0;
+  fault::FaultInjector::Global().Arm("bench.unrelated", spec);
+  for (auto _ : state) {
+    auto pred = mfx.model->PredictPlan(fx.two_join, *plan);
+    benchmark::DoNotOptimize(pred.runtime_ms);
+  }
+  fault::FaultInjector::Global().DisarmAll();
+}
+BENCHMARK(BM_QpSeekerPredictPlanFaultArmed);
 
 void BM_MctsRollouts(benchmark::State& state) {
   auto& fx = ExecFixture::Get();

@@ -6,17 +6,24 @@
 // planner, executes it, and prints EXPLAIN ANALYZE output.
 //
 // Usage:
-//   qpsql [--db=imdb|stack|toy] [--rows=N] [--planner=baseline|neural|hybrid]
-//         [--train-queries=N] [--seed=N]
+//   qpsql [--db=imdb|stack|toy] [--rows=N]
+//         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
+//         [--seed=N]
 //
 //   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
 //
-// Meta-commands: \tables  \schema <table>  \quit
+// --planner=guarded serves through the GuardedPlanner: every neural plan is
+// validated, NaN scores and blown deadlines degrade to greedy then to the
+// DP planner, and a circuit breaker sheds neural traffic after repeated
+// failures. \guards prints the accumulated GuardStats.
+//
+// Meta-commands: \tables  \schema <table>  \guards  \quit
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "core/guarded_planner.h"
 #include "core/hybrid.h"
 #include "core/qpseeker.h"
 #include "eval/workloads.h"
@@ -157,6 +164,13 @@ int main(int argc, char** argv) {
   if (opts.planner == "hybrid") {
     hybrid = std::make_unique<core::HybridPlanner>(model.get(), &baseline, hopts);
   }
+  std::unique_ptr<core::GuardedPlanner> guarded;
+  if (opts.planner == "guarded") {
+    core::GuardedOptions gopts;
+    gopts.hybrid = hopts;
+    gopts.neural_deadline_ms = hopts.mcts.time_budget_ms;
+    guarded = std::make_unique<core::GuardedPlanner>(model.get(), &baseline, gopts);
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -169,6 +183,15 @@ int main(int argc, char** argv) {
     }
     if (StartsWith(sql, "\\schema")) {
       PrintSchema(*db, StrTrim(sql.substr(7)));
+      continue;
+    }
+    if (sql == "\\guards") {
+      if (guarded) {
+        std::printf("%s\n", guarded->stats().ToString().c_str());
+        std::printf("circuit: %s\n", guarded->circuit_open() ? "OPEN" : "closed");
+      } else {
+        std::printf("\\guards requires --planner=guarded\n");
+      }
       continue;
     }
 
@@ -203,6 +226,17 @@ int main(int argc, char** argv) {
       }
       std::printf("-- hybrid took the %s path\n", p->used_neural ? "neural" : "DP");
       plan = std::move(p->plan);
+    } else if (opts.planner == "guarded") {
+      auto p = guarded->Plan(*q);
+      if (!p.ok()) {
+        std::printf("plan error: %s\n", p.status().ToString().c_str());
+        continue;
+      }
+      std::printf("-- guarded served from the %s stage%s%s\n",
+                  core::PlanStageName(p->stage),
+                  p->fallback_reason.empty() ? "" : " after ",
+                  p->fallback_reason.c_str());
+      plan = std::move(p->plan);
     } else {
       std::fprintf(stderr, "unknown --planner: %s\n", opts.planner.c_str());
       return 2;
@@ -216,6 +250,10 @@ int main(int argc, char** argv) {
     std::printf("EXPLAIN ANALYZE:\n%s", plan->ToString(*db, *q, true).c_str());
     std::printf("count(*) = %.0f   (%.2f ms simulated)\n\n", *card,
                 plan->actual.runtime_ms);
+  }
+  if (guarded) {
+    std::fprintf(stderr, "qpsql guard stats: %s\n",
+                 guarded->stats().ToString().c_str());
   }
   return 0;
 }

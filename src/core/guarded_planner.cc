@@ -1,0 +1,189 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "core/guarded_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace qps {
+namespace core {
+
+const char* PlanStageName(PlanStage stage) {
+  switch (stage) {
+    case PlanStage::kNeural:
+      return "neural";
+    case PlanStage::kGreedy:
+      return "greedy";
+    case PlanStage::kTraditional:
+      return "traditional";
+  }
+  return "?";
+}
+
+std::string GuardStats::ToString() const {
+  return StrFormat(
+      "requests=%lld neural=%lld/%lld (invalid=%lld nan=%lld deadline=%lld "
+      "error=%lld) greedy=%lld/%lld traditional=%lld/%lld circuit "
+      "opens=%lld closes=%lld short_circuits=%lld",
+      static_cast<long long>(requests), static_cast<long long>(neural_success),
+      static_cast<long long>(neural_attempts),
+      static_cast<long long>(neural_invalid_plan), static_cast<long long>(neural_nan),
+      static_cast<long long>(neural_deadline), static_cast<long long>(neural_error),
+      static_cast<long long>(greedy_success), static_cast<long long>(greedy_attempts),
+      static_cast<long long>(traditional_success),
+      static_cast<long long>(traditional_attempts),
+      static_cast<long long>(circuit_opens), static_cast<long long>(circuit_closes),
+      static_cast<long long>(circuit_short_circuits));
+}
+
+GuardedPlanner::GuardedPlanner(const QpSeeker* model,
+                               const optimizer::Planner* baseline,
+                               GuardedOptions options)
+    : model_(model), baseline_(baseline), options_(std::move(options)) {}
+
+double GuardedPlanner::NowMs() const {
+  if (options_.now_ms) return options_.now_ms();
+  static Timer process_timer;
+  return process_timer.ElapsedMillis();
+}
+
+void GuardedPlanner::RecordNeuralOutcome(bool success) {
+  window_.push_back(!success);
+  while (static_cast<int>(window_.size()) > options_.breaker_window) {
+    window_.pop_front();
+  }
+  const int failures =
+      static_cast<int>(std::count(window_.begin(), window_.end(), true));
+  if (!circuit_open_ && failures >= options_.breaker_threshold) {
+    circuit_open_ = true;
+    circuit_opened_at_ms_ = NowMs();
+    stats_.circuit_opens += 1;
+    window_.clear();
+  }
+}
+
+void GuardedPlanner::MaybeCloseCircuit() {
+  if (!circuit_open_) return;
+  if (NowMs() - circuit_opened_at_ms_ >= options_.breaker_cooldown_ms) {
+    circuit_open_ = false;
+    stats_.circuit_closes += 1;
+  }
+}
+
+Status GuardedPlanner::TryNeural(const query::Query& q, GuardedResult* out) {
+  stats_.neural_attempts += 1;
+  MctsOptions mopts = options_.hybrid.mcts;
+  if (options_.neural_deadline_ms > 0.0) {
+    mopts.time_budget_ms = std::min(mopts.time_budget_ms, options_.neural_deadline_ms);
+    mopts.hard_deadline_ms = options_.neural_deadline_ms * options_.deadline_slack;
+  }
+  auto mcts = MctsPlan(*model_, q, mopts);
+  if (!mcts.ok()) {
+    const Status& st = mcts.status();
+    if (st.IsResourceExhausted()) {
+      stats_.neural_deadline += 1;
+    } else if (st.message().find("non-finite") != std::string::npos) {
+      stats_.neural_nan += 1;
+    } else {
+      stats_.neural_error += 1;
+    }
+    return st;
+  }
+  if (!std::isfinite(mcts->predicted_runtime_ms)) {
+    stats_.neural_nan += 1;
+    return Status::Internal("non-finite MCTS plan score");
+  }
+  if (options_.validate_plans) {
+    Status valid = query::ValidatePlan(q, *mcts->plan);
+    if (!valid.ok()) {
+      stats_.neural_invalid_plan += 1;
+      return valid;
+    }
+  }
+  stats_.neural_success += 1;
+  out->plan = std::move(mcts->plan);
+  out->stage = PlanStage::kNeural;
+  out->used_neural = true;
+  out->plans_evaluated = mcts->plans_evaluated;
+  return Status::OK();
+}
+
+Status GuardedPlanner::TryGreedy(const query::Query& q, GuardedResult* out) {
+  stats_.greedy_attempts += 1;
+  auto greedy = GreedyPlan(*model_, q);
+  Status st = greedy.ok() ? Status::OK() : greedy.status();
+  if (st.ok() && !std::isfinite(greedy->predicted_runtime_ms)) {
+    st = Status::Internal("non-finite greedy plan score");
+  }
+  if (st.ok() && options_.validate_plans) st = query::ValidatePlan(q, *greedy->plan);
+  if (!st.ok()) {
+    stats_.greedy_failures += 1;
+    return st;
+  }
+  stats_.greedy_success += 1;
+  out->plan = std::move(greedy->plan);
+  out->stage = PlanStage::kGreedy;
+  out->used_neural = true;
+  out->plans_evaluated = greedy->plans_evaluated;
+  return Status::OK();
+}
+
+Status GuardedPlanner::TryTraditional(const query::Query& q, GuardedResult* out) {
+  stats_.traditional_attempts += 1;
+  auto plan = baseline_->Plan(q);
+  Status st = plan.ok() ? Status::OK() : plan.status();
+  if (st.ok() && options_.validate_plans) st = query::ValidatePlan(q, **plan);
+  if (!st.ok()) {
+    stats_.traditional_failures += 1;
+    return st;
+  }
+  stats_.traditional_success += 1;
+  out->plan = std::move(*plan);
+  out->stage = PlanStage::kTraditional;
+  out->used_neural = false;
+  out->plans_evaluated = 0;
+  return Status::OK();
+}
+
+StatusOr<GuardedResult> GuardedPlanner::Plan(const query::Query& q) {
+  stats_.requests += 1;
+  Timer timer;
+  GuardedResult result;
+
+  const bool neural_eligible =
+      model_ != nullptr &&
+      q.num_relations() >= options_.hybrid.neural_min_relations;
+
+  if (neural_eligible) {
+    MaybeCloseCircuit();
+    if (circuit_open_) {
+      stats_.circuit_short_circuits += 1;
+      result.fallback_reason = "circuit open";
+    } else {
+      Status neural = TryNeural(q, &result);
+      RecordNeuralOutcome(neural.ok());
+      if (neural.ok()) {
+        result.planning_ms = timer.ElapsedMillis();
+        return result;
+      }
+      result.fallback_reason = "neural: " + neural.ToString();
+      Status greedy = TryGreedy(q, &result);
+      if (greedy.ok()) {
+        result.planning_ms = timer.ElapsedMillis();
+        return result;
+      }
+      result.fallback_reason += "; greedy: " + greedy.ToString();
+    }
+  }
+
+  Status traditional = TryTraditional(q, &result);
+  if (!traditional.ok()) return traditional;
+  result.planning_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace core
+}  // namespace qps

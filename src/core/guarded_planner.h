@@ -1,0 +1,147 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Guarded planning pipeline: HybridPlanner's routing, hardened for serving.
+// A learned planner is only deployable when it degrades gracefully on model
+// misbehavior (paper §7.3's hybrid direction taken to production), so every
+// neural plan is validated and score-checked, and failures walk a
+// degradation ladder:
+//
+//   neural MCTS (deadline-enforced) -> GreedyPlan -> traditional DP planner
+//
+// A sliding-window circuit breaker watches the primary (MCTS) outcomes:
+// after `breaker_threshold` failures inside the last `breaker_window`
+// attempts the circuit opens and traffic routes straight to the traditional
+// planner for `breaker_cooldown_ms`, then closes and neural planning is
+// retried. All transitions and fallbacks are counted in GuardStats.
+//
+// With every fault point disarmed and no failures, the pipeline is
+// behavior-identical to HybridPlanner (same options, same MCTS seed, same
+// plans) — guarded_planner_test asserts byte-identical rendered plans.
+
+#ifndef QPS_CORE_GUARDED_PLANNER_H_
+#define QPS_CORE_GUARDED_PLANNER_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "core/hybrid.h"
+
+namespace qps {
+namespace core {
+
+struct GuardedOptions {
+  /// Routing + MCTS options, exactly as HybridPlanner consumes them.
+  HybridOptions hybrid;
+
+  /// Planning deadline for the neural path (0 = rely on the MCTS time
+  /// budget alone). When set, the MCTS budget is clamped to it and blowing
+  /// `deadline_slack` times the deadline counts as a neural failure.
+  double neural_deadline_ms = 0.0;
+  double deadline_slack = 4.0;
+
+  /// Run query::ValidatePlan on every plan before returning it.
+  bool validate_plans = true;
+
+  /// Circuit breaker: open after `breaker_threshold` MCTS failures within
+  /// the last `breaker_window` attempts; stay open for
+  /// `breaker_cooldown_ms`, then close and try neural planning again.
+  int breaker_window = 16;
+  int breaker_threshold = 4;
+  double breaker_cooldown_ms = 1000.0;
+
+  /// Injectable clock (milliseconds, monotonic) for deterministic breaker
+  /// tests. Defaults to steady_clock.
+  std::function<double()> now_ms;
+};
+
+/// Which rung of the degradation ladder produced the plan.
+enum class PlanStage { kNeural, kGreedy, kTraditional };
+
+const char* PlanStageName(PlanStage stage);
+
+/// Per-stage fallback and circuit-breaker counters, exported for serving
+/// dashboards (see qpsql's \guards meta-command).
+struct GuardStats {
+  int64_t requests = 0;
+
+  int64_t neural_attempts = 0;
+  int64_t neural_success = 0;
+  int64_t neural_invalid_plan = 0;  ///< ValidatePlan rejected the MCTS plan
+  int64_t neural_nan = 0;           ///< non-finite model score
+  int64_t neural_deadline = 0;      ///< planning deadline blown
+  int64_t neural_error = 0;         ///< other Status failures (incl. faults)
+
+  int64_t greedy_attempts = 0;
+  int64_t greedy_success = 0;
+  int64_t greedy_failures = 0;
+
+  int64_t traditional_attempts = 0;
+  int64_t traditional_success = 0;
+  int64_t traditional_failures = 0;
+
+  int64_t circuit_opens = 0;
+  int64_t circuit_closes = 0;
+  int64_t circuit_short_circuits = 0;  ///< requests routed while open
+
+  int64_t NeuralFailures() const {
+    return neural_invalid_plan + neural_nan + neural_deadline + neural_error;
+  }
+
+  std::string ToString() const;
+};
+
+struct GuardedResult {
+  query::PlanPtr plan;
+  PlanStage stage = PlanStage::kTraditional;
+  bool used_neural = false;        ///< model consulted (neural or greedy rung)
+  double planning_ms = 0.0;        ///< whole-ladder planning time
+  int plans_evaluated = 0;
+  std::string fallback_reason;     ///< empty when the first-choice rung served
+};
+
+/// HybridPlanner with guard rails. Routing is identical (simple queries go
+/// to the DP baseline directly and are not breaker-relevant); complex
+/// queries walk the degradation ladder above.
+class GuardedPlanner {
+ public:
+  GuardedPlanner(const QpSeeker* model, const optimizer::Planner* baseline,
+                 GuardedOptions options = {});
+
+  StatusOr<GuardedResult> Plan(const query::Query& q);
+
+  const GuardStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = GuardStats{}; }
+
+  /// True while the breaker routes complex queries to the DP planner.
+  bool circuit_open() const { return circuit_open_; }
+
+  const GuardedOptions& options() const { return options_; }
+
+ private:
+  double NowMs() const;
+  /// Records one MCTS outcome in the sliding window; may open the circuit.
+  void RecordNeuralOutcome(bool success);
+  /// Closes the circuit when the cool-down has elapsed.
+  void MaybeCloseCircuit();
+
+  /// One rung: plan, validate, score-check. Returns the failure reason or
+  /// OK with `*out` filled.
+  Status TryNeural(const query::Query& q, GuardedResult* out);
+  Status TryGreedy(const query::Query& q, GuardedResult* out);
+  Status TryTraditional(const query::Query& q, GuardedResult* out);
+
+  const QpSeeker* model_;
+  const optimizer::Planner* baseline_;
+  GuardedOptions options_;
+
+  GuardStats stats_;
+  std::deque<bool> window_;  ///< recent MCTS outcomes, true = failure
+  bool circuit_open_ = false;
+  double circuit_opened_at_ms_ = 0.0;
+};
+
+}  // namespace core
+}  // namespace qps
+
+#endif  // QPS_CORE_GUARDED_PLANNER_H_

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -124,6 +125,9 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
   const int n = q.num_relations();
   while (result.plans_evaluated < opts.max_rollouts &&
          timer.ElapsedMillis() < opts.time_budget_ms) {
+    // Fault point: a rollout may error out or stall (injected latency).
+    QPS_RETURN_IF_ERROR(fault::Check("mcts.rollout"));
+
     // 1. Selection: walk down by UCT until an unexpanded or terminal node.
     TreeNode* node = root.get();
     std::vector<Action> path;
@@ -183,8 +187,12 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
       continue;
     }
 
-    // 4. Evaluation with the learned cost model.
+    // 4. Evaluation with the learned cost model. A non-finite score means
+    // the model has diverged; surface an error instead of garbage costs.
     const query::NodeStats pred = model.PredictPlan(q, *plan);
+    if (!query::StatsAreFinite(pred)) {
+      return Status::Internal("non-finite model prediction in MCTS rollout");
+    }
     result.plans_evaluated += 1;
     const bool improved = pred.runtime_ms < best_runtime;
     if (improved) {
@@ -201,6 +209,9 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
   }
 
   if (best_actions.empty()) return Status::Internal("MCTS found no plan");
+  if (opts.hard_deadline_ms > 0.0 && timer.ElapsedMillis() > opts.hard_deadline_ms) {
+    return Status::ResourceExhausted("MCTS blew the planning deadline");
+  }
   result.plan = PlanFromActions(q, best_actions);
   model.AnnotateEstimates(q, result.plan.get());
   result.predicted_runtime_ms = best_runtime;
@@ -213,6 +224,7 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
   if (q.num_relations() > 1 && !q.IsConnected()) {
     return Status::NotImplemented("cross products are not supported");
   }
+  QPS_RETURN_IF_ERROR(fault::Check("greedy.plan"));
   Timer timer;
   MctsResult result;
   std::vector<Action> prefix;
@@ -238,6 +250,9 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
       PlanPtr plan = PlanFromActions(q, completed);
       if (plan == nullptr) continue;
       const auto pred = model.PredictPlan(q, *plan);
+      if (!query::StatsAreFinite(pred)) {
+        return Status::Internal("non-finite model prediction in greedy planning");
+      }
       result.plans_evaluated += 1;
       if (pred.runtime_ms < best_runtime) {
         best_runtime = pred.runtime_ms;

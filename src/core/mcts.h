@@ -23,6 +23,12 @@ struct MctsOptions {
   int max_rollouts = 100000;      ///< secondary cap (deterministic tests)
   double exploration_c = 0.5;     ///< paper: C = 0.5 after sweeping {0.25,0.5,0.75}
   uint64_t seed = 99;
+  /// Hard planning deadline (0 = disabled). The time budget is a soft
+  /// target the anytime loop aims for; if a stalled model evaluation (or an
+  /// injected latency fault) pushes total planning time past this deadline,
+  /// MctsPlan returns ResourceExhausted instead of a late plan, so the
+  /// guarded pipeline can fall back. Set it with slack above the budget.
+  double hard_deadline_ms = 0.0;
 };
 
 struct MctsResult {

@@ -7,6 +7,7 @@
 
 #include "nn/optim.h"
 #include "nn/serialize.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -209,8 +210,18 @@ query::NodeStats QpSeeker::PredictPlan(const Query& q, const PlanNode& plan) con
   auto annotated = plan.Clone();
   AnnotateEstimates(q, annotated.get());
   ForwardOut fwd = Forward(q, *annotated, /*sample_rng=*/nullptr);
-  return normalizer_.Denormalize(fwd.preds->value(0, 0), fwd.preds->value(0, 1),
-                                 fwd.preds->value(0, 2));
+  // Sentinel: a diverged VAE head poisons the whole triple, so callers see
+  // one consistent "garbage" signal rather than a partially valid one.
+  if (!fwd.preds->value.AllFinite()) {
+    const double bad = std::nan("");
+    return query::NodeStats{bad, bad, bad};
+  }
+  query::NodeStats out =
+      normalizer_.Denormalize(fwd.preds->value(0, 0), fwd.preds->value(0, 1),
+                              fwd.preds->value(0, 2));
+  // Fault point: emulate that divergence on demand for pipeline tests.
+  out.runtime_ms = fault::CorruptDouble("vae.forward", out.runtime_ms);
+  return out;
 }
 
 std::vector<query::NodeStats> QpSeeker::PredictNodes(const Query& q,

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace qps {
@@ -192,6 +193,9 @@ StatusOr<Executor::RowSet> Executor::ExecScan(const Query& q, PlanNode* node) {
 StatusOr<Executor::RowSet> Executor::ExecJoin(const Query& q, PlanNode* node) {
   QPS_ASSIGN_OR_RETURN(RowSet left, ExecNode(q, node->left.get()));
   QPS_ASSIGN_OR_RETURN(RowSet right, ExecNode(q, node->right.get()));
+  // Fault point: a join operator may fail mid-plan (labels of completed
+  // children stay filled in, as with a genuine resource abort).
+  QPS_RETURN_IF_ERROR(fault::Check("exec.join"));
   QPS_CHECK(!node->join_preds.empty()) << "join without predicates";
 
   const int64_t nl = left.num_rows();

@@ -50,6 +50,13 @@ void Tensor::ScaleInPlace(float a) {
   for (auto& x : data_) x *= a;
 }
 
+bool Tensor::AllFinite() const {
+  for (float x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
 float Tensor::FrobeniusNorm() const {
   double acc = 0.0;
   for (float x : data_) acc += static_cast<double>(x) * x;

@@ -61,6 +61,10 @@ class Tensor {
   void AddScaledInPlace(const Tensor& other, float a);  ///< this += a * other
   void ScaleInPlace(float a);                         ///< this *= a
 
+  /// True when no entry is NaN or infinite — the guarded planner's sentinel
+  /// against a diverged forward pass.
+  bool AllFinite() const;
+
   /// Frobenius norm and sums, for diagnostics and gradient clipping.
   float FrobeniusNorm() const;
   float Sum() const;

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -180,6 +181,9 @@ PlanPtr Planner::PlanGreedy(const Query& q, const PlanHints& hints) const {
 }
 
 StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints) const {
+  // Fault point: even the traditional planner can fail (e.g. stats missing);
+  // lets tests exercise the very bottom of the degradation ladder.
+  QPS_RETURN_IF_ERROR(fault::Check("planner.dp"));
   if (q.num_relations() == 0) return Status::InvalidArgument("empty FROM list");
   if (!hints.Valid()) return Status::InvalidArgument("hints disable all operators");
   if (q.num_relations() > 1 && !q.IsConnected()) {

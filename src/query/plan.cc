@@ -2,8 +2,10 @@
 
 #include "query/plan.h"
 
+#include <cmath>
 #include <sstream>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -245,6 +247,97 @@ std::vector<std::vector<int>> EnumerateJoinOrders(const Query& q, size_t limit) 
   std::vector<int> order;
   ExtendOrders(q, q.JoinAdjacency(), &order, 0, limit, &out);
   return out;
+}
+
+bool StatsAreFinite(const NodeStats& stats) {
+  return std::isfinite(stats.cardinality) && std::isfinite(stats.cost) &&
+         std::isfinite(stats.runtime_ms);
+}
+
+namespace {
+
+/// Walks the subtree, accumulating its relation mask and per-predicate use
+/// counts. Returns non-OK on the first structural defect.
+Status ValidateNode(const Query& q, const PlanNode& node, uint64_t* mask,
+                    std::vector<int>* pred_uses) {
+  const int n = q.num_relations();
+  if ((node.left == nullptr) != (node.right == nullptr)) {
+    return Status::InvalidArgument("plan node with exactly one child");
+  }
+  if (node.is_leaf()) {
+    if (!IsScan(node.op)) {
+      return Status::InvalidArgument(std::string("leaf with join operator ") +
+                                     OpTypeName(node.op));
+    }
+    if (node.rel < 0 || node.rel >= n) {
+      return Status::InvalidArgument("leaf with out-of-range relation " +
+                                     std::to_string(node.rel));
+    }
+    if ((*mask >> node.rel) & 1) {
+      return Status::InvalidArgument("relation " + std::to_string(node.rel) +
+                                     " scanned twice");
+    }
+    *mask |= uint64_t{1} << node.rel;
+    return Status::OK();
+  }
+  if (!IsJoin(node.op)) {
+    return Status::InvalidArgument(std::string("join node with scan operator ") +
+                                   OpTypeName(node.op));
+  }
+  uint64_t left_mask = 0, right_mask = 0;
+  QPS_RETURN_IF_ERROR(ValidateNode(q, *node.left, &left_mask, pred_uses));
+  QPS_RETURN_IF_ERROR(ValidateNode(q, *node.right, &right_mask, pred_uses));
+  if ((left_mask & right_mask) != 0) {
+    return Status::InvalidArgument("join children overlap in relations");
+  }
+  if (node.join_preds.empty()) {
+    return Status::InvalidArgument("join without predicates (cross product)");
+  }
+  for (int p : node.join_preds) {
+    if (p < 0 || p >= static_cast<int>(q.joins.size())) {
+      return Status::InvalidArgument("join predicate index " + std::to_string(p) +
+                                     " out of range");
+    }
+    const auto& jp = q.joins[static_cast<size_t>(p)];
+    const bool connects =
+        (((left_mask >> jp.left_rel) & 1) && ((right_mask >> jp.right_rel) & 1)) ||
+        (((left_mask >> jp.right_rel) & 1) && ((right_mask >> jp.left_rel) & 1));
+    if (!connects) {
+      return Status::InvalidArgument("join predicate " + std::to_string(p) +
+                                     " does not connect the node's subtrees");
+    }
+    (*pred_uses)[static_cast<size_t>(p)] += 1;
+  }
+  *mask = left_mask | right_mask;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidatePlan(const Query& q, const PlanNode& plan) {
+  // Fault point: lets pipeline tests exercise the invalid-plan rung without
+  // hand-building a structurally broken tree.
+  QPS_RETURN_IF_ERROR(fault::Check("plan.validate"));
+  const int n = q.num_relations();
+  if (n == 0) return Status::InvalidArgument("query has no relations");
+  uint64_t mask = 0;
+  std::vector<int> pred_uses(q.joins.size(), 0);
+  QPS_RETURN_IF_ERROR(ValidateNode(q, plan, &mask, &pred_uses));
+  const uint64_t full = n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+  if (mask != full) {
+    return Status::InvalidArgument("plan does not cover all query relations");
+  }
+  for (size_t p = 0; p < pred_uses.size(); ++p) {
+    if (pred_uses[p] == 0) {
+      return Status::InvalidArgument("query join predicate " + std::to_string(p) +
+                                     " never applied");
+    }
+    if (pred_uses[p] > 1) {
+      return Status::InvalidArgument("query join predicate " + std::to_string(p) +
+                                     " applied more than once");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace query

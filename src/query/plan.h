@@ -17,6 +17,7 @@
 
 #include "query/query.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace qps {
 namespace query {
@@ -102,6 +103,20 @@ PlanPtr BuildRandomBushyPlan(const Query& q, Rng* rng);
 /// Enumerates all connected left-deep join orders (permutations where each
 /// prefix is connected in the join graph). Caps output at `limit` orders.
 std::vector<std::vector<int>> EnumerateJoinOrders(const Query& q, size_t limit);
+
+/// All three fields are finite (no NaN/inf from a misbehaving model).
+bool StatsAreFinite(const NodeStats& stats);
+
+/// Structural validation of a physical plan against its query, the guard
+/// the planning pipeline runs before trusting any (possibly neural) plan:
+///   - the tree is well-formed (leaves are scan ops with a valid relation,
+///     internal nodes are join ops with both children),
+///   - every query relation is covered by exactly one leaf,
+///   - every join node carries at least one predicate, each predicate index
+///     is valid and actually connects the node's two subtrees,
+///   - every query join predicate is applied exactly once in the tree.
+/// Returns OK or InvalidArgument with a description of the first defect.
+Status ValidatePlan(const Query& q, const PlanNode& plan);
 
 }  // namespace query
 }  // namespace qps

@@ -1,0 +1,113 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "util/fault.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace qps {
+namespace fault {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, ArmedPoint{std::move(spec)});
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+}
+
+int64_t FaultInjector::Hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjector::Triggers(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.triggers;
+}
+
+bool FaultInjector::Fire(ArmedPoint* p) {
+  p->hits += 1;
+  bool fire = false;
+  if (p->spec.trigger_on_hit > 0) {
+    fire = p->spec.sticky ? p->hits >= p->spec.trigger_on_hit
+                          : p->hits == p->spec.trigger_on_hit;
+  } else {
+    fire = rng_.Bernoulli(p->spec.probability);
+  }
+  if (!fire) return false;
+  p->triggers += 1;
+  if (p->spec.latency_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(p->spec.latency_ms));
+  }
+  return true;
+}
+
+Status FaultInjector::CheckSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return Status::OK();
+  ArmedPoint& p = it->second;
+  if (!Fire(&p)) return Status::OK();
+  switch (p.spec.code) {
+    case StatusCode::kOk:
+      return Status::OK();  // latency-only spec
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(p.spec.message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(p.spec.message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(p.spec.message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(p.spec.message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(p.spec.message);
+    case StatusCode::kNotImplemented:
+      return Status::NotImplemented(p.spec.message);
+    case StatusCode::kAborted:
+      return Status::Aborted(p.spec.message);
+    case StatusCode::kIOError:
+      return Status::IOError(p.spec.message);
+    case StatusCode::kInternal:
+      break;
+  }
+  return Status::Internal(p.spec.message);
+}
+
+double FaultInjector::CorruptSlow(const char* point, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return value;
+  ArmedPoint& p = it->second;
+  if (!Fire(&p)) return value;
+  return p.spec.inject_nan ? std::nan("") : value;
+}
+
+}  // namespace fault
+}  // namespace qps

@@ -1,0 +1,120 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Deterministic, seedable fault injection for testing the guarded planning
+// pipeline. Fault *points* are named call sites compiled into the production
+// binary (e.g. "mcts.rollout", "vae.forward", "exec.join"); fault *specs*
+// are armed at runtime by tests (or chaos tooling) and decide, per hit,
+// whether to inject a Status error, corrupt a double to NaN, or add
+// artificial latency.
+//
+// The disarmed hot path is a single relaxed atomic load — the registry is
+// only consulted once at least one spec is armed — so fault points may sit
+// on performance-critical paths (see BM_FaultPointDisarmed in bench_micro).
+//
+// Determinism: "fire on the Nth hit" specs depend only on per-point hit
+// counters; probabilistic specs draw from one Rng seeded via Seed(). Tests
+// that arm faults should Seed() (or use hit-based triggers) and DisarmAll()
+// on teardown.
+
+#ifndef QPS_UTIL_FAULT_H_
+#define QPS_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qps {
+namespace fault {
+
+/// What an armed fault point does when it fires.
+struct FaultSpec {
+  /// Status to inject at Status-returning points. kOk means "no error"
+  /// (useful for latency-only or NaN-only specs).
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+
+  /// Fire on every hit with this probability (used when trigger_on_hit==0).
+  double probability = 1.0;
+  /// If > 0, fire deterministically on exactly the Nth hit (1-based)
+  /// instead of probabilistically...
+  int trigger_on_hit = 0;
+  /// ...and on every later hit too, when set.
+  bool sticky = false;
+
+  /// Corrupt values passing through CorruptDouble() to quiet NaN.
+  bool inject_nan = false;
+  /// Sleep this long (wall clock) whenever the spec fires.
+  double latency_ms = 0.0;
+};
+
+/// Global registry of named fault points. Thread-safe; the disarmed fast
+/// path takes no lock.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms (or re-arms, resetting counters for) a named point.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Reseeds the probabilistic-trigger stream.
+  void Seed(uint64_t seed);
+
+  /// True when at least one point is armed (one relaxed atomic load).
+  bool AnyArmed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Times the point was reached while armed / times its spec fired.
+  int64_t Hits(const std::string& point) const;
+  int64_t Triggers(const std::string& point) const;
+
+  // Slow paths — call through the free functions below, which skip them
+  // entirely when nothing is armed.
+  Status CheckSlow(const char* point);
+  double CorruptSlow(const char* point, double value);
+
+ private:
+  FaultInjector() = default;
+
+  struct ArmedPoint {
+    FaultSpec spec;
+    int64_t hits = 0;
+    int64_t triggers = 0;
+  };
+
+  /// Decides whether the spec fires on this hit and applies latency.
+  bool Fire(ArmedPoint* p);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ArmedPoint> points_;
+  std::atomic<int> armed_points_{0};
+  Rng rng_{0xfa017};
+};
+
+/// Status-returning fault point. Returns OK unless an armed spec for
+/// `point` fires with a non-OK code.
+inline Status Check(const char* point) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.AnyArmed()) return Status::OK();
+  return fi.CheckSlow(point);
+}
+
+/// Value-corrupting fault point. Returns `value` unless an armed NaN spec
+/// for `point` fires.
+inline double CorruptDouble(const char* point, double value) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.AnyArmed()) return value;
+  return fi.CorruptSlow(point, value);
+}
+
+}  // namespace fault
+}  // namespace qps
+
+#endif  // QPS_UTIL_FAULT_H_

@@ -3,7 +3,8 @@
 #include "util/rng.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/logging.h"
 
 namespace qps {
 
@@ -61,7 +62,9 @@ double Rng::Normal() {
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  // Fatal in all build modes: sampling an empty distribution would read out
+  // of bounds below.
+  QPS_CHECK(!weights.empty()) << "Rng::Categorical over empty weights";
   double total = 0.0;
   for (double w : weights) total += w;
   double x = Uniform() * total;
@@ -73,7 +76,7 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n) {
-  assert(n > 0);
+  QPS_CHECK(n > 0) << "ZipfDistribution needs at least one rank";
   cdf_.resize(n);
   double total = 0.0;
   for (uint64_t k = 1; k <= n; ++k) {

@@ -6,10 +6,11 @@
 #ifndef QPS_UTIL_STATUS_H_
 #define QPS_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace qps {
 
@@ -86,13 +87,15 @@ class Status {
   std::string message_;
 };
 
-/// A value or an error. Use `ok()` before dereferencing.
+/// A value or an error. Use `ok()` before dereferencing; `value()` on an
+/// error fatal-logs in all build modes (never UB), `value_or()` substitutes
+/// a default instead.
 template <typename T>
 class StatusOr {
  public:
   /// Implicit conversion from an error status. Must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok());
+    QPS_CHECK(!status_.ok()) << "StatusOr constructed from an OK status";
   }
   /// Implicit conversion from a value.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
@@ -101,16 +104,28 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckHasValue();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckHasValue();
     return *std::move(value_);
+  }
+
+  /// The value, or `fallback` when this holds an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    if (ok()) return *value_;
+    return static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    if (ok()) return *std::move(value_);
+    return static_cast<T>(std::forward<U>(fallback));
   }
 
   const T& operator*() const& { return value(); }
@@ -119,6 +134,10 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  void CheckHasValue() const {
+    QPS_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+  }
+
   Status status_;
   std::optional<T> value_;
 };

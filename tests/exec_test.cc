@@ -5,6 +5,7 @@
 #include "exec/executor.h"
 #include "query/parser.h"
 #include "storage/schemas.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace qps {
@@ -187,6 +188,47 @@ TEST_F(ExecTest, RowLimitAborts) {
   EXPECT_TRUE(card.status().IsResourceExhausted());
 }
 
+TEST_F(ExecTest, RowLimitAbortPreservesPartialLabels) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  ExecOptions opts;
+  opts.max_intermediate_rows = 5;
+  Executor ex(*db_, opts);
+  auto card = ex.Execute(q, plan.get());
+  ASSERT_TRUE(card.status().IsResourceExhausted());
+  // Both scans completed before the join aborted: their labels are usable
+  // training data (plan_sampler decides whether to keep or drop them).
+  EXPECT_GT(plan->left->actual.runtime_ms, 0.0);
+  EXPECT_GT(plan->right->actual.runtime_ms, 0.0);
+  EXPECT_GT(plan->left->actual.cardinality, 0.0);
+  // The aborting join records how far it got (one past the limit), not a
+  // stale zero.
+  EXPECT_EQ(plan->actual.cardinality,
+            static_cast<double>(opts.max_intermediate_rows + 1));
+  EXPECT_EQ(plan->actual.runtime_ms, 0.0) << "aborted node must not claim a runtime";
+}
+
+TEST_F(ExecTest, RowLimitClampBindsTightlyAtTheBoundary) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto count_plan = BuildLeftDeepPlan(
+      q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan}, {OpType::kHashJoin});
+  Executor unlimited(*db_);
+  auto truth = unlimited.Execute(q, count_plan.get());
+  ASSERT_TRUE(truth.ok());
+
+  // A limit exactly at the result size succeeds; one below aborts.
+  ExecOptions at;
+  at.max_intermediate_rows = static_cast<int64_t>(*truth);
+  auto p1 = count_plan->Clone();
+  EXPECT_TRUE(Executor(*db_, at).Execute(q, p1.get()).ok());
+  ExecOptions below;
+  below.max_intermediate_rows = static_cast<int64_t>(*truth) - 1;
+  auto p2 = count_plan->Clone();
+  EXPECT_TRUE(
+      Executor(*db_, below).Execute(q, p2.get()).status().IsResourceExhausted());
+}
+
 TEST_F(ExecTest, TimeoutAborts) {
   auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
   auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
@@ -195,6 +237,39 @@ TEST_F(ExecTest, TimeoutAborts) {
   opts.timeout_ms = 1e-6;
   Executor ex(*db_, opts);
   EXPECT_FALSE(ex.Execute(q, plan.get()).ok());
+}
+
+TEST_F(ExecTest, TimeoutPreservesCompletedScanLabels) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  ExecOptions opts;
+  opts.timeout_ms = 1e-6;  // first scan blows the budget
+  Executor ex(*db_, opts);
+  ASSERT_TRUE(ex.Execute(q, plan.get()).status().IsResourceExhausted());
+  EXPECT_GT(plan->left->actual.runtime_ms, 0.0);
+  EXPECT_EQ(plan->actual.runtime_ms, 0.0);
+}
+
+TEST_F(ExecTest, JoinFaultPointSurfacesInjectedStatus) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kIOError;
+  spec.message = "disk on fire";
+  spec.trigger_on_hit = 1;
+  spec.sticky = true;
+  fault::FaultInjector::Global().Arm("exec.join", spec);
+  Executor ex(*db_);
+  auto card = ex.Execute(q, plan.get());
+  fault::FaultInjector::Global().DisarmAll();
+  ASSERT_FALSE(card.ok());
+  EXPECT_EQ(card.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(card.status().message(), "disk on fire");
+  // Like a genuine abort, completed children keep their labels.
+  EXPECT_GT(plan->left->actual.runtime_ms, 0.0);
+  EXPECT_GT(plan->right->actual.runtime_ms, 0.0);
 }
 
 TEST_F(ExecTest, DeterministicRuntimes) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "query/parser.h"
 #include "query/plan.h"
 #include "storage/schemas.h"
@@ -175,6 +178,134 @@ TEST_F(QueryTest, SingleRelationOrder) {
   auto plan = BuildLeftDeepPlan(*q, orders[0], {OpType::kIndexScan}, {});
   ASSERT_NE(plan, nullptr);
   EXPECT_TRUE(plan->is_leaf());
+}
+
+class ValidatePlanTest : public QueryTest {
+ protected:
+  Query ChainQuery() {
+    auto q = ParseSql(
+        "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+    EXPECT_TRUE(q.ok());
+    return std::move(q).value();
+  }
+  PlanPtr ChainPlan(const Query& q) {
+    return BuildLeftDeepPlan(q, {0, 1, 2},
+                             {OpType::kSeqScan, OpType::kSeqScan, OpType::kSeqScan},
+                             {OpType::kHashJoin, OpType::kMergeJoin});
+  }
+};
+
+TEST_F(ValidatePlanTest, AcceptsWellFormedPlans) {
+  const Query q = ChainQuery();
+  EXPECT_TRUE(ValidatePlan(q, *ChainPlan(q)).ok());
+  // Every enumerated order and every bushy sample must validate.
+  for (const auto& order : EnumerateJoinOrders(q, 100)) {
+    auto plan = BuildLeftDeepPlan(q, order, std::vector<OpType>(3, OpType::kSeqScan),
+                                  std::vector<OpType>(2, OpType::kHashJoin));
+    ASSERT_NE(plan, nullptr);
+    EXPECT_TRUE(ValidatePlan(q, *plan).ok());
+  }
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    auto bushy = BuildRandomBushyPlan(q, &rng);
+    ASSERT_NE(bushy, nullptr);
+    Status st = ValidatePlan(q, *bushy);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST_F(ValidatePlanTest, AcceptsSingleRelationLeaf) {
+  auto q = ParseSql("SELECT COUNT(*) FROM a WHERE a.a2 = 1;", *db_);
+  ASSERT_TRUE(q.ok());
+  auto plan = BuildLeftDeepPlan(*q, {0}, {OpType::kIndexScan}, {});
+  EXPECT_TRUE(ValidatePlan(*q, *plan).ok());
+}
+
+TEST_F(ValidatePlanTest, RejectsMissingRelation) {
+  const Query q = ChainQuery();
+  // A plan for only the a-b prefix: relation c is never scanned.
+  auto partial = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                   {OpType::kHashJoin});
+  ASSERT_NE(partial, nullptr);
+  Status st = ValidatePlan(q, *partial);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("does not cover all query relations"),
+            std::string::npos);
+}
+
+TEST_F(ValidatePlanTest, RejectsDuplicateRelation) {
+  const Query q = ChainQuery();
+  auto plan = ChainPlan(q);
+  plan->right->rel = 0;  // scans relation a twice, c never
+  Status st = ValidatePlan(q, *plan);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("overlap in relations"), std::string::npos);
+}
+
+TEST_F(ValidatePlanTest, RejectsWrongOperatorKinds) {
+  const Query q = ChainQuery();
+  auto leaf_join = ChainPlan(q);
+  leaf_join->right->op = OpType::kHashJoin;
+  EXPECT_NE(ValidatePlan(q, *leaf_join).message().find("leaf with join operator"),
+            std::string::npos);
+  auto join_scan = ChainPlan(q);
+  join_scan->op = OpType::kSeqScan;
+  EXPECT_NE(ValidatePlan(q, *join_scan).message().find("join node with scan operator"),
+            std::string::npos);
+}
+
+TEST_F(ValidatePlanTest, RejectsOneChildNode) {
+  const Query q = ChainQuery();
+  auto plan = ChainPlan(q);
+  plan->right = nullptr;
+  EXPECT_NE(ValidatePlan(q, *plan).message().find("exactly one child"),
+            std::string::npos);
+}
+
+TEST_F(ValidatePlanTest, RejectsCrossProductAndBadPredicates) {
+  const Query q = ChainQuery();
+  auto no_pred = ChainPlan(q);
+  no_pred->join_preds.clear();
+  EXPECT_NE(ValidatePlan(q, *no_pred).message().find("cross product"),
+            std::string::npos);
+
+  auto bad_index = ChainPlan(q);
+  bad_index->join_preds = {42};
+  EXPECT_NE(ValidatePlan(q, *bad_index).message().find("out of range"),
+            std::string::npos);
+
+  // Predicate 0 joins a-b, both already in the left subtree: it cannot
+  // connect the top join, and it would also be applied twice.
+  auto disconnected = ChainPlan(q);
+  disconnected->join_preds = {0};
+  EXPECT_NE(
+      ValidatePlan(q, *disconnected).message().find("does not connect"),
+      std::string::npos);
+}
+
+TEST_F(ValidatePlanTest, RejectsPredicateAppliedTwice) {
+  const Query q = ChainQuery();
+  auto plan = ChainPlan(q);
+  plan->join_preds.push_back(plan->left->join_preds[0]);
+  Status st = ValidatePlan(q, *plan);
+  ASSERT_FALSE(st.ok());
+  // The duplicated a-b predicate fails the connectivity check at the top
+  // join (both sides live in the left subtree).
+  EXPECT_NE(st.message().find("does not connect"), std::string::npos);
+}
+
+TEST(StatsAreFiniteTest, FlagsNanAndInf) {
+  NodeStats ok;
+  EXPECT_TRUE(StatsAreFinite(ok));
+  NodeStats nan_card;
+  nan_card.cardinality = std::nan("");
+  EXPECT_FALSE(StatsAreFinite(nan_card));
+  NodeStats inf_cost;
+  inf_cost.cost = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(StatsAreFinite(inf_cost));
+  NodeStats neg_inf_rt;
+  neg_inf_rt.runtime_ms = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(StatsAreFinite(neg_inf_rt));
 }
 
 TEST(OpTypeTest, Classification) {

@@ -150,6 +150,21 @@ TEST_F(SamplingTest, AbortedPlansAreDroppedAndCounted) {
   EXPECT_GT(ds->aborted, 0);
 }
 
+TEST_F(SamplingTest, TimeoutClampDropsEveryPlanButBuildSucceeds) {
+  std::vector<query::Query> queries = {
+      Parse("SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;"),
+      Parse("SELECT COUNT(*) FROM a WHERE a.a2 > 2;"),
+  };
+  DatasetOptions opts;
+  opts.source = PlanSource::kSampled;
+  opts.exec.timeout_ms = 1e-9;  // no plan can finish
+  Rng rng(8);
+  auto ds = BuildQepDataset(*db_, *stats_, std::move(queries), opts, &rng);
+  ASSERT_TRUE(ds.ok()) << "aborts are clamped per plan, not fatal to the build";
+  EXPECT_EQ(ds->qeps.size(), 0u);
+  EXPECT_GT(ds->aborted, 0);
+}
+
 }  // namespace
 }  // namespace sampling
 }  // namespace qps

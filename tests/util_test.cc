@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/scale.h"
 #include "util/status.h"
@@ -59,6 +60,29 @@ TEST(StatusOrTest, AssignOrReturnMacro) {
   EXPECT_TRUE(UseParse(7, &out).ok());
   EXPECT_EQ(out, 7);
   EXPECT_FALSE(UseParse(-2, &out).ok());
+}
+
+TEST(StatusOrTest, ValueOrSubstitutesFallbackOnError) {
+  EXPECT_EQ(ParsePositive(5).value_or(-1), 5);
+  EXPECT_EQ(ParsePositive(-3).value_or(-1), -1);
+  StatusOr<std::string> missing = Status::NotFound("gone");
+  EXPECT_EQ(missing.value_or("default"), "default");
+  EXPECT_EQ(std::move(missing).value_or("default"), "default");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorFatalLogsInAllBuildModes) {
+  auto bad = ParsePositive(-1);
+  EXPECT_DEATH(bad.value(), "StatusOr::value\\(\\) on error");
+  EXPECT_DEATH(*ParsePositive(0), "InvalidArgument: not positive");
+}
+
+TEST(StatusOrDeathTest, ConstructionFromOkStatusFatalLogs) {
+  EXPECT_DEATH(
+      {
+        StatusOr<int> so{Status::OK()};
+        (void)so;
+      },
+      "OK status");
 }
 
 TEST(RngTest, DeterministicForSameSeed) {
@@ -143,6 +167,135 @@ TEST(ZipfTest, RankOneMostFrequent) {
   }
   EXPECT_GT(counts[1], counts[2]);
   EXPECT_GT(counts[1], counts[50] * 5);
+}
+
+TEST(RngDeathTest, CategoricalOverEmptyWeightsFatalLogs) {
+  Rng rng(1);
+  std::vector<double> empty;
+  EXPECT_DEATH(rng.Categorical(empty), "empty weights");
+}
+
+TEST(ZipfDeathTest, ZeroRanksFatalLogs) {
+  EXPECT_DEATH(ZipfDistribution(0, 1.1), "at least one rank");
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedCheckReturnsOkWithoutCounting) {
+  fault::FaultInjector& fi = fault::FaultInjector::Global();
+  EXPECT_FALSE(fi.AnyArmed());
+  EXPECT_TRUE(fault::Check("never.armed").ok());
+  EXPECT_EQ(fi.Hits("never.armed"), 0);
+  EXPECT_EQ(fault::CorruptDouble("never.armed", 1.5), 1.5);
+}
+
+TEST_F(FaultInjectorTest, NthHitTriggerFiresExactlyOnce) {
+  fault::FaultInjector& fi = fault::FaultInjector::Global();
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kAborted;
+  spec.message = "boom";
+  spec.trigger_on_hit = 2;
+  fi.Arm("p", spec);
+  EXPECT_TRUE(fi.AnyArmed());
+  EXPECT_TRUE(fault::Check("p").ok());
+  Status st = fault::Check("p");
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(st.message(), "boom");
+  EXPECT_TRUE(fault::Check("p").ok()) << "non-sticky: fires on hit 2 only";
+  EXPECT_EQ(fi.Hits("p"), 3);
+  EXPECT_EQ(fi.Triggers("p"), 1);
+}
+
+TEST_F(FaultInjectorTest, StickyTriggerFiresFromNthHitOn) {
+  fault::FaultSpec spec;
+  spec.trigger_on_hit = 2;
+  spec.sticky = true;
+  fault::FaultInjector::Global().Arm("p", spec);
+  EXPECT_TRUE(fault::Check("p").ok());
+  EXPECT_FALSE(fault::Check("p").ok());
+  EXPECT_FALSE(fault::Check("p").ok());
+  EXPECT_EQ(fault::FaultInjector::Global().Triggers("p"), 2);
+}
+
+TEST_F(FaultInjectorTest, ArmedPointsAreIndependent) {
+  fault::FaultSpec spec;
+  spec.trigger_on_hit = 1;
+  spec.sticky = true;
+  fault::FaultInjector::Global().Arm("p", spec);
+  EXPECT_TRUE(fault::Check("other").ok())
+      << "arming one point must not fail others";
+  EXPECT_FALSE(fault::Check("p").ok());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroNeverFiresOneAlwaysFires) {
+  fault::FaultInjector& fi = fault::FaultInjector::Global();
+  fault::FaultSpec never;
+  never.probability = 0.0;
+  fi.Arm("never", never);
+  fault::FaultSpec always;
+  always.probability = 1.0;
+  fi.Arm("always", always);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(fault::Check("never").ok());
+    EXPECT_FALSE(fault::Check("always").ok());
+  }
+  EXPECT_EQ(fi.Triggers("never"), 0);
+  EXPECT_EQ(fi.Triggers("always"), 50);
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticStreamIsSeedReproducible) {
+  fault::FaultInjector& fi = fault::FaultInjector::Global();
+  fault::FaultSpec coin;
+  coin.probability = 0.5;
+  auto run = [&] {
+    fi.Arm("coin", coin);
+    fi.Seed(77);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) pattern += fault::Check("coin").ok() ? '.' : 'X';
+    return pattern;
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, NanCorruptionOnlyWhenSpecFires) {
+  fault::FaultSpec spec;
+  spec.inject_nan = true;
+  spec.trigger_on_hit = 2;
+  fault::FaultInjector::Global().Arm("nan", spec);
+  EXPECT_EQ(fault::CorruptDouble("nan", 3.0), 3.0);
+  EXPECT_TRUE(std::isnan(fault::CorruptDouble("nan", 3.0)));
+  EXPECT_EQ(fault::CorruptDouble("nan", 3.0), 3.0);
+}
+
+TEST_F(FaultInjectorTest, LatencyOnlyOkSpecDelaysButSucceeds) {
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kOk;
+  spec.latency_ms = 1.0;
+  spec.trigger_on_hit = 1;
+  fault::FaultInjector::Global().Arm("slow", spec);
+  EXPECT_TRUE(fault::Check("slow").ok());
+  EXPECT_EQ(fault::FaultInjector::Global().Triggers("slow"), 1);
+}
+
+TEST_F(FaultInjectorTest, RearmResetsCountersAndDisarmAllClears) {
+  fault::FaultInjector& fi = fault::FaultInjector::Global();
+  fault::FaultSpec spec;
+  spec.trigger_on_hit = 1;
+  fi.Arm("p", spec);
+  (void)fault::Check("p");
+  EXPECT_EQ(fi.Hits("p"), 1);
+  fi.Arm("p", spec);  // re-arm resets
+  EXPECT_EQ(fi.Hits("p"), 0);
+  fi.DisarmAll();
+  EXPECT_FALSE(fi.AnyArmed());
+  EXPECT_TRUE(fault::Check("p").ok());
 }
 
 TEST(StringUtilTest, Format) {
