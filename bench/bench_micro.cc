@@ -18,6 +18,8 @@
 #include "storage/schemas.h"
 #include "tabert/tabsketch.h"
 #include "util/fault.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace {
@@ -284,6 +286,55 @@ void BM_MctsRollouts(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MctsRollouts)->Arg(16)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Observability overhead (DESIGN.md §8). Spans and counters sit on the
+// per-rollout and per-operator hot paths, so the disarmed/hot costs must be
+// negligible: BM_TraceSpanDisabled is one relaxed atomic load, and
+// BM_CounterIncrement one relaxed fetch_add — both ≤10 ns (EXPERIMENTS.md).
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  trace::Stop();
+  trace::Clear();
+  for (auto _ : state) {
+    QPS_TRACE_SPAN("bench.disabled");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  trace::Start();
+  for (auto _ : state) {
+    QPS_TRACE_SPAN("bench.enabled");
+    benchmark::ClobberMemory();
+  }
+  trace::Stop();
+  trace::Clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  metrics::Counter* counter =
+      metrics::Registry::Global().GetCounter("qps.bench.counter");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics::Histogram* hist =
+      metrics::Registry::Global().GetHistogram("qps.bench.histogram");
+  double v = 0.001;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = v < 100.0 ? v * 1.7 : 0.001;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_HistogramRecord);
 
 }  // namespace
 }  // namespace qps

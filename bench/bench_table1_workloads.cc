@@ -67,4 +67,8 @@ int Run() {
 }  // namespace bench
 }  // namespace qps
 
-int main() { return qps::bench::Run(); }
+int main() {
+  const int rc = qps::bench::Run();
+  qps::bench::EmitMetricsSnapshot("table1_workloads");
+  return rc;
+}

@@ -74,4 +74,8 @@ int Run() {
 }  // namespace bench
 }  // namespace qps
 
-int main() { return qps::bench::Run(); }
+int main() {
+  const int rc = qps::bench::Run();
+  qps::bench::EmitMetricsSnapshot("table4_cardinality");
+  return rc;
+}

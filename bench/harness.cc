@@ -5,10 +5,13 @@
 #include "core/mcts.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sys/stat.h>
 
 #include "storage/schemas.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace qps {
@@ -376,6 +379,22 @@ void PrintPercentileTable(
     }
     std::printf("%s\n", eval::FormatRow(row_names[r], cells).c_str());
   }
+}
+
+void EmitMetricsSnapshot(const std::string& name) {
+  const std::string json = metrics::RenderJson(metrics::Registry::Global().TakeSnapshot());
+  const char* dir = std::getenv("QPS_METRICS_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/" + name + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << json << "\n";
+      std::fprintf(stderr, "metrics snapshot: %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(stderr, "metrics snapshot: cannot write %s\n", path.c_str());
+  }
+  std::fprintf(stderr, "metrics: %s\n", json.c_str());
 }
 
 }  // namespace bench

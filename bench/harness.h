@@ -120,6 +120,11 @@ void PrintPercentileTable(const std::string& title,
                           const std::vector<std::pair<std::string, std::vector<double>>>&
                               named_errors);
 
+/// Emits the global metrics registry as JSON at the end of a benchmark run:
+/// to $QPS_METRICS_JSON_DIR/<name>.json when that env var is set, else as a
+/// single `metrics: {...}` line on stderr (stdout stays a clean table).
+void EmitMetricsSnapshot(const std::string& name);
+
 }  // namespace bench
 }  // namespace qps
 

@@ -8,7 +8,7 @@
 // Usage:
 //   qpsql [--db=imdb|stack|toy] [--rows=N]
 //         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
-//         [--seed=N]
+//         [--seed=N] [--v=N]
 //
 //   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
 //
@@ -17,8 +17,17 @@
 // DP planner, and a circuit breaker sheds neural traffic after repeated
 // failures. \guards prints the accumulated GuardStats.
 //
-// Meta-commands: \tables  \schema <table>  \guards  \quit
+// Observability:
+//   EXPLAIN ANALYZE <sql>     per-operator estimated vs. actual rows,
+//                             cardinality q-error, simulated + wall time
+//   \metrics                  dump the global metrics registry
+//   \trace on [file]          start span recording (default qpsql_trace.json)
+//   \trace off                stop and write Chrome-trace JSON
+//   --v=N                     QPS_VLOG verbosity (breaker transitions at 1)
+//
+// Meta-commands: \tables  \schema <table>  \guards  \metrics  \trace  \quit
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -31,7 +40,10 @@
 #include "optimizer/planner.h"
 #include "query/parser.h"
 #include "storage/schemas.h"
+#include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 using namespace qps;
 
@@ -43,6 +55,7 @@ struct Options {
   std::string planner = "baseline";
   int train_queries = 48;
   uint64_t seed = 42;
+  int verbosity = 0;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -62,6 +75,8 @@ Options ParseArgs(int argc, char** argv) {
       opts.train_queries = std::stoi(value("--train-queries="));
     } else if (StartsWith(arg, "--seed=")) {
       opts.seed = std::stoull(value("--seed="));
+    } else if (StartsWith(arg, "--v=")) {
+      opts.verbosity = std::stoi(value("--v="));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -97,10 +112,25 @@ void PrintSchema(const storage::Database& db, const std::string& name) {
   }
 }
 
+/// Strips a case-insensitive keyword prefix ("EXPLAIN ANALYZE ") if present.
+bool ConsumePrefixCI(const std::string& s, const std::string& prefix,
+                     std::string* rest) {
+  if (s.size() < prefix.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  *rest = StrTrim(s.substr(prefix.size()));
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opts = ParseArgs(argc, argv);
+  SetVerbosity(opts.verbosity);
 
   Rng rng(opts.seed);
   storage::DatabaseSpec spec;
@@ -172,6 +202,7 @@ int main(int argc, char** argv) {
     guarded = std::make_unique<core::GuardedPlanner>(model.get(), &baseline, gopts);
   }
 
+  std::string trace_path = "qpsql_trace.json";
   std::string line;
   while (std::getline(std::cin, line)) {
     const std::string sql = StrTrim(line);
@@ -194,8 +225,38 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (sql == "\\metrics") {
+      std::printf("%s",
+                  metrics::RenderText(metrics::Registry::Global().TakeSnapshot())
+                      .c_str());
+      continue;
+    }
+    if (StartsWith(sql, "\\trace")) {
+      const std::string rest = StrTrim(sql.substr(6));
+      if (rest == "on" || StartsWith(rest, "on ")) {
+        const std::string path = StrTrim(rest.size() > 2 ? rest.substr(2) : "");
+        if (!path.empty()) trace_path = path;
+        trace::Start();
+        std::printf("tracing on (will write %s)\n", trace_path.c_str());
+      } else if (rest == "off") {
+        trace::Stop();
+        const size_t n = trace::Snapshot().size();
+        if (trace::WriteChromeJson(trace_path)) {
+          std::printf("tracing off: wrote %zu spans to %s\n", n, trace_path.c_str());
+        } else {
+          std::printf("tracing off: cannot write %s\n", trace_path.c_str());
+        }
+      } else {
+        std::printf("usage: \\trace on [file] | \\trace off\n");
+      }
+      continue;
+    }
 
-    auto q = query::ParseSql(sql, *db);
+    std::string stmt = sql;
+    const bool explain_analyze = ConsumePrefixCI(sql, "explain analyze ", &stmt);
+
+    QPS_TRACE_SPAN_VAR(query_span, "qpsql.query");
+    auto q = query::ParseSql(stmt, *db);
     if (!q.ok()) {
       std::printf("parse error: %s\n", q.status().ToString().c_str());
       continue;
@@ -240,6 +301,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown --planner: %s\n", opts.planner.c_str());
       return 2;
+    }
+
+    if (explain_analyze) {
+      auto analysis = executor.ExplainAnalyze(*q, plan.get());
+      if (!analysis.ok()) {
+        std::printf("execution aborted: %s\n", analysis.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s\n\n", analysis->ToString().c_str());
+      continue;
     }
 
     auto card = executor.Execute(*q, plan.get());

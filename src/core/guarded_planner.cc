@@ -5,8 +5,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace core {
@@ -44,11 +47,41 @@ GuardedPlanner::GuardedPlanner(const QpSeeker* model,
                                GuardedOptions options)
     : model_(model), baseline_(baseline), options_(std::move(options)) {}
 
-double GuardedPlanner::NowMs() const {
-  if (options_.now_ms) return options_.now_ms();
-  static Timer process_timer;
-  return process_timer.ElapsedMillis();
-}
+namespace {
+
+/// Pre-resolved hot-path metrics (DESIGN.md §8 naming convention).
+struct GuardMetrics {
+  metrics::Counter* requests;
+  metrics::Counter* served[3];  ///< indexed by PlanStage
+  metrics::Counter* fallbacks;
+  metrics::Counter* circuit_opens;
+  metrics::Counter* circuit_closes;
+  metrics::Counter* circuit_short_circuits;
+  metrics::Gauge* circuit_open;
+  metrics::Histogram* plan_ms;
+
+  static const GuardMetrics& Get() {
+    static const GuardMetrics m = [] {
+      auto& reg = metrics::Registry::Global();
+      GuardMetrics out;
+      out.requests = reg.GetCounter("qps.guarded.requests");
+      out.served[0] = reg.GetCounter("qps.guarded.served_neural");
+      out.served[1] = reg.GetCounter("qps.guarded.served_greedy");
+      out.served[2] = reg.GetCounter("qps.guarded.served_traditional");
+      out.fallbacks = reg.GetCounter("qps.guarded.fallbacks");
+      out.circuit_opens = reg.GetCounter("qps.guarded.circuit_opens");
+      out.circuit_closes = reg.GetCounter("qps.guarded.circuit_closes");
+      out.circuit_short_circuits =
+          reg.GetCounter("qps.guarded.circuit_short_circuits");
+      out.circuit_open = reg.GetGauge("qps.guarded.circuit_open");
+      out.plan_ms = reg.GetHistogram("qps.guarded.plan_ms");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 void GuardedPlanner::RecordNeuralOutcome(bool success) {
   window_.push_back(!success);
@@ -62,6 +95,10 @@ void GuardedPlanner::RecordNeuralOutcome(bool success) {
     circuit_opened_at_ms_ = NowMs();
     stats_.circuit_opens += 1;
     window_.clear();
+    GuardMetrics::Get().circuit_opens->Increment();
+    GuardMetrics::Get().circuit_open->Set(1.0);
+    QPS_VLOG(1) << "guarded: circuit OPEN after " << failures << " failures in "
+                << options_.breaker_window << "-request window";
   }
 }
 
@@ -70,10 +107,15 @@ void GuardedPlanner::MaybeCloseCircuit() {
   if (NowMs() - circuit_opened_at_ms_ >= options_.breaker_cooldown_ms) {
     circuit_open_ = false;
     stats_.circuit_closes += 1;
+    GuardMetrics::Get().circuit_closes->Increment();
+    GuardMetrics::Get().circuit_open->Set(0.0);
+    QPS_VLOG(1) << "guarded: circuit closed after "
+                << options_.breaker_cooldown_ms << "ms cool-down";
   }
 }
 
 Status GuardedPlanner::TryNeural(const query::Query& q, GuardedResult* out) {
+  QPS_TRACE_SPAN("guarded.neural");
   stats_.neural_attempts += 1;
   MctsOptions mopts = options_.hybrid.mcts;
   if (options_.neural_deadline_ms > 0.0) {
@@ -112,6 +154,7 @@ Status GuardedPlanner::TryNeural(const query::Query& q, GuardedResult* out) {
 }
 
 Status GuardedPlanner::TryGreedy(const query::Query& q, GuardedResult* out) {
+  QPS_TRACE_SPAN("guarded.greedy");
   stats_.greedy_attempts += 1;
   auto greedy = GreedyPlan(*model_, q);
   Status st = greedy.ok() ? Status::OK() : greedy.status();
@@ -132,6 +175,7 @@ Status GuardedPlanner::TryGreedy(const query::Query& q, GuardedResult* out) {
 }
 
 Status GuardedPlanner::TryTraditional(const query::Query& q, GuardedResult* out) {
+  QPS_TRACE_SPAN("guarded.traditional");
   stats_.traditional_attempts += 1;
   auto plan = baseline_->Plan(q);
   Status st = plan.ok() ? Status::OK() : plan.status();
@@ -149,9 +193,22 @@ Status GuardedPlanner::TryTraditional(const query::Query& q, GuardedResult* out)
 }
 
 StatusOr<GuardedResult> GuardedPlanner::Plan(const query::Query& q) {
+  const GuardMetrics& gm = GuardMetrics::Get();
+  QPS_TRACE_SPAN_VAR(span, "guarded.plan");
   stats_.requests += 1;
-  Timer timer;
+  gm.requests->Increment();
+  Timer timer(&clock());
   GuardedResult result;
+
+  auto serve = [&](GuardedResult&& r) {
+    r.planning_ms = timer.ElapsedMillis();
+    gm.served[static_cast<int>(r.stage)]->Increment();
+    if (!r.fallback_reason.empty()) gm.fallbacks->Increment();
+    gm.plan_ms->Record(r.planning_ms);
+    span.AddAttr("stage", PlanStageName(r.stage));
+    if (!r.fallback_reason.empty()) span.AddAttr("fallback", r.fallback_reason);
+    return std::move(r);
+  };
 
   const bool neural_eligible =
       model_ != nullptr &&
@@ -161,28 +218,26 @@ StatusOr<GuardedResult> GuardedPlanner::Plan(const query::Query& q) {
     MaybeCloseCircuit();
     if (circuit_open_) {
       stats_.circuit_short_circuits += 1;
+      gm.circuit_short_circuits->Increment();
       result.fallback_reason = "circuit open";
     } else {
       Status neural = TryNeural(q, &result);
       RecordNeuralOutcome(neural.ok());
-      if (neural.ok()) {
-        result.planning_ms = timer.ElapsedMillis();
-        return result;
-      }
+      if (neural.ok()) return serve(std::move(result));
       result.fallback_reason = "neural: " + neural.ToString();
+      QPS_VLOG(1) << "guarded: neural rung failed (" << neural.ToString()
+                  << "), degrading to greedy";
       Status greedy = TryGreedy(q, &result);
-      if (greedy.ok()) {
-        result.planning_ms = timer.ElapsedMillis();
-        return result;
-      }
+      if (greedy.ok()) return serve(std::move(result));
       result.fallback_reason += "; greedy: " + greedy.ToString();
+      QPS_VLOG(1) << "guarded: greedy rung failed (" << greedy.ToString()
+                  << "), degrading to traditional";
     }
   }
 
   Status traditional = TryTraditional(q, &result);
   if (!traditional.ok()) return traditional;
-  result.planning_ms = timer.ElapsedMillis();
-  return result;
+  return serve(std::move(result));
 }
 
 }  // namespace core

@@ -22,10 +22,10 @@
 #define QPS_CORE_GUARDED_PLANNER_H_
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "core/hybrid.h"
+#include "util/clock.h"
 
 namespace qps {
 namespace core {
@@ -50,9 +50,10 @@ struct GuardedOptions {
   int breaker_threshold = 4;
   double breaker_cooldown_ms = 1000.0;
 
-  /// Injectable clock (milliseconds, monotonic) for deterministic breaker
-  /// tests. Defaults to steady_clock.
-  std::function<double()> now_ms;
+  /// Injectable time source shared by the breaker cool-down and the
+  /// planning-time Timer (util/clock.h), so tests substitute one
+  /// ManualClock for all of them. nullptr = Clock::Default().
+  const Clock* clock = nullptr;
 };
 
 /// Which rung of the degradation ladder produced the plan.
@@ -119,7 +120,10 @@ class GuardedPlanner {
   const GuardedOptions& options() const { return options_; }
 
  private:
-  double NowMs() const;
+  const Clock& clock() const {
+    return options_.clock != nullptr ? *options_.clock : *Clock::Default();
+  }
+  double NowMs() const { return clock().NowMillis(); }
   /// Records one MCTS outcome in the sliding window; may open the circuit.
   void RecordNeuralOutcome(bool success);
   /// Closes the circuit when the cool-down has elapsed.

@@ -3,11 +3,13 @@
 #include "core/hybrid.h"
 
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace core {
 
 StatusOr<HybridResult> HybridPlanner::Plan(const query::Query& q) const {
+  QPS_TRACE_SPAN("hybrid.plan");
   HybridResult result;
   Timer timer;
   if (q.num_relations() >= options_.neural_min_relations) {

@@ -7,7 +7,9 @@
 
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace core {
@@ -115,6 +117,11 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
   if (q.num_relations() > 1 && !q.IsConnected()) {
     return Status::NotImplemented("cross products are not supported");
   }
+  static metrics::Counter* const rollouts_counter =
+      metrics::Registry::Global().GetCounter("qps.mcts.rollouts");
+  static metrics::Histogram* const plan_ms_hist =
+      metrics::Registry::Global().GetHistogram("qps.mcts.plan_ms");
+  QPS_TRACE_SPAN_VAR(span, "mcts.plan");
   Timer timer;
   Rng rng(opts.seed);
   MctsResult result;
@@ -127,6 +134,8 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
          timer.ElapsedMillis() < opts.time_budget_ms) {
     // Fault point: a rollout may error out or stall (injected latency).
     QPS_RETURN_IF_ERROR(fault::Check("mcts.rollout"));
+    QPS_TRACE_SPAN("mcts.rollout");
+    rollouts_counter->Increment();
 
     // 1. Selection: walk down by UCT until an unexpanded or terminal node.
     TreeNode* node = root.get();
@@ -160,6 +169,7 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
 
     // 2. Expansion.
     if (!node->expanded && static_cast<int>(path.size()) < n) {
+      QPS_TRACE_SPAN("mcts.expand");
       node->expanded = true;
       for (const Action& a : EnumerateActions(q, MaskOfPath(path))) {
         auto child = std::make_unique<TreeNode>();
@@ -216,6 +226,8 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
   model.AnnotateEstimates(q, result.plan.get());
   result.predicted_runtime_ms = best_runtime;
   result.planning_ms = timer.ElapsedMillis();
+  plan_ms_hist->Record(result.planning_ms);
+  span.AddAttr("plans_evaluated", result.plans_evaluated);
   return result;
 }
 
@@ -225,6 +237,10 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
     return Status::NotImplemented("cross products are not supported");
   }
   QPS_RETURN_IF_ERROR(fault::Check("greedy.plan"));
+  static metrics::Counter* const plans_counter =
+      metrics::Registry::Global().GetCounter("qps.greedy.plans");
+  QPS_TRACE_SPAN_VAR(span, "greedy.plan");
+  plans_counter->Increment();
   Timer timer;
   MctsResult result;
   std::vector<Action> prefix;
@@ -268,6 +284,7 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
   model.AnnotateEstimates(q, result.plan.get());
   result.predicted_runtime_ms = model.PredictPlan(q, *result.plan).runtime_ms;
   result.planning_ms = timer.ElapsedMillis();
+  span.AddAttr("plans_evaluated", result.plans_evaluated);
   return result;
 }
 

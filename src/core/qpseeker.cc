@@ -9,7 +9,9 @@
 #include "nn/serialize.h"
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace core {
@@ -94,6 +96,10 @@ void QpSeeker::AnnotateEstimates(const Query& q, PlanNode* plan) const {
 
 QpSeeker::ForwardOut QpSeeker::Forward(const Query& q, const PlanNode& plan,
                                        Rng* sample_rng) const {
+  static metrics::Counter* const forwards_counter =
+      metrics::Registry::Global().GetCounter("qps.model.forwards");
+  QPS_TRACE_SPAN("model.forward");
+  forwards_counter->Increment();
   ForwardOut out;
   Var query_emb = query_encoder_->Encode(q);
   out.plan_out = plan_encoder_->Encode(q, plan, normalizer_);
@@ -108,6 +114,7 @@ QpSeeker::ForwardOut QpSeeker::Forward(const Query& q, const PlanNode& plan,
   // an unseen workload's plans can be costlier than anything in training
   // and the planner must still *rank* them (the Figure 9 transfer setting).
   if (config_.use_vae) {
+    QPS_TRACE_SPAN("vae.forward");
     out.vae = vae_->Forward(out.qep_embedding, sample_rng);
     out.preds = head_->Forward(out.vae.recon);
   } else {
@@ -143,7 +150,16 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
   Timer timer;
   const float beta_eff = static_cast<float>(config_.beta * config_.beta_scale);
 
+  auto& reg = metrics::Registry::Global();
+  metrics::Counter* const epochs_counter = reg.GetCounter("qps.train.epochs");
+  metrics::Gauge* const loss_gauge = reg.GetGauge("qps.train.epoch_loss");
+  metrics::Gauge* const grad_gauge = reg.GetGauge("qps.train.grad_norm");
+  metrics::Gauge* const lr_gauge = reg.GetGauge("qps.train.lr");
+  lr_gauge->Set(opts.learning_rate);
+
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    QPS_TRACE_SPAN_VAR(epoch_span, "train.epoch");
+    epoch_span.AddAttr("epoch", epoch);
     rng.Shuffle(&items);
     double epoch_loss = 0.0;
     size_t index = 0;
@@ -191,15 +207,19 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
         batch_loss += loss->value(0, 0);
         nn::Backward(loss);
       }
-      adam.ClipGradNorm(opts.grad_clip);
+      grad_gauge->Set(adam.ClipGradNorm(opts.grad_clip));
       adam.Step();
       epoch_loss += batch_loss;
     }
     epoch_loss /= static_cast<double>(items.size());
     report.epoch_losses.push_back(epoch_loss);
+    epochs_counter->Increment();
+    loss_gauge->Set(epoch_loss);
     if (opts.verbose) {
       QPS_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss;
     }
+    QPS_VLOG(2) << "train: epoch " << epoch << " loss " << epoch_loss
+                << " grad_norm " << grad_gauge->value();
   }
   report.final_loss = report.epoch_losses.empty() ? 0.0 : report.epoch_losses.back();
   report.train_seconds = timer.ElapsedSeconds();

@@ -3,6 +3,7 @@
 #include "encoder/plan_encoder.h"
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace encoder {
@@ -108,6 +109,7 @@ PlanEncoder::NodeState PlanEncoder::EncodeNode(const query::Query& q,
 PlanEncoder::Output PlanEncoder::Encode(const query::Query& q,
                                         const query::PlanNode& plan,
                                         const LabelNormalizer& norm) const {
+  QPS_TRACE_SPAN("encode.plan");
   Output out;
   NodeState root = EncodeNode(q, plan, norm, &out);
   out.root = root.output;

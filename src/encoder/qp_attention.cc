@@ -2,6 +2,8 @@
 
 #include "encoder/qp_attention.h"
 
+#include "util/trace.h"
+
 namespace qps {
 namespace encoder {
 
@@ -16,6 +18,7 @@ QpAttention::QpAttention(int query_dim, int node_dim, const EncoderConfig& confi
 
 nn::Var QpAttention::Combine(const nn::Var& query_emb,
                              const PlanEncoder::Output& plan) const {
+  QPS_TRACE_SPAN("encode.attention");
   if (plan.node_outputs.size() <= 1) {
     // Single-operator plan: attention over one node is a no-op; concatenate.
     return nn::ConcatCols({query_emb, plan.root});

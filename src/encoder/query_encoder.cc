@@ -2,6 +2,8 @@
 
 #include "encoder/query_encoder.h"
 
+#include "util/trace.h"
+
 namespace qps {
 namespace encoder {
 
@@ -27,6 +29,7 @@ QueryEncoder::QueryEncoder(const storage::Database& db, const EncoderConfig& con
 }
 
 Var QueryEncoder::Encode(const query::Query& q) const {
+  QPS_TRACE_SPAN("encode.query");
   // Relation set: one row per relation instance, one-hot by table id.
   const int nrel = std::max(1, q.num_relations());
   Tensor rel(nrel, num_tables_);

@@ -5,11 +5,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "eval/metrics.h"
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace exec {
@@ -75,18 +82,34 @@ bool RowPassesFilters(const storage::Table& table,
 
 StatusOr<double> Executor::Execute(const Query& q, PlanNode* plan) {
   QPS_CHECK(plan != nullptr);
+  static metrics::Counter* const executions_counter =
+      metrics::Registry::Global().GetCounter("qps.exec.executions");
+  static metrics::Histogram* const wall_hist =
+      metrics::Registry::Global().GetHistogram("qps.exec.wall_ms");
+  QPS_TRACE_SPAN("exec.execute");
+  executions_counter->Increment();
+  Timer timer;
   total_ = WorkCounters{};
+  node_wall_ms_.clear();
   auto result = ExecNode(q, plan);
+  wall_hist->Record(timer.ElapsedMillis());
   if (!result.ok()) return result.status();
   return static_cast<double>(result->num_rows());
 }
 
 StatusOr<Executor::RowSet> Executor::ExecNode(const Query& q, PlanNode* node) {
-  if (node->is_leaf()) return ExecScan(q, node);
-  return ExecJoin(q, node);
+  Timer timer;
+  auto result = node->is_leaf() ? ExecScan(q, node) : ExecJoin(q, node);
+  node_wall_ms_[node] = timer.ElapsedMillis();
+  return result;
 }
 
 StatusOr<Executor::RowSet> Executor::ExecScan(const Query& q, PlanNode* node) {
+  static metrics::Counter* const scans_counter =
+      metrics::Registry::Global().GetCounter("qps.exec.scans");
+  QPS_TRACE_SPAN_VAR(span, "exec.scan");
+  span.AddAttr("op", query::OpTypeName(node->op));
+  scans_counter->Increment();
   const auto& ref = q.relations[static_cast<size_t>(node->rel)];
   const storage::Table& table = db_.table(ref.table_id);
   const auto filters = q.FiltersFor(node->rel);
@@ -191,6 +214,11 @@ StatusOr<Executor::RowSet> Executor::ExecScan(const Query& q, PlanNode* node) {
 }
 
 StatusOr<Executor::RowSet> Executor::ExecJoin(const Query& q, PlanNode* node) {
+  static metrics::Counter* const joins_counter =
+      metrics::Registry::Global().GetCounter("qps.exec.joins");
+  QPS_TRACE_SPAN_VAR(span, "exec.join");
+  span.AddAttr("op", query::OpTypeName(node->op));
+  joins_counter->Increment();
   QPS_ASSIGN_OR_RETURN(RowSet left, ExecNode(q, node->left.get()));
   QPS_ASSIGN_OR_RETURN(RowSet right, ExecNode(q, node->right.get()));
   // Fault point: a join operator may fail mid-plan (labels of completed
@@ -327,6 +355,58 @@ StatusOr<Executor::RowSet> Executor::ExecJoin(const Query& q, PlanNode* node) {
   if (opts_.timeout_ms > 0.0 && total_.RuntimeMs() > opts_.timeout_ms) {
     return Status::ResourceExhausted("timeout during join");
   }
+  return out;
+}
+
+std::string ExplainAnalysis::ToString() const {
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    for (int i = 0; i < row.depth; ++i) os << "  ";
+    os << "-> " << row.label
+       << StrFormat("  (est rows=%.0f actual rows=%.0f q-err=%.2f sim=%.3fms "
+                    "wall=%.3fms)",
+                    row.est_rows, row.actual_rows, row.q_error, row.sim_ms,
+                    row.wall_ms);
+    os << "\n";
+  }
+  os << StrFormat("Execution: %.0f rows, %.3f ms wall", root_rows, total_wall_ms);
+  return os.str();
+}
+
+StatusOr<ExplainAnalysis> Executor::ExplainAnalyze(const Query& q, PlanNode* plan) {
+  QPS_CHECK(plan != nullptr);
+  QPS_TRACE_SPAN("exec.explain_analyze");
+  Timer timer;
+  auto card = Execute(q, plan);
+  if (!card.ok()) return card.status();
+
+  ExplainAnalysis out;
+  out.root_rows = *card;
+  out.total_wall_ms = timer.ElapsedMillis();
+
+  // Pre-order walk mirroring PlanNode::ToString, with the same q-error
+  // definition as the evaluation pipeline (eval::QError, floor 1).
+  const std::function<void(const PlanNode&, int)> visit = [&](const PlanNode& node,
+                                                              int depth) {
+    ExplainRow row;
+    row.node = &node;
+    row.depth = depth;
+    row.label = query::OpTypeName(node.op);
+    if (node.is_leaf() && node.rel >= 0) {
+      const auto& ref = q.relations[static_cast<size_t>(node.rel)];
+      row.label += " on " + db_.table(ref.table_id).name() + " " + ref.alias;
+    }
+    row.est_rows = node.estimated.cardinality;
+    row.actual_rows = node.actual.cardinality;
+    row.q_error = eval::QError(row.est_rows, row.actual_rows);
+    row.sim_ms = node.actual.runtime_ms;
+    const auto it = node_wall_ms_.find(&node);
+    row.wall_ms = it != node_wall_ms_.end() ? it->second : 0.0;
+    out.rows.push_back(row);
+    if (node.left != nullptr) visit(*node.left, depth + 1);
+    if (node.right != nullptr) visit(*node.right, depth + 1);
+  };
+  visit(*plan, 0);
   return out;
 }
 

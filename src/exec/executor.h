@@ -19,6 +19,8 @@
 #define QPS_EXEC_EXECUTOR_H_
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "query/plan.h"
@@ -66,6 +68,29 @@ struct ExecOptions {
   double timeout_ms = 0.0;
 };
 
+/// One operator of an EXPLAIN ANALYZE report, in pre-order (root first).
+struct ExplainRow {
+  const query::PlanNode* node = nullptr;
+  int depth = 0;
+  std::string label;        ///< "HashJoin", "SeqScan on title t", ...
+  double est_rows = 0.0;    ///< optimizer/model cardinality estimate
+  double actual_rows = 0.0; ///< true output cardinality
+  double q_error = 0.0;     ///< eval::QError(est_rows, actual_rows)
+  double sim_ms = 0.0;      ///< simulated runtime (work model, cumulative)
+  double wall_ms = 0.0;     ///< measured wall time (cumulative over subtree)
+};
+
+/// Structured EXPLAIN ANALYZE result: rows for programmatic checks (the
+/// q-error column is asserted against eval::QError in tests), ToString for
+/// the qpsql shell.
+struct ExplainAnalysis {
+  std::vector<ExplainRow> rows;
+  double root_rows = 0.0;
+  double total_wall_ms = 0.0;
+
+  std::string ToString() const;
+};
+
 /// Executes physical plans over a database.
 class Executor {
  public:
@@ -78,6 +103,12 @@ class Executor {
   /// On resource exhaustion the filled-in labels up to the abort point are
   /// preserved and Status::ResourceExhausted is returned; callers may clamp.
   StatusOr<double> Execute(const query::Query& q, query::PlanNode* plan);
+
+  /// Executes `plan` and reports per-operator estimated vs. actual rows,
+  /// cardinality q-error, simulated runtime and measured wall time. The
+  /// plan's `estimated` stats must be annotated by the planner beforehand.
+  StatusOr<ExplainAnalysis> ExplainAnalyze(const query::Query& q,
+                                           query::PlanNode* plan);
 
   /// Counters accumulated by the last Execute call (whole plan).
   const WorkCounters& last_counters() const { return total_; }
@@ -100,6 +131,9 @@ class Executor {
   ExecOptions opts_;
   WorkWeights weights_;
   WorkCounters total_;
+  /// Measured wall time per node of the last Execute (cumulative, keyed by
+  /// node pointer; consumed by ExplainAnalyze).
+  std::unordered_map<const query::PlanNode*, double> node_wall_ms_;
 };
 
 /// The paper's user-defined cost model (§5.1), evaluated on true

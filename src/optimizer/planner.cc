@@ -8,7 +8,9 @@
 
 #include "util/fault.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace optimizer {
@@ -184,6 +186,10 @@ StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints) const {
   // Fault point: even the traditional planner can fail (e.g. stats missing);
   // lets tests exercise the very bottom of the degradation ladder.
   QPS_RETURN_IF_ERROR(fault::Check("planner.dp"));
+  static metrics::Counter* const plans_counter =
+      metrics::Registry::Global().GetCounter("qps.planner.dp_plans");
+  QPS_TRACE_SPAN("planner.dp");
+  plans_counter->Increment();
   if (q.num_relations() == 0) return Status::InvalidArgument("empty FROM list");
   if (!hints.Valid()) return Status::InvalidArgument("hints disable all operators");
   if (q.num_relations() > 1 && !q.IsConnected()) {

@@ -5,7 +5,9 @@
 #include <cctype>
 #include <optional>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace qps {
 namespace query {
@@ -298,6 +300,10 @@ class Parser {
 }  // namespace
 
 StatusOr<Query> ParseSql(const std::string& sql, const storage::Database& db) {
+  static metrics::Counter* const parsed_counter =
+      metrics::Registry::Global().GetCounter("qps.parser.queries");
+  QPS_TRACE_SPAN("parse.sql");
+  parsed_counter->Increment();
   Parser parser(sql, db);
   return parser.Parse();
 }

@@ -1,0 +1,33 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace qps {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+int64_t SteadyClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+const Clock* Clock::Default() {
+  static const SteadyClock* clock = [] {
+    ProcessEpoch();  // pin the epoch before anyone reads the clock
+    return new SteadyClock();
+  }();
+  return clock;
+}
+
+}  // namespace qps

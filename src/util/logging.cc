@@ -2,10 +2,16 @@
 
 #include "util/logging.h"
 
+#include <atomic>
+#include <cstdio>
+
+#include "util/clock.h"
+
 namespace qps {
 
 namespace {
 LogLevel g_level = LogLevel::kInfo;
+std::atomic<int> g_verbosity{0};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,17 +33,41 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+int GetVerbosity() { return g_verbosity.load(std::memory_order_relaxed); }
+void SetVerbosity(int verbosity) {
+  g_verbosity.store(verbosity, std::memory_order_relaxed);
+}
+
+int LogThreadId() {
+  static std::atomic<int> next_tid{0};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
 namespace internal {
+
+void LogMessage::WritePrefix(LogLevel level, const char* file, int line) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  // Monotonic seconds since process start (the trace-span timeline) plus a
+  // dense thread id, so log lines correlate with Chrome-trace captures.
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%.6f", Clock::Default()->NowSeconds());
+  stream_ << "[" << LevelName(level) << " " << ts << " t" << LogThreadId() << " "
+          << base << ":" << line << "] ";
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level), enabled_(level >= g_level || level == LogLevel::kFatal) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
-  }
+  if (enabled_) WritePrefix(level, file, line);
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       bool force_enabled)
+    : level_(level), enabled_(force_enabled) {
+  if (enabled_) WritePrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {

@@ -1,30 +1,37 @@
 // Copyright 2026 The QPSeeker Authors
 //
 // Wall-clock stopwatch used for planning budgets and latency accounting.
+// Reads through util/clock.h, so tests that inject a ManualClock control
+// timers, deadlines, and the circuit breaker from one place.
 
 #ifndef QPS_UTIL_TIMER_H_
 #define QPS_UTIL_TIMER_H_
 
-#include <chrono>
+#include "util/clock.h"
 
 namespace qps {
 
 /// Monotonic stopwatch. Starts on construction.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  explicit Timer(const Clock* clock = Clock::Default())
+      : clock_(clock), start_(clock_->NowNanos()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = clock_->NowNanos(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(clock_->NowNanos() - start_) * 1e-9;
   }
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  double ElapsedMillis() const {
+    return static_cast<double>(clock_->NowNanos() - start_) * 1e-6;
+  }
+  double ElapsedMicros() const {
+    return static_cast<double>(clock_->NowNanos() - start_) * 1e-3;
+  }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  const Clock* clock_;
+  int64_t start_;
 };
 
 }  // namespace qps

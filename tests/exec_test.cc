@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "eval/metrics.h"
 #include "exec/executor.h"
 #include "query/parser.h"
 #include "storage/schemas.h"
@@ -302,6 +303,78 @@ TEST_F(ExecTest, IndexScanCheaperThanSeqScanForSelectiveFilter) {
   ASSERT_TRUE(e1.Execute(q, seq.get()).ok());
   ASSERT_TRUE(e2.Execute(q, idx.get()).ok());
   EXPECT_LT(idx->actual.runtime_ms, seq->actual.runtime_ms);
+}
+
+TEST_F(ExecTest, ExplainAnalyzeReportsEveryOperatorInPreOrder) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;");
+  auto plan = BuildLeftDeepPlan(
+      q, {0, 1, 2}, {OpType::kSeqScan, OpType::kSeqScan, OpType::kSeqScan},
+      {OpType::kHashJoin, OpType::kHashJoin});
+  // Planner-style estimate annotation (deliberately off by 2x to give the
+  // q-error column something to report).
+  plan->PostOrderMutable([](query::PlanNode& n) {
+    n.estimated.cardinality = 40.0;
+  });
+
+  Executor ex(*db_);
+  auto analysis = ex.ExplainAnalyze(q, plan.get());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+
+  // 5 operators: join(join(scan, scan), scan), root first.
+  ASSERT_EQ(analysis->rows.size(), 5u);
+  EXPECT_EQ(analysis->rows[0].node, plan.get());
+  EXPECT_EQ(analysis->rows[0].depth, 0);
+  EXPECT_EQ(analysis->rows[1].depth, 1);
+  EXPECT_NE(analysis->rows[0].label.find("HashJoin"), std::string::npos);
+  // Leaf labels carry table and alias.
+  EXPECT_NE(analysis->rows[2].label.find(" on "), std::string::npos);
+
+  EXPECT_EQ(analysis->root_rows, plan->actual.cardinality);
+  EXPECT_GT(analysis->total_wall_ms, 0.0);
+  for (const auto& row : analysis->rows) {
+    EXPECT_GE(row.wall_ms, 0.0);
+    EXPECT_EQ(row.actual_rows, row.node->actual.cardinality);
+    EXPECT_EQ(row.sim_ms, row.node->actual.runtime_ms);
+  }
+
+  const std::string text = analysis->ToString();
+  EXPECT_NE(text.find("q-err="), std::string::npos);
+  EXPECT_NE(text.find("Execution:"), std::string::npos);
+}
+
+TEST_F(ExecTest, ExplainAnalyzeQErrorMatchesEvalQError) {
+  // Regression guard: EXPLAIN ANALYZE must report the evaluation pipeline's
+  // q-error definition (eval::QError, floor 1), not a private variant.
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 < 5;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  double fake_est = 3.0;
+  plan->PostOrderMutable([&fake_est](query::PlanNode& n) {
+    n.estimated.cardinality = fake_est;
+    fake_est *= 10.0;  // distinct per node, both over- and under-estimates
+  });
+
+  Executor ex(*db_);
+  auto analysis = ex.ExplainAnalyze(q, plan.get());
+  ASSERT_TRUE(analysis.ok());
+  for (const auto& row : analysis->rows) {
+    EXPECT_DOUBLE_EQ(row.q_error,
+                     eval::QError(row.node->estimated.cardinality,
+                                  row.node->actual.cardinality));
+    EXPECT_GE(row.q_error, 1.0);
+  }
+}
+
+TEST_F(ExecTest, ExplainAnalyzePropagatesExecutionAborts) {
+  auto q = Parse("SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;");
+  auto plan = BuildLeftDeepPlan(q, {0, 1}, {OpType::kSeqScan, OpType::kSeqScan},
+                                {OpType::kHashJoin});
+  ExecOptions opts;
+  opts.max_intermediate_rows = 1;
+  Executor ex(*db_, opts);
+  auto analysis = ex.ExplainAnalyze(q, plan.get());
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_TRUE(analysis.status().IsResourceExhausted());
 }
 
 TEST(WorkCountersTest, RuntimeIsMonotoneInWork) {

@@ -15,6 +15,7 @@
 #include "core/qpseeker.h"
 #include "query/parser.h"
 #include "storage/schemas.h"
+#include "util/clock.h"
 #include "util/fault.h"
 
 namespace qps {
@@ -227,12 +228,12 @@ TEST_F(GuardedPlannerTest, SimpleQueriesBypassTheNeuralPath) {
 }
 
 TEST_F(GuardedPlannerTest, CircuitOpensShedsTrafficAndClosesAfterCooldown) {
-  double fake_now = 0.0;
+  ManualClock manual_clock;
   GuardedOptions gopts = Opts();
   gopts.breaker_window = 8;
   gopts.breaker_threshold = 3;
   gopts.breaker_cooldown_ms = 100.0;
-  gopts.now_ms = [&fake_now] { return fake_now; };
+  gopts.clock = &manual_clock;
   GuardedPlanner planner(model_, baseline_, gopts);
 
   ArmSticky("mcts.rollout", StatusCode::kInternal);
@@ -259,14 +260,14 @@ TEST_F(GuardedPlannerTest, CircuitOpensShedsTrafficAndClosesAfterCooldown) {
   EXPECT_EQ(planner.stats().greedy_attempts, 3);
 
   // Cool-down not yet elapsed: still shedding.
-  fake_now = 99.0;
+  manual_clock.SetMillis(99.0);
   ASSERT_TRUE(planner.Plan(q).ok());
   EXPECT_EQ(planner.stats().circuit_short_circuits, 2);
   EXPECT_TRUE(planner.circuit_open());
 
   // After the cool-down the circuit closes and, with the fault disarmed,
   // neural planning serves again.
-  fake_now = 101.0;
+  manual_clock.SetMillis(101.0);
   fault::FaultInjector::Global().DisarmAll();
   auto healed = planner.Plan(q);
   ASSERT_TRUE(healed.ok());
@@ -277,11 +278,11 @@ TEST_F(GuardedPlannerTest, CircuitOpensShedsTrafficAndClosesAfterCooldown) {
 }
 
 TEST_F(GuardedPlannerTest, BreakerWindowSlidesOldFailuresOut) {
-  double fake_now = 0.0;
+  ManualClock manual_clock;
   GuardedOptions gopts = Opts();
   gopts.breaker_window = 4;
   gopts.breaker_threshold = 3;
-  gopts.now_ms = [&fake_now] { return fake_now; };
+  gopts.clock = &manual_clock;
   GuardedPlanner planner(model_, baseline_, gopts);
   const query::Query q = Complex();
 

@@ -1,0 +1,160 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Metrics registry: exactness under concurrency (relaxed increments must
+// still sum exactly), histogram bucket placement against the documented
+// boundaries, and snapshot isolation (a snapshot is a copy, not a view).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace qps {
+namespace metrics {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(CounterTest, DeltaAndReset) {
+  Counter counter;
+  counter.Increment(5);
+  counter.Increment(-2);
+  EXPECT_EQ(counter.value(), 3);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWinsAndRoundTripsDoubles) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(3.25);
+  EXPECT_EQ(gauge.value(), 3.25);
+  gauge.Set(-1e-9);
+  EXPECT_EQ(gauge.value(), -1e-9);
+}
+
+TEST(HistogramTest, BucketBoundariesMatchTheDocumentedGrid) {
+  // Bucket 0 is [0, 1 µs); each subsequent bucket doubles the upper bound.
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 0.001);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(1), 0.002);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(10), 0.001 * 1024.0);
+
+  Histogram hist;
+  hist.Record(0.0);        // bucket 0
+  hist.Record(0.0009);     // bucket 0 (just below 1 µs)
+  hist.Record(0.001);      // bucket 1 (at the boundary -> next bucket)
+  hist.Record(0.0015);     // bucket 1
+  hist.Record(1e12);       // overflow
+  EXPECT_EQ(hist.bucket_count(0), 2);
+  EXPECT_EQ(hist.bucket_count(1), 2);
+  EXPECT_EQ(hist.bucket_count(Histogram::kNumBuckets), 1);
+  EXPECT_EQ(hist.count(), 5);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepCountAndSumExact) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) hist.Record(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hist.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(hist.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, SnapshotPercentilesAreMonotone) {
+  Registry& reg = Registry::Global();
+  Histogram* hist = reg.GetHistogram("qps.test.percentiles");
+  hist->Reset();
+  for (int i = 0; i < 1000; ++i) hist->Record(0.1 * static_cast<double>(i % 64));
+  const Snapshot snap = reg.TakeSnapshot();
+  const HistogramSnapshot* hs = nullptr;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "qps.test.percentiles") hs = &h;
+  }
+  ASSERT_NE(hs, nullptr);
+  const double p50 = hs->Percentile(50.0);
+  const double p90 = hs->Percentile(90.0);
+  const double p99 = hs->Percentile(99.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(hs->mean(), 0.0);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  Registry& reg = Registry::Global();
+  Counter* a = reg.GetCounter("qps.test.same");
+  Counter* b = reg.GetCounter("qps.test.same");
+  EXPECT_EQ(a, b);
+  // Distinct kinds under the same name are distinct metrics.
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(reg.GetGauge("qps.test.same")));
+}
+
+TEST(RegistryTest, SnapshotIsIsolatedFromLaterUpdates) {
+  Registry& reg = Registry::Global();
+  Counter* counter = reg.GetCounter("qps.test.isolation");
+  counter->Reset();
+  counter->Increment(7);
+  const Snapshot snap = reg.TakeSnapshot();
+  counter->Increment(100);  // must not appear in the earlier snapshot
+
+  int64_t seen = -1;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "qps.test.isolation") seen = value;
+  }
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(counter->value(), 107);
+}
+
+TEST(RenderTest, TextAndJsonContainEveryMetric) {
+  Registry& reg = Registry::Global();
+  reg.GetCounter("qps.test.render_counter")->Increment(3);
+  reg.GetGauge("qps.test.render_gauge")->Set(1.5);
+  reg.GetHistogram("qps.test.render_hist")->Record(2.0);
+  const Snapshot snap = reg.TakeSnapshot();
+
+  const std::string text = RenderText(snap);
+  EXPECT_NE(text.find("qps.test.render_counter"), std::string::npos);
+  EXPECT_NE(text.find("qps.test.render_gauge"), std::string::npos);
+  EXPECT_NE(text.find("qps.test.render_hist"), std::string::npos);
+
+  const std::string json = RenderJson(snap);
+  EXPECT_NE(json.find("\"qps.test.render_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RenderTest, JsonStaysValidOnNonFiniteGauges) {
+  Registry& reg = Registry::Global();
+  reg.GetGauge("qps.test.diverged_gauge")->Set(std::nan(""));
+  reg.GetGauge("qps.test.overflowed_gauge")->Set(1.0 / 0.0);
+  const std::string json = RenderJson(reg.TakeSnapshot());
+  // Bare nan/inf literals are invalid JSON; the renderer must clamp them.
+  EXPECT_EQ(json.find(":nan"), std::string::npos);
+  EXPECT_EQ(json.find(":inf"), std::string::npos);
+  EXPECT_EQ(json.find(":-nan"), std::string::npos);
+  EXPECT_EQ(json.find(":-inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace qps

@@ -1,0 +1,286 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Trace spans: parent/depth bookkeeping reconstructs the nesting tree from
+// the flat span list, disabled tracing records nothing (and is inert even
+// when spans outlive a Stop()), and the Chrome-trace export round-trips
+// through a small strict JSON parser.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace qps {
+namespace trace {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Stop();
+    Clear();
+  }
+  void TearDown() override {
+    Stop();
+    Clear();
+  }
+};
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  {
+    QPS_TRACE_SPAN("never.recorded");
+    QPS_TRACE_SPAN("also.never");
+  }
+  EXPECT_TRUE(Snapshot().empty());
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(TraceTest, NestedSpansReconstructTheTree) {
+  Start();
+  {
+    QPS_TRACE_SPAN_VAR(root, "root");
+    {
+      QPS_TRACE_SPAN("child.a");
+      { QPS_TRACE_SPAN("grandchild"); }
+    }
+    { QPS_TRACE_SPAN("child.b"); }
+  }
+  Stop();
+
+  const auto spans = Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord* root = FindSpan(spans, "root");
+  const SpanRecord* a = FindSpan(spans, "child.a");
+  const SpanRecord* grand = FindSpan(spans, "grandchild");
+  const SpanRecord* b = FindSpan(spans, "child.b");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(grand, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  EXPECT_EQ(root->parent, -1);
+  EXPECT_EQ(root->depth, 0);
+  EXPECT_EQ(a->parent, root->id);
+  EXPECT_EQ(a->depth, 1);
+  EXPECT_EQ(grand->parent, a->id);
+  EXPECT_EQ(grand->depth, 2);
+  EXPECT_EQ(b->parent, root->id);
+  EXPECT_EQ(b->depth, 1);
+
+  // Children are contained in the parent's time range.
+  EXPECT_GE(a->start_us, root->start_us);
+  EXPECT_LE(a->start_us + a->dur_us, root->start_us + root->dur_us);
+}
+
+TEST_F(TraceTest, AttributesAreRecorded) {
+  Start();
+  {
+    QPS_TRACE_SPAN_VAR(span, "with.attrs");
+    span.AddAttr("stage", "neural");
+    span.AddAttr("rollouts", 64);
+    span.AddAttr("ms", 1.5);
+  }
+  Stop();
+  const auto spans = Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 3u);
+  EXPECT_EQ(spans[0].attrs[0].first, "stage");
+  EXPECT_EQ(spans[0].attrs[0].second, "neural");
+  EXPECT_EQ(spans[0].attrs[1].second, "64");
+}
+
+TEST_F(TraceTest, ThreadsGetIndependentTrees) {
+  Start();
+  std::thread t1([] {
+    QPS_TRACE_SPAN("thread.one");
+  });
+  std::thread t2([] {
+    QPS_TRACE_SPAN("thread.two");
+  });
+  t1.join();
+  t2.join();
+  Stop();
+  const auto spans = Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* one = FindSpan(spans, "thread.one");
+  const SpanRecord* two = FindSpan(spans, "thread.two");
+  ASSERT_NE(one, nullptr);
+  ASSERT_NE(two, nullptr);
+  // Both are roots on their own threads — neither nests under the other.
+  EXPECT_EQ(one->parent, -1);
+  EXPECT_EQ(two->parent, -1);
+  EXPECT_NE(one->tid, two->tid);
+}
+
+TEST_F(TraceTest, StartClearsPreviousCapture) {
+  Start();
+  { QPS_TRACE_SPAN("first.capture"); }
+  Stop();
+  EXPECT_EQ(Snapshot().size(), 1u);
+  Start();
+  { QPS_TRACE_SPAN("second.capture"); }
+  Stop();
+  const auto spans = Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "second.capture");
+}
+
+// --- Minimal strict JSON parser (objects/arrays/strings/numbers/literals),
+// just enough to prove the Chrome-trace export is well-formed. ------------
+
+struct JsonParser {
+  const std::string& s;
+  size_t pos = 0;
+  bool ok = true;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  void SkipWs() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) ++pos;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool ParseString() {
+    SkipWs();
+    if (pos >= s.size() || s[pos] != '"') return ok = false;
+    ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') ++pos;  // skip escaped char
+      ++pos;
+    }
+    if (pos >= s.size()) return ok = false;
+    ++pos;
+    return true;
+  }
+  bool ParseNumber() {
+    SkipWs();
+    const size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() && (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                              s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                              s[pos] == '-' || s[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return ok = false;
+    return true;
+  }
+  bool ParseValue() {
+    SkipWs();
+    if (pos >= s.size()) return ok = false;
+    const char c = s[pos];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (s.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      return true;
+    }
+    if (s.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      return true;
+    }
+    if (s.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return true;
+    }
+    return ParseNumber();
+  }
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (pos < s.size() && s[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (ok) {
+      if (!ParseString()) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return Consume('}');
+    }
+    return false;
+  }
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (pos < s.size() && s[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (ok) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return Consume(']');
+    }
+    return false;
+  }
+  /// Whole-document parse: one value, then end of input.
+  bool ParseDocument() {
+    if (!ParseValue()) return false;
+    SkipWs();
+    if (pos != s.size()) return ok = false;
+    return true;
+  }
+};
+
+TEST_F(TraceTest, ChromeJsonRoundTripsThroughAParser) {
+  Start();
+  {
+    QPS_TRACE_SPAN_VAR(outer, "export.outer");
+    outer.AddAttr("note", "quoted \"text\" and backslash \\");
+    { QPS_TRACE_SPAN("export.inner"); }
+  }
+  Stop();
+
+  const std::string json = RenderChromeJson();
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.ParseDocument()) << "invalid JSON near offset " << parser.pos
+                                      << ":\n"
+                                      << json;
+
+  // Structural spot checks of the Chrome-trace schema.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"export.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"export.inner\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyCaptureStillRendersValidJson) {
+  const std::string json = RenderChromeJson();
+  JsonParser parser(json);
+  EXPECT_TRUE(parser.ParseDocument());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace qps

@@ -5,11 +5,14 @@
 #include <cmath>
 #include <set>
 
+#include "util/clock.h"
 #include "util/fault.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/scale.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace qps {
 namespace {
@@ -329,6 +332,69 @@ TEST(ScaleTest, EnvParsing) {
   EXPECT_EQ(GetScaleFromEnv(Scale::kCi), Scale::kCi);
   unsetenv("QPS_SCALE");
   EXPECT_EQ(GetScaleFromEnv(Scale::kSmoke), Scale::kSmoke);
+}
+
+TEST(ClockTest, DefaultClockIsMonotone) {
+  const Clock* clock = Clock::Default();
+  const int64_t a = clock->NowNanos();
+  const int64_t b = clock->NowNanos();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);  // epoch is pinned at process start
+}
+
+TEST(ClockTest, ManualClockAdvancesOnDemandOnly) {
+  ManualClock manual;
+  EXPECT_EQ(manual.NowNanos(), 0);
+  manual.AdvanceMillis(1.5);
+  EXPECT_DOUBLE_EQ(manual.NowMillis(), 1.5);
+  manual.AdvanceNanos(500);
+  EXPECT_EQ(manual.NowNanos(), 1'500'500);
+  manual.SetMillis(42.0);
+  EXPECT_DOUBLE_EQ(manual.NowMillis(), 42.0);
+  EXPECT_DOUBLE_EQ(manual.NowSeconds(), 0.042);
+}
+
+TEST(ClockTest, TimerReadsTheInjectedClock) {
+  ManualClock manual;
+  Timer timer(&manual);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 0.0);
+  manual.AdvanceMillis(250.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 250.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedSeconds(), 0.25);
+  manual.SetMillis(1000.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedMillis(), 1000.0);
+}
+
+TEST(VlogTest, GatedOnRuntimeVerbosity) {
+  SetVerbosity(0);
+  EXPECT_FALSE(VlogEnabled(1));
+  EXPECT_TRUE(VlogEnabled(0));
+  SetVerbosity(2);
+  EXPECT_TRUE(VlogEnabled(1));
+  EXPECT_TRUE(VlogEnabled(2));
+  EXPECT_FALSE(VlogEnabled(3));
+  SetVerbosity(0);
+}
+
+TEST(VlogTest, DisabledVlogDoesNotEvaluateTheStream) {
+  SetVerbosity(0);
+  int evaluations = 0;
+  auto side_effect = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  QPS_VLOG(5) << side_effect();
+  EXPECT_EQ(evaluations, 0);
+  SetVerbosity(5);
+  QPS_VLOG(5) << side_effect();
+  EXPECT_EQ(evaluations, 1);
+  SetVerbosity(0);
+}
+
+TEST(VlogTest, ThreadIdsAreDense) {
+  const int self = LogThreadId();
+  EXPECT_GE(self, 0);
+  EXPECT_EQ(self, LogThreadId());  // stable within a thread
 }
 
 }  // namespace
