@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/mcts.h"
+#include "core/plan_cache.h"
 #include "core/qpseeker.h"
 #include "exec/executor.h"
 #include "nn/layers.h"
@@ -39,6 +40,70 @@ void BM_MatMulForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMulForward)->Arg(32)->Arg(64)->Arg(128);
+
+// ---- tiled GEMM vs. the pre-tiling scalar kernel ------------------------
+//
+// ScalarBaselineMatMul is the seed tree's MatMulInto verbatim (i-p-j loops
+// with a zero-skip), compiled at the default -O2 like the seed. The tiled
+// kernel behind today's MatMulInto runs the (batch x d) @ (d x d) shapes
+// the batched model forward produces: batch = plans per MCTS evaluation,
+// d = hidden width.
+
+void ScalarBaselineMatMul(const nn::Tensor& a, const nn::Tensor& b,
+                          nn::Tensor* out) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  out->Fill(0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out->data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmArgs(benchmark::internal::Benchmark* bench) {
+  for (int64_t batch : {1, 8, 64}) {
+    for (int64_t d : {64, 256}) bench->Args({batch, d});
+  }
+}
+
+void SetGemmCounters(benchmark::State& state, int64_t m, int64_t k, int64_t n) {
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(m * k * n) * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmScalarBaseline(benchmark::State& state) {
+  const int64_t batch = state.range(0), d = state.range(1);
+  Rng rng(21);
+  nn::Tensor a = nn::Tensor::Randn(batch, d, &rng);
+  nn::Tensor b = nn::Tensor::Randn(d, d, &rng);
+  nn::Tensor out(batch, d);
+  for (auto _ : state) {
+    ScalarBaselineMatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetGemmCounters(state, batch, d, d);
+}
+BENCHMARK(BM_GemmScalarBaseline)->Apply(GemmArgs);
+
+void BM_GemmTiled(benchmark::State& state) {
+  const int64_t batch = state.range(0), d = state.range(1);
+  Rng rng(21);
+  nn::Tensor a = nn::Tensor::Randn(batch, d, &rng);
+  nn::Tensor b = nn::Tensor::Randn(d, d, &rng);
+  nn::Tensor out(batch, d);
+  for (auto _ : state) {
+    nn::Gemm(nn::GemmLayout::kNone, a, b, &out, /*accumulate=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetGemmCounters(state, batch, d, d);
+}
+BENCHMARK(BM_GemmTiled)->Apply(GemmArgs);
 
 void BM_MlpForwardBackward(benchmark::State& state) {
   Rng rng(2);
@@ -286,6 +351,67 @@ void BM_MctsRollouts(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MctsRollouts)->Arg(16)->Arg(64);
+
+// Leaf-parallel MCTS: rollouts/sec at 1/2/4 threads. Batched evaluation
+// (eval_batch auto-scales to 8 * threads) amortizes GEMM weight traffic
+// even on one core; the pool adds real parallelism on multi-core hosts.
+void BM_MctsRolloutsParallel(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto& mfx = ModelFixture::Get();
+  core::MctsOptions mopts;
+  mopts.time_budget_ms = 1e9;
+  mopts.max_rollouts = 256;
+  mopts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::MctsPlan(*mfx.model, fx.two_join, mopts);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * mopts.max_rollouts);
+}
+BENCHMARK(BM_MctsRolloutsParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- plan-prediction cache ----------------------------------------------
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  core::PlanPredictionCache cache(1 << 20);
+  query::NodeStats s;
+  s.runtime_ms = 1.0;
+  cache.Insert(42, 7, s);
+  query::NodeStats out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(42, 7, &out));
+  }
+}
+BENCHMARK(BM_PlanCacheHit);
+
+void BM_PlanCacheMiss(benchmark::State& state) {
+  core::PlanPredictionCache cache(1 << 20);
+  query::NodeStats out;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(42, ++key, &out));
+  }
+}
+BENCHMARK(BM_PlanCacheMiss);
+
+// End-to-end cached prediction: the full PredictPlan path when every call
+// hits the cache (fingerprint + shape hash + LRU refresh, no forward).
+void BM_QpSeekerPredictPlanCached(benchmark::State& state) {
+  auto& fx = ExecFixture::Get();
+  auto& mfx = ModelFixture::Get();
+  auto plan = BuildLeftDeepPlan(
+      fx.two_join, {0, 1, 2},
+      {query::OpType::kSeqScan, query::OpType::kSeqScan, query::OpType::kSeqScan},
+      {query::OpType::kHashJoin, query::OpType::kHashJoin});
+  mfx.model->EnableCache(1 << 20);
+  mfx.model->PredictPlan(fx.two_join, *plan);  // warm the entry
+  for (auto _ : state) {
+    auto pred = mfx.model->PredictPlan(fx.two_join, *plan);
+    benchmark::DoNotOptimize(pred.runtime_ms);
+  }
+  mfx.model->EnableCache(0);
+}
+BENCHMARK(BM_QpSeekerPredictPlanCached);
 
 // ---------------------------------------------------------------------------
 // Observability overhead (DESIGN.md §8). Spans and counters sit on the

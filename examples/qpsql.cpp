@@ -8,7 +8,7 @@
 // Usage:
 //   qpsql [--db=imdb|stack|toy] [--rows=N]
 //         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
-//         [--seed=N] [--v=N]
+//         [--seed=N] [--v=N] [--threads=N] [--cache-mb=N]
 //
 //   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
 //
@@ -21,11 +21,18 @@
 //   EXPLAIN ANALYZE <sql>     per-operator estimated vs. actual rows,
 //                             cardinality q-error, simulated + wall time
 //   \metrics                  dump the global metrics registry
+//   \cache [clear]            plan-prediction cache stats (--cache-mb=N)
 //   \trace on [file]          start span recording (default qpsql_trace.json)
 //   \trace off                stop and write Chrome-trace JSON
 //   --v=N                     QPS_VLOG verbosity (breaker transitions at 1)
 //
-// Meta-commands: \tables  \schema <table>  \guards  \metrics  \trace  \quit
+// Performance:
+//   --threads=N               thread-pool workers for MCTS leaf evaluation;
+//                             also scales the batched-forward size
+//   --cache-mb=N              enable the LRU plan-prediction cache (N MiB)
+//
+// Meta-commands: \tables  \schema <table>  \guards  \metrics  \cache  \trace
+//                \quit
 
 #include <cctype>
 #include <cstdio>
@@ -43,6 +50,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/threadpool.h"
 #include "util/trace.h"
 
 using namespace qps;
@@ -56,6 +64,8 @@ struct Options {
   int train_queries = 48;
   uint64_t seed = 42;
   int verbosity = 0;
+  int threads = 1;
+  int64_t cache_mb = 0;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -77,6 +87,10 @@ Options ParseArgs(int argc, char** argv) {
       opts.seed = std::stoull(value("--seed="));
     } else if (StartsWith(arg, "--v=")) {
       opts.verbosity = std::stoi(value("--v="));
+    } else if (StartsWith(arg, "--threads=")) {
+      opts.threads = std::stoi(value("--threads="));
+    } else if (StartsWith(arg, "--cache-mb=")) {
+      opts.cache_mb = std::stoll(value("--cache-mb="));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -186,10 +200,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "qpsql: trained %lld params on %zu QEPs in %.1fs\n",
                  static_cast<long long>(report.num_parameters), ds->qeps.size(),
                  report.train_seconds);
+    if (opts.cache_mb > 0) {
+      model->EnableCache(opts.cache_mb * 1024 * 1024);
+      std::fprintf(stderr, "qpsql: plan-prediction cache enabled (%lld MiB)\n",
+                   static_cast<long long>(opts.cache_mb));
+    }
+  }
+
+  // One pool for the whole session; MCTS shards leaf evaluation over it.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (opts.threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(opts.threads - 1);
   }
 
   exec::Executor executor(*db);
   core::HybridOptions hopts;
+  hopts.mcts.threads = opts.threads;
+  hopts.mcts.pool = pool.get();
   std::unique_ptr<core::HybridPlanner> hybrid;
   if (opts.planner == "hybrid") {
     hybrid = std::make_unique<core::HybridPlanner>(model.get(), &baseline, hopts);
@@ -223,6 +250,33 @@ int main(int argc, char** argv) {
       } else {
         std::printf("\\guards requires --planner=guarded\n");
       }
+      continue;
+    }
+    if (StartsWith(sql, "\\cache")) {
+      core::PlanPredictionCache* cache =
+          model != nullptr ? model->cache() : nullptr;
+      if (cache == nullptr) {
+        std::printf("\\cache requires a neural planner and --cache-mb=N\n");
+        continue;
+      }
+      const std::string rest = StrTrim(sql.substr(6));
+      if (rest == "clear") {
+        cache->Clear();
+        std::printf("cache cleared\n");
+        continue;
+      }
+      const auto cs = cache->GetStats();
+      const int64_t lookups = cs.hits + cs.misses;
+      std::printf(
+          "plan-prediction cache: %lld entries (capacity %lld bytes)\n"
+          "  hits %lld  misses %lld  evictions %lld  hit rate %.1f%%\n",
+          static_cast<long long>(cs.entries),
+          static_cast<long long>(cs.capacity_bytes),
+          static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
+          static_cast<long long>(cs.evictions),
+          lookups > 0 ? 100.0 * static_cast<double>(cs.hits) /
+                            static_cast<double>(lookups)
+                      : 0.0);
       continue;
     }
     if (sql == "\\metrics") {
@@ -271,7 +325,7 @@ int main(int argc, char** argv) {
       }
       plan = std::move(*p);
     } else if (opts.planner == "neural") {
-      auto p = core::MctsPlan(*model, *q);
+      auto p = core::MctsPlan(*model, *q, hopts.mcts);
       if (!p.ok()) {
         std::printf("plan error: %s\n", p.status().ToString().c_str());
         continue;

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency tests
+# again under ThreadSanitizer (-DQPS_SANITIZE=THREAD). ASan and TSan cannot
+# be combined, so the TSan pass uses its own build tree and only re-runs the
+# tests that exercise the thread pool and the parallel MCTS/batched-forward
+# hot path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== tier-1: TSan build (threadpool + hot-path tests) =="
+cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
+cmake --build build-tsan -j --target threadpool_test hotpath_test
+(cd build-tsan && ctest --output-on-failure -R "threadpool_test|hotpath_test")
+
+echo "tier-1 OK"

@@ -121,6 +121,8 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
       metrics::Registry::Global().GetCounter("qps.mcts.rollouts");
   static metrics::Histogram* const plan_ms_hist =
       metrics::Registry::Global().GetHistogram("qps.mcts.plan_ms");
+  static metrics::Histogram* const batch_size_hist =
+      metrics::Registry::Global().GetHistogram("qps.mcts.batch_size");
   QPS_TRACE_SPAN_VAR(span, "mcts.plan");
   Timer timer;
   Rng rng(opts.seed);
@@ -129,92 +131,136 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
   std::vector<Action> best_actions;
   double best_runtime = INFINITY;
 
+  const int threads = std::max(1, opts.threads);
+  util::ThreadPool* pool = opts.pool;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && threads > 1) {
+    // threads counts the calling thread, which ParallelFor drafts in.
+    owned_pool = std::make_unique<util::ThreadPool>(threads - 1);
+    pool = owned_pool.get();
+  }
+  const int eval_batch =
+      opts.eval_batch > 0 ? opts.eval_batch : (threads > 1 ? 8 * threads : 1);
+
+  /// One random-completed rollout awaiting evaluation. Its path already
+  /// carries the visit increments (virtual loss), so later selections in
+  /// the same batch spread out instead of re-walking the identical path.
+  struct Candidate {
+    TreeNode* leaf = nullptr;
+    std::vector<Action> actions;
+    PlanPtr plan;
+  };
+
   const int n = q.num_relations();
   while (result.plans_evaluated < opts.max_rollouts &&
          timer.ElapsedMillis() < opts.time_budget_ms) {
-    // Fault point: a rollout may error out or stall (injected latency).
-    QPS_RETURN_IF_ERROR(fault::Check("mcts.rollout"));
-    QPS_TRACE_SPAN("mcts.rollout");
-    rollouts_counter->Increment();
+    // Gather up to eval_batch candidates. All tree walking, expansion, and
+    // rng use is serial — parallelism only touches the pure evaluation.
+    std::vector<Candidate> batch;
+    while (static_cast<int>(batch.size()) < eval_batch &&
+           result.plans_evaluated + static_cast<int>(batch.size()) <
+               opts.max_rollouts) {
+      if (!batch.empty() && timer.ElapsedMillis() >= opts.time_budget_ms) break;
+      // Fault point: a rollout may error out or stall (injected latency).
+      QPS_RETURN_IF_ERROR(fault::Check("mcts.rollout"));
+      QPS_TRACE_SPAN("mcts.rollout");
+      rollouts_counter->Increment();
 
-    // 1. Selection: walk down by UCT until an unexpanded or terminal node.
-    TreeNode* node = root.get();
-    std::vector<Action> path;
-    while (node->expanded && !node->children.empty()) {
-      // Unvisited children first (uniformly at random), then UCT.
-      std::vector<TreeNode*> unvisited;
-      for (auto& child : node->children) {
-        if (child->visits == 0) unvisited.push_back(child.get());
-      }
-      TreeNode* chosen = nullptr;
-      if (!unvisited.empty()) {
-        chosen = unvisited[rng.UniformInt(unvisited.size())];
-      } else {
-        double best_uct = -INFINITY;
+      // 1. Selection: walk down by UCT until an unexpanded or terminal node.
+      TreeNode* node = root.get();
+      std::vector<Action> path;
+      while (node->expanded && !node->children.empty()) {
+        // Unvisited children first (uniformly at random), then UCT.
+        std::vector<TreeNode*> unvisited;
         for (auto& child : node->children) {
-          const double uct =
-              child->reward / static_cast<double>(child->visits) +
-              opts.exploration_c *
-                  std::sqrt(std::log(static_cast<double>(std::max(1, node->visits))) /
-                            static_cast<double>(child->visits));
-          if (uct > best_uct || chosen == nullptr) {
-            best_uct = uct;
-            chosen = child.get();
+          if (child->visits == 0) unvisited.push_back(child.get());
+        }
+        TreeNode* chosen = nullptr;
+        if (!unvisited.empty()) {
+          chosen = unvisited[rng.UniformInt(unvisited.size())];
+        } else {
+          double best_uct = -INFINITY;
+          for (auto& child : node->children) {
+            const double uct =
+                child->reward / static_cast<double>(child->visits) +
+                opts.exploration_c *
+                    std::sqrt(std::log(static_cast<double>(std::max(1, node->visits))) /
+                              static_cast<double>(child->visits));
+            if (uct > best_uct || chosen == nullptr) {
+              best_uct = uct;
+              chosen = child.get();
+            }
           }
         }
-      }
-      node = chosen;
-      path.push_back(node->action);
-    }
-
-    // 2. Expansion.
-    if (!node->expanded && static_cast<int>(path.size()) < n) {
-      QPS_TRACE_SPAN("mcts.expand");
-      node->expanded = true;
-      for (const Action& a : EnumerateActions(q, MaskOfPath(path))) {
-        auto child = std::make_unique<TreeNode>();
-        child->action = a;
-        child->parent = node;
-        node->children.push_back(std::move(child));
-      }
-      if (!node->children.empty()) {
-        const size_t pick = rng.UniformInt(node->children.size());
-        node = node->children[pick].get();
+        node = chosen;
         path.push_back(node->action);
       }
-    }
 
-    // 3. Rollout: random completion.
-    std::vector<Action> actions = path;
-    if (!RandomCompletion(q, &actions, &rng)) {
-      // Dead end (cannot happen for connected queries, but stay safe).
-      node->visits += 1;
-      continue;
-    }
-    PlanPtr plan = PlanFromActions(q, actions);
-    if (plan == nullptr) {
-      node->visits += 1;
-      continue;
-    }
+      // 2. Expansion.
+      if (!node->expanded && static_cast<int>(path.size()) < n) {
+        QPS_TRACE_SPAN("mcts.expand");
+        node->expanded = true;
+        for (const Action& a : EnumerateActions(q, MaskOfPath(path))) {
+          auto child = std::make_unique<TreeNode>();
+          child->action = a;
+          child->parent = node;
+          node->children.push_back(std::move(child));
+        }
+        if (!node->children.empty()) {
+          const size_t pick = rng.UniformInt(node->children.size());
+          node = node->children[pick].get();
+          path.push_back(node->action);
+        }
+      }
 
-    // 4. Evaluation with the learned cost model. A non-finite score means
-    // the model has diverged; surface an error instead of garbage costs.
-    const query::NodeStats pred = model.PredictPlan(q, *plan);
-    if (!query::StatsAreFinite(pred)) {
-      return Status::Internal("non-finite model prediction in MCTS rollout");
-    }
-    result.plans_evaluated += 1;
-    const bool improved = pred.runtime_ms < best_runtime;
-    if (improved) {
-      best_runtime = pred.runtime_ms;
-      best_actions = actions;
-    }
+      // 3. Rollout: random completion.
+      std::vector<Action> actions = path;
+      if (!RandomCompletion(q, &actions, &rng)) {
+        // Dead end (cannot happen for connected queries, but stay safe).
+        node->visits += 1;
+        continue;
+      }
+      PlanPtr plan = PlanFromActions(q, actions);
+      if (plan == nullptr) {
+        node->visits += 1;
+        continue;
+      }
 
-    // 5. Backpropagation: a node earns one unit each time it is part of the
-    // best plan discovered so far.
-    for (TreeNode* cur = node; cur != nullptr; cur = cur->parent) {
-      cur->visits += 1;
-      if (improved) cur->reward += 1.0;
+      // Virtual loss: count the path's visits now, so the next selection in
+      // this batch sees them. Rewards are settled after evaluation.
+      for (TreeNode* cur = node; cur != nullptr; cur = cur->parent) {
+        cur->visits += 1;
+      }
+      batch.push_back(Candidate{node, std::move(actions), std::move(plan)});
+    }
+    if (batch.empty()) continue;  // dead ends only; budget checks re-run above
+    batch_size_hist->Record(static_cast<double>(batch.size()));
+
+    // 4. Evaluation with the learned cost model: one batched forward for
+    // the whole candidate set (annotation sharded across the pool). A
+    // non-finite score means the model has diverged; surface an error
+    // instead of garbage costs.
+    std::vector<const PlanNode*> plan_ptrs;
+    plan_ptrs.reserve(batch.size());
+    for (const auto& c : batch) plan_ptrs.push_back(c.plan.get());
+    const std::vector<query::NodeStats> preds =
+        model.PredictPlansBatch(q, plan_ptrs, pool);
+
+    // 5. Backpropagation, serially in selection order: a node earns one
+    // reward unit each time it is part of the best plan discovered so far.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!query::StatsAreFinite(preds[i])) {
+        return Status::Internal("non-finite model prediction in MCTS rollout");
+      }
+      result.plans_evaluated += 1;
+      const bool improved = preds[i].runtime_ms < best_runtime;
+      if (improved) {
+        best_runtime = preds[i].runtime_ms;
+        best_actions = batch[i].actions;
+        for (TreeNode* cur = batch[i].leaf; cur != nullptr; cur = cur->parent) {
+          cur->reward += 1.0;
+        }
+      }
     }
   }
 
@@ -245,11 +291,11 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
   MctsResult result;
   std::vector<Action> prefix;
   const int n = q.num_relations();
-  Rng rng(7);
   for (int step = 0; step < n; ++step) {
-    Action best_action;
-    double best_runtime = INFINITY;
-    bool found = false;
+    // Build every step candidate first, then score them as one batched
+    // forward — the greedy analogue of MCTS leaf-parallel evaluation.
+    std::vector<Action> step_actions;
+    std::vector<PlanPtr> step_plans;
     for (const Action& a : EnumerateActions(q, MaskOfPath(prefix))) {
       std::vector<Action> candidate = prefix;
       candidate.push_back(a);
@@ -265,14 +311,25 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
       if (static_cast<int>(completed.size()) != n) continue;
       PlanPtr plan = PlanFromActions(q, completed);
       if (plan == nullptr) continue;
-      const auto pred = model.PredictPlan(q, *plan);
-      if (!query::StatsAreFinite(pred)) {
+      step_actions.push_back(a);
+      step_plans.push_back(std::move(plan));
+    }
+    std::vector<const PlanNode*> ptrs;
+    ptrs.reserve(step_plans.size());
+    for (const auto& p : step_plans) ptrs.push_back(p.get());
+    const std::vector<query::NodeStats> preds = model.PredictPlansBatch(q, ptrs);
+
+    Action best_action;
+    double best_runtime = INFINITY;
+    bool found = false;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (!query::StatsAreFinite(preds[i])) {
         return Status::Internal("non-finite model prediction in greedy planning");
       }
       result.plans_evaluated += 1;
-      if (pred.runtime_ms < best_runtime) {
-        best_runtime = pred.runtime_ms;
-        best_action = a;
+      if (preds[i].runtime_ms < best_runtime) {
+        best_runtime = preds[i].runtime_ms;
+        best_action = step_actions[i];
         found = true;
       }
     }

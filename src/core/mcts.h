@@ -29,6 +29,26 @@ struct MctsOptions {
   /// MctsPlan returns ResourceExhausted instead of a late plan, so the
   /// guarded pipeline can fall back. Set it with slack above the budget.
   double hard_deadline_ms = 0.0;
+
+  /// Leaf-parallel rollouts. Each iteration selects, expands, and
+  /// random-completes up to `eval_batch` candidate plans *serially* with
+  /// one seeded rng (visits along each chosen path count immediately, a
+  /// virtual loss that steers later candidates of the same batch away),
+  /// evaluates them as ONE batched model forward — with per-plan annotation
+  /// sharded across `threads` workers — and backpropagates rewards
+  /// serially. Because every rng draw and tree update is serial and the
+  /// evaluation is a pure function, results are bit-identical for a fixed
+  /// (seed, eval_batch) at any thread count.
+  ///
+  /// threads: worker parallelism for the evaluation stage; <= 1 disables
+  /// the pool. eval_batch: candidates per batched forward; 0 = auto (1 when
+  /// threads <= 1, else 8 * threads — batching is what amortizes GEMM
+  /// weight traffic, so it scales with requested parallelism).
+  int threads = 1;
+  int eval_batch = 0;
+  /// Optional externally owned pool (e.g. qpsql's --threads pool). When
+  /// null and threads > 1, MctsPlan spins up a temporary pool.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct MctsResult {

@@ -3,7 +3,9 @@
 #include "core/qpseeker.h"
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <unordered_map>
 
 #include "nn/optim.h"
 #include "nn/serialize.h"
@@ -223,10 +225,154 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
   }
   report.final_loss = report.epoch_losses.empty() ? 0.0 : report.epoch_losses.back();
   report.train_seconds = timer.ElapsedSeconds();
+  // Cached predictions are functions of the weights just updated.
+  if (cache_ != nullptr) cache_->Clear();
   return report;
 }
 
+nn::Tensor QpSeeker::ForwardBatchTensor(
+    const Query& q, const std::vector<const PlanNode*>& annotated,
+    std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs) const {
+  static metrics::Counter* const forwards_counter =
+      metrics::Registry::Global().GetCounter("qps.model.forwards");
+  QPS_TRACE_SPAN("model.forward");
+  const int64_t batch = static_cast<int64_t>(annotated.size());
+  forwards_counter->Increment(batch);
+
+  nn::Tensor query_emb;
+  query_encoder_->EncodeTensor(q, &query_emb);
+
+  std::vector<encoder::PlanEncoder::TensorOutput> local_outs;
+  auto& outs = plan_outs != nullptr ? *plan_outs : local_outs;
+  plan_encoder_->EncodeBatch(q, annotated, normalizer_, &outs);
+
+  // QEP embeddings, one row per plan. Attention contexts differ per plan
+  // (different node counts), so Combine runs per plan; everything after is
+  // one batched GEMM chain.
+  const int qep_dim = attention_->out_dim();
+  nn::Tensor qep(batch, qep_dim);
+  nn::Tensor one;
+  for (int64_t p = 0; p < batch; ++p) {
+    if (config_.use_attention) {
+      attention_->CombineTensor(query_emb, outs[static_cast<size_t>(p)].node_matrix,
+                                &one);
+    } else {
+      // Ablation: concatenation of query and plan-root embeddings.
+      if (one.rows() != 1 || one.cols() != qep_dim) one = nn::Tensor(1, qep_dim);
+      const nn::Tensor& nm = outs[static_cast<size_t>(p)].node_matrix;
+      std::memcpy(one.data(), query_emb.data(),
+                  sizeof(float) * static_cast<size_t>(query_emb.cols()));
+      std::memcpy(one.data() + query_emb.cols(),
+                  nm.data() + (nm.rows() - 1) * nm.cols(),
+                  sizeof(float) * static_cast<size_t>(nm.cols()));
+    }
+    std::memcpy(qep.data() + p * qep_dim, one.data(),
+                sizeof(float) * static_cast<size_t>(qep_dim));
+  }
+
+  nn::Tensor preds;
+  if (config_.use_vae) {
+    QPS_TRACE_SPAN("vae.forward");
+    nn::Tensor mu, recon;
+    vae_->ForwardTensor(qep, &mu, &recon);
+    head_->ForwardTensor(recon, &preds);
+  } else {
+    head_->ForwardTensor(qep, &preds);
+  }
+  return preds;
+}
+
+std::vector<query::NodeStats> QpSeeker::PredictPlansBatch(
+    const Query& q, const std::vector<const PlanNode*>& plans,
+    util::ThreadPool* pool) const {
+  const size_t n = plans.size();
+  std::vector<query::NodeStats> results(n);
+  if (n == 0) return results;
+
+  // Cache consultation plus intra-batch dedup, both keyed on the plan
+  // shape hash: MCTS random completions collide regularly, and a repeated
+  // shape within one batch is the same prediction, so only the first
+  // occurrence is evaluated and the rest copy its result.
+  std::vector<uint64_t> shape_hash(n);
+  for (size_t i = 0; i < n; ++i) shape_hash[i] = PlanShapeHash(*plans[i]);
+  const uint64_t query_fp = cache_ != nullptr ? QueryFingerprint(q) : 0;
+
+  std::vector<size_t> miss_idx;
+  std::unordered_map<uint64_t, size_t> batch_first;  ///< shape -> first miss
+  std::vector<size_t> dup_src(n, static_cast<size_t>(-1));
+  for (size_t i = 0; i < n; ++i) {
+    if (cache_ != nullptr && cache_->Lookup(query_fp, shape_hash[i], &results[i])) {
+      continue;
+    }
+    const auto [it, inserted] = batch_first.try_emplace(shape_hash[i], i);
+    if (!inserted) {
+      dup_src[i] = it->second;
+      continue;
+    }
+    miss_idx.push_back(i);
+  }
+
+  if (!miss_idx.empty()) {
+    // Clone + annotate each miss. Sharded across the pool when given:
+    // CostModel::EstimatePlan only reads shared state, and each task writes
+    // its own slot, so results are identical at any thread count.
+    std::vector<query::PlanPtr> annotated(miss_idx.size());
+    {
+      QPS_TRACE_SPAN("plan.annotate");
+      const auto annotate = [&](int64_t i) {
+        annotated[static_cast<size_t>(i)] = plans[miss_idx[static_cast<size_t>(i)]]->Clone();
+        AnnotateEstimates(q, annotated[static_cast<size_t>(i)].get());
+      };
+      if (pool != nullptr && miss_idx.size() > 1) {
+        pool->ParallelFor(static_cast<int64_t>(miss_idx.size()), annotate);
+      } else {
+        for (size_t i = 0; i < miss_idx.size(); ++i) annotate(static_cast<int64_t>(i));
+      }
+    }
+
+    std::vector<const PlanNode*> ptrs;
+    ptrs.reserve(annotated.size());
+    for (const auto& p : annotated) ptrs.push_back(p.get());
+    const nn::Tensor preds = ForwardBatchTensor(q, ptrs, nullptr);
+
+    for (size_t m = 0; m < miss_idx.size(); ++m) {
+      const size_t i = miss_idx[m];
+      const float a = preds(static_cast<int64_t>(m), 0);
+      const float b = preds(static_cast<int64_t>(m), 1);
+      const float c = preds(static_cast<int64_t>(m), 2);
+      if (!(std::isfinite(a) && std::isfinite(b) && std::isfinite(c))) {
+        // Sentinel: a diverged VAE head poisons the whole triple, so callers
+        // see one consistent "garbage" signal rather than a partially valid
+        // one. Never cached.
+        const double bad = std::nan("");
+        results[i] = query::NodeStats{bad, bad, bad};
+        continue;
+      }
+      results[i] = normalizer_.Denormalize(a, b, c);
+      if (cache_ != nullptr) cache_->Insert(query_fp, shape_hash[i], results[i]);
+    }
+  }
+
+  // Settle intra-batch duplicates from their evaluated first occurrence.
+  for (size_t i = 0; i < n; ++i) {
+    if (dup_src[i] != static_cast<size_t>(-1)) results[i] = results[dup_src[i]];
+  }
+
+  // Fault injection happens after cache insert, so a corrupted value is
+  // returned to the caller but never stored — hit and miss paths stay
+  // behaviorally identical under fault tests.
+  for (size_t i = 0; i < n; ++i) {
+    results[i].runtime_ms = fault::CorruptDouble("vae.forward", results[i].runtime_ms);
+  }
+  return results;
+}
+
 query::NodeStats QpSeeker::PredictPlan(const Query& q, const PlanNode& plan) const {
+  return PredictPlansBatch(q, {&plan}, nullptr)[0];
+}
+
+query::NodeStats QpSeeker::PredictPlanReference(const Query& q,
+                                                const PlanNode& plan) const {
   auto annotated = plan.Clone();
   AnnotateEstimates(q, annotated.get());
   ForwardOut fwd = Forward(q, *annotated, /*sample_rng=*/nullptr);
@@ -244,17 +390,27 @@ query::NodeStats QpSeeker::PredictPlan(const Query& q, const PlanNode& plan) con
   return out;
 }
 
+void QpSeeker::EnableCache(int64_t capacity_bytes) {
+  if (capacity_bytes <= 0) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<PlanPredictionCache>(capacity_bytes);
+}
+
 std::vector<query::NodeStats> QpSeeker::PredictNodes(const Query& q,
                                                      const PlanNode& plan) const {
   auto annotated = plan.Clone();
   AnnotateEstimates(q, annotated.get());
-  ForwardOut fwd = Forward(q, *annotated, nullptr);
+  std::vector<encoder::PlanEncoder::TensorOutput> outs;
+  ForwardBatchTensor(q, {annotated.get()}, &outs);
   const int dvec = plan_encoder_->data_vec_dim();
+  const nn::Tensor& nm = outs[0].node_matrix;
   std::vector<query::NodeStats> out;
-  for (const auto& node_out : fwd.plan_out.node_outputs) {
-    out.push_back(normalizer_.Denormalize(node_out->value(0, dvec),
-                                          node_out->value(0, dvec + 1),
-                                          node_out->value(0, dvec + 2)));
+  out.reserve(static_cast<size_t>(nm.rows()));
+  for (int64_t i = 0; i < nm.rows(); ++i) {
+    out.push_back(
+        normalizer_.Denormalize(nm(i, dvec), nm(i, dvec + 1), nm(i, dvec + 2)));
   }
   return out;
 }
@@ -289,6 +445,8 @@ Status QpSeeker::Load(const std::string& path) {
   fake.actual.runtime_ms = std::expm1(r);
   normalizer_.Observe(fake);
   normalizer_.Finalize();
+  // Loaded weights invalidate any predictions cached under the old ones.
+  if (cache_ != nullptr) cache_->Clear();
   return Status::OK();
 }
 

@@ -20,12 +20,14 @@
 #include <string>
 #include <vector>
 
+#include "core/plan_cache.h"
 #include "encoder/plan_encoder.h"
 #include "encoder/qp_attention.h"
 #include "encoder/query_encoder.h"
 #include "optimizer/cost_model.h"
 #include "sampling/plan_sampler.h"
 #include "util/scale.h"
+#include "util/threadpool.h"
 
 namespace qps {
 namespace core {
@@ -78,12 +80,34 @@ class QpSeeker {
   TrainReport Train(const sampling::QepDataset& dataset, const TrainOptions& opts);
 
   /// Plan-level predictions for an arbitrary plan of `q`. Input estimates
-  /// (leaf EXPLAIN stats) are annotated internally.
+  /// (leaf EXPLAIN stats) are annotated internally. Runs the autograd-free
+  /// tensor path and consults the prediction cache when enabled.
   query::NodeStats PredictPlan(const query::Query& q, const query::PlanNode& plan) const;
+
+  /// Batched predictions for N candidate plans of one query: one query
+  /// encoding, height-batched plan encoding, and one (N x d) VAE/head pass
+  /// instead of N GEMVs. When `pool` is given, per-plan annotation is
+  /// sharded across it (results are bit-identical either way). Cached plans
+  /// skip evaluation entirely.
+  std::vector<query::NodeStats> PredictPlansBatch(
+      const query::Query& q, const std::vector<const query::PlanNode*>& plans,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Reference implementation of PredictPlan through the autograd graph —
+  /// slow, kept as the ground truth for batched-equivalence tests.
+  query::NodeStats PredictPlanReference(const query::Query& q,
+                                        const query::PlanNode& plan) const;
 
   /// Per-node predictions, post-order (the plan encoder's stat dims).
   std::vector<query::NodeStats> PredictNodes(const query::Query& q,
                                              const query::PlanNode& plan) const;
+
+  /// Enables the bounded LRU plan-prediction cache (0 disables). The cache
+  /// is invalidated automatically when weights change (Train / Load).
+  void EnableCache(int64_t capacity_bytes);
+
+  /// The prediction cache, or nullptr when disabled (qpsql \cache).
+  PlanPredictionCache* cache() const { return cache_.get(); }
 
   /// Latent mean vector (mu) of a QEP — the Figure 5 embedding.
   std::vector<float> LatentVector(const query::Query& q,
@@ -117,6 +141,13 @@ class QpSeeker {
   ForwardOut Forward(const query::Query& q, const query::PlanNode& plan,
                      Rng* sample_rng) const;
 
+  /// Tensor-only batched forward on pre-annotated plans: returns the
+  /// normalized (N x 3) prediction matrix. No cache, no fault injection.
+  /// When `plan_outs` is non-null it receives the per-plan node matrices.
+  nn::Tensor ForwardBatchTensor(
+      const query::Query& q, const std::vector<const query::PlanNode*>& annotated,
+      std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs) const;
+
   std::vector<nn::NamedParam> AllParameters() const;
 
   const storage::Database& db_;
@@ -137,6 +168,10 @@ class QpSeeker {
   /// Wrapper module exposing all submodules for optimizers/serialization.
   class Bundle;
   std::unique_ptr<Bundle> bundle_;
+
+  /// Optional prediction cache; mutable because hits/inserts happen inside
+  /// logically-const PredictPlan calls.
+  mutable std::unique_ptr<PlanPredictionCache> cache_;
 };
 
 }  // namespace core

@@ -2,6 +2,11 @@
 
 #include "encoder/plan_encoder.h"
 
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+
 #include "util/logging.h"
 #include "util/trace.h"
 
@@ -115,6 +120,222 @@ PlanEncoder::Output PlanEncoder::Encode(const query::Query& q,
   out.root = root.output;
   out.node_matrix = nn::ConcatRows(out.node_outputs);
   return out;
+}
+
+void PlanEncoder::EncodeBatch(const query::Query& q,
+                              const std::vector<const query::PlanNode*>& plans,
+                              const LabelNormalizer& norm,
+                              std::vector<TensorOutput>* outs) const {
+  QPS_TRACE_SPAN("encode.plan_batch");
+  const int dvec = data_vec_dim();
+  const int64_t hid = config_.node_out;
+  const int64_t edim = tabert_.embedding_dim();
+
+  // Flatten every plan into one node table, remembering child rows and tree
+  // height. A node's children always sit at strictly lower heights, so
+  // processing height levels in order satisfies the bottom-up dependency
+  // while batching across plans.
+  //
+  // Identical subtrees are deduplicated: a node's encoder input is fully
+  // determined by its operator, scan relation, (normalized) estimated
+  // stats, and its children's encoded states, so two nodes whose subtrees
+  // agree on exactly those fields produce the same row. MCTS candidate
+  // batches are full of shared left-deep prefixes, which makes this the
+  // main lever on batched-encode cost (the LSTM GEMM rows shrink to the
+  // number of *distinct* subtrees). Matching is exact — the key holds the
+  // fields themselves, child rows included — so dedup never changes
+  // results, it only skips recomputing them.
+  struct BatchNode {
+    const query::PlanNode* node;
+    int left = -1, right = -1;
+    int height = 0;
+  };
+  struct NodeKey {
+    int32_t op;
+    int32_t rel;
+    int32_t left, right;  ///< children's unique rows (-1 for leaves)
+    uint64_t est[3];      ///< bit patterns of the estimated triple
+    bool operator==(const NodeKey& o) const {
+      return op == o.op && rel == o.rel && left == o.left && right == o.right &&
+             est[0] == o.est[0] && est[1] == o.est[1] && est[2] == o.est[2];
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      uint64_t h = 0x9e3779b97f4a7c15ull;
+      const auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      };
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(k.op)));
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(k.rel)));
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(k.left)));
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(k.right)));
+      mix(k.est[0]);
+      mix(k.est[1]);
+      mix(k.est[2]);
+      return static_cast<size_t>(h);
+    }
+  };
+  std::vector<BatchNode> all;
+  std::unordered_map<NodeKey, int, NodeKeyHash> unique_rows;
+  std::vector<std::vector<int>> plan_rows(plans.size());
+  std::vector<std::vector<const query::PlanNode*>> plan_nodes(plans.size());
+  std::function<int(const query::PlanNode&, int)> walk =
+      [&](const query::PlanNode& nd, int p) -> int {
+    BatchNode bn;
+    bn.node = &nd;
+    if (!nd.is_leaf()) {
+      QPS_CHECK(nd.left != nullptr && nd.right != nullptr)
+          << "EncodeBatch: join node with a missing child";
+      bn.left = walk(*nd.left, p);
+      bn.right = walk(*nd.right, p);
+      bn.height = std::max(all[static_cast<size_t>(bn.left)].height,
+                           all[static_cast<size_t>(bn.right)].height) +
+                  1;
+    }
+    NodeKey key;
+    key.op = static_cast<int32_t>(nd.op);
+    key.rel = nd.rel;
+    key.left = bn.left;
+    key.right = bn.right;
+    std::memcpy(&key.est[0], &nd.estimated.cardinality, sizeof(uint64_t));
+    std::memcpy(&key.est[1], &nd.estimated.cost, sizeof(uint64_t));
+    std::memcpy(&key.est[2], &nd.estimated.runtime_ms, sizeof(uint64_t));
+    int row;
+    const auto it = unique_rows.find(key);
+    if (it != unique_rows.end()) {
+      row = it->second;
+    } else {
+      row = static_cast<int>(all.size());
+      all.push_back(bn);
+      unique_rows.emplace(key, row);
+    }
+    plan_rows[static_cast<size_t>(p)].push_back(row);
+    plan_nodes[static_cast<size_t>(p)].push_back(&nd);
+    return row;
+  };
+  for (size_t p = 0; p < plans.size(); ++p) {
+    walk(*plans[p], static_cast<int>(p));
+  }
+  const int64_t total = static_cast<int64_t>(all.size());
+  int max_height = 0;
+  for (const auto& bn : all) max_height = std::max(max_height, bn.height);
+  std::vector<std::vector<int>> levels(static_cast<size_t>(max_height) + 1);
+  for (size_t i = 0; i < all.size(); ++i) {
+    levels[static_cast<size_t>(all[i].height)].push_back(static_cast<int>(i));
+  }
+
+  // Per-call TabSketch memoization: candidate plans of one query share scan
+  // relations and join subsets heavily.
+  std::unordered_map<int, Tensor> scan_reps;   // rel -> 1 x edim
+  std::unordered_map<int, Tensor> table_reps;  // table id -> 1 x edim
+
+  Tensor h_all(total, hid), c_all(total, hid), o_all(total, hid);
+  Tensor x, h_batch, c_batch, o_batch;
+  for (const auto& level : levels) {
+    const int64_t batch = static_cast<int64_t>(level.size());
+    x = Tensor(batch, input_dim_);
+    h_batch = Tensor(batch, hid);
+    c_batch = Tensor(batch, hid);
+    for (int64_t b = 0; b < batch; ++b) {
+      const BatchNode& bn = all[static_cast<size_t>(level[static_cast<size_t>(b)])];
+      const query::PlanNode& node = *bn.node;
+      float* row = x.data() + b * input_dim_;
+      // Layout mirrors EncodeNode's ConcatCols order:
+      // [child data | child stats(3) | own est(3) | op | data repr | rels].
+      float* child_data = row;
+      float* stats_in = row + dvec;
+      float* own_est = stats_in + 3;
+      float* op_onehot = own_est + 3;
+      float* data_repr = op_onehot + query::kNumOpTypes;
+      float* rels = data_repr + edim;
+
+      if (node.is_leaf()) {
+        if (config_.use_data_repr) {
+          auto it = scan_reps.find(node.rel);
+          if (it == scan_reps.end()) {
+            it = scan_reps.emplace(node.rel, tabert_.ScanDataRepresentation(q, node.rel))
+                     .first;
+          }
+          std::memcpy(data_repr, it->second.data(),
+                      sizeof(float) * static_cast<size_t>(edim));
+        }
+      } else {
+        const float* lo = o_all.data() + bn.left * hid;
+        const float* ro = o_all.data() + bn.right * hid;
+        for (int j = 0; j < dvec; ++j) child_data[j] = 0.5f * (lo[j] + ro[j]);
+        for (int j = 0; j < 3; ++j) stats_in[j] = 0.5f * (lo[dvec + j] + ro[dvec + j]);
+        if (config_.use_data_repr) {
+          const uint64_t mask = node.RelMask();
+          int count = 0;
+          for (int r = 0; r < q.num_relations(); ++r) {
+            if (!((mask >> r) & 1)) continue;
+            const int table = q.relations[static_cast<size_t>(r)].table_id;
+            auto it = table_reps.find(table);
+            if (it == table_reps.end()) {
+              it = table_reps.emplace(table, tabert_.TableRepresentation(table)).first;
+            }
+            const float* rep = it->second.data();
+            for (int64_t j = 0; j < edim; ++j) data_repr[j] += rep[j];
+            ++count;
+          }
+          if (count > 0) {
+            const float inv = 1.0f / static_cast<float>(count);
+            for (int64_t j = 0; j < edim; ++j) data_repr[j] *= inv;
+          }
+        }
+        // LSTM state: children's states pooled, as in EncodeNode.
+        const float* lh = h_all.data() + bn.left * hid;
+        const float* rh = h_all.data() + bn.right * hid;
+        const float* lc = c_all.data() + bn.left * hid;
+        const float* rc = c_all.data() + bn.right * hid;
+        float* hb = h_batch.data() + b * hid;
+        float* cb = c_batch.data() + b * hid;
+        for (int64_t j = 0; j < hid; ++j) {
+          hb[j] = 0.5f * (lh[j] + rh[j]);
+          cb[j] = 0.5f * (lc[j] + rc[j]);
+        }
+      }
+
+      const auto own3 = norm.Normalize(node.estimated);
+      own_est[0] = own3[0];
+      own_est[1] = own3[1];
+      own_est[2] = own3[2];
+      op_onehot[static_cast<int>(node.op)] = 1.0f;
+      const uint64_t mask = node.RelMask();
+      for (int r = 0; r < q.num_relations(); ++r) {
+        if ((mask >> r) & 1) {
+          rels[q.relations[static_cast<size_t>(r)].table_id] += 1.0f;
+        }
+      }
+    }
+
+    cell_->ForwardTensor(x, &h_batch, &c_batch);
+    out_proj_->ForwardTensor(h_batch, &o_batch);
+    for (int64_t b = 0; b < batch; ++b) {
+      const int row = level[static_cast<size_t>(b)];
+      std::memcpy(h_all.data() + row * hid, h_batch.data() + b * hid,
+                  sizeof(float) * static_cast<size_t>(hid));
+      std::memcpy(c_all.data() + row * hid, c_batch.data() + b * hid,
+                  sizeof(float) * static_cast<size_t>(hid));
+      std::memcpy(o_all.data() + row * hid, o_batch.data() + b * hid,
+                  sizeof(float) * static_cast<size_t>(hid));
+    }
+  }
+
+  outs->clear();
+  outs->resize(plans.size());
+  for (size_t p = 0; p < plans.size(); ++p) {
+    TensorOutput& out = (*outs)[p];
+    const auto& rows = plan_rows[p];
+    out.node_matrix = Tensor(static_cast<int64_t>(rows.size()), hid);
+    out.nodes.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::memcpy(out.node_matrix.data() + static_cast<int64_t>(i) * hid,
+                  o_all.data() + rows[i] * hid, sizeof(float) * static_cast<size_t>(hid));
+      out.nodes.push_back(plan_nodes[p][i]);
+    }
+  }
 }
 
 }  // namespace encoder

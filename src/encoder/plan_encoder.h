@@ -42,6 +42,21 @@ class PlanEncoder : public nn::Module {
   Output Encode(const query::Query& q, const query::PlanNode& plan,
                 const LabelNormalizer& norm) const;
 
+  /// Autograd-free batched encoding of many candidate plans of one query.
+  /// Same math as Encode, but nodes at the same tree height across *all*
+  /// plans advance through the shared LSTM cell and output projection as
+  /// one batched GEMM (every leaf of every plan is one row of the level-0
+  /// batch). TabSketch representations are computed once per relation /
+  /// table per call.
+  struct TensorOutput {
+    nn::Tensor node_matrix;  ///< (num_nodes, node_out), post-order rows
+    std::vector<const query::PlanNode*> nodes;  ///< same post-order
+  };
+  void EncodeBatch(const query::Query& q,
+                   const std::vector<const query::PlanNode*>& plans,
+                   const LabelNormalizer& norm,
+                   std::vector<TensorOutput>* outs) const;
+
   int node_out_dim() const { return config_.node_out; }
   int node_input_dim() const { return input_dim_; }
   int data_vec_dim() const { return config_.node_out - 3; }

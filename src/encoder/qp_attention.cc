@@ -2,6 +2,8 @@
 
 #include "encoder/qp_attention.h"
 
+#include <cstring>
+
 #include "util/trace.h"
 
 namespace qps {
@@ -24,6 +26,20 @@ nn::Var QpAttention::Combine(const nn::Var& query_emb,
     return nn::ConcatCols({query_emb, plan.root});
   }
   return attn_->Forward(query_emb, plan.node_matrix);
+}
+
+void QpAttention::CombineTensor(const nn::Tensor& query_emb,
+                                const nn::Tensor& node_matrix, nn::Tensor* out) const {
+  QPS_TRACE_SPAN("encode.attention");
+  if (node_matrix.rows() <= 1) {
+    if (out->rows() != 1 || out->cols() != out_dim()) *out = nn::Tensor(1, out_dim());
+    std::memcpy(out->data(), query_emb.data(),
+                sizeof(float) * static_cast<size_t>(query_dim_));
+    std::memcpy(out->data() + query_dim_, node_matrix.data(),
+                sizeof(float) * static_cast<size_t>(node_dim_));
+    return;
+  }
+  attn_->ForwardTensor(query_emb, node_matrix, out);
 }
 
 }  // namespace encoder

@@ -23,6 +23,11 @@ class QpAttention : public nn::Module {
   /// QEP embedding: 1 x out_dim().
   nn::Var Combine(const nn::Var& query_emb, const PlanEncoder::Output& plan) const;
 
+  /// Autograd-free inference path over a (num_nodes x node_dim) node
+  /// matrix; same degenerate-concat rule for single-node plans.
+  void CombineTensor(const nn::Tensor& query_emb, const nn::Tensor& node_matrix,
+                     nn::Tensor* out) const;
+
   /// Output width == query embedding + plan node vector (paper: "a vector
   /// with size equal to the sum of the query and plan embedding vectors").
   int out_dim() const { return query_dim_ + node_dim_; }

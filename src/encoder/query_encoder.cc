@@ -59,5 +59,41 @@ Var QueryEncoder::Encode(const query::Query& q) const {
   return nn::ConcatCols({rel_pooled, join_pooled});
 }
 
+void QueryEncoder::EncodeTensor(const query::Query& q, Tensor* out) const {
+  QPS_TRACE_SPAN("encode.query");
+  const int out_cols = out_dim();
+  if (out->rows() != 1 || out->cols() != out_cols) *out = Tensor(1, out_cols);
+
+  // Masked mean of mlp(rows): identical pooling to nn::MaskedMeanRows.
+  const auto pool = [](const Tensor& rows, int valid, float* dst, int64_t width) {
+    const float inv = valid > 0 ? 1.0f / static_cast<float>(valid) : 0.0f;
+    for (int64_t j = 0; j < width; ++j) dst[j] = 0.0f;
+    for (int r = 0; r < valid; ++r) {
+      const float* src = rows.data() + r * width;
+      for (int64_t j = 0; j < width; ++j) dst[j] += src[j] * inv;
+    }
+  };
+
+  const int nrel = std::max(1, q.num_relations());
+  Tensor rel(nrel, num_tables_);
+  for (int r = 0; r < q.num_relations(); ++r) {
+    rel(r, q.relations[static_cast<size_t>(r)].table_id) = 1.0f;
+  }
+  Tensor rel_out;
+  rel_mlp_->ForwardTensor(rel, &rel_out);
+  pool(rel_out, q.num_relations(), out->data(), config_.set_out);
+
+  const int njoin = std::max(1, static_cast<int>(q.joins.size()));
+  Tensor join(njoin, join_onehot_dim());
+  for (size_t j = 0; j < q.joins.size(); ++j) {
+    const int edge = q.joins[j].schema_edge;
+    join(static_cast<int64_t>(j), edge >= 0 ? edge : num_joins_) = 1.0f;
+  }
+  Tensor join_out;
+  join_mlp_->ForwardTensor(join, &join_out);
+  pool(join_out, static_cast<int>(q.joins.size()), out->data() + config_.set_out,
+       config_.set_out);
+}
+
 }  // namespace encoder
 }  // namespace qps

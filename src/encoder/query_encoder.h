@@ -43,6 +43,11 @@ class QueryEncoder : public nn::Module {
   /// Query embedding vector, 1 x out_dim().
   nn::Var Encode(const query::Query& q) const;
 
+  /// Autograd-free inference path; identical math, writes 1 x out_dim()
+  /// into *out. Computed once per planning run and reused for every
+  /// candidate plan of the query.
+  void EncodeTensor(const query::Query& q, nn::Tensor* out) const;
+
   int out_dim() const { return 2 * config_.set_out; }
 
   /// One-hot widths (N tables, M schema joins + 1 ad-hoc bucket).

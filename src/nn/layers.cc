@@ -2,7 +2,10 @@
 
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -68,6 +71,36 @@ Var Linear::Forward(const Var& x) const {
   return AddRowBroadcast(MatMul(x, w_), b_);
 }
 
+void Linear::ForwardTensor(const Tensor& x, Tensor* out) const {
+  QPS_CHECK(x.cols() == in_) << "Linear input width " << x.cols() << " != " << in_;
+  if (out->rows() != x.rows() || out->cols() != out_) *out = Tensor(x.rows(), out_);
+  Gemm(GemmLayout::kNone, x, w_->value, out, /*accumulate=*/false);
+  AddRowBroadcastInPlace(out, b_->value);
+}
+
+void ApplyActivationInPlace(Tensor* x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      ReluInPlace(x);
+      return;
+    case Activation::kTanh:
+      TanhInPlace(x);
+      return;
+    case Activation::kSigmoid:
+      SigmoidInPlace(x);
+      return;
+    case Activation::kLeakyRelu: {
+      float* d = x->data();
+      for (int64_t i = 0; i < x->size(); ++i) {
+        if (d[i] < 0.0f) d[i] *= 0.01f;
+      }
+      return;
+    }
+    case Activation::kNone:
+      return;
+  }
+}
+
 Mlp::Mlp(int64_t in, int64_t hidden, int64_t out, int hidden_layers, Rng* rng,
          Activation act, Activation out_act, const std::string& name)
     : act_(act), out_act_(out_act) {
@@ -91,6 +124,18 @@ Var Mlp::Forward(const Var& x) const {
   }
   cur = layers_.back()->Forward(cur);
   return ApplyActivation(cur, out_act_);
+}
+
+void Mlp::ForwardTensor(const Tensor& x, Tensor* out) const {
+  Tensor cur = x;
+  Tensor next;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    layers_[i]->ForwardTensor(cur, &next);
+    ApplyActivationInPlace(&next, act_);
+    std::swap(cur, next);
+  }
+  layers_.back()->ForwardTensor(cur, out);
+  ApplyActivationInPlace(out, out_act_);
 }
 
 LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng,
@@ -120,6 +165,38 @@ LstmCell::State LstmCell::Forward(const Var& x, const State& prev) const {
   Var c = Add(Mul(f, prev.c), Mul(i, g));
   Var h = Mul(o, Tanh(c));
   return State{h, c};
+}
+
+void LstmCell::ForwardTensor(const Tensor& x, Tensor* h, Tensor* c) const {
+  const int64_t batch = x.rows();
+  QPS_CHECK(x.cols() == input_) << "LstmCell input width " << x.cols() << " != " << input_;
+  QPS_CHECK(h->rows() == batch && h->cols() == hidden_ && c->rows() == batch &&
+            c->cols() == hidden_)
+      << "LstmCell state shape: h " << h->rows() << "x" << h->cols() << ", c "
+      << c->rows() << "x" << c->cols() << " for batch " << batch << " hidden " << hidden_;
+  Tensor xh(batch, input_ + hidden_);
+  for (int64_t i = 0; i < batch; ++i) {
+    float* dst = xh.data() + i * (input_ + hidden_);
+    std::memcpy(dst, x.data() + i * input_, sizeof(float) * static_cast<size_t>(input_));
+    std::memcpy(dst + input_, h->data() + i * hidden_,
+                sizeof(float) * static_cast<size_t>(hidden_));
+  }
+  Tensor gates(batch, 4 * hidden_);
+  Gemm(GemmLayout::kNone, xh, w_->value, &gates, /*accumulate=*/false);
+  AddRowBroadcastInPlace(&gates, b_->value);
+  for (int64_t r = 0; r < batch; ++r) {
+    const float* g = gates.data() + r * 4 * hidden_;
+    float* hr = h->data() + r * hidden_;
+    float* cr = c->data() + r * hidden_;
+    for (int64_t j = 0; j < hidden_; ++j) {
+      const float ig = 1.0f / (1.0f + std::exp(-g[j]));
+      const float fg = 1.0f / (1.0f + std::exp(-g[hidden_ + j]));
+      const float gg = std::tanh(g[2 * hidden_ + j]);
+      const float og = 1.0f / (1.0f + std::exp(-g[3 * hidden_ + j]));
+      cr[j] = fg * cr[j] + ig * gg;
+      hr[j] = og * std::tanh(cr[j]);
+    }
+  }
 }
 
 MultiHeadCrossAttention::MultiHeadCrossAttention(int64_t query_dim,
@@ -157,6 +234,29 @@ Var MultiHeadCrossAttention::Forward(const Var& query, const Var& context) const
     head_outs.push_back(MatMul(attn, v));  // (1, d)
   }
   return out_proj_->Forward(ConcatCols(head_outs));
+}
+
+void MultiHeadCrossAttention::ForwardTensor(const Tensor& query, const Tensor& context,
+                                            Tensor* out) const {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const int64_t n = context.rows();
+  last_scores_ = Tensor(heads_, n);
+  Tensor concat(1, heads_ * head_dim_);
+  Tensor q(1, head_dim_), k(n, head_dim_), v(n, head_dim_);
+  Tensor scores(1, n), head_out(1, head_dim_);
+  for (int h = 0; h < heads_; ++h) {
+    Gemm(GemmLayout::kNone, query, wq_[h]->value, &q, false);
+    Gemm(GemmLayout::kNone, context, wk_[h]->value, &k, false);
+    Gemm(GemmLayout::kNone, context, wv_[h]->value, &v, false);
+    Gemm(GemmLayout::kTransB, q, k, &scores, false);  // (1, n)
+    scores.ScaleInPlace(scale);
+    SoftmaxRowsInPlace(&scores);
+    for (int64_t j = 0; j < n; ++j) last_scores_(h, j) = scores(0, j);
+    Gemm(GemmLayout::kNone, scores, v, &head_out, false);
+    std::memcpy(concat.data() + h * head_dim_, head_out.data(),
+                sizeof(float) * static_cast<size_t>(head_dim_));
+  }
+  out_proj_->ForwardTensor(concat, out);
 }
 
 Vae::Vae(int64_t input_dim, int64_t latent_dim, int hidden_layers, Rng* rng,
@@ -209,6 +309,32 @@ Var Vae::Decode(const Var& z) const {
   Var cur = z;
   for (size_t i = 0; i + 1 < dec_.size(); ++i) cur = Relu(dec_[i]->Forward(cur));
   return dec_.back()->Forward(cur);
+}
+
+void Vae::ForwardTensor(const Tensor& x, Tensor* mu, Tensor* recon) const {
+  QPS_CHECK(x.cols() == input_) << "Vae input width " << x.cols() << " != " << input_;
+  const int64_t batch = x.rows();
+  Tensor cur = x;
+  Tensor next;
+  for (const auto& l : enc_) {
+    l->ForwardTensor(cur, &next);
+    ReluInPlace(&next);
+    std::swap(cur, next);
+  }
+  Tensor head;
+  enc_head_->ForwardTensor(cur, &head);
+  if (mu->rows() != batch || mu->cols() != latent_) *mu = Tensor(batch, latent_);
+  for (int64_t r = 0; r < batch; ++r) {
+    std::memcpy(mu->data() + r * latent_, head.data() + r * 2 * latent_,
+                sizeof(float) * static_cast<size_t>(latent_));
+  }
+  cur = *mu;  // inference latent: z = mu
+  for (size_t i = 0; i + 1 < dec_.size(); ++i) {
+    dec_[i]->ForwardTensor(cur, &next);
+    ReluInPlace(&next);
+    std::swap(cur, next);
+  }
+  dec_.back()->ForwardTensor(cur, recon);
 }
 
 Vae::Output Vae::Forward(const Var& x, Rng* rng) const {

@@ -60,6 +60,9 @@ class Linear : public Module {
   /// x: (m, in) -> (m, out).
   Var Forward(const Var& x) const;
 
+  /// Autograd-free inference path: *out = x @ W + b. `out` is resized.
+  void ForwardTensor(const Tensor& x, Tensor* out) const;
+
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
 
@@ -82,11 +85,17 @@ class Mlp : public Module {
 
   Var Forward(const Var& x) const;
 
+  /// Autograd-free inference path; rows of x are independent samples.
+  void ForwardTensor(const Tensor& x, Tensor* out) const;
+
  private:
   std::vector<std::unique_ptr<Linear>> layers_;
   Activation act_;
   Activation out_act_;
 };
+
+/// In-place activation used by the tensor inference paths.
+void ApplyActivationInPlace(Tensor* x, Activation act);
 
 /// A single LSTM cell; the plan encoder instantiates one shared cell and
 /// applies it at every plan node (bottom-up over the plan tree).
@@ -105,6 +114,11 @@ class LstmCell : public Module {
 
   /// One step: x (1, input), prev state -> next state.
   State Forward(const Var& x, const State& prev) const;
+
+  /// Autograd-free batched step: x (batch, input) with h/c (batch, hidden)
+  /// updated in place — row i is an independent LSTM instance. This is how
+  /// the batched plan encoder advances a whole tree level in one GEMM.
+  void ForwardTensor(const Tensor& x, Tensor* h, Tensor* c) const;
 
   int64_t hidden_size() const { return hidden_; }
   int64_t input_size() const { return input_; }
@@ -125,6 +139,10 @@ class MultiHeadCrossAttention : public Module {
 
   /// query: (1, query_dim); context: (n, context_dim).
   Var Forward(const Var& query, const Var& context) const;
+
+  /// Autograd-free inference path; same semantics as Forward (including
+  /// updating last_scores()), writing the (1, out_dim) result into *out.
+  void ForwardTensor(const Tensor& query, const Tensor& context, Tensor* out) const;
 
   /// Attention weights of the last Forward call, one row per head (heads, n).
   /// Useful for inspecting which plan nodes dominate the estimate.
@@ -155,6 +173,10 @@ class Vae : public Module {
 
   /// Full pass. If `rng` is null the latent is deterministic (z = mu).
   Output Forward(const Var& x, Rng* rng) const;
+
+  /// Autograd-free inference pass with z = mu for a row batch: fills
+  /// mu (batch, latent) and recon (batch, input_dim).
+  void ForwardTensor(const Tensor& x, Tensor* mu, Tensor* recon) const;
 
   /// Encoder only: returns (mu, logvar).
   std::pair<Var, Var> Encode(const Var& x) const;

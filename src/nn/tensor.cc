@@ -2,10 +2,14 @@
 
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace qps {
 namespace nn {
@@ -87,56 +91,261 @@ std::string Tensor::DebugString(int64_t max_entries) const {
   return os.str();
 }
 
-void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
-  QPS_DCHECK(a.cols() == b.rows());
-  QPS_DCHECK(out->rows() == a.rows() && out->cols() == b.cols());
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  out->Fill(0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out->data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+#if defined(__GNUC__) || defined(__clang__)
+#define QPS_RESTRICT __restrict__
+#else
+#define QPS_RESTRICT
+#endif
+
+namespace {
+
+// Register-tile sizes for the GEMM micro-kernel: each full tile keeps a
+// kMr x kNr accumulator block in registers and streams a kc-deep panel of
+// A and B through it, so every loaded element of B is reused kMr times and
+// every element of A kNr times. kKc bounds the packed k-panel so A/B panels
+// stay L1/L2-resident.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
+constexpr int64_t kKc = 256;
+
+// Below this many multiply-adds the Timer + histogram overhead would be
+// comparable to the GEMM itself, so tiny calls skip the metric.
+constexpr int64_t kGemmMetricMinWork = 4096;
+
+struct GemmMetrics {
+  metrics::Histogram* gemm_ms;
+
+  static const GemmMetrics& Get() {
+    static const GemmMetrics m = [] {
+      return GemmMetrics{metrics::Registry::Global().GetHistogram("qps.nn.gemm_ms")};
+    }();
+    return m;
+  }
+};
+
+// Full kMr x kNr tile: C += A_panel @ B_panel, with A rows at stride lda
+// (element stride 1 along p) and B rows at stride ldb. The accumulators
+// live in registers for the whole k loop; stores happen once per tile.
+inline void MicroKernelFull(int64_t kc, const float* QPS_RESTRICT a, int64_t lda,
+                            const float* QPS_RESTRICT b, int64_t ldb,
+                            float* QPS_RESTRICT c, int64_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* brow = b + p * ldb;
+    const float a0 = a[0 * lda + p];
+    const float a1 = a[1 * lda + p];
+    const float a2 = a[2 * lda + p];
+    const float a3 = a[3 * lda + p];
+    for (int64_t j = 0; j < kNr; ++j) {
+      const float bv = brow[j];
+      acc[0][j] += a0 * bv;
+      acc[1][j] += a1 * bv;
+      acc[2][j] += a2 * bv;
+      acc[3][j] += a3 * bv;
     }
   }
+  for (int64_t i = 0; i < kMr; ++i) {
+    for (int64_t j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+  }
+}
+
+// Ragged edge tile (mr <= kMr, nr <= kNr). Same register-accumulator shape
+// as the full kernel, just with runtime bounds; also serves the m == 1
+// GEMV case of single-plan inference.
+inline void MicroKernelRagged(int64_t mr, int64_t nr, int64_t kc,
+                              const float* QPS_RESTRICT a, int64_t lda,
+                              const float* QPS_RESTRICT b, int64_t ldb,
+                              float* QPS_RESTRICT c, int64_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* brow = b + p * ldb;
+    for (int64_t i = 0; i < mr; ++i) {
+      const float av = a[i * lda + p];
+      for (int64_t j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (int64_t i = 0; i < mr; ++i) {
+    for (int64_t j = 0; j < nr; ++j) c[i * ldc + j] += acc[i][j];
+  }
+}
+
+// Dedicated m == 1 GEMV for row-major operands: c(1 x n) += a(1 x k) @
+// b(k x n). The tile kernels carry only kNr accumulator lanes per row,
+// which for a single row is too few independent FMA chains to hide
+// latency; here each 64-wide column strip keeps 64 lanes live across the
+// whole k loop. Accumulation order over p matches the tile kernels, so
+// results are identical to the blocked path.
+constexpr int64_t kNv = 64;
+
+inline void GemvRowMajor(int64_t k, int64_t n, const float* QPS_RESTRICT a,
+                         const float* QPS_RESTRICT b, float* QPS_RESTRICT c) {
+  int64_t j0 = 0;
+  for (; j0 + kNv <= n; j0 += kNv) {
+    float acc[kNv] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      const float* QPS_RESTRICT brow = b + p * n + j0;
+      for (int64_t j = 0; j < kNv; ++j) acc[j] += av * brow[j];
+    }
+    for (int64_t j = 0; j < kNv; ++j) c[j0 + j] += acc[j];
+  }
+  if (j0 < n) {
+    const int64_t nv = n - j0;
+    float acc[kNv] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[p];
+      const float* QPS_RESTRICT brow = b + p * n + j0;
+      for (int64_t j = 0; j < nv; ++j) acc[j] += av * brow[j];
+    }
+    for (int64_t j = 0; j < nv; ++j) c[j0 + j] += acc[j];
+  }
+}
+
+}  // namespace
+
+void Gemm(GemmLayout layout, const Tensor& a, const Tensor& b, Tensor* out,
+          bool accumulate) {
+  // Logical shapes: out (m x n) (+)= op(a) (m x k) @ op(b) (k x n).
+  const int64_t m = layout == GemmLayout::kTransA ? a.cols() : a.rows();
+  const int64_t ka = layout == GemmLayout::kTransA ? a.rows() : a.cols();
+  const int64_t kb = layout == GemmLayout::kTransB ? b.cols() : b.rows();
+  const int64_t n = layout == GemmLayout::kTransB ? b.rows() : b.cols();
+  QPS_CHECK(ka == kb) << "Gemm inner-dimension mismatch: op(a) is " << m << "x" << ka
+                      << " but op(b) is " << kb << "x" << n << " (k must agree; m=" << m
+                      << " k=" << ka << "/" << kb << " n=" << n << ")";
+  QPS_CHECK(out->rows() == m && out->cols() == n)
+      << "Gemm output shape mismatch: expected " << m << "x" << n << " for m=" << m
+      << " k=" << ka << " n=" << n << " but out is " << out->rows() << "x" << out->cols();
+  const int64_t k = ka;
+
+  const bool record_metric = m * k * n >= kGemmMetricMinWork;
+  Timer timer;
+
+  if (!accumulate) out->Fill(0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+
+  // Single-row row-major product: skip blocking/packing and use the wide
+  // GEMV kernel (single-plan inference is exactly this shape).
+  if (m == 1 && layout == GemmLayout::kNone) {
+    GemvRowMajor(k, n, a.data(), b.data(), out->data());
+    if (record_metric) GemmMetrics::Get().gemm_ms->Record(timer.ElapsedMillis());
+    return;
+  }
+
+  // Packing scratch. thread_local so concurrent GEMMs (pool-sharded plan
+  // evaluation) never share buffers, and repeated calls reuse the capacity.
+  thread_local std::vector<float> a_pack;
+  thread_local std::vector<float> b_pack;
+
+  for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+    const int64_t kc = std::min(kKc, k - p0);
+
+    // Resolve the A panel: rows of op(a) restricted to k in [p0, p0 + kc),
+    // with element stride 1 along p. Row-major a already has that; a
+    // transposed a (k x m) is packed into contiguous m x kc rows.
+    const float* ap;
+    int64_t lda;
+    if (layout == GemmLayout::kTransA) {
+      a_pack.resize(static_cast<size_t>(m * kc));
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* src = a.data() + (p0 + p) * m;
+        for (int64_t i = 0; i < m; ++i) a_pack[static_cast<size_t>(i * kc + p)] = src[i];
+      }
+      ap = a_pack.data();
+      lda = kc;
+    } else {
+      ap = a.data() + p0;
+      lda = k;
+    }
+
+    // Resolve the B panel as kc x n row-major. A transposed b (n x k) is
+    // packed once per k-block and then read sequentially by every tile.
+    const float* bp;
+    int64_t ldb;
+    if (layout == GemmLayout::kTransB) {
+      b_pack.resize(static_cast<size_t>(kc * n));
+      for (int64_t j = 0; j < n; ++j) {
+        const float* src = b.data() + j * k + p0;
+        for (int64_t p = 0; p < kc; ++p) b_pack[static_cast<size_t>(p * n + j)] = src[p];
+      }
+      bp = b_pack.data();
+      ldb = n;
+    } else {
+      bp = b.data() + p0 * n;
+      ldb = n;
+    }
+
+    for (int64_t i0 = 0; i0 < m; i0 += kMr) {
+      const int64_t mr = std::min(kMr, m - i0);
+      for (int64_t j0 = 0; j0 < n; j0 += kNr) {
+        const int64_t nr = std::min(kNr, n - j0);
+        float* c = out->data() + i0 * out->cols() + j0;
+        if (mr == kMr && nr == kNr) {
+          MicroKernelFull(kc, ap + i0 * lda, lda, bp + j0, ldb, c, n);
+        } else {
+          MicroKernelRagged(mr, nr, kc, ap + i0 * lda, lda, bp + j0, ldb, c, n);
+        }
+      }
+    }
+  }
+
+  if (record_metric) GemmMetrics::Get().gemm_ms->Record(timer.ElapsedMillis());
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  Gemm(GemmLayout::kNone, a, b, out, /*accumulate=*/false);
 }
 
 void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate) {
-  // out (m x n) = a (m x k) @ b^T (k x n) where b is (n x k).
-  QPS_DCHECK(a.cols() == b.cols());
-  QPS_DCHECK(out->rows() == a.rows() && out->cols() == b.rows());
-  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (!accumulate) out->Fill(0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out->data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] += acc;
-    }
-  }
+  // out (m x n) (+)= a (m x k) @ b^T (k x n) where b is (n x k).
+  Gemm(GemmLayout::kTransB, a, b, out, accumulate);
 }
 
 void MatMulTransAInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate) {
-  // out (k x n) = a^T (k x m) @ b (m x n) where a is (m x k).
-  QPS_DCHECK(a.rows() == b.rows());
-  QPS_DCHECK(out->rows() == a.cols() && out->cols() == b.cols());
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (!accumulate) out->Fill(0.0f);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    const float* brow = b.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      float* orow = out->data() + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // out (k x n) (+)= a^T (k x m) @ b (m x n) where a is (m x k).
+  Gemm(GemmLayout::kTransA, a, b, out, accumulate);
+}
+
+void AddRowBroadcastInPlace(Tensor* x, const Tensor& row) {
+  QPS_CHECK(row.rows() == 1 && row.cols() == x->cols())
+      << "AddRowBroadcastInPlace: row is " << row.rows() << "x" << row.cols()
+      << " but x is " << x->rows() << "x" << x->cols();
+  const float* r = row.data();
+  const int64_t n = x->cols();
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    float* dst = x->data() + i * n;
+    for (int64_t j = 0; j < n; ++j) dst[j] += r[j];
+  }
+}
+
+void ReluInPlace(Tensor* x) {
+  float* d = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+void TanhInPlace(Tensor* x) {
+  float* d = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) d[i] = std::tanh(d[i]);
+}
+
+void SigmoidInPlace(Tensor* x) {
+  float* d = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+}
+
+void SoftmaxRowsInPlace(Tensor* x) {
+  const int64_t n = x->cols();
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    float* row = x->data() + i * n;
+    float mx = -INFINITY;
+    for (int64_t j = 0; j < n; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
     }
+    const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+    for (int64_t j = 0; j < n; ++j) row[j] *= inv;
   }
 }
 

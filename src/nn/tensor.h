@@ -82,12 +82,32 @@ class Tensor {
   std::vector<float> data_;
 };
 
+/// Operand layout for Gemm: which input is read transposed. (Transposing
+/// both is never needed by the autodiff rules.)
+enum class GemmLayout { kNone, kTransA, kTransB };
+
+/// General matrix multiply, the one hot-path kernel every variant routes
+/// through: out (+)= op(a) @ op(b), register-tiled and cache-blocked.
+/// Shape errors fail fast with the offending m/k/n values in the message.
+/// Calls above a small work threshold record the `qps.nn.gemm_ms`
+/// histogram.
+void Gemm(GemmLayout layout, const Tensor& a, const Tensor& b, Tensor* out,
+          bool accumulate);
+
 /// out = a @ b. Shapes must agree ((m x k) @ (k x n)).
 void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
 
 /// out += a @ b^T and out += a^T @ b, used by MatMul backward.
 void MatMulTransBInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate);
 void MatMulTransAInto(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate);
+
+/// In-place elementwise helpers for the autograd-free inference path, where
+/// activations do not need to preserve their inputs for a backward pass.
+void AddRowBroadcastInPlace(Tensor* x, const Tensor& row);  ///< x[i,:] += row
+void ReluInPlace(Tensor* x);
+void TanhInPlace(Tensor* x);
+void SigmoidInPlace(Tensor* x);
+void SoftmaxRowsInPlace(Tensor* x);  ///< stable per-row softmax
 
 }  // namespace nn
 }  // namespace qps

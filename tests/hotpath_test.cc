@@ -1,0 +1,377 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Inference hot-path tests: tiled GEMM vs. a naive reference, batched
+// model forward vs. the autograd reference path, parallel-MCTS determinism
+// across thread counts, and the plan-prediction cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/mcts.h"
+#include "core/plan_cache.h"
+#include "core/qpseeker.h"
+#include "nn/tensor.h"
+#include "query/parser.h"
+#include "storage/schemas.h"
+#include "util/threadpool.h"
+
+namespace qps {
+namespace core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiled GEMM vs. naive triple loop
+// ---------------------------------------------------------------------------
+
+nn::Tensor NaiveGemm(nn::GemmLayout layout, const nn::Tensor& a,
+                     const nn::Tensor& b) {
+  const int64_t m = layout == nn::GemmLayout::kTransA ? a.cols() : a.rows();
+  const int64_t k = layout == nn::GemmLayout::kTransA ? a.rows() : a.cols();
+  const int64_t n = layout == nn::GemmLayout::kTransB ? b.rows() : b.cols();
+  nn::Tensor out(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = layout == nn::GemmLayout::kTransA ? a(p, i) : a(i, p);
+        const float bv = layout == nn::GemmLayout::kTransB ? b(j, p) : b(p, j);
+        acc += av * bv;
+      }
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void ExpectTensorsNear(const nn::Tensor& want, const nn::Tensor& got,
+                       double tol) {
+  ASSERT_EQ(want.rows(), got.rows());
+  ASSERT_EQ(want.cols(), got.cols());
+  for (int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(want.at(i), got.at(i), tol + tol * std::abs(want.at(i)))
+        << "flat index " << i;
+  }
+}
+
+TEST(TiledGemmTest, MatchesNaiveAcrossLayoutsAndRaggedShapes) {
+  Rng rng(11);
+  // Sizes straddle the micro-kernel tile (4x16) and the k-block (256):
+  // full tiles, ragged edges, GEMV-shaped m==1, and k spanning two blocks.
+  const int64_t sizes[] = {1, 2, 3, 5, 16, 17, 33, 64};
+  for (int64_t m : sizes) {
+    for (int64_t k : {int64_t{1}, int64_t{7}, int64_t{64}, int64_t{300}}) {
+      for (int64_t n : sizes) {
+        for (auto layout : {nn::GemmLayout::kNone, nn::GemmLayout::kTransA,
+                            nn::GemmLayout::kTransB}) {
+          const int64_t ar = layout == nn::GemmLayout::kTransA ? k : m;
+          const int64_t ac = layout == nn::GemmLayout::kTransA ? m : k;
+          const int64_t br = layout == nn::GemmLayout::kTransB ? n : k;
+          const int64_t bc = layout == nn::GemmLayout::kTransB ? k : n;
+          const nn::Tensor a = nn::Tensor::Randn(ar, ac, &rng);
+          const nn::Tensor b = nn::Tensor::Randn(br, bc, &rng);
+          nn::Tensor got(m, n);
+          nn::Gemm(layout, a, b, &got, /*accumulate=*/false);
+          ExpectTensorsNear(NaiveGemm(layout, a, b), got, 1e-4);
+        }
+      }
+    }
+  }
+}
+
+TEST(TiledGemmTest, AccumulateAddsIntoExistingOutput) {
+  Rng rng(12);
+  const nn::Tensor a = nn::Tensor::Randn(9, 37, &rng);
+  const nn::Tensor b = nn::Tensor::Randn(37, 21, &rng);
+  nn::Tensor got = nn::Tensor::Full(9, 21, 2.5f);
+  nn::Gemm(nn::GemmLayout::kNone, a, b, &got, /*accumulate=*/true);
+  const nn::Tensor ref = NaiveGemm(nn::GemmLayout::kNone, a, b);
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(ref.at(i) + 2.5f, got.at(i), 1e-3);
+  }
+}
+
+TEST(TiledGemmTest, LegacyEntryPointsRouteThroughGemm) {
+  Rng rng(13);
+  const nn::Tensor a = nn::Tensor::Randn(5, 18, &rng);
+  const nn::Tensor b = nn::Tensor::Randn(18, 7, &rng);
+  nn::Tensor out(5, 7);
+  nn::MatMulInto(a, b, &out);
+  ExpectTensorsNear(NaiveGemm(nn::GemmLayout::kNone, a, b), out, 1e-4);
+
+  const nn::Tensor bt = nn::Tensor::Randn(7, 18, &rng);
+  nn::Tensor out_tb(5, 7);
+  nn::MatMulTransBInto(a, bt, &out_tb, /*accumulate=*/false);
+  ExpectTensorsNear(NaiveGemm(nn::GemmLayout::kTransB, a, bt), out_tb, 1e-4);
+
+  const nn::Tensor at = nn::Tensor::Randn(18, 5, &rng);
+  nn::Tensor out_ta(5, 7);
+  nn::MatMulTransAInto(at, b, &out_ta, /*accumulate=*/false);
+  ExpectTensorsNear(NaiveGemm(nn::GemmLayout::kTransA, at, b), out_ta, 1e-4);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(TiledGemmDeathTest, InnerDimensionMismatchReportsShapes) {
+  const nn::Tensor a(2, 3);
+  const nn::Tensor b(4, 5);
+  nn::Tensor out(2, 5);
+  EXPECT_DEATH(nn::Gemm(nn::GemmLayout::kNone, a, b, &out, false),
+               "Gemm inner-dimension mismatch.*m=2 k=3/4 n=5");
+}
+
+TEST(TiledGemmDeathTest, OutputShapeMismatchReportsShapes) {
+  const nn::Tensor a(2, 3);
+  const nn::Tensor b(3, 5);
+  nn::Tensor out(2, 4);
+  EXPECT_DEATH(nn::Gemm(nn::GemmLayout::kNone, a, b, &out, false),
+               "Gemm output shape mismatch.*m=2 k=3 n=5.*out is 2x4");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Batched forward, parallel MCTS, prediction cache
+// ---------------------------------------------------------------------------
+
+class HotPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1);
+    auto db = storage::BuildDatabase(storage::ToySpec(), 300, &rng);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    stats_ = stats::DatabaseStats::Analyze(*db_);
+
+    const char* templates[] = {
+        "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 < %d;",
+        "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND a.a2 = %d;",
+    };
+    std::vector<query::Query> queries;
+    for (int v = 1; v <= 4; ++v) {
+      for (const char* tpl : templates) {
+        char sql[256];
+        std::snprintf(sql, sizeof(sql), tpl, v * 2);
+        auto q = query::ParseSql(sql, *db_);
+        ASSERT_TRUE(q.ok()) << q.status().ToString();
+        q->template_id = tpl;
+        queries.push_back(std::move(q).value());
+      }
+    }
+    sampling::DatasetOptions opts;
+    opts.source = sampling::PlanSource::kSampled;
+    opts.sampler.candidates_per_order = 4;
+    opts.sampler.max_plans_per_query = 6;
+    Rng drng(2);
+    auto ds = sampling::BuildQepDataset(*db_, *stats_, std::move(queries), opts, &drng);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = std::move(ds).value();
+    ASSERT_GT(dataset_.qeps.size(), 10u);
+  }
+
+  QpSeeker MakeTrained(int epochs = 12) {
+    QpSeekerConfig cfg = QpSeekerConfig::ForScale(Scale::kSmoke);
+    QpSeeker seeker(*db_, *stats_, cfg, /*seed=*/3);
+    TrainOptions topts;
+    topts.epochs = epochs;
+    topts.learning_rate = 2e-3f;
+    topts.seed = 4;
+    seeker.Train(dataset_, topts);
+    return seeker;
+  }
+
+  /// All sampled plans that belong to the same query as qep[0].
+  std::vector<const query::PlanNode*> PlansOfFirstQuery(int* query_id) const {
+    *query_id = dataset_.qeps[0].query_id;
+    std::vector<const query::PlanNode*> plans;
+    for (const auto& qep : dataset_.qeps) {
+      if (qep.query_id == *query_id) plans.push_back(qep.plan.get());
+    }
+    return plans;
+  }
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<stats::DatabaseStats> stats_;
+  sampling::QepDataset dataset_;
+};
+
+TEST_F(HotPathTest, BatchedForwardMatchesAutogradReference) {
+  QpSeeker seeker = MakeTrained();
+  int qid = 0;
+  const auto plans = PlansOfFirstQuery(&qid);
+  ASSERT_GE(plans.size(), 2u);
+  const auto& q = dataset_.queries[static_cast<size_t>(qid)];
+
+  const auto batched = seeker.PredictPlansBatch(q, plans);
+  ASSERT_EQ(batched.size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const auto ref = seeker.PredictPlanReference(q, *plans[i]);
+    const double tol_card = 1e-5 * std::max(1.0, std::abs(ref.cardinality));
+    const double tol_cost = 1e-5 * std::max(1.0, std::abs(ref.cost));
+    const double tol_rt = 1e-5 * std::max(1.0, std::abs(ref.runtime_ms));
+    EXPECT_NEAR(batched[i].cardinality, ref.cardinality, tol_card) << "plan " << i;
+    EXPECT_NEAR(batched[i].cost, ref.cost, tol_cost) << "plan " << i;
+    EXPECT_NEAR(batched[i].runtime_ms, ref.runtime_ms, tol_rt) << "plan " << i;
+  }
+}
+
+TEST_F(HotPathTest, BatchOfOneMatchesPredictPlan) {
+  QpSeeker seeker = MakeTrained();
+  const auto& qep = dataset_.qeps[0];
+  const auto& q = dataset_.queries[static_cast<size_t>(qep.query_id)];
+  const auto single = seeker.PredictPlan(q, *qep.plan);
+  const auto batch = seeker.PredictPlansBatch(q, {qep.plan.get()});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].cardinality, single.cardinality);
+  EXPECT_EQ(batch[0].cost, single.cost);
+  EXPECT_EQ(batch[0].runtime_ms, single.runtime_ms);
+}
+
+TEST_F(HotPathTest, PoolShardedBatchMatchesSerialBatch) {
+  QpSeeker seeker = MakeTrained();
+  int qid = 0;
+  const auto plans = PlansOfFirstQuery(&qid);
+  const auto& q = dataset_.queries[static_cast<size_t>(qid)];
+  const auto serial = seeker.PredictPlansBatch(q, plans, /*pool=*/nullptr);
+  util::ThreadPool pool(3);
+  const auto sharded = seeker.PredictPlansBatch(q, plans, &pool);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].cardinality, sharded[i].cardinality) << "plan " << i;
+    EXPECT_EQ(serial[i].cost, sharded[i].cost) << "plan " << i;
+    EXPECT_EQ(serial[i].runtime_ms, sharded[i].runtime_ms) << "plan " << i;
+  }
+}
+
+TEST_F(HotPathTest, MctsDeterministicAcrossThreadCounts) {
+  QpSeeker seeker = MakeTrained();
+  auto q = query::ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+
+  auto run = [&](int threads) {
+    MctsOptions mopts;
+    mopts.time_budget_ms = 1e9;  // rollout-capped for determinism
+    mopts.max_rollouts = 40;
+    mopts.seed = 5;
+    mopts.threads = threads;
+    mopts.eval_batch = 8;  // fixed: auto-batch scales with threads
+    auto r = MctsPlan(seeker, *q, mopts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  };
+
+  const auto base = run(1);
+  ASSERT_NE(base.plan, nullptr);
+  const std::string base_str = base.plan->ToString(*db_, *q, false);
+  for (int threads = 2; threads <= 4; ++threads) {
+    const auto r = run(threads);
+    ASSERT_NE(r.plan, nullptr);
+    EXPECT_EQ(r.plan->ToString(*db_, *q, false), base_str)
+        << "threads=" << threads;
+    EXPECT_EQ(r.predicted_runtime_ms, base.predicted_runtime_ms)
+        << "threads=" << threads;
+    EXPECT_EQ(r.plans_evaluated, base.plans_evaluated) << "threads=" << threads;
+  }
+}
+
+TEST_F(HotPathTest, MctsCacheDoesNotAlterPlanningResults) {
+  QpSeeker seeker = MakeTrained();
+  auto q = query::ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;", *db_);
+  ASSERT_TRUE(q.ok());
+  MctsOptions mopts;
+  mopts.time_budget_ms = 1e9;
+  mopts.max_rollouts = 30;
+  mopts.seed = 7;
+  mopts.eval_batch = 4;
+  const auto cold = MctsPlan(seeker, *q, mopts);
+  ASSERT_TRUE(cold.ok());
+
+  seeker.EnableCache(1 << 20);
+  const auto warm1 = MctsPlan(seeker, *q, mopts);
+  const auto warm2 = MctsPlan(seeker, *q, mopts);  // mostly cache hits
+  ASSERT_TRUE(warm1.ok() && warm2.ok());
+  EXPECT_EQ(warm1->predicted_runtime_ms, cold->predicted_runtime_ms);
+  EXPECT_EQ(warm2->predicted_runtime_ms, cold->predicted_runtime_ms);
+  EXPECT_EQ(warm1->plans_evaluated, cold->plans_evaluated);
+  EXPECT_EQ(warm2->plans_evaluated, cold->plans_evaluated);
+  ASSERT_NE(seeker.cache(), nullptr);
+  EXPECT_GT(seeker.cache()->GetStats().hits, 0);
+}
+
+TEST_F(HotPathTest, CacheHitReturnsIdenticalPrediction) {
+  QpSeeker seeker = MakeTrained();
+  seeker.EnableCache(1 << 20);
+  const auto& qep = dataset_.qeps[0];
+  const auto& q = dataset_.queries[static_cast<size_t>(qep.query_id)];
+  const auto miss = seeker.PredictPlan(q, *qep.plan);
+  const auto s1 = seeker.cache()->GetStats();
+  EXPECT_EQ(s1.misses, 1);
+  EXPECT_EQ(s1.entries, 1);
+  const auto hit = seeker.PredictPlan(q, *qep.plan);
+  const auto s2 = seeker.cache()->GetStats();
+  EXPECT_EQ(s2.hits, 1);
+  EXPECT_EQ(hit.cardinality, miss.cardinality);
+  EXPECT_EQ(hit.cost, miss.cost);
+  EXPECT_EQ(hit.runtime_ms, miss.runtime_ms);
+}
+
+TEST_F(HotPathTest, TrainingInvalidatesCache) {
+  QpSeeker seeker = MakeTrained(4);
+  seeker.EnableCache(1 << 20);
+  const auto& qep = dataset_.qeps[0];
+  const auto& q = dataset_.queries[static_cast<size_t>(qep.query_id)];
+  seeker.PredictPlan(q, *qep.plan);
+  ASSERT_GT(seeker.cache()->GetStats().entries, 0);
+  TrainOptions topts;
+  topts.epochs = 1;
+  seeker.Train(dataset_, topts);
+  EXPECT_EQ(seeker.cache()->GetStats().entries, 0)
+      << "stale predictions must not survive a weight change";
+}
+
+TEST(PlanPredictionCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  PlanPredictionCache cache(/*capacity_bytes=*/2 * 96);  // two entries
+  query::NodeStats s;
+  s.cardinality = 1.0;
+  cache.Insert(1, 1, s);
+  cache.Insert(1, 2, s);
+  query::NodeStats out;
+  ASSERT_TRUE(cache.Lookup(1, 1, &out));  // refresh (1,1): (1,2) becomes LRU
+  cache.Insert(1, 3, s);                  // evicts (1,2)
+  EXPECT_TRUE(cache.Lookup(1, 1, &out));
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+  EXPECT_TRUE(cache.Lookup(1, 3, &out));
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.evictions, 1);
+}
+
+TEST(PlanPredictionCacheTest, ShapeHashDistinguishesStructure) {
+  auto leaf = [](int rel) {
+    auto p = std::make_unique<query::PlanNode>();
+    p->op = query::OpType::kSeqScan;
+    p->rel = rel;
+    return p;
+  };
+  auto join = [](query::PlanPtr l, query::PlanPtr r) {
+    auto p = std::make_unique<query::PlanNode>();
+    p->op = query::OpType::kHashJoin;
+    p->left = std::move(l);
+    p->right = std::move(r);
+    return p;
+  };
+  const auto ab = join(leaf(0), leaf(1));
+  const auto ba = join(leaf(1), leaf(0));
+  const auto ab2 = join(leaf(0), leaf(1));
+  EXPECT_NE(PlanShapeHash(*ab), PlanShapeHash(*ba)) << "children are ordered";
+  EXPECT_EQ(PlanShapeHash(*ab), PlanShapeHash(*ab2));
+  auto ab_merge = join(leaf(0), leaf(1));
+  ab_merge->op = query::OpType::kMergeJoin;
+  EXPECT_NE(PlanShapeHash(*ab), PlanShapeHash(*ab_merge));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace qps

@@ -1,0 +1,105 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "util/threadpool.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace qps {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& c : counts) c.store(0);
+  pool.ParallelFor(kN, [&](int64_t i) { counts[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForExactOnceUnderRepeatedContention) {
+  ThreadPool pool(4);
+  // Many small loops back to back stress the chunk cursor and the
+  // completion wait; every index must still run exactly once per call.
+  for (int round = 0; round < 50; ++round) {
+    constexpr int64_t kN = 257;  // not a multiple of any chunk size
+    std::vector<std::atomic<int>> counts(kN);
+    for (auto& c : counts) c.store(0);
+    pool.ParallelFor(kN, [&](int64_t i) { counts[i].fetch_add(1); });
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWritesDisjointSlotsDeterministically) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 4096;
+  std::vector<int64_t> out(kN, -1);
+  pool.ParallelFor(kN, [&](int64_t i) { out[i] = i * i; });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  constexpr int64_t kN = 100;
+  std::vector<int> counts(kN, 0);  // plain ints: inline mode is single-threaded
+  pool.ParallelFor(kN, [&](int64_t i) { counts[i] += 1; });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i], 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleton) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(0, [&](int64_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+  pool.ParallelFor(1, [&](int64_t i) {
+    EXPECT_EQ(i, 0);
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleRunsTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Schedule([&done] { done.fetch_add(1); });
+    }
+    // Destructor joins after draining the queue.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructionJoinsIdlePool) {
+  auto pool = std::make_unique<ThreadPool>(3);
+  EXPECT_EQ(pool->num_threads(), 3);
+  pool.reset();  // must not hang or crash with an empty queue
+}
+
+TEST(ThreadPoolTest, NestedUseFromScheduledTask) {
+  // A scheduled task may itself issue a ParallelFor on the same pool via
+  // caller participation; the calling worker must make progress even if
+  // all other workers are busy.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::atomic<bool> finished{false};
+  pool.Schedule([&] {
+    pool.ParallelFor(100, [&](int64_t) { total.fetch_add(1); });
+    finished.store(true);
+  });
+  while (!finished.load()) std::this_thread::yield();
+  EXPECT_EQ(total.load(), 100);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace qps
