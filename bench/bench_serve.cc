@@ -1,0 +1,140 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Serving bench: closed-loop clients against the concurrent PlanService.
+// Each client submits neural planning requests back to back; the service
+// coalesces candidate evaluations from concurrently planning queries into
+// fused model forwards. Reports throughput, client-observed latency
+// percentiles, and the cross-query batching profile for 1/2/4/8 clients.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "serve/plan_service.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace qps {
+namespace bench {
+namespace {
+
+struct RunResult {
+  int clients = 0;
+  int requests = 0;
+  int failures = 0;
+  double wall_ms = 0.0;
+  eval::Percentiles latency;
+  serve::BatchRendezvous::Stats batching;
+  int64_t deadline_hits = 0;
+};
+
+RunResult RunClients(const core::QpSeeker& model, optimizer::Planner* baseline,
+                     const std::vector<query::Query>& queries, int clients,
+                     int requests_per_client, double budget_ms) {
+  core::GuardedOptions gopts;
+  gopts.hybrid.mcts.time_budget_ms = budget_ms;
+  gopts.hybrid.mcts.threads = 1;
+
+  serve::PlanServiceOptions sopts;
+  sopts.workers = clients;
+  sopts.max_queue = static_cast<size_t>(4 * clients);
+  auto service_or =
+      serve::PlanService::Create("neural", &model, baseline, gopts, sopts);
+  QPS_CHECK(service_or.ok());
+  auto service = std::move(service_or).value();
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::vector<int> failures(static_cast<size_t>(clients), 0);
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < requests_per_client; ++r) {
+        const size_t qi = static_cast<size_t>(c * requests_per_client + r) %
+                          queries.size();
+        core::PlanRequestOptions ropts;
+        ropts.seed = 7000 + static_cast<uint64_t>(c * 1000 + r);
+        Timer timer;
+        auto result = service->Submit(queries[qi], ropts).get();
+        latencies[static_cast<size_t>(c)].push_back(timer.ElapsedMillis());
+        if (!result.ok()) failures[static_cast<size_t>(c)] += 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RunResult out;
+  out.clients = clients;
+  out.requests = clients * requests_per_client;
+  out.wall_ms = wall.ElapsedMillis();
+  std::vector<double> all;
+  for (int c = 0; c < clients; ++c) {
+    const auto& lat = latencies[static_cast<size_t>(c)];
+    all.insert(all.end(), lat.begin(), lat.end());
+    out.failures += failures[static_cast<size_t>(c)];
+  }
+  out.latency = eval::ComputePercentiles(all);
+  const auto stats = service->stats();
+  out.batching = stats.batching;
+  out.deadline_hits = stats.deadline_hits;
+  return out;
+}
+
+int Run() {
+  Env env = MakeEnvFromEnvVar();
+  std::printf("=== Serving: concurrent planning with cross-query batching (scale=%s) ===\n\n",
+              ScaleName(env.scale));
+
+  // Neural-complexity workload (3-way joins) so every request exercises
+  // the MCTS + model-forward path the rendezvous batches.
+  eval::WorkloadOptions wo;
+  wo.num_queries = 16;
+  wo.min_joins = 3;
+  wo.max_joins = 3;
+  wo.num_templates = 4;
+  Rng wrng(771);
+  auto queries = eval::GenerateWorkload(*env.imdb, wo, &wrng);
+
+  sampling::DatasetOptions dopts;
+  dopts.source = sampling::PlanSource::kSampled;
+  dopts.sampler.max_plans_per_query = env.scale == Scale::kSmoke ? 5 : 8;
+  Rng drng(772);
+  auto ds = sampling::BuildQepDataset(*env.imdb, *env.imdb_stats, queries, dopts,
+                                      &drng);
+  QPS_CHECK(ds.ok());
+  core::QpSeekerConfig cfg = core::QpSeekerConfig::ForScale(env.scale);
+  core::QpSeeker seeker(*env.imdb, *env.imdb_stats, cfg, 4321);
+  seeker.Train(*ds, DefaultTrainOptions(env.scale));
+  optimizer::Planner baseline(*env.imdb, *env.imdb_stats);
+
+  const double budget_ms = env.scale == Scale::kSmoke ? 25.0 : 50.0;
+  const int requests_per_client = env.scale == Scale::kSmoke ? 6 : 12;
+  std::printf("MCTS budget %.0f ms, %d requests per client, closed loop\n\n",
+              budget_ms, requests_per_client);
+
+  std::printf("%8s %9s %10s %10s %10s %9s %9s %7s %6s\n", "clients", "req",
+              "qps", "p50 ms", "p99 ms", "flushes", "mean b", "max b", "fail");
+  for (int clients : {1, 2, 4, 8}) {
+    const RunResult r = RunClients(seeker, &baseline, queries, clients,
+                                   requests_per_client, budget_ms);
+    std::printf("%8d %9d %10.1f %10.1f %10.1f %9lld %9.2f %7lld %6d\n",
+                r.clients, r.requests, 1000.0 * r.requests / r.wall_ms,
+                r.latency.p50, r.latency.p99,
+                static_cast<long long>(r.batching.flushes),
+                r.batching.MeanBatch(),
+                static_cast<long long>(r.batching.max_fused), r.failures);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qps
+
+int main() {
+  const int rc = qps::bench::Run();
+  qps::bench::EmitMetricsSnapshot("serve");
+  return rc;
+}

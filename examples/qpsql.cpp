@@ -2,20 +2,30 @@
 //
 // qpsql: a small interactive/batch SQL shell over the QPSeeker stack.
 // Generates (or loads) a database, optionally trains a QPSeeker instance,
-// then reads SQL statements from stdin, plans each with the selected
-// planner, executes it, and prints EXPLAIN ANALYZE output.
+// then reads SQL statements from stdin, plans each through the unified
+// core::Planner interface, executes it, and prints EXPLAIN ANALYZE output.
 //
 // Usage:
 //   qpsql [--db=imdb|stack|toy] [--rows=N]
 //         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
 //         [--seed=N] [--v=N] [--threads=N] [--cache-mb=N]
+//         [--deadline-ms=D]
+//         [--serve --clients=N --requests=M]
 //
 //   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
 //
-// --planner=guarded serves through the GuardedPlanner: every neural plan is
-// validated, NaN scores and blown deadlines degrade to greedy then to the
-// DP planner, and a circuit breaker sheds neural traffic after repeated
-// failures. \guards prints the accumulated GuardStats.
+// Every backend is constructed by core::MakePlanner and dispatched through
+// core::Planner::Plan(query, options) — qpsql never touches a concrete
+// planner type. --planner=guarded walks the degradation ladder (validated
+// neural -> greedy -> DP with a circuit breaker); \guards prints the
+// accumulated GuardStats for any backend.
+//
+// Serving mode (--serve): generates a workload of --requests queries and
+// drives them through serve::PlanService with --clients concurrent client
+// threads. Candidate evaluations from different in-flight queries fuse
+// into shared batched model forwards (cross-query micro-batching); the
+// summary reports throughput, latency percentiles, the fused-batch
+// histogram, shed counts, and model-vs-simulated runtime q-error.
 //
 // Observability:
 //   EXPLAIN ANALYZE <sql>     per-operator estimated vs. actual rows,
@@ -38,19 +48,23 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "core/guarded_planner.h"
-#include "core/hybrid.h"
+#include "core/planner_backends.h"
 #include "core/qpseeker.h"
+#include "eval/metrics.h"
 #include "eval/workloads.h"
 #include "exec/executor.h"
 #include "optimizer/planner.h"
 #include "query/parser.h"
+#include "serve/plan_service.h"
 #include "storage/schemas.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/threadpool.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 using namespace qps;
@@ -66,6 +80,10 @@ struct Options {
   int verbosity = 0;
   int threads = 1;
   int64_t cache_mb = 0;
+  double deadline_ms = 0.0;
+  bool serve = false;
+  int clients = 4;
+  int requests = 16;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -91,6 +109,14 @@ Options ParseArgs(int argc, char** argv) {
       opts.threads = std::stoi(value("--threads="));
     } else if (StartsWith(arg, "--cache-mb=")) {
       opts.cache_mb = std::stoll(value("--cache-mb="));
+    } else if (StartsWith(arg, "--deadline-ms=")) {
+      opts.deadline_ms = std::stod(value("--deadline-ms="));
+    } else if (arg == "--serve") {
+      opts.serve = true;
+    } else if (StartsWith(arg, "--clients=")) {
+      opts.clients = std::stoi(value("--clients="));
+    } else if (StartsWith(arg, "--requests=")) {
+      opts.requests = std::stoi(value("--requests="));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -138,6 +164,140 @@ bool ConsumePrefixCI(const std::string& s, const std::string& prefix,
   }
   *rest = StrTrim(s.substr(prefix.size()));
   return true;
+}
+
+/// --serve: drive a generated workload through the plan service with
+/// --clients concurrent submitters, then execute the returned plans
+/// serially for q-error accounting.
+int RunServe(const storage::Database& db, core::QpSeeker* model,
+             const optimizer::Planner& baseline, const Options& opts) {
+  // All model evaluation in serving goes through the batch rendezvous
+  // (the model forward is not concurrently callable), so per-request MCTS
+  // runs single-threaded and parallelism comes from concurrent requests.
+  core::GuardedOptions gopts;
+  gopts.hybrid.mcts.threads = 1;
+  if (opts.planner == "guarded") {
+    gopts.neural_deadline_ms = gopts.hybrid.mcts.time_budget_ms;
+  }
+
+  serve::PlanServiceOptions sopts;
+  sopts.workers = std::max(1, opts.clients);
+  sopts.default_deadline_ms = opts.deadline_ms;
+  sopts.shed_to_baseline = true;
+  auto service_or =
+      serve::PlanService::Create(opts.planner, model, &baseline, gopts, sopts);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "plan service: %s\n",
+                 service_or.status().ToString().c_str());
+    return 2;
+  }
+  auto service = std::move(*service_or);
+
+  // Complex-join workload so every backend exercises its neural path.
+  eval::WorkloadOptions wo;
+  wo.num_queries = opts.requests;
+  wo.min_joins = 3;
+  wo.max_joins = 3;
+  wo.num_templates = std::max(4, opts.requests / 4);
+  Rng wrng(opts.seed + 3);
+  const auto queries = eval::GenerateWorkload(db, wo, &wrng);
+
+  struct Outcome {
+    bool ok = false;
+    std::string error;
+    core::PlanResult result;
+    double latency_ms = 0.0;
+  };
+  std::vector<Outcome> outcomes(queries.size());
+
+  const int nclients = std::max(1, opts.clients);
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(nclients));
+  for (int c = 0; c < nclients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < queries.size();
+           i += static_cast<size_t>(nclients)) {
+        core::PlanRequestOptions ropts;
+        ropts.deadline_ms = opts.deadline_ms;
+        // Per-request seeds pinned to the request index: the plans are a
+        // function of the workload alone, not of scheduling.
+        ropts.seed = opts.seed + 1000 + i;
+        Timer t;
+        auto result = service->Submit(queries[i], ropts).get();
+        outcomes[i].latency_ms = t.ElapsedMillis();
+        if (result.ok()) {
+          outcomes[i].ok = true;
+          outcomes[i].result = std::move(*result);
+        } else {
+          outcomes[i].error = result.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  for (const auto& o : outcomes) latencies.push_back(o.latency_ms);
+  const auto lat = eval::ComputePercentiles(std::move(latencies));
+  const auto stats = service->stats();
+
+  std::printf("serve: %zu requests, %d clients, planner=%s\n", queries.size(),
+              nclients, opts.planner.c_str());
+  std::printf("  throughput: %.1f qps   latency p50=%.1f ms p99=%.1f ms\n",
+              wall_s > 0 ? static_cast<double>(queries.size()) / wall_s : 0.0,
+              lat.p50, lat.p99);
+  std::printf(
+      "  batching: %lld flushes, mean %.2f queries/flush (max %lld), "
+      "%lld plans fused\n",
+      static_cast<long long>(stats.batching.flushes), stats.batching.MeanBatch(),
+      static_cast<long long>(stats.batching.max_fused),
+      static_cast<long long>(stats.batching.fused_plans));
+  std::printf("  shed: %lld (degraded to baseline: %lld)   deadline hits: %lld\n",
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.shed_degraded),
+              static_cast<long long>(stats.deadline_hits));
+  if (opts.planner == "guarded") {
+    std::printf("  guards: %s\n", service->guard_stats().ToString().c_str());
+  }
+
+  // Execute the returned plans serially: per-request q-error accounting
+  // (model-predicted runtime vs. the executor's simulated runtime).
+  exec::Executor executor(db);
+  std::vector<double> runtime_qerr;
+  int executed = 0, failed = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!outcomes[i].ok) {
+      std::printf("  request %zu failed: %s\n", i, outcomes[i].error.c_str());
+      ++failed;
+      continue;
+    }
+    query::PlanNode* plan = outcomes[i].result.plan.get();
+    auto card = executor.Execute(queries[i], plan);
+    if (!card.ok()) {
+      std::printf("  request %zu execution failed: %s\n", i,
+                  card.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    ++executed;
+    if (outcomes[i].result.used_neural) {
+      runtime_qerr.push_back(eval::QError(outcomes[i].result.node_stats.runtime_ms,
+                                          plan->actual.runtime_ms, 1e-3));
+    }
+  }
+  std::printf("  executed: %d/%zu plans (%d failed)\n", executed, queries.size(),
+              failed);
+  if (!runtime_qerr.empty()) {
+    const size_t n_neural = runtime_qerr.size();
+    const auto qe = eval::ComputePercentiles(std::move(runtime_qerr));
+    std::printf(
+        "  runtime q-error (model vs simulated): p50=%.2f p95=%.2f "
+        "(%zu neural plans)\n",
+        qe.p50, qe.p95, n_neural);
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -207,6 +367,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (opts.serve) return RunServe(*db, model.get(), baseline, opts);
+
   // One pool for the whole session; MCTS shards leaf evaluation over it.
   std::unique_ptr<util::ThreadPool> pool;
   if (opts.threads > 1) {
@@ -214,20 +376,18 @@ int main(int argc, char** argv) {
   }
 
   exec::Executor executor(*db);
-  core::HybridOptions hopts;
-  hopts.mcts.threads = opts.threads;
-  hopts.mcts.pool = pool.get();
-  std::unique_ptr<core::HybridPlanner> hybrid;
-  if (opts.planner == "hybrid") {
-    hybrid = std::make_unique<core::HybridPlanner>(model.get(), &baseline, hopts);
-  }
-  std::unique_ptr<core::GuardedPlanner> guarded;
+  core::GuardedOptions gopts;
+  gopts.hybrid.mcts.threads = opts.threads;
+  gopts.hybrid.mcts.pool = pool.get();
   if (opts.planner == "guarded") {
-    core::GuardedOptions gopts;
-    gopts.hybrid = hopts;
-    gopts.neural_deadline_ms = hopts.mcts.time_budget_ms;
-    guarded = std::make_unique<core::GuardedPlanner>(model.get(), &baseline, gopts);
+    gopts.neural_deadline_ms = gopts.hybrid.mcts.time_budget_ms;
   }
+  auto planner_or = core::MakePlanner(opts.planner, model.get(), &baseline, gopts);
+  if (!planner_or.ok()) {
+    std::fprintf(stderr, "planner: %s\n", planner_or.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<core::Planner> planner = std::move(*planner_or);
 
   std::string trace_path = "qpsql_trace.json";
   std::string line;
@@ -244,11 +404,9 @@ int main(int argc, char** argv) {
       continue;
     }
     if (sql == "\\guards") {
-      if (guarded) {
-        std::printf("%s\n", guarded->stats().ToString().c_str());
+      std::printf("%s\n", planner->guard_stats().ToString().c_str());
+      if (auto* guarded = dynamic_cast<core::GuardedPlanner*>(planner.get())) {
         std::printf("circuit: %s\n", guarded->circuit_open() ? "OPEN" : "closed");
-      } else {
-        std::printf("\\guards requires --planner=guarded\n");
       }
       continue;
     }
@@ -316,46 +474,23 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    query::PlanPtr plan;
-    if (opts.planner == "baseline") {
-      auto p = baseline.Plan(*q);
-      if (!p.ok()) {
-        std::printf("plan error: %s\n", p.status().ToString().c_str());
-        continue;
-      }
-      plan = std::move(*p);
-    } else if (opts.planner == "neural") {
-      auto p = core::MctsPlan(*model, *q, hopts.mcts);
-      if (!p.ok()) {
-        std::printf("plan error: %s\n", p.status().ToString().c_str());
-        continue;
-      }
-      std::printf("-- MCTS evaluated %d plans in %.0f ms\n", p->plans_evaluated,
-                  p->planning_ms);
-      plan = std::move(p->plan);
-    } else if (opts.planner == "hybrid") {
-      auto p = hybrid->Plan(*q);
-      if (!p.ok()) {
-        std::printf("plan error: %s\n", p.status().ToString().c_str());
-        continue;
-      }
-      std::printf("-- hybrid took the %s path\n", p->used_neural ? "neural" : "DP");
-      plan = std::move(p->plan);
-    } else if (opts.planner == "guarded") {
-      auto p = guarded->Plan(*q);
-      if (!p.ok()) {
-        std::printf("plan error: %s\n", p.status().ToString().c_str());
-        continue;
-      }
-      std::printf("-- guarded served from the %s stage%s%s\n",
-                  core::PlanStageName(p->stage),
+    // Every backend dispatches through the one unified interface.
+    core::PlanRequestOptions ropts;
+    ropts.deadline_ms = opts.deadline_ms;
+    auto p = planner->Plan(*q, ropts);
+    if (!p.ok()) {
+      std::printf("plan error: %s\n", p.status().ToString().c_str());
+      continue;
+    }
+    if (opts.planner != "baseline") {
+      std::printf("-- %s planner: %s stage, %d plans evaluated in %.0f ms%s%s%s\n",
+                  planner->name(), core::PlanStageName(p->stage),
+                  p->plans_evaluated, p->plan_ms,
+                  p->deadline_hit ? " (deadline hit)" : "",
                   p->fallback_reason.empty() ? "" : " after ",
                   p->fallback_reason.c_str());
-      plan = std::move(p->plan);
-    } else {
-      std::fprintf(stderr, "unknown --planner: %s\n", opts.planner.c_str());
-      return 2;
     }
+    query::PlanPtr plan = std::move(p->plan);
 
     if (explain_analyze) {
       auto analysis = executor.ExplainAnalyze(*q, plan.get());
@@ -376,9 +511,9 @@ int main(int argc, char** argv) {
     std::printf("count(*) = %.0f   (%.2f ms simulated)\n\n", *card,
                 plan->actual.runtime_ms);
   }
-  if (guarded) {
+  if (opts.planner == "guarded") {
     std::fprintf(stderr, "qpsql guard stats: %s\n",
-                 guarded->stats().ToString().c_str());
+                 planner->guard_stats().ToString().c_str());
   }
   return 0;
 }

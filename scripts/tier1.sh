@@ -12,9 +12,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "== tier-1: TSan build (threadpool + hot-path tests) =="
+echo "== tier-1: TSan build (threadpool + hot-path + serving tests) =="
 cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
-cmake --build build-tsan -j --target threadpool_test hotpath_test
-(cd build-tsan && ctest --output-on-failure -R "threadpool_test|hotpath_test")
+cmake --build build-tsan -j --target threadpool_test hotpath_test \
+  planner_conformance_test plan_service_test
+(cd build-tsan && ctest --output-on-failure \
+  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test")
 
 echo "tier-1 OK"

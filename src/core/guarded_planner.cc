@@ -14,34 +14,6 @@
 namespace qps {
 namespace core {
 
-const char* PlanStageName(PlanStage stage) {
-  switch (stage) {
-    case PlanStage::kNeural:
-      return "neural";
-    case PlanStage::kGreedy:
-      return "greedy";
-    case PlanStage::kTraditional:
-      return "traditional";
-  }
-  return "?";
-}
-
-std::string GuardStats::ToString() const {
-  return StrFormat(
-      "requests=%lld neural=%lld/%lld (invalid=%lld nan=%lld deadline=%lld "
-      "error=%lld) greedy=%lld/%lld traditional=%lld/%lld circuit "
-      "opens=%lld closes=%lld short_circuits=%lld",
-      static_cast<long long>(requests), static_cast<long long>(neural_success),
-      static_cast<long long>(neural_attempts),
-      static_cast<long long>(neural_invalid_plan), static_cast<long long>(neural_nan),
-      static_cast<long long>(neural_deadline), static_cast<long long>(neural_error),
-      static_cast<long long>(greedy_success), static_cast<long long>(greedy_attempts),
-      static_cast<long long>(traditional_success),
-      static_cast<long long>(traditional_attempts),
-      static_cast<long long>(circuit_opens), static_cast<long long>(circuit_closes),
-      static_cast<long long>(circuit_short_circuits));
-}
-
 GuardedPlanner::GuardedPlanner(const QpSeeker* model,
                                const optimizer::Planner* baseline,
                                GuardedOptions options)
@@ -114,7 +86,9 @@ void GuardedPlanner::MaybeCloseCircuit() {
   }
 }
 
-Status GuardedPlanner::TryNeural(const query::Query& q, GuardedResult* out) {
+Status GuardedPlanner::TryNeural(const query::Query& q,
+                                 const PlanRequestOptions& ropts,
+                                 GuardedResult* out) {
   QPS_TRACE_SPAN("guarded.neural");
   stats_.neural_attempts += 1;
   MctsOptions mopts = options_.hybrid.mcts;
@@ -122,10 +96,13 @@ Status GuardedPlanner::TryNeural(const query::Query& q, GuardedResult* out) {
     mopts.time_budget_ms = std::min(mopts.time_budget_ms, options_.neural_deadline_ms);
     mopts.hard_deadline_ms = options_.neural_deadline_ms * options_.deadline_slack;
   }
+  mopts.deadline_ms = ropts.deadline_ms;
+  if (ropts.seed != 0) mopts.seed = ropts.seed;
+  if (ropts.evaluate) mopts.evaluate = ropts.evaluate;
   auto mcts = MctsPlan(*model_, q, mopts);
   if (!mcts.ok()) {
     const Status& st = mcts.status();
-    if (st.IsResourceExhausted()) {
+    if (st.IsDeadlineExceeded()) {
       stats_.neural_deadline += 1;
     } else if (st.message().find("non-finite") != std::string::npos) {
       stats_.neural_nan += 1;
@@ -150,13 +127,17 @@ Status GuardedPlanner::TryNeural(const query::Query& q, GuardedResult* out) {
   out->stage = PlanStage::kNeural;
   out->used_neural = true;
   out->plans_evaluated = mcts->plans_evaluated;
+  out->predicted_runtime_ms = mcts->predicted_runtime_ms;
+  out->deadline_hit = mcts->deadline_hit;
   return Status::OK();
 }
 
-Status GuardedPlanner::TryGreedy(const query::Query& q, GuardedResult* out) {
+Status GuardedPlanner::TryGreedy(const query::Query& q,
+                                 const PlanRequestOptions& ropts,
+                                 GuardedResult* out) {
   QPS_TRACE_SPAN("guarded.greedy");
   stats_.greedy_attempts += 1;
-  auto greedy = GreedyPlan(*model_, q);
+  auto greedy = GreedyPlan(*model_, q, ropts.evaluate);
   Status st = greedy.ok() ? Status::OK() : greedy.status();
   if (st.ok() && !std::isfinite(greedy->predicted_runtime_ms)) {
     st = Status::Internal("non-finite greedy plan score");
@@ -171,6 +152,7 @@ Status GuardedPlanner::TryGreedy(const query::Query& q, GuardedResult* out) {
   out->stage = PlanStage::kGreedy;
   out->used_neural = true;
   out->plans_evaluated = greedy->plans_evaluated;
+  out->predicted_runtime_ms = greedy->predicted_runtime_ms;
   return Status::OK();
 }
 
@@ -193,6 +175,33 @@ Status GuardedPlanner::TryTraditional(const query::Query& q, GuardedResult* out)
 }
 
 StatusOr<GuardedResult> GuardedPlanner::Plan(const query::Query& q) {
+  return PlanGuarded(q, PlanRequestOptions{});
+}
+
+StatusOr<PlanResult> GuardedPlanner::Plan(const query::Query& q,
+                                          const PlanRequestOptions& ropts) {
+  QPS_RETURN_IF_ERROR(CheckPlannable(q));
+  QPS_ASSIGN_OR_RETURN(GuardedResult guarded, PlanGuarded(q, ropts));
+  if (guarded.deadline_hit && ropts.fail_on_deadline) {
+    return Status::DeadlineExceeded("planning deadline expired");
+  }
+  PlanResult result;
+  result.stage = guarded.stage;
+  result.node_stats = guarded.plan->estimated;
+  if (guarded.stage != PlanStage::kTraditional) {
+    result.node_stats.runtime_ms = guarded.predicted_runtime_ms;
+  }
+  result.plan = std::move(guarded.plan);
+  result.plan_ms = guarded.planning_ms;
+  result.plans_evaluated = guarded.plans_evaluated;
+  result.used_neural = guarded.used_neural;
+  result.deadline_hit = guarded.deadline_hit;
+  result.fallback_reason = std::move(guarded.fallback_reason);
+  return result;
+}
+
+StatusOr<GuardedResult> GuardedPlanner::PlanGuarded(
+    const query::Query& q, const PlanRequestOptions& ropts) {
   const GuardMetrics& gm = GuardMetrics::Get();
   QPS_TRACE_SPAN_VAR(span, "guarded.plan");
   stats_.requests += 1;
@@ -221,13 +230,13 @@ StatusOr<GuardedResult> GuardedPlanner::Plan(const query::Query& q) {
       gm.circuit_short_circuits->Increment();
       result.fallback_reason = "circuit open";
     } else {
-      Status neural = TryNeural(q, &result);
+      Status neural = TryNeural(q, ropts, &result);
       RecordNeuralOutcome(neural.ok());
       if (neural.ok()) return serve(std::move(result));
       result.fallback_reason = "neural: " + neural.ToString();
       QPS_VLOG(1) << "guarded: neural rung failed (" << neural.ToString()
                   << "), degrading to greedy";
-      Status greedy = TryGreedy(q, &result);
+      Status greedy = TryGreedy(q, ropts, &result);
       if (greedy.ok()) return serve(std::move(result));
       result.fallback_reason += "; greedy: " + greedy.ToString();
       QPS_VLOG(1) << "guarded: greedy rung failed (" << greedy.ToString()

@@ -56,41 +56,9 @@ struct GuardedOptions {
   const Clock* clock = nullptr;
 };
 
-/// Which rung of the degradation ladder produced the plan.
-enum class PlanStage { kNeural, kGreedy, kTraditional };
-
-const char* PlanStageName(PlanStage stage);
-
-/// Per-stage fallback and circuit-breaker counters, exported for serving
-/// dashboards (see qpsql's \guards meta-command).
-struct GuardStats {
-  int64_t requests = 0;
-
-  int64_t neural_attempts = 0;
-  int64_t neural_success = 0;
-  int64_t neural_invalid_plan = 0;  ///< ValidatePlan rejected the MCTS plan
-  int64_t neural_nan = 0;           ///< non-finite model score
-  int64_t neural_deadline = 0;      ///< planning deadline blown
-  int64_t neural_error = 0;         ///< other Status failures (incl. faults)
-
-  int64_t greedy_attempts = 0;
-  int64_t greedy_success = 0;
-  int64_t greedy_failures = 0;
-
-  int64_t traditional_attempts = 0;
-  int64_t traditional_success = 0;
-  int64_t traditional_failures = 0;
-
-  int64_t circuit_opens = 0;
-  int64_t circuit_closes = 0;
-  int64_t circuit_short_circuits = 0;  ///< requests routed while open
-
-  int64_t NeuralFailures() const {
-    return neural_invalid_plan + neural_nan + neural_deadline + neural_error;
-  }
-
-  std::string ToString() const;
-};
+// PlanStage and GuardStats used to live here; they moved to
+// core/planner_api.h when the unified Planner interface was introduced,
+// since every backend now reports them through PlanResult/guard_stats().
 
 struct GuardedResult {
   query::PlanPtr plan;
@@ -98,18 +66,29 @@ struct GuardedResult {
   bool used_neural = false;        ///< model consulted (neural or greedy rung)
   double planning_ms = 0.0;        ///< whole-ladder planning time
   int plans_evaluated = 0;
+  double predicted_runtime_ms = 0.0;  ///< model score (neural/greedy rungs)
+  bool deadline_hit = false;       ///< request deadline truncated the search
   std::string fallback_reason;     ///< empty when the first-choice rung served
 };
 
 /// HybridPlanner with guard rails. Routing is identical (simple queries go
 /// to the DP baseline directly and are not breaker-relevant); complex
 /// queries walk the degradation ladder above.
-class GuardedPlanner {
+class GuardedPlanner : public Planner {
  public:
   GuardedPlanner(const QpSeeker* model, const optimizer::Planner* baseline,
                  GuardedOptions options = {});
 
+  /// Legacy entry point; equivalent to Plan(q, {}) with the ladder detail.
   StatusOr<GuardedResult> Plan(const query::Query& q);
+
+  /// Unified entry point (core::Planner). Per-request deadline, seed, and
+  /// batch evaluator thread into the neural and greedy rungs.
+  StatusOr<PlanResult> Plan(const query::Query& q,
+                            const PlanRequestOptions& ropts) override;
+
+  const char* name() const override { return "guarded"; }
+  GuardStats guard_stats() const override { return stats_; }
 
   const GuardStats& stats() const { return stats_; }
   void ResetStats() { stats_ = GuardStats{}; }
@@ -129,10 +108,16 @@ class GuardedPlanner {
   /// Closes the circuit when the cool-down has elapsed.
   void MaybeCloseCircuit();
 
+  /// Shared ladder walk behind both Plan() overloads.
+  StatusOr<GuardedResult> PlanGuarded(const query::Query& q,
+                                      const PlanRequestOptions& ropts);
+
   /// One rung: plan, validate, score-check. Returns the failure reason or
   /// OK with `*out` filled.
-  Status TryNeural(const query::Query& q, GuardedResult* out);
-  Status TryGreedy(const query::Query& q, GuardedResult* out);
+  Status TryNeural(const query::Query& q, const PlanRequestOptions& ropts,
+                   GuardedResult* out);
+  Status TryGreedy(const query::Query& q, const PlanRequestOptions& ropts,
+                   GuardedResult* out);
   Status TryTraditional(const query::Query& q, GuardedResult* out);
 
   const QpSeeker* model_;

@@ -8,20 +8,61 @@
 namespace qps {
 namespace core {
 
-StatusOr<HybridResult> HybridPlanner::Plan(const query::Query& q) const {
+namespace {
+
+StatusOr<HybridResult> PlanHybrid(const QpSeeker* model,
+                                  const optimizer::Planner* baseline,
+                                  const HybridOptions& options,
+                                  const query::Query& q,
+                                  const PlanRequestOptions& ropts) {
   QPS_TRACE_SPAN("hybrid.plan");
   HybridResult result;
   Timer timer;
-  if (q.num_relations() >= options_.neural_min_relations) {
-    QPS_ASSIGN_OR_RETURN(MctsResult mcts, MctsPlan(*model_, q, options_.mcts));
+  if (q.num_relations() >= options.neural_min_relations) {
+    MctsOptions mopts = options.mcts;
+    mopts.deadline_ms = ropts.deadline_ms;
+    if (ropts.seed != 0) mopts.seed = ropts.seed;
+    if (ropts.evaluate) mopts.evaluate = ropts.evaluate;
+    QPS_ASSIGN_OR_RETURN(MctsResult mcts, MctsPlan(*model, q, mopts));
     result.plan = std::move(mcts.plan);
     result.used_neural = true;
     result.plans_evaluated = mcts.plans_evaluated;
+    result.predicted_runtime_ms = mcts.predicted_runtime_ms;
+    result.deadline_hit = mcts.deadline_hit;
   } else {
-    QPS_ASSIGN_OR_RETURN(result.plan, baseline_->Plan(q));
+    QPS_ASSIGN_OR_RETURN(result.plan, baseline->Plan(q));
     result.used_neural = false;
   }
   result.planning_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+StatusOr<HybridResult> HybridPlanner::Plan(const query::Query& q) const {
+  return PlanHybrid(model_, baseline_, options_, q, PlanRequestOptions{});
+}
+
+StatusOr<PlanResult> HybridPlanner::Plan(const query::Query& q,
+                                         const PlanRequestOptions& ropts) {
+  QPS_RETURN_IF_ERROR(CheckPlannable(q));
+  QPS_ASSIGN_OR_RETURN(HybridResult hybrid,
+                       PlanHybrid(model_, baseline_, options_, q, ropts));
+  if (hybrid.deadline_hit && ropts.fail_on_deadline) {
+    return Status::DeadlineExceeded("planning deadline expired");
+  }
+  PlanResult result;
+  result.stage =
+      hybrid.used_neural ? PlanStage::kNeural : PlanStage::kTraditional;
+  result.node_stats = hybrid.plan->estimated;
+  if (hybrid.used_neural) {
+    result.node_stats.runtime_ms = hybrid.predicted_runtime_ms;
+  }
+  result.plan = std::move(hybrid.plan);
+  result.plan_ms = hybrid.planning_ms;
+  result.plans_evaluated = hybrid.plans_evaluated;
+  result.used_neural = hybrid.used_neural;
+  result.deadline_hit = hybrid.deadline_hit;
   return result;
 }
 

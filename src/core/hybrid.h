@@ -28,17 +28,27 @@ struct HybridResult {
   bool used_neural = false;
   double planning_ms = 0.0;
   int plans_evaluated = 0;  ///< 0 on the traditional path
+  double predicted_runtime_ms = 0.0;  ///< model score (neural path only)
+  bool deadline_hit = false;
 };
 
 /// Routes planning between the traditional DP planner and QPSeeker's MCTS
 /// by query complexity.
-class HybridPlanner {
+class HybridPlanner : public Planner {
  public:
   HybridPlanner(const QpSeeker* model, const optimizer::Planner* baseline,
                 HybridOptions options = {})
       : model_(model), baseline_(baseline), options_(options) {}
 
+  /// Legacy entry point; equivalent to Plan(q, {}).
   StatusOr<HybridResult> Plan(const query::Query& q) const;
+
+  /// Unified entry point (core::Planner). Request deadline, seed, and batch
+  /// evaluator apply only when the query routes to the neural path.
+  StatusOr<PlanResult> Plan(const query::Query& q,
+                            const PlanRequestOptions& ropts) override;
+
+  const char* name() const override { return "hybrid"; }
 
   const HybridOptions& options() const { return options_; }
 

@@ -113,10 +113,7 @@ bool RandomCompletion(const Query& q, std::vector<Action>* actions, Rng* rng) {
 
 StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
                               const MctsOptions& opts) {
-  if (q.num_relations() == 0) return Status::InvalidArgument("empty query");
-  if (q.num_relations() > 1 && !q.IsConnected()) {
-    return Status::NotImplemented("cross products are not supported");
-  }
+  QPS_RETURN_IF_ERROR(CheckPlannable(q));
   static metrics::Counter* const rollouts_counter =
       metrics::Registry::Global().GetCounter("qps.mcts.rollouts");
   static metrics::Histogram* const plan_ms_hist =
@@ -151,16 +148,22 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
     PlanPtr plan;
   };
 
+  // A request deadline truncates the anytime budget; the first batch is
+  // exempt so an already-expired deadline still yields one evaluated plan.
+  const double budget_ms = opts.deadline_ms > 0.0
+                               ? std::min(opts.time_budget_ms, opts.deadline_ms)
+                               : opts.time_budget_ms;
+
   const int n = q.num_relations();
   while (result.plans_evaluated < opts.max_rollouts &&
-         timer.ElapsedMillis() < opts.time_budget_ms) {
+         (result.plans_evaluated == 0 || timer.ElapsedMillis() < budget_ms)) {
     // Gather up to eval_batch candidates. All tree walking, expansion, and
     // rng use is serial — parallelism only touches the pure evaluation.
     std::vector<Candidate> batch;
     while (static_cast<int>(batch.size()) < eval_batch &&
            result.plans_evaluated + static_cast<int>(batch.size()) <
                opts.max_rollouts) {
-      if (!batch.empty() && timer.ElapsedMillis() >= opts.time_budget_ms) break;
+      if (!batch.empty() && timer.ElapsedMillis() >= budget_ms) break;
       // Fault point: a rollout may error out or stall (injected latency).
       QPS_RETURN_IF_ERROR(fault::Check("mcts.rollout"));
       QPS_TRACE_SPAN("mcts.rollout");
@@ -244,7 +247,8 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
     plan_ptrs.reserve(batch.size());
     for (const auto& c : batch) plan_ptrs.push_back(c.plan.get());
     const std::vector<query::NodeStats> preds =
-        model.PredictPlansBatch(q, plan_ptrs, pool);
+        opts.evaluate ? opts.evaluate(q, plan_ptrs)
+                      : model.PredictPlansBatch(q, plan_ptrs, pool);
 
     // 5. Backpropagation, serially in selection order: a node earns one
     // reward unit each time it is part of the best plan discovered so far.
@@ -266,8 +270,10 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
 
   if (best_actions.empty()) return Status::Internal("MCTS found no plan");
   if (opts.hard_deadline_ms > 0.0 && timer.ElapsedMillis() > opts.hard_deadline_ms) {
-    return Status::ResourceExhausted("MCTS blew the planning deadline");
+    return Status::DeadlineExceeded("MCTS blew the planning deadline");
   }
+  result.deadline_hit =
+      opts.deadline_ms > 0.0 && timer.ElapsedMillis() >= opts.deadline_ms;
   result.plan = PlanFromActions(q, best_actions);
   model.AnnotateEstimates(q, result.plan.get());
   result.predicted_runtime_ms = best_runtime;
@@ -277,11 +283,9 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
   return result;
 }
 
-StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
-  if (q.num_relations() == 0) return Status::InvalidArgument("empty query");
-  if (q.num_relations() > 1 && !q.IsConnected()) {
-    return Status::NotImplemented("cross products are not supported");
-  }
+StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q,
+                                const BatchEvalFn& evaluate) {
+  QPS_RETURN_IF_ERROR(CheckPlannable(q));
   QPS_RETURN_IF_ERROR(fault::Check("greedy.plan"));
   static metrics::Counter* const plans_counter =
       metrics::Registry::Global().GetCounter("qps.greedy.plans");
@@ -317,7 +321,8 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
     std::vector<const PlanNode*> ptrs;
     ptrs.reserve(step_plans.size());
     for (const auto& p : step_plans) ptrs.push_back(p.get());
-    const std::vector<query::NodeStats> preds = model.PredictPlansBatch(q, ptrs);
+    const std::vector<query::NodeStats> preds =
+        evaluate ? evaluate(q, ptrs) : model.PredictPlansBatch(q, ptrs);
 
     Action best_action;
     double best_runtime = INFINITY;
@@ -339,7 +344,12 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q) {
   result.plan = PlanFromActions(q, prefix);
   if (result.plan == nullptr) return Status::Internal("greedy produced no plan");
   model.AnnotateEstimates(q, result.plan.get());
-  result.predicted_runtime_ms = model.PredictPlan(q, *result.plan).runtime_ms;
+  // The final score must go through the same evaluator as the step batches:
+  // PredictPlan touches mutable model state, which the serving layer only
+  // serializes behind the injected hook.
+  result.predicted_runtime_ms =
+      evaluate ? evaluate(q, {result.plan.get()})[0].runtime_ms
+               : model.PredictPlan(q, *result.plan).runtime_ms;
   result.planning_ms = timer.ElapsedMillis();
   span.AddAttr("plans_evaluated", result.plans_evaluated);
   return result;

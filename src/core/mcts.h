@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "core/planner_api.h"
 #include "core/qpseeker.h"
 
 namespace qps {
@@ -26,9 +27,24 @@ struct MctsOptions {
   /// Hard planning deadline (0 = disabled). The time budget is a soft
   /// target the anytime loop aims for; if a stalled model evaluation (or an
   /// injected latency fault) pushes total planning time past this deadline,
-  /// MctsPlan returns ResourceExhausted instead of a late plan, so the
+  /// MctsPlan returns DeadlineExceeded instead of a late plan, so the
   /// guarded pipeline can fall back. Set it with slack above the budget.
   double hard_deadline_ms = 0.0;
+
+  /// Per-request planning deadline in ms from MctsPlan entry (0 = none).
+  /// Unlike hard_deadline_ms (a failure for stall detection), the deadline
+  /// truncates the anytime search: the time budget is clamped to it and
+  /// the best plan found so far is returned with MctsResult::deadline_hit
+  /// set. At least one rollout batch always runs, so a valid plan comes
+  /// back even when the deadline is already tight on entry.
+  double deadline_ms = 0.0;
+
+  /// External evaluator for candidate batches. The serving layer injects
+  /// one to coalesce evaluations from different in-flight queries into
+  /// shared batched forwards; null calls QpSeeker::PredictPlansBatch
+  /// directly. Results must be bit-identical to the direct call, so
+  /// planning stays deterministic under cross-query batching.
+  BatchEvalFn evaluate;
 
   /// Leaf-parallel rollouts. Each iteration selects, expands, and
   /// random-completes up to `eval_batch` candidate plans *serially* with
@@ -56,6 +72,7 @@ struct MctsResult {
   double predicted_runtime_ms = 0.0;
   int plans_evaluated = 0;         ///< paper §7.2 reports these counts
   double planning_ms = 0.0;
+  bool deadline_hit = false;       ///< search truncated by MctsOptions::deadline_ms
 };
 
 /// Plans `q` with MCTS guided by a trained QPSeeker model.
@@ -64,7 +81,11 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const query::Query& q,
 
 /// Greedy baseline for the MCTS ablation: at each step append the relation/
 /// operator pair whose completed-by-greedy plan the model scores best.
-StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const query::Query& q);
+/// `evaluate` substitutes for the direct model call exactly as in
+/// MctsOptions::evaluate (the guarded ladder threads the serving hook
+/// through so its greedy rung also joins cross-query batches).
+StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const query::Query& q,
+                                const BatchEvalFn& evaluate = nullptr);
 
 }  // namespace core
 }  // namespace qps

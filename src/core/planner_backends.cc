@@ -1,0 +1,79 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "core/planner_backends.h"
+
+#include "core/hybrid.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace qps {
+namespace core {
+
+StatusOr<PlanResult> BaselinePlanner::Plan(const query::Query& q,
+                                           const PlanRequestOptions& ropts) {
+  (void)ropts;
+  QPS_RETURN_IF_ERROR(CheckPlannable(q));
+  QPS_TRACE_SPAN("baseline.plan");
+  Timer timer;
+  PlanResult result;
+  QPS_ASSIGN_OR_RETURN(result.plan, baseline_->Plan(q));
+  result.stage = PlanStage::kTraditional;
+  result.node_stats = result.plan->estimated;
+  result.plan_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<PlanResult> MctsPlanner::Plan(const query::Query& q,
+                                       const PlanRequestOptions& ropts) {
+  QPS_RETURN_IF_ERROR(CheckPlannable(q));
+  MctsOptions mopts = options_;
+  mopts.deadline_ms = ropts.deadline_ms;
+  if (ropts.seed != 0) mopts.seed = ropts.seed;
+  if (ropts.evaluate) mopts.evaluate = ropts.evaluate;
+  QPS_ASSIGN_OR_RETURN(MctsResult mcts, MctsPlan(*model_, q, mopts));
+  if (mcts.deadline_hit && ropts.fail_on_deadline) {
+    return Status::DeadlineExceeded("planning deadline expired");
+  }
+  PlanResult result;
+  result.stage = PlanStage::kNeural;
+  result.node_stats = mcts.plan->estimated;
+  result.node_stats.runtime_ms = mcts.predicted_runtime_ms;
+  result.plan = std::move(mcts.plan);
+  result.plan_ms = mcts.planning_ms;
+  result.plans_evaluated = mcts.plans_evaluated;
+  result.used_neural = true;
+  result.deadline_hit = mcts.deadline_hit;
+  return result;
+}
+
+StatusOr<std::unique_ptr<Planner>> MakePlanner(const std::string& name,
+                                               const QpSeeker* model,
+                                               const optimizer::Planner* baseline,
+                                               const GuardedOptions& gopts) {
+  if (name == "baseline") {
+    if (baseline == nullptr) {
+      return Status::InvalidArgument("baseline planner requires a DP planner");
+    }
+    return std::unique_ptr<Planner>(new BaselinePlanner(baseline));
+  }
+  if (model == nullptr) {
+    return Status::InvalidArgument("planner '" + name +
+                                   "' requires a trained model");
+  }
+  if (name == "neural" || name == "mcts") {
+    return std::unique_ptr<Planner>(new MctsPlanner(model, gopts.hybrid.mcts));
+  }
+  if (name == "hybrid") {
+    return std::unique_ptr<Planner>(
+        new HybridPlanner(model, baseline, gopts.hybrid));
+  }
+  if (name == "guarded") {
+    return std::unique_ptr<Planner>(new GuardedPlanner(model, baseline, gopts));
+  }
+  return Status::InvalidArgument(
+      "unknown planner '" + name +
+      "' (expected baseline|neural|hybrid|guarded)");
+}
+
+}  // namespace core
+}  // namespace qps

@@ -230,14 +230,11 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
   return report;
 }
 
-nn::Tensor QpSeeker::ForwardBatchTensor(
+void QpSeeker::EncodeQepTensor(
     const Query& q, const std::vector<const PlanNode*>& annotated,
-    std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs) const {
-  static metrics::Counter* const forwards_counter =
-      metrics::Registry::Global().GetCounter("qps.model.forwards");
-  QPS_TRACE_SPAN("model.forward");
+    std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs,
+    nn::Tensor* qep) const {
   const int64_t batch = static_cast<int64_t>(annotated.size());
-  forwards_counter->Increment(batch);
 
   nn::Tensor query_emb;
   query_encoder_->EncodeTensor(q, &query_emb);
@@ -250,7 +247,7 @@ nn::Tensor QpSeeker::ForwardBatchTensor(
   // (different node counts), so Combine runs per plan; everything after is
   // one batched GEMM chain.
   const int qep_dim = attention_->out_dim();
-  nn::Tensor qep(batch, qep_dim);
+  *qep = nn::Tensor(batch, qep_dim);
   nn::Tensor one;
   for (int64_t p = 0; p < batch; ++p) {
     if (config_.use_attention) {
@@ -266,10 +263,12 @@ nn::Tensor QpSeeker::ForwardBatchTensor(
                   nm.data() + (nm.rows() - 1) * nm.cols(),
                   sizeof(float) * static_cast<size_t>(nm.cols()));
     }
-    std::memcpy(qep.data() + p * qep_dim, one.data(),
+    std::memcpy(qep->data() + p * qep_dim, one.data(),
                 sizeof(float) * static_cast<size_t>(qep_dim));
   }
+}
 
+nn::Tensor QpSeeker::HeadTensor(const nn::Tensor& qep) const {
   nn::Tensor preds;
   if (config_.use_vae) {
     QPS_TRACE_SPAN("vae.forward");
@@ -280,6 +279,19 @@ nn::Tensor QpSeeker::ForwardBatchTensor(
     head_->ForwardTensor(qep, &preds);
   }
   return preds;
+}
+
+nn::Tensor QpSeeker::ForwardBatchTensor(
+    const Query& q, const std::vector<const PlanNode*>& annotated,
+    std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs) const {
+  static metrics::Counter* const forwards_counter =
+      metrics::Registry::Global().GetCounter("qps.model.forwards");
+  QPS_TRACE_SPAN("model.forward");
+  forwards_counter->Increment(static_cast<int64_t>(annotated.size()));
+
+  nn::Tensor qep;
+  EncodeQepTensor(q, annotated, plan_outs, &qep);
+  return HeadTensor(qep);
 }
 
 std::vector<query::NodeStats> QpSeeker::PredictPlansBatch(
@@ -363,6 +375,138 @@ std::vector<query::NodeStats> QpSeeker::PredictPlansBatch(
   // behaviorally identical under fault tests.
   for (size_t i = 0; i < n; ++i) {
     results[i].runtime_ms = fault::CorruptDouble("vae.forward", results[i].runtime_ms);
+  }
+  return results;
+}
+
+std::vector<std::vector<query::NodeStats>> QpSeeker::PredictPlansMulti(
+    const std::vector<PlanEvalRequest>& requests, util::ThreadPool* pool) const {
+  const size_t nr = requests.size();
+  std::vector<std::vector<query::NodeStats>> results(nr);
+  if (nr == 0) return results;
+
+  // Per-request bookkeeping, mirroring PredictPlansBatch step for step.
+  // Dedup stays *within* each request on purpose: fusing identical shapes
+  // across requests would change which row a request's prediction comes
+  // from relative to its serial evaluation. Cross-request duplicates still
+  // produce bit-identical values (row independence), just redundantly.
+  struct Prep {
+    std::vector<uint64_t> shape_hash;
+    uint64_t query_fp = 0;
+    std::vector<size_t> miss_idx;
+    std::vector<size_t> dup_src;
+    std::vector<query::PlanPtr> annotated;
+  };
+  std::vector<Prep> preps(nr);
+  struct FlatMiss {
+    size_t req;
+    size_t m;  ///< index into preps[req].miss_idx
+  };
+  std::vector<FlatMiss> flat;
+
+  for (size_t r = 0; r < nr; ++r) {
+    const Query& q = *requests[r].query;
+    const auto& plans = requests[r].plans;
+    const size_t n = plans.size();
+    Prep& prep = preps[r];
+    results[r].resize(n);
+    prep.shape_hash.resize(n);
+    prep.dup_src.assign(n, static_cast<size_t>(-1));
+    for (size_t i = 0; i < n; ++i) prep.shape_hash[i] = PlanShapeHash(*plans[i]);
+    prep.query_fp = cache_ != nullptr ? QueryFingerprint(q) : 0;
+
+    std::unordered_map<uint64_t, size_t> batch_first;
+    for (size_t i = 0; i < n; ++i) {
+      if (cache_ != nullptr &&
+          cache_->Lookup(prep.query_fp, prep.shape_hash[i], &results[r][i])) {
+        continue;
+      }
+      const auto [it, inserted] = batch_first.try_emplace(prep.shape_hash[i], i);
+      if (!inserted) {
+        prep.dup_src[i] = it->second;
+        continue;
+      }
+      flat.push_back(FlatMiss{r, prep.miss_idx.size()});
+      prep.miss_idx.push_back(i);
+    }
+    prep.annotated.resize(prep.miss_idx.size());
+  }
+
+  if (!flat.empty()) {
+    {
+      QPS_TRACE_SPAN("plan.annotate");
+      const auto annotate = [&](int64_t f) {
+        const FlatMiss& fm = flat[static_cast<size_t>(f)];
+        Prep& prep = preps[fm.req];
+        prep.annotated[fm.m] =
+            requests[fm.req].plans[prep.miss_idx[fm.m]]->Clone();
+        AnnotateEstimates(*requests[fm.req].query, prep.annotated[fm.m].get());
+      };
+      if (pool != nullptr && flat.size() > 1) {
+        pool->ParallelFor(static_cast<int64_t>(flat.size()), annotate);
+      } else {
+        for (size_t f = 0; f < flat.size(); ++f) annotate(static_cast<int64_t>(f));
+      }
+    }
+
+    // Encode per request (encoders are query-specific), then stack every
+    // miss row into one matrix so the dense VAE/head pass is shared across
+    // requests — the cross-query fusion the serving layer batches for.
+    static metrics::Counter* const forwards_counter =
+        metrics::Registry::Global().GetCounter("qps.model.forwards");
+    QPS_TRACE_SPAN("model.forward");
+    forwards_counter->Increment(static_cast<int64_t>(flat.size()));
+    const int qep_dim = attention_->out_dim();
+    nn::Tensor combined(static_cast<int64_t>(flat.size()), qep_dim);
+    std::vector<int64_t> row_offset(nr, 0);
+    int64_t row = 0;
+    for (size_t r = 0; r < nr; ++r) {
+      Prep& prep = preps[r];
+      if (prep.annotated.empty()) continue;
+      std::vector<const PlanNode*> ptrs;
+      ptrs.reserve(prep.annotated.size());
+      for (const auto& p : prep.annotated) ptrs.push_back(p.get());
+      nn::Tensor qep;
+      EncodeQepTensor(*requests[r].query, ptrs, nullptr, &qep);
+      std::memcpy(combined.data() + row * qep_dim, qep.data(),
+                  sizeof(float) * static_cast<size_t>(qep.rows() * qep_dim));
+      row_offset[r] = row;
+      row += qep.rows();
+    }
+
+    const nn::Tensor preds = HeadTensor(combined);
+
+    for (size_t r = 0; r < nr; ++r) {
+      Prep& prep = preps[r];
+      for (size_t m = 0; m < prep.miss_idx.size(); ++m) {
+        const size_t i = prep.miss_idx[m];
+        const int64_t pr = row_offset[r] + static_cast<int64_t>(m);
+        const float a = preds(pr, 0);
+        const float b = preds(pr, 1);
+        const float c = preds(pr, 2);
+        if (!(std::isfinite(a) && std::isfinite(b) && std::isfinite(c))) {
+          const double bad = std::nan("");
+          results[r][i] = query::NodeStats{bad, bad, bad};
+          continue;
+        }
+        results[r][i] = normalizer_.Denormalize(a, b, c);
+        if (cache_ != nullptr) {
+          cache_->Insert(prep.query_fp, prep.shape_hash[i], results[r][i]);
+        }
+      }
+    }
+  }
+
+  for (size_t r = 0; r < nr; ++r) {
+    const Prep& prep = preps[r];
+    for (size_t i = 0; i < results[r].size(); ++i) {
+      if (prep.dup_src[i] != static_cast<size_t>(-1)) {
+        results[r][i] = results[r][prep.dup_src[i]];
+      }
+    }
+    for (auto& stats : results[r]) {
+      stats.runtime_ms = fault::CorruptDouble("vae.forward", stats.runtime_ms);
+    }
   }
   return results;
 }

@@ -68,6 +68,13 @@ struct TrainReport {
   int64_t num_parameters = 0;
 };
 
+/// One query with its candidate plans, the unit of cross-query fused
+/// evaluation (PredictPlansMulti / the serving batch rendezvous).
+struct PlanEvalRequest {
+  const query::Query* query = nullptr;
+  std::vector<const query::PlanNode*> plans;
+};
+
 /// The trained system: model + normalizer + estimate annotator.
 class QpSeeker {
  public:
@@ -91,6 +98,18 @@ class QpSeeker {
   /// skip evaluation entirely.
   std::vector<query::NodeStats> PredictPlansBatch(
       const query::Query& q, const std::vector<const query::PlanNode*>& plans,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Cross-query fused evaluation: candidate batches from *different*
+  /// queries share one VAE/head forward. Per-request cache consultation,
+  /// intra-batch dedup, annotation (sharded across `pool`), and encoding
+  /// are identical to PredictPlansBatch; only the final dense pass is
+  /// stacked. Because every GEMM kernel accumulates each output row in the
+  /// same k-order regardless of batch row count, result[r] is bit-identical
+  /// to PredictPlansBatch(*requests[r].query, requests[r].plans, pool) —
+  /// the property the serving layer's determinism contract rests on.
+  std::vector<std::vector<query::NodeStats>> PredictPlansMulti(
+      const std::vector<PlanEvalRequest>& requests,
       util::ThreadPool* pool = nullptr) const;
 
   /// Reference implementation of PredictPlan through the autograd graph —
@@ -147,6 +166,17 @@ class QpSeeker {
   nn::Tensor ForwardBatchTensor(
       const query::Query& q, const std::vector<const query::PlanNode*>& annotated,
       std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs) const;
+
+  /// Encoder front half of ForwardBatchTensor: query + plan encodings
+  /// combined into the (N x qep_dim) embedding matrix.
+  void EncodeQepTensor(const query::Query& q,
+                       const std::vector<const query::PlanNode*>& annotated,
+                       std::vector<encoder::PlanEncoder::TensorOutput>* plan_outs,
+                       nn::Tensor* qep) const;
+
+  /// Dense back half: VAE reconstruction (when enabled) + prediction head.
+  /// Row r of the result depends only on row r of `qep`.
+  nn::Tensor HeadTensor(const nn::Tensor& qep) const;
 
   std::vector<nn::NamedParam> AllParameters() const;
 

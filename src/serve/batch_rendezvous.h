@@ -1,0 +1,112 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Cross-query micro-batching for the plan service. Planning a query with
+// MCTS issues a stream of candidate-batch evaluations; with N queries in
+// flight those streams interleave, and each evaluation alone under-fills
+// the model's batched GEMM path. The rendezvous is the meeting point: a
+// request thread calls Evaluate() mid-planning, parks, and a *leader* —
+// the thread whose arrival fills the batch, or whose flush timeout expires
+// first — fuses every parked request into one QpSeeker::PredictPlansMulti
+// call and distributes the per-request results.
+//
+// Two contracts the serving layer depends on:
+//
+//  1. Serialization. The model forward mutates scratch state (attention
+//     score caches), so it is not concurrently callable. Exactly one
+//     flush runs at a time; every model evaluation in the service goes
+//     through Evaluate(), so the rendezvous *is* the model's concurrency
+//     guard.
+//  2. Determinism. PredictPlansMulti evaluates each fused request exactly
+//     as PredictPlansBatch would (per-request encoding, dedup, caching;
+//     row-independent dense kernels), so the NodeStats a request receives
+//     are bit-identical no matter which other queries it shared a flush
+//     with — including sharing with none. Plans produced under load are
+//     therefore bit-identical to serial planning.
+
+#ifndef QPS_SERVE_BATCH_RENDEZVOUS_H_
+#define QPS_SERVE_BATCH_RENDEZVOUS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "core/qpseeker.h"
+
+namespace qps {
+namespace serve {
+
+struct BatchRendezvousOptions {
+  /// Flush as soon as this many requests are parked (hard cap per flush).
+  int max_batch = 16;
+
+  /// How long an arriving request waits for companions before flushing
+  /// anyway. The *effective* target is min(expected in-flight queries,
+  /// max_batch): a lone request never waits at all, so single-client
+  /// latency pays nothing for the batching machinery.
+  double flush_timeout_ms = 0.5;
+
+  /// Optional pool for per-plan annotation inside the fused evaluation.
+  /// Must NOT be the pool running the planning tasks themselves: those
+  /// workers are parked in Evaluate() during a flush and a ParallelFor
+  /// waiting on them would deadlock. Null = annotate serially.
+  util::ThreadPool* annotation_pool = nullptr;
+};
+
+class BatchRendezvous {
+ public:
+  struct Stats {
+    int64_t flushes = 0;
+    int64_t fused_queries = 0;  ///< sum of batch sizes (queries per flush)
+    int64_t fused_plans = 0;    ///< candidate plans across all flushes
+    int64_t max_fused = 0;      ///< largest single flush, in queries
+    double MeanBatch() const {
+      return flushes > 0 ? static_cast<double>(fused_queries) /
+                               static_cast<double>(flushes)
+                         : 0.0;
+    }
+  };
+
+  BatchRendezvous(const core::QpSeeker* model, BatchRendezvousOptions options);
+
+  /// Evaluates `plans` for `q`, fused with whatever other requests are in
+  /// flight. Blocks until the result is available. Safe to call from many
+  /// threads; results match QpSeeker::PredictPlansBatch bit for bit.
+  std::vector<query::NodeStats> Evaluate(
+      const query::Query& q, const std::vector<const query::PlanNode*>& plans);
+
+  /// Concurrency hint: how many planning requests are currently in flight.
+  /// The flush target is min(expected, max_batch), clamped to >= 1.
+  void SetExpected(int n) { expected_.store(n, std::memory_order_relaxed); }
+
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    const query::Query* query = nullptr;
+    const std::vector<const query::PlanNode*>* plans = nullptr;
+    std::vector<query::NodeStats> result;
+    bool done = false;
+  };
+
+  /// Steals the parked set and evaluates it. Called with `lk` held; drops
+  /// the lock around the model call and reacquires it to settle results.
+  void FlushLocked(std::unique_lock<std::mutex>& lk);
+
+  size_t TargetLocked() const;
+
+  const core::QpSeeker* model_;
+  const BatchRendezvousOptions options_;
+  std::atomic<int> expected_{1};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending*> waiting_;
+  bool flushing_ = false;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace qps
+
+#endif  // QPS_SERVE_BATCH_RENDEZVOUS_H_

@@ -1,0 +1,211 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "serve/plan_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace qps {
+namespace serve {
+
+namespace {
+
+struct ServeMetrics {
+  metrics::Counter* requests;
+  metrics::Counter* shed;
+  metrics::Counter* deadline_misses;
+  metrics::Gauge* inflight;
+  metrics::Gauge* queue_depth;
+  metrics::Histogram* queue_ms;
+  metrics::Histogram* latency_ms;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics m = [] {
+      auto& reg = metrics::Registry::Global();
+      ServeMetrics out;
+      out.requests = reg.GetCounter("qps.serve.requests");
+      out.shed = reg.GetCounter("qps.serve.shed");
+      out.deadline_misses = reg.GetCounter("qps.serve.deadline_misses");
+      out.inflight = reg.GetGauge("qps.serve.inflight");
+      out.queue_depth = reg.GetGauge("qps.serve.queue_depth");
+      out.queue_ms = reg.GetHistogram("qps.serve.queue_ms");
+      out.latency_ms = reg.GetHistogram("qps.serve.latency_ms");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+/// One admitted request: the query and options live here until a worker
+/// picks the task up, and the promise carries the result back.
+struct PlanService::Request {
+  query::Query query;
+  core::PlanRequestOptions ropts;
+  std::promise<StatusOr<core::PlanResult>> promise;
+  Timer queued;  ///< admission -> task start, for qps.serve.queue_ms
+};
+
+/// A planner instance plus the mutex making it exclusive to one request at
+/// a time. Backends carry per-request state (guard stats, breaker
+/// windows), so instances are per-slot rather than shared; slots rotate
+/// round-robin so with <= `workers` concurrent tasks contention is nil.
+struct PlanService::PlannerSlot {
+  std::mutex mu;
+  std::unique_ptr<core::Planner> planner;
+};
+
+StatusOr<std::unique_ptr<PlanService>> PlanService::Create(
+    const std::string& planner_name, const core::QpSeeker* model,
+    const optimizer::Planner* baseline, const core::GuardedOptions& gopts,
+    PlanServiceOptions options) {
+  std::unique_ptr<PlanService> service(new PlanService(model, options));
+  const int slots = std::max(1, options.workers);
+  for (int i = 0; i < slots; ++i) {
+    auto slot = std::make_unique<PlannerSlot>();
+    QPS_ASSIGN_OR_RETURN(slot->planner,
+                         core::MakePlanner(planner_name, model, baseline, gopts));
+    service->slots_.push_back(std::move(slot));
+  }
+  if (options.shed_to_baseline) {
+    if (baseline == nullptr) {
+      return Status::InvalidArgument(
+          "shed_to_baseline requires a baseline planner");
+    }
+    QPS_ASSIGN_OR_RETURN(service->shed_planner_,
+                         core::MakePlanner("baseline", model, baseline, gopts));
+  }
+  return service;
+}
+
+PlanService::PlanService(const core::QpSeeker* model, PlanServiceOptions options)
+    : model_(model), options_(options) {
+  if (model_ != nullptr) {
+    BatchRendezvousOptions ropts;
+    ropts.max_batch = options_.max_batch;
+    ropts.flush_timeout_ms = options_.flush_timeout_ms;
+    rendezvous_ = std::make_unique<BatchRendezvous>(model_, ropts);
+  }
+  pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+}
+
+PlanService::~PlanService() = default;
+
+StatusOr<core::PlanResult> PlanService::PlanShedded(const query::Query& q) {
+  std::lock_guard<std::mutex> lock(shed_mu_);
+  auto result = shed_planner_->Plan(q, core::PlanRequestOptions{});
+  if (result.ok()) result->fallback_reason = "shed: admission queue full";
+  return result;
+}
+
+std::future<StatusOr<core::PlanResult>> PlanService::Submit(
+    query::Query q, core::PlanRequestOptions ropts) {
+  const ServeMetrics& sm = ServeMetrics::Get();
+  QPS_TRACE_SPAN("serve.submit");
+  sm.requests->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.submitted += 1;
+  }
+
+  auto req = std::make_shared<Request>();
+  req->query = std::move(q);
+  req->ropts = std::move(ropts);
+  auto future = req->promise.get_future();
+
+  const bool admitted = pool_->TrySchedule(
+      [this, req] { RunRequest(*req); }, options_.max_queue);
+  sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
+  if (!admitted) {
+    sm.shed->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.shed += 1;
+      if (shed_planner_ != nullptr) stats_.shed_degraded += 1;
+    }
+    if (shed_planner_ != nullptr) {
+      req->promise.set_value(PlanShedded(req->query));
+    } else {
+      req->promise.set_value(
+          Status::ResourceExhausted("plan service admission queue full"));
+    }
+  }
+  return future;
+}
+
+void PlanService::RunRequest(Request& req) {
+  const ServeMetrics& sm = ServeMetrics::Get();
+  sm.queue_ms->Record(req.queued.ElapsedMillis());
+  const int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  sm.inflight->Set(static_cast<double>(inflight));
+  sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
+  if (rendezvous_ != nullptr) rendezvous_->SetExpected(inflight);
+
+  QPS_TRACE_SPAN_VAR(span, "serve.plan");
+  Timer timer;
+  core::PlanRequestOptions ropts = req.ropts;
+  if (ropts.deadline_ms <= 0.0) ropts.deadline_ms = options_.default_deadline_ms;
+  if (rendezvous_ != nullptr) {
+    ropts.evaluate = [this](const query::Query& q,
+                            const std::vector<const query::PlanNode*>& plans) {
+      return rendezvous_->Evaluate(q, plans);
+    };
+  }
+
+  StatusOr<core::PlanResult> result = [&] {
+    const size_t idx =
+        next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+    std::lock_guard<std::mutex> lock(slots_[idx]->mu);
+    return slots_[idx]->planner->Plan(req.query, ropts);
+  }();
+
+  sm.latency_ms->Record(timer.ElapsedMillis());
+  span.AddAttr("ok", result.ok() ? 1 : 0);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (result.ok()) {
+      stats_.completed += 1;
+      if (result->deadline_hit) {
+        stats_.deadline_hits += 1;
+        sm.deadline_misses->Increment();
+      }
+    } else {
+      stats_.errors += 1;
+      if (result.status().IsDeadlineExceeded()) {
+        sm.deadline_misses->Increment();
+      }
+    }
+  }
+
+  const int remaining = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  sm.inflight->Set(static_cast<double>(remaining));
+  if (rendezvous_ != nullptr) rendezvous_->SetExpected(std::max(remaining, 1));
+  req.promise.set_value(std::move(result));
+}
+
+PlanService::Stats PlanService::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  if (rendezvous_ != nullptr) out.batching = rendezvous_->stats();
+  return out;
+}
+
+core::GuardStats PlanService::guard_stats() const {
+  core::GuardStats total;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    total += slot->planner->guard_stats();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace qps

@@ -1,0 +1,145 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// The concurrent planning service: N clients submit queries, the service
+// plans them on a bounded worker pool and coalesces their model
+// evaluations into shared batched forwards. The pipeline per request:
+//
+//   Submit(query, deadline)
+//     -> admission: util::ThreadPool::TrySchedule against a bounded queue;
+//        a full queue sheds the request (kResourceExhausted) or, when
+//        shed_to_baseline is set, degrades it to an inline DP plan on the
+//        caller's thread — load never builds an unbounded backlog.
+//     -> planning: a per-worker core::Planner instance (backends keep
+//        per-request state like breaker windows, so instances are not
+//        shared across threads) runs with the request deadline and a
+//        BatchRendezvous evaluate hook injected via PlanRequestOptions.
+//     -> batching: every model evaluation from every in-flight request
+//        meets in the rendezvous and rides a fused PredictPlansMulti
+//        forward. Plans stay bit-identical to serial planning (see
+//        batch_rendezvous.h).
+//     -> deadline ladder: an expired deadline truncates the anytime search
+//        and returns the best plan found so far with deadline_hit set;
+//        only fail_on_deadline requests see kDeadlineExceeded.
+//
+// Metrics: qps.serve.{requests,inflight,queue_depth,queue_ms,latency_ms,
+// batch_size,batch_plans,deadline_misses,shed}. Trace spans: serve.submit,
+// serve.plan, serve.batch_flush.
+
+#ifndef QPS_SERVE_PLAN_SERVICE_H_
+#define QPS_SERVE_PLAN_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner_backends.h"
+#include "serve/batch_rendezvous.h"
+
+namespace qps {
+namespace serve {
+
+struct PlanServiceOptions {
+  /// Planning workers. 0 runs every request inline on the caller.
+  int workers = 4;
+
+  /// Admission-queue bound: requests beyond `max_queue` waiting tasks are
+  /// shed instead of enqueued.
+  size_t max_queue = 32;
+
+  /// Deadline applied to requests that don't carry their own (0 = none).
+  double default_deadline_ms = 0.0;
+
+  /// Shed policy: false rejects with kResourceExhausted; true degrades the
+  /// request to the traditional DP planner, run inline on the submitting
+  /// thread (requires a baseline planner).
+  bool shed_to_baseline = false;
+
+  /// Cross-query batching knobs (see BatchRendezvousOptions).
+  int max_batch = 16;
+  double flush_timeout_ms = 0.5;
+};
+
+/// Owns the planning backends, the worker pool, and the rendezvous.
+/// Thread-safe: Submit may be called from any number of client threads.
+class PlanService {
+ public:
+  struct Stats {
+    int64_t submitted = 0;
+    int64_t completed = 0;      ///< OK results delivered
+    int64_t errors = 0;         ///< non-OK results (excluding rejects)
+    int64_t shed = 0;           ///< admission-control rejections + degrades
+    int64_t shed_degraded = 0;  ///< of `shed`, served by the inline baseline
+    int64_t deadline_hits = 0;  ///< best-effort plans under an expired deadline
+    BatchRendezvous::Stats batching;
+  };
+
+  /// Builds one `planner_name` backend per worker via core::MakePlanner.
+  /// `model` may be null only for the "baseline" backend (no rendezvous is
+  /// created without a model). Returns kInvalidArgument for unknown names.
+  static StatusOr<std::unique_ptr<PlanService>> Create(
+      const std::string& planner_name, const core::QpSeeker* model,
+      const optimizer::Planner* baseline, const core::GuardedOptions& gopts,
+      PlanServiceOptions options = {});
+
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Submits one query. The future resolves to the PlanResult, or to
+  /// kResourceExhausted when the request was shed with no baseline to
+  /// degrade to. `ropts.evaluate` is overridden by the service's
+  /// rendezvous hook; deadline/seed/fail_on_deadline pass through.
+  std::future<StatusOr<core::PlanResult>> Submit(query::Query q,
+                                                 core::PlanRequestOptions ropts = {});
+
+  /// Requests currently being planned (not queued).
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
+  /// Tasks admitted but not yet started.
+  size_t queue_depth() const { return pool_->queue_depth(); }
+
+  Stats stats() const;
+
+  /// Aggregated guard/breaker counters across the per-worker planners.
+  core::GuardStats guard_stats() const;
+
+  const PlanServiceOptions& options() const { return options_; }
+
+ private:
+  PlanService(const core::QpSeeker* model, PlanServiceOptions options);
+
+  struct Request;
+  struct PlannerSlot;
+
+  void RunRequest(Request& req);
+  StatusOr<core::PlanResult> PlanShedded(const query::Query& q);
+
+  const core::QpSeeker* model_;
+  PlanServiceOptions options_;
+
+  std::vector<std::unique_ptr<PlannerSlot>> slots_;
+  std::atomic<size_t> next_slot_{0};
+
+  /// Dedicated baseline instance for the shed-degrade path (inline on the
+  /// submitting thread, so it must not contend for planner slots).
+  std::unique_ptr<core::Planner> shed_planner_;
+  std::mutex shed_mu_;
+
+  std::unique_ptr<BatchRendezvous> rendezvous_;
+
+  std::atomic<int> inflight_{0};
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  /// Declared last: its destructor drains queued tasks, which still touch
+  /// the members above.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace serve
+}  // namespace qps
+
+#endif  // QPS_SERVE_PLAN_SERVICE_H_

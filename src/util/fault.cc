@@ -60,53 +60,66 @@ bool FaultInjector::Fire(ArmedPoint* p) {
   } else {
     fire = rng_.Bernoulli(p->spec.probability);
   }
-  if (!fire) return false;
-  p->triggers += 1;
-  if (p->spec.latency_ms > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(p->spec.latency_ms));
-  }
-  return true;
+  if (fire) p->triggers += 1;
+  return fire;
 }
 
+// Injected latency sleeps on the faulting caller's thread only, after the
+// registry lock is released — a stall on one point must not serialize
+// unrelated fault checks on other threads.
+namespace {
+void SleepLatency(double latency_ms) {
+  if (latency_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latency_ms));
+  }
+}
+}  // namespace
+
 Status FaultInjector::CheckSlow(const char* point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return Status::OK();
   ArmedPoint& p = it->second;
   if (!Fire(&p)) return Status::OK();
-  switch (p.spec.code) {
+  const FaultSpec spec = p.spec;
+  lock.unlock();
+  SleepLatency(spec.latency_ms);
+  switch (spec.code) {
     case StatusCode::kOk:
       return Status::OK();  // latency-only spec
     case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(p.spec.message);
+      return Status::InvalidArgument(spec.message);
     case StatusCode::kNotFound:
-      return Status::NotFound(p.spec.message);
+      return Status::NotFound(spec.message);
     case StatusCode::kOutOfRange:
-      return Status::OutOfRange(p.spec.message);
+      return Status::OutOfRange(spec.message);
     case StatusCode::kAlreadyExists:
-      return Status::AlreadyExists(p.spec.message);
+      return Status::AlreadyExists(spec.message);
     case StatusCode::kResourceExhausted:
-      return Status::ResourceExhausted(p.spec.message);
+      return Status::ResourceExhausted(spec.message);
     case StatusCode::kNotImplemented:
-      return Status::NotImplemented(p.spec.message);
+      return Status::NotImplemented(spec.message);
     case StatusCode::kAborted:
-      return Status::Aborted(p.spec.message);
+      return Status::Aborted(spec.message);
     case StatusCode::kIOError:
-      return Status::IOError(p.spec.message);
+      return Status::IOError(spec.message);
     case StatusCode::kInternal:
       break;
   }
-  return Status::Internal(p.spec.message);
+  return Status::Internal(spec.message);
 }
 
 double FaultInjector::CorruptSlow(const char* point, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return value;
   ArmedPoint& p = it->second;
   if (!Fire(&p)) return value;
-  return p.spec.inject_nan ? std::nan("") : value;
+  const FaultSpec spec = p.spec;
+  lock.unlock();
+  SleepLatency(spec.latency_ms);
+  return spec.inject_nan ? std::nan("") : value;
 }
 
 }  // namespace fault

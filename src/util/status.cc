@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

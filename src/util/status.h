@@ -26,6 +26,7 @@ enum class StatusCode {
   kNotImplemented,
   kAborted,
   kIOError,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -65,6 +66,9 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +78,9 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<CodeName>: <message>".

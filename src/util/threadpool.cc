@@ -68,6 +68,33 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TrySchedule(std::function<void()> fn, size_t max_queued) {
+  if (workers_.empty()) {
+    QPS_TRACE_SPAN("pool.task");
+    PoolMetrics::Get().tasks->Increment();
+    fn();
+    return true;
+  }
+  Timer queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= max_queued) return false;
+    queue_.push_back([fn = std::move(fn), queued] {
+      PoolMetrics::Get().queue_ms->Record(queued.ElapsedMillis());
+      QPS_TRACE_SPAN("pool.task");
+      PoolMetrics::Get().tasks->Increment();
+      fn();
+    });
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -47,6 +47,17 @@ class ThreadPool {
   /// Enqueues one fire-and-forget task.
   void Schedule(std::function<void()> fn);
 
+  /// Bounded-queue admission control: enqueues `fn` only when fewer than
+  /// `max_queued` tasks are waiting (tasks already running on workers do
+  /// not count), otherwise returns false without enqueuing. This is how
+  /// the plan service sheds load instead of building an unbounded backlog.
+  /// With no workers the task runs inline (never sheds), matching
+  /// Schedule's never-drop semantics.
+  bool TrySchedule(std::function<void()> fn, size_t max_queued);
+
+  /// Tasks enqueued but not yet claimed by a worker (admission gauge).
+  size_t queue_depth() const;
+
   /// Runs body(i) for every i in [0, n) exactly once, sharded dynamically
   /// across the workers and the calling thread; returns when all indices
   /// have completed. Bodies must not throw and must write disjoint state.
@@ -55,7 +66,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;

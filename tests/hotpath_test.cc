@@ -243,6 +243,62 @@ TEST_F(HotPathTest, PoolShardedBatchMatchesSerialBatch) {
   }
 }
 
+TEST_F(HotPathTest, MultiQueryFusedForwardMatchesPerQueryBatches) {
+  QpSeeker seeker = MakeTrained();
+
+  // Group the sampled plans by owning query and fuse the first few queries
+  // into one PredictPlansMulti call — the serving rendezvous path.
+  std::vector<int> query_ids;
+  std::vector<std::vector<const query::PlanNode*>> plans_by_query;
+  for (const auto& qep : dataset_.qeps) {
+    size_t slot = 0;
+    for (; slot < query_ids.size(); ++slot) {
+      if (query_ids[slot] == qep.query_id) break;
+    }
+    if (slot == query_ids.size()) {
+      if (query_ids.size() == 4) continue;
+      query_ids.push_back(qep.query_id);
+      plans_by_query.emplace_back();
+    }
+    plans_by_query[slot].push_back(qep.plan.get());
+  }
+  ASSERT_GE(query_ids.size(), 2u);
+
+  std::vector<PlanEvalRequest> requests;
+  for (size_t r = 0; r < query_ids.size(); ++r) {
+    requests.push_back(PlanEvalRequest{
+        &dataset_.queries[static_cast<size_t>(query_ids[r])], plans_by_query[r]});
+  }
+  const auto fused = seeker.PredictPlansMulti(requests);
+  ASSERT_EQ(fused.size(), requests.size());
+
+  // Bit-identical to evaluating each query's batch on its own: the
+  // determinism contract cross-query batching rests on.
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const auto direct =
+        seeker.PredictPlansBatch(*requests[r].query, requests[r].plans);
+    ASSERT_EQ(fused[r].size(), direct.size()) << "request " << r;
+    for (size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(fused[r][i].cardinality, direct[i].cardinality)
+          << "request " << r << " plan " << i;
+      EXPECT_EQ(fused[r][i].cost, direct[i].cost)
+          << "request " << r << " plan " << i;
+      EXPECT_EQ(fused[r][i].runtime_ms, direct[i].runtime_ms)
+          << "request " << r << " plan " << i;
+    }
+  }
+
+  // A multi-call of one request degenerates to exactly PredictPlansBatch.
+  const auto lone = seeker.PredictPlansMulti({requests[0]});
+  const auto lone_direct =
+      seeker.PredictPlansBatch(*requests[0].query, requests[0].plans);
+  ASSERT_EQ(lone.size(), 1u);
+  ASSERT_EQ(lone[0].size(), lone_direct.size());
+  for (size_t i = 0; i < lone_direct.size(); ++i) {
+    EXPECT_EQ(lone[0][i].runtime_ms, lone_direct[i].runtime_ms) << "plan " << i;
+  }
+}
+
 TEST_F(HotPathTest, MctsDeterministicAcrossThreadCounts) {
   QpSeeker seeker = MakeTrained();
   auto q = query::ParseSql(

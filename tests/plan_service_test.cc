@@ -1,0 +1,416 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Stress and contract tests for the concurrent planning service: N
+// simultaneous submits all complete, concurrent plans are bit-identical to
+// serial planning for fixed seeds (the cross-query batching determinism
+// contract), blown deadlines return best-so-far plans, a full admission
+// queue sheds (or degrades to the inline baseline), and the rendezvous
+// actually fuses evaluations from different in-flight queries.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/planner_backends.h"
+#include "core/qpseeker.h"
+#include "query/parser.h"
+#include "serve/plan_service.h"
+#include "storage/schemas.h"
+#include "util/fault.h"
+
+namespace qps {
+namespace serve {
+namespace {
+
+class PlanServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(1);
+    db_ = storage::BuildDatabase(storage::ToySpec(), 300, &rng).value().release();
+    stats_ = stats::DatabaseStats::Analyze(*db_).release();
+    baseline_ = new optimizer::Planner(*db_, *stats_);
+
+    std::vector<query::Query> queries;
+    const char* sqls[] = {
+        "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 < 5;",
+        "SELECT COUNT(*) FROM b, c WHERE c.c1 = b.id;",
+        "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;",
+        "SELECT COUNT(*) FROM a WHERE a.a2 >= 2;",
+    };
+    for (const char* sql : sqls) {
+      queries.push_back(query::ParseSql(sql, *db_).value());
+    }
+    sampling::DatasetOptions dopts;
+    dopts.source = sampling::PlanSource::kSampled;
+    dopts.sampler.max_plans_per_query = 4;
+    Rng drng(2);
+    auto ds = sampling::BuildQepDataset(*db_, *stats_, queries, dopts, &drng).value();
+    model_ = new core::QpSeeker(*db_, *stats_,
+                                core::QpSeekerConfig::ForScale(Scale::kSmoke), 3);
+    core::TrainOptions topts;
+    topts.epochs = 6;
+    model_->Train(ds, topts);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete baseline_;
+    delete stats_;
+    delete db_;
+  }
+
+  void TearDown() override { fault::FaultInjector::Global().DisarmAll(); }
+
+  static query::Query ThreeWay() {
+    return query::ParseSql(
+               "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id;",
+               *db_)
+        .value();
+  }
+  static query::Query TwoWay() {
+    return query::ParseSql(
+               "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 < 7;", *db_)
+        .value();
+  }
+
+  /// Rollout-capped MCTS: planning is decided by (seed, eval_batch), never
+  /// by wall time, so serial and concurrent runs are comparable bit for bit.
+  static core::GuardedOptions Gopts() {
+    core::GuardedOptions gopts;
+    gopts.hybrid.neural_min_relations = 3;
+    gopts.hybrid.mcts.time_budget_ms = 1e9;
+    gopts.hybrid.mcts.max_rollouts = 24;
+    gopts.hybrid.mcts.eval_batch = 4;
+    gopts.hybrid.mcts.seed = 5;
+    return gopts;
+  }
+
+  static std::unique_ptr<PlanService> MakeService(const std::string& backend,
+                                                  PlanServiceOptions opts) {
+    auto service = PlanService::Create(backend, model_, baseline_, Gopts(), opts);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::move(service).value();
+  }
+
+  static storage::Database* db_;
+  static stats::DatabaseStats* stats_;
+  static optimizer::Planner* baseline_;
+  static core::QpSeeker* model_;
+};
+
+storage::Database* PlanServiceTest::db_ = nullptr;
+stats::DatabaseStats* PlanServiceTest::stats_ = nullptr;
+optimizer::Planner* PlanServiceTest::baseline_ = nullptr;
+core::QpSeeker* PlanServiceTest::model_ = nullptr;
+
+TEST_F(PlanServiceTest, ConcurrentSubmitsAllCompleteWithValidPlans) {
+  PlanServiceOptions opts;
+  opts.workers = 4;
+  auto service = MakeService("neural", opts);
+
+  constexpr int kRequests = 16;
+  std::vector<query::Query> queries;
+  std::vector<std::future<StatusOr<core::PlanResult>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    queries.push_back(i % 2 == 0 ? ThreeWay() : TwoWay());
+    core::PlanRequestOptions ropts;
+    ropts.seed = 100 + static_cast<uint64_t>(i);
+    futures.push_back(service->Submit(queries[static_cast<size_t>(i)], ropts));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << "request " << i << ": "
+                             << result.status().ToString();
+    ASSERT_NE(result->plan, nullptr);
+    EXPECT_TRUE(
+        query::ValidatePlan(queries[static_cast<size_t>(i)], *result->plan).ok())
+        << "request " << i;
+    EXPECT_TRUE(result->used_neural);
+    EXPECT_GT(result->plans_evaluated, 0);
+  }
+
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(service->inflight(), 0);
+  EXPECT_EQ(service->queue_depth(), 0u);
+}
+
+TEST_F(PlanServiceTest, ConcurrentPlansAreBitIdenticalToSerialPlanning) {
+  // Serial reference: one planner instance, requests planned one at a time
+  // with the model called directly (no rendezvous, no batching).
+  constexpr int kRequests = 12;
+  std::vector<query::Query> queries;
+  std::vector<std::string> serial_plans;
+  std::vector<double> serial_runtimes;
+  std::vector<int> serial_evals;
+  auto reference =
+      core::MakePlanner("neural", model_, baseline_, Gopts()).value();
+  for (int i = 0; i < kRequests; ++i) {
+    queries.push_back(i % 2 == 0 ? ThreeWay() : TwoWay());
+    core::PlanRequestOptions ropts;
+    ropts.seed = 500 + static_cast<uint64_t>(i);
+    auto result = reference->Plan(queries[static_cast<size_t>(i)], ropts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    serial_plans.push_back(
+        result->plan->ToString(*db_, queries[static_cast<size_t>(i)]));
+    serial_runtimes.push_back(result->node_stats.runtime_ms);
+    serial_evals.push_back(result->plans_evaluated);
+  }
+
+  // Concurrent run: same (query, seed) pairs submitted at once on 4
+  // workers; their model evaluations fuse in the rendezvous with whatever
+  // else is in flight. The plans must not change in any bit.
+  PlanServiceOptions opts;
+  opts.workers = 4;
+  auto service = MakeService("neural", opts);
+  std::vector<std::future<StatusOr<core::PlanResult>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    core::PlanRequestOptions ropts;
+    ropts.seed = 500 + static_cast<uint64_t>(i);
+    futures.push_back(service->Submit(queries[static_cast<size_t>(i)], ropts));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->plan->ToString(*db_, queries[static_cast<size_t>(i)]),
+              serial_plans[static_cast<size_t>(i)])
+        << "request " << i
+        << ": concurrent plan differs from serial planning";
+    EXPECT_EQ(result->node_stats.runtime_ms,
+              serial_runtimes[static_cast<size_t>(i)])
+        << "request " << i;
+    EXPECT_EQ(result->plans_evaluated, serial_evals[static_cast<size_t>(i)])
+        << "request " << i;
+  }
+}
+
+TEST_F(PlanServiceTest, ExpiredDeadlineReturnsBestSoFarPlan) {
+  PlanServiceOptions opts;
+  opts.workers = 2;
+  auto service = MakeService("neural", opts);
+
+  constexpr int kRequests = 6;
+  std::vector<query::Query> queries;
+  std::vector<std::future<StatusOr<core::PlanResult>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    queries.push_back(ThreeWay());
+    core::PlanRequestOptions ropts;
+    ropts.deadline_ms = 1e-3;  // expires before the first batch finishes
+    ropts.seed = 40 + static_cast<uint64_t>(i);
+    futures.push_back(service->Submit(queries[static_cast<size_t>(i)], ropts));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_NE(result->plan, nullptr);
+    EXPECT_TRUE(
+        query::ValidatePlan(queries[static_cast<size_t>(i)], *result->plan).ok());
+    EXPECT_TRUE(result->deadline_hit) << "request " << i;
+    EXPECT_GT(result->plans_evaluated, 0) << "request " << i;
+  }
+  EXPECT_EQ(service->stats().deadline_hits, kRequests);
+}
+
+TEST_F(PlanServiceTest, DefaultDeadlineFromOptionsApplies) {
+  PlanServiceOptions opts;
+  opts.workers = 1;
+  opts.default_deadline_ms = 1e-3;
+  auto service = MakeService("neural", opts);
+  auto result = service->Submit(ThreeWay()).get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->deadline_hit);
+}
+
+TEST_F(PlanServiceTest, FailOnDeadlinePropagatesDeadlineExceeded) {
+  PlanServiceOptions opts;
+  opts.workers = 1;
+  auto service = MakeService("neural", opts);
+  core::PlanRequestOptions ropts;
+  ropts.deadline_ms = 1e-3;
+  ropts.fail_on_deadline = true;
+  auto result = service->Submit(ThreeWay(), ropts).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_EQ(service->stats().errors, 1);
+}
+
+TEST_F(PlanServiceTest, FullQueueShedsWithResourceExhausted) {
+  PlanServiceOptions opts;
+  opts.workers = 1;
+  opts.max_queue = 1;  // one request may wait behind the running one
+  auto service = MakeService("neural", opts);
+
+  // Stall the first request's opening rollout so it occupies the worker
+  // while the rest arrive.
+  fault::FaultSpec stall;
+  stall.code = StatusCode::kOk;
+  stall.latency_ms = 300.0;
+  stall.trigger_on_hit = 1;
+  fault::FaultInjector::Global().Arm("mcts.rollout", stall);
+
+  auto first = service->Submit(ThreeWay());
+  // Wait until the worker claims it (and parks in the stalled rollout), so
+  // the next submit deterministically fills the queue slot.
+  while (service->queue_depth() != 0) std::this_thread::yield();
+  auto second = service->Submit(ThreeWay());
+  ASSERT_EQ(service->queue_depth(), 1u);
+
+  std::vector<std::future<StatusOr<core::PlanResult>>> rejected;
+  for (int i = 0; i < 4; ++i) rejected.push_back(service->Submit(ThreeWay()));
+
+  for (auto& f : rejected) {
+    auto result = f.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsResourceExhausted())
+        << result.status().ToString();
+  }
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.shed, 4);
+  EXPECT_EQ(stats.shed_degraded, 0);
+  EXPECT_EQ(stats.completed, 2);
+}
+
+TEST_F(PlanServiceTest, ShedToBaselineDegradesInsteadOfRejecting) {
+  PlanServiceOptions opts;
+  opts.workers = 1;
+  opts.max_queue = 1;
+  opts.shed_to_baseline = true;
+  auto service = MakeService("neural", opts);
+
+  fault::FaultSpec stall;
+  stall.code = StatusCode::kOk;
+  stall.latency_ms = 300.0;
+  stall.trigger_on_hit = 1;
+  fault::FaultInjector::Global().Arm("mcts.rollout", stall);
+
+  const query::Query q = ThreeWay();
+  auto first = service->Submit(q);
+  while (service->queue_depth() != 0) std::this_thread::yield();
+  auto second = service->Submit(q);
+  std::vector<std::future<StatusOr<core::PlanResult>>> degraded;
+  for (int i = 0; i < 4; ++i) degraded.push_back(service->Submit(q));
+
+  for (auto& f : degraded) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->stage, core::PlanStage::kTraditional);
+    EXPECT_FALSE(result->used_neural);
+    EXPECT_NE(result->fallback_reason.find("shed"), std::string::npos);
+    EXPECT_TRUE(query::ValidatePlan(q, *result->plan).ok());
+  }
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.shed, 4);
+  EXPECT_EQ(stats.shed_degraded, 4);
+}
+
+TEST_F(PlanServiceTest, GuardStatsAggregateAcrossWorkerPlanners) {
+  PlanServiceOptions opts;
+  opts.workers = 4;
+  auto service = MakeService("guarded", opts);
+
+  constexpr int kRequests = 8;
+  std::vector<std::future<StatusOr<core::PlanResult>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    core::PlanRequestOptions ropts;
+    ropts.seed = 10 + static_cast<uint64_t>(i);
+    futures.push_back(service->Submit(ThreeWay(), ropts));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  // The per-worker guarded planners each saw a share; the sum is exact.
+  const core::GuardStats stats = service->guard_stats();
+  EXPECT_EQ(stats.requests, kRequests);
+  EXPECT_EQ(stats.neural_attempts, kRequests);
+  EXPECT_EQ(stats.neural_success, kRequests);
+}
+
+TEST_F(PlanServiceTest, CreateRejectsUnknownBackendAndBadShedConfig) {
+  auto unknown = PlanService::Create("quantum", model_, baseline_, Gopts(), {});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.status().code() == StatusCode::kInvalidArgument);
+
+  PlanServiceOptions opts;
+  opts.shed_to_baseline = true;
+  auto no_baseline =
+      PlanService::Create("neural", model_, nullptr, Gopts(), opts);
+  ASSERT_FALSE(no_baseline.ok());
+  EXPECT_TRUE(no_baseline.status().code() == StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlanServiceTest, RendezvousFusesConcurrentEvaluations) {
+  // Four threads evaluate four different candidate sets; with the expected
+  // in-flight count at 4 and a generous flush timeout, all of them must
+  // ride one fused flush — and receive exactly what a direct
+  // PredictPlansBatch call would have produced.
+  BatchRendezvousOptions opts;
+  opts.max_batch = 8;
+  opts.flush_timeout_ms = 2000.0;
+  BatchRendezvous rendezvous(model_, opts);
+  rendezvous.SetExpected(4);
+
+  std::vector<query::Query> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(i % 2 == 0 ? ThreeWay() : TwoWay());
+  }
+  std::vector<query::PlanPtr> plans;
+  std::vector<std::vector<const query::PlanNode*>> candidates(4);
+  for (int i = 0; i < 4; ++i) {
+    auto plan = baseline_->Plan(queries[static_cast<size_t>(i)]);
+    ASSERT_TRUE(plan.ok());
+    plans.push_back(std::move(plan).value());
+    candidates[static_cast<size_t>(i)].push_back(plans.back().get());
+  }
+
+  std::vector<std::vector<query::NodeStats>> fused(4);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      fused[static_cast<size_t>(i)] = rendezvous.Evaluate(
+          queries[static_cast<size_t>(i)], candidates[static_cast<size_t>(i)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = rendezvous.stats();
+  EXPECT_EQ(stats.flushes, 1);
+  EXPECT_EQ(stats.fused_queries, 4);
+  EXPECT_EQ(stats.max_fused, 4);
+  EXPECT_EQ(stats.fused_plans, 4);
+
+  for (int i = 0; i < 4; ++i) {
+    const auto direct = model_->PredictPlansBatch(
+        queries[static_cast<size_t>(i)], candidates[static_cast<size_t>(i)]);
+    ASSERT_EQ(fused[static_cast<size_t>(i)].size(), direct.size());
+    for (size_t p = 0; p < direct.size(); ++p) {
+      EXPECT_EQ(fused[static_cast<size_t>(i)][p].runtime_ms, direct[p].runtime_ms);
+      EXPECT_EQ(fused[static_cast<size_t>(i)][p].cardinality, direct[p].cardinality);
+      EXPECT_EQ(fused[static_cast<size_t>(i)][p].cost, direct[p].cost);
+    }
+  }
+}
+
+TEST_F(PlanServiceTest, ZeroWorkersPlansInlineOnTheCaller) {
+  PlanServiceOptions opts;
+  opts.workers = 0;
+  auto service = MakeService("neural", opts);
+  auto result = service->Submit(ThreeWay()).get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->used_neural);
+  EXPECT_EQ(service->stats().completed, 1);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace qps

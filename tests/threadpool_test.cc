@@ -79,6 +79,46 @@ TEST(ThreadPoolTest, ScheduleRunsTasks) {
   EXPECT_EQ(done.load(), 64);
 }
 
+TEST(ThreadPoolTest, TryScheduleShedsWhenQueueFull) {
+  ThreadPool pool(1);
+  // Park the single worker so queued tasks pile up deterministically.
+  std::mutex gate;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  pool.Schedule([&] {
+    std::unique_lock<std::mutex> lk(gate);
+    cv.wait(lk, [&] { return release; });
+    ran.fetch_add(1);
+  });
+  // Wait until the blocker has been claimed (queue drained to 0).
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  // Admission bound of 2: two tasks enter the queue, the third is shed.
+  EXPECT_TRUE(pool.TrySchedule([&] { ran.fetch_add(1); }, 2));
+  EXPECT_TRUE(pool.TrySchedule([&] { ran.fetch_add(1); }, 2));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  EXPECT_FALSE(pool.TrySchedule([&] { ran.fetch_add(1); }, 2));
+
+  {
+    std::lock_guard<std::mutex> lk(gate);
+    release = true;
+  }
+  cv.notify_all();
+  while (ran.load() != 3) std::this_thread::yield();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, TryScheduleInlineWithoutWorkersNeverSheds) {
+  ThreadPool pool(0);
+  int ran = 0;
+  // max_queued of 0 would shed any queued task, but inline execution never
+  // queues, so the call must run the task and report success.
+  EXPECT_TRUE(pool.TrySchedule([&] { ran += 1; }, 0));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
 TEST(ThreadPoolTest, DestructionJoinsIdlePool) {
   auto pool = std::make_unique<ThreadPool>(3);
   EXPECT_EQ(pool->num_threads(), 3);
