@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/mcts.h"
 #include "core/plan_cache.h"
 #include "core/qpseeker.h"
@@ -412,6 +416,53 @@ void BM_QpSeekerPredictPlanCached(benchmark::State& state) {
   mfx.model->EnableCache(0);
 }
 BENCHMARK(BM_QpSeekerPredictPlanCached);
+
+// ---------------------------------------------------------------------------
+// Checkpoint save/load throughput (DESIGN.md §11). The v2 format CRCs every
+// tensor and the whole file, serializes in memory, and lands via
+// write-temp + fsync + rename; these measure that durability tax in
+// bytes/sec over the full smoke-scale model bundle.
+
+void BM_CheckpointSave(benchmark::State& state) {
+  auto& mfx = ModelFixture::Get();
+  const std::string path = "/tmp/qps_bench_ckpt.bin";
+  std::remove(path.c_str());
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Status st = mfx.model->Save(path);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    bytes = static_cast<int64_t>(in.tellg());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  auto& efx = ExecFixture::Get();
+  auto& mfx = ModelFixture::Get();
+  const std::string path = "/tmp/qps_bench_ckpt.bin";
+  std::remove(path.c_str());
+  Status saved = mfx.model->Save(path);
+  if (!saved.ok()) state.SkipWithError(saved.message().c_str());
+  core::QpSeeker target(*efx.db, *efx.stats,
+                        core::QpSeekerConfig::ForScale(Scale::kSmoke), 3);
+  int64_t bytes = 0;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    bytes = static_cast<int64_t>(in.tellg());
+  }
+  for (auto _ : state) {
+    Status st = target.Load(path);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CheckpointLoad);
 
 // ---------------------------------------------------------------------------
 // Observability overhead (DESIGN.md §8). Spans and counters sit on the

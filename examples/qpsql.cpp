@@ -41,8 +41,17 @@
 //                             also scales the batched-forward size
 //   --cache-mb=N              enable the LRU plan-prediction cache (N MiB)
 //
+// Model lifecycle (neural planners):
+//   \save <path>              write the model to a crash-safe v2 checkpoint
+//   \reload <path>            validated hot reload: load the checkpoint into
+//                             a candidate, probe it on a canary workload,
+//                             and swap only if its q-error passes the gate;
+//                             failures roll back to the serving model and
+//                             show up as qps.model.reload_failures in
+//                             \metrics
+//
 // Meta-commands: \tables  \schema <table>  \guards  \metrics  \cache  \trace
-//                \quit
+//                \save <path>  \reload <path>  \quit
 
 #include <cctype>
 #include <cstdio>
@@ -58,6 +67,7 @@
 #include "exec/executor.h"
 #include "optimizer/planner.h"
 #include "query/parser.h"
+#include "serve/model_manager.h"
 #include "serve/plan_service.h"
 #include "storage/schemas.h"
 #include "util/logging.h"
@@ -164,6 +174,33 @@ bool ConsumePrefixCI(const std::string& s, const std::string& prefix,
   }
   *rest = StrTrim(s.substr(prefix.size()));
   return true;
+}
+
+/// Builds the \reload validation workload: a handful of small queries
+/// planned by the baseline and executed for ground-truth stats, so the
+/// model manager can q-error-probe reload candidates against real labels.
+std::vector<serve::CanaryCase> BuildCanaries(const storage::Database& db,
+                                             const optimizer::Planner& baseline,
+                                             exec::Executor* executor,
+                                             uint64_t seed) {
+  eval::WorkloadOptions wo;
+  wo.num_queries = 4;
+  wo.min_joins = 0;
+  wo.max_joins = 2;
+  wo.num_templates = 4;
+  Rng rng(seed);
+  auto queries = eval::GenerateWorkload(db, wo, &rng);
+  std::vector<serve::CanaryCase> canaries;
+  for (auto& q : queries) {
+    auto plan = baseline.Plan(q);
+    if (!plan.ok() || *plan == nullptr) continue;
+    if (!executor->Execute(q, plan->get()).ok()) continue;
+    serve::CanaryCase c;
+    c.query = std::move(q);
+    c.plan = std::move(*plan);
+    canaries.push_back(std::move(c));
+  }
+  return canaries;
 }
 
 /// --serve: drive a generated workload through the plan service with
@@ -331,8 +368,10 @@ int main(int argc, char** argv) {
                db->name().c_str(), static_cast<long long>(db->TotalRows()),
                opts.planner.c_str());
 
-  // Train a model when a neural planner is requested.
-  std::unique_ptr<core::QpSeeker> model;
+  // Train a model when a neural planner is requested. Shared ownership so
+  // \reload can hand the previous model off gracefully while a planner
+  // mid-query keeps it alive.
+  std::shared_ptr<core::QpSeeker> model;
   if (opts.planner != "baseline") {
     eval::WorkloadOptions wo;
     wo.num_queries = opts.train_queries;
@@ -351,7 +390,7 @@ int main(int argc, char** argv) {
                    ds.status().ToString().c_str());
       return 1;
     }
-    model = std::make_unique<core::QpSeeker>(
+    model = std::make_shared<core::QpSeeker>(
         *db, *stats, core::QpSeekerConfig::ForScale(Scale::kSmoke), opts.seed);
     core::TrainOptions topts;
     topts.epochs = 35;
@@ -389,6 +428,44 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<core::Planner> planner = std::move(*planner_or);
 
+  // Model lifecycle (\save / \reload). `serving` tracks whichever model the
+  // planner currently runs on; the manager validates reload candidates on
+  // the canary workload and rebuilds the planner only when the gate passes.
+  std::shared_ptr<const core::QpSeeker> serving = model;
+  std::unique_ptr<serve::ModelManager> manager;
+  if (model != nullptr) {
+    const storage::Database& dbr = *db;
+    const stats::DatabaseStats& statsr = *stats;
+    serve::ModelFactory factory =
+        [&dbr, &statsr, opts](
+            const std::string& path) -> StatusOr<std::shared_ptr<core::QpSeeker>> {
+      auto candidate = std::make_shared<core::QpSeeker>(
+          dbr, statsr, core::QpSeekerConfig::ForScale(Scale::kSmoke), opts.seed);
+      QPS_RETURN_IF_ERROR(candidate->Load(path));
+      if (opts.cache_mb > 0) {
+        candidate->EnableCache(opts.cache_mb * 1024 * 1024);
+      }
+      return candidate;
+    };
+    manager = std::make_unique<serve::ModelManager>(model, std::move(factory));
+    manager->SetSwapHook(
+        [&planner, &serving, &baseline, &gopts,
+         &opts](std::shared_ptr<const core::QpSeeker> m) -> Status {
+          QPS_ASSIGN_OR_RETURN(
+              auto fresh,
+              core::MakePlanner(opts.planner, m.get(), &baseline, gopts));
+          planner = std::move(fresh);
+          serving = std::move(m);
+          return Status::OK();
+        });
+    if (Status st = manager->SetCanaries(
+            BuildCanaries(*db, baseline, &executor, opts.seed + 7));
+        !st.ok()) {
+      std::fprintf(stderr, "qpsql: canary setup failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
   std::string trace_path = "qpsql_trace.json";
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -412,7 +489,7 @@ int main(int argc, char** argv) {
     }
     if (StartsWith(sql, "\\cache")) {
       core::PlanPredictionCache* cache =
-          model != nullptr ? model->cache() : nullptr;
+          serving != nullptr ? serving->cache() : nullptr;
       if (cache == nullptr) {
         std::printf("\\cache requires a neural planner and --cache-mb=N\n");
         continue;
@@ -441,6 +518,34 @@ int main(int argc, char** argv) {
       std::printf("%s",
                   metrics::RenderText(metrics::Registry::Global().TakeSnapshot())
                       .c_str());
+      continue;
+    }
+    if (StartsWith(sql, "\\save")) {
+      const std::string path = StrTrim(sql.substr(5));
+      if (serving == nullptr || path.empty()) {
+        std::printf("usage: \\save <path>  (requires a neural planner)\n");
+        continue;
+      }
+      if (Status st = serving->Save(path); !st.ok()) {
+        std::printf("save failed: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("model checkpoint written to %s\n", path.c_str());
+      }
+      continue;
+    }
+    if (StartsWith(sql, "\\reload")) {
+      const std::string path = StrTrim(sql.substr(7));
+      if (manager == nullptr || path.empty()) {
+        std::printf("usage: \\reload <path>  (requires a neural planner)\n");
+        continue;
+      }
+      if (Status st = manager->Reload(path); !st.ok()) {
+        std::printf("reload rejected, previous model still serving: %s\n",
+                    st.ToString().c_str());
+      } else {
+        std::printf("model reloaded from %s (canary q-error %.3f)\n",
+                    path.c_str(), manager->stats().live_qerror);
+      }
       continue;
     }
     if (StartsWith(sql, "\\trace")) {

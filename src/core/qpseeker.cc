@@ -22,6 +22,45 @@ using nn::Var;
 using query::PlanNode;
 using query::Query;
 
+namespace {
+
+constexpr const char* kNormalizerKeys[3] = {
+    "normalizer.log_max.0", "normalizer.log_max.1", "normalizer.log_max.2"};
+
+nn::ScalarEntries NormalizerEntries(const encoder::LabelNormalizer& norm) {
+  return {{kNormalizerKeys[0], norm.log_max(0)},
+          {kNormalizerKeys[1], norm.log_max(1)},
+          {kNormalizerKeys[2], norm.log_max(2)}};
+}
+
+/// Rebuilds a finalized normalizer whose log-ranges equal (c, k, r).
+void NormalizerFromLogMax(double c, double k, double r,
+                          encoder::LabelNormalizer* out) {
+  *out = encoder::LabelNormalizer();
+  query::PlanNode fake;
+  fake.actual.cardinality = std::expm1(c);
+  fake.actual.cost = std::expm1(k);
+  fake.actual.runtime_ms = std::expm1(r);
+  out->Observe(fake);
+  out->Finalize();
+}
+
+/// Extracts the three normalizer.log_max.* scalars; false when absent.
+bool FindNormalizerEntries(const nn::ScalarEntries& entries, double out[3]) {
+  bool have[3] = {false, false, false};
+  for (const auto& [name, value] : entries) {
+    for (int i = 0; i < 3; ++i) {
+      if (name == kNormalizerKeys[i]) {
+        out[i] = value;
+        have[i] = true;
+      }
+    }
+  }
+  return have[0] && have[1] && have[2];
+}
+
+}  // namespace
+
 QpSeekerConfig QpSeekerConfig::ForScale(Scale scale) {
   QpSeekerConfig cfg;
   switch (scale) {
@@ -152,6 +191,31 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
   Timer timer;
   const float beta_eff = static_cast<float>(config_.beta * config_.beta_scale);
 
+  // Resume from an existing training checkpoint: weights, Adam slots, RNG
+  // stream, and epoch counter all restored, so the loss curve continues as
+  // if the run had never been interrupted.
+  int start_epoch = 0;
+  if (!opts.checkpoint_path.empty() &&
+      nn::LooksLikeCheckpoint(opts.checkpoint_path)) {
+    nn::TrainingState st;
+    Status resumed = nn::LoadTrainingCheckpoint(bundle_.get(), &adam, &st,
+                                                opts.checkpoint_path);
+    if (resumed.ok()) {
+      start_epoch = static_cast<int>(st.epoch);
+      rng.LoadState(st.rng);
+      double lm[3] = {0, 0, 0};
+      if (FindNormalizerEntries(st.extra, lm)) {
+        NormalizerFromLogMax(lm[0], lm[1], lm[2], &normalizer_);
+      }
+      report.resumed_epochs = start_epoch;
+      QPS_LOG(Info) << "train: resumed from " << opts.checkpoint_path
+                    << " at epoch " << start_epoch;
+    } else {
+      QPS_LOG(Warning) << "train: cannot resume from " << opts.checkpoint_path
+                       << " (" << resumed.message() << "); starting fresh";
+    }
+  }
+
   auto& reg = metrics::Registry::Global();
   metrics::Counter* const epochs_counter = reg.GetCounter("qps.train.epochs");
   metrics::Gauge* const loss_gauge = reg.GetGauge("qps.train.epoch_loss");
@@ -159,19 +223,23 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
   metrics::Gauge* const lr_gauge = reg.GetGauge("qps.train.lr");
   lr_gauge->Set(opts.learning_rate);
 
-  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < opts.epochs; ++epoch) {
     QPS_TRACE_SPAN_VAR(epoch_span, "train.epoch");
     epoch_span.AddAttr("epoch", epoch);
-    rng.Shuffle(&items);
+    // Shuffle a fresh canonical copy: the permutation is then a function of
+    // the RNG state alone, not of prior epochs' orderings, so a resumed run
+    // (restored RNG, canonical items) replays the uninterrupted schedule.
+    std::vector<const sampling::Qep*> order = items;
+    rng.Shuffle(&order);
     double epoch_loss = 0.0;
     size_t index = 0;
-    while (index < items.size()) {
+    while (index < order.size()) {
       bundle_->ZeroGrad();
       const size_t batch_end =
-          std::min(items.size(), index + static_cast<size_t>(opts.batch_size));
+          std::min(order.size(), index + static_cast<size_t>(opts.batch_size));
       double batch_loss = 0.0;
       for (; index < batch_end; ++index) {
-        const sampling::Qep& qep = *items[index];
+        const sampling::Qep& qep = *order[index];
         const Query& q = dataset.queries[static_cast<size_t>(qep.query_id)];
         ForwardOut fwd = Forward(q, *qep.plan, &rng);
 
@@ -222,6 +290,24 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
     }
     QPS_VLOG(2) << "train: epoch " << epoch << " loss " << epoch_loss
                 << " grad_norm " << grad_gauge->value();
+
+    // Snapshot after the completed epoch. The RNG is saved *post-shuffle*,
+    // so a resumed run replays the exact remaining stream. A failed save is
+    // a warning, not a training abort: the previous checkpoint (if any)
+    // stays intact thanks to the atomic write.
+    if (!opts.checkpoint_path.empty() &&
+        (opts.checkpoint_every <= 1 ||
+         (epoch + 1) % opts.checkpoint_every == 0 || epoch + 1 == opts.epochs)) {
+      nn::TrainingState st;
+      st.epoch = epoch + 1;
+      st.rng = rng.SaveState();
+      st.extra = NormalizerEntries(normalizer_);
+      Status saved = nn::SaveTrainingCheckpoint(*bundle_, adam, st,
+                                                opts.checkpoint_path);
+      if (!saved.ok()) {
+        QPS_LOG(Warning) << "train: checkpoint save failed: " << saved.message();
+      }
+    }
   }
   report.final_loss = report.epoch_losses.empty() ? 0.0 : report.epoch_losses.back();
   report.train_seconds = timer.ElapsedSeconds();
@@ -567,28 +653,26 @@ std::vector<float> QpSeeker::LatentVector(const Query& q, const PlanNode& plan) 
 }
 
 Status QpSeeker::Save(const std::string& path) const {
-  QPS_RETURN_IF_ERROR(nn::SaveModule(*bundle_, path));
-  std::ofstream norm(path + ".norm");
-  if (!norm) return Status::IOError("cannot write " + path + ".norm");
-  norm.precision(17);
-  norm << normalizer_.log_max(0) << " " << normalizer_.log_max(1) << " "
-       << normalizer_.log_max(2) << "\n";
-  return Status::OK();
+  // One atomic file: weights plus the fitted normalizer as scalar entries
+  // (v1 checkpoints carried the normalizer in a ".norm" sidecar, which a
+  // torn copy could orphan).
+  return nn::SaveModule(*bundle_, path, NormalizerEntries(normalizer_));
 }
 
 Status QpSeeker::Load(const std::string& path) {
-  QPS_RETURN_IF_ERROR(nn::LoadModule(bundle_.get(), path));
-  std::ifstream norm(path + ".norm");
-  if (!norm) return Status::IOError("cannot read " + path + ".norm");
-  double c = 0, k = 0, r = 0;
-  norm >> c >> k >> r;
-  normalizer_ = encoder::LabelNormalizer();
-  query::PlanNode fake;
-  fake.actual.cardinality = std::expm1(c);
-  fake.actual.cost = std::expm1(k);
-  fake.actual.runtime_ms = std::expm1(r);
-  normalizer_.Observe(fake);
-  normalizer_.Finalize();
+  nn::ScalarEntries extra;
+  QPS_RETURN_IF_ERROR(nn::LoadModule(bundle_.get(), path, &extra));
+  double lm[3] = {0, 0, 0};
+  if (FindNormalizerEntries(extra, lm)) {
+    NormalizerFromLogMax(lm[0], lm[1], lm[2], &normalizer_);
+  } else {
+    // Legacy v1 layout: normalizer in a plain-text sidecar.
+    std::ifstream norm(path + ".norm");
+    if (!norm) return Status::IOError("cannot read " + path + ".norm");
+    double c = 0, k = 0, r = 0;
+    norm >> c >> k >> r;
+    NormalizerFromLogMax(c, k, r, &normalizer_);
+  }
   // Loaded weights invalidate any predictions cached under the old ones.
   if (cache_ != nullptr) cache_->Clear();
   return Status::OK();

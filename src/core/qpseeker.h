@@ -59,6 +59,15 @@ struct TrainOptions {
   float grad_clip = 5.0f;
   uint64_t seed = 17;
   bool verbose = false;
+  /// When non-empty, a resumable checkpoint (weights + Adam slots + RNG +
+  /// epoch + normalizer) is written here atomically every
+  /// `checkpoint_every` epochs, and a valid checkpoint already at this
+  /// path is resumed from — a killed run re-launched with the same options
+  /// continues its loss curve exactly where it stopped. An unreadable
+  /// checkpoint logs a warning and falls back to a fresh start; a failed
+  /// save logs a warning and keeps training.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
 };
 
 struct TrainReport {
@@ -66,6 +75,8 @@ struct TrainReport {
   double final_loss = 0.0;
   double train_seconds = 0.0;
   int64_t num_parameters = 0;
+  /// Epochs already completed by a resumed checkpoint (0 for a fresh run).
+  int resumed_epochs = 0;
 };
 
 /// One query with its candidate plans, the unit of cross-query fused

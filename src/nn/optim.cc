@@ -24,6 +24,33 @@ float Optimizer::ClipGradNorm(float max_norm) {
   return norm;
 }
 
+namespace {
+
+/// Shared Import helper: copies `prefix.<param_name>` entries from `src`
+/// into the per-parameter slot tensors, validating presence and shape
+/// before any slot is mutated.
+Status ImportSlots(const std::string& prefix,
+                   const std::vector<NamedParam>& params,
+                   const std::unordered_map<std::string, const Tensor*>& src,
+                   std::vector<Tensor>* slots) {
+  std::vector<const Tensor*> found(params.size(), nullptr);
+  for (size_t i = 0; i < params.size(); ++i) {
+    const std::string key = prefix + "." + params[i].name;
+    auto it = src.find(key);
+    if (it == src.end()) {
+      return Status::NotFound("optimizer state missing slot: " + key);
+    }
+    if (!it->second->SameShape((*slots)[i])) {
+      return Status::InvalidArgument("optimizer slot shape mismatch: " + key);
+    }
+    found[i] = it->second;
+  }
+  for (size_t i = 0; i < params.size(); ++i) (*slots)[i] = *found[i];
+  return Status::OK();
+}
+
+}  // namespace
+
 Sgd::Sgd(std::vector<NamedParam> params, float lr, float momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
   for (const auto& p : params_) {
@@ -43,6 +70,22 @@ void Sgd::Step() {
       var.value.AddScaledInPlace(var.grad, -lr_);
     }
   }
+}
+
+void Sgd::ExportState(
+    std::vector<std::pair<std::string, const Tensor*>>* tensors,
+    std::vector<std::pair<std::string, double>>* scalars) const {
+  (void)scalars;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensors->emplace_back("velocity." + params_[i].name, &velocity_[i]);
+  }
+}
+
+Status Sgd::ImportState(
+    const std::unordered_map<std::string, const Tensor*>& tensors,
+    const std::unordered_map<std::string, double>& scalars) {
+  (void)scalars;
+  return ImportSlots("velocity", params_, tensors, &velocity_);
 }
 
 Adam::Adam(std::vector<NamedParam> params, float lr, float beta1, float beta2,
@@ -73,6 +116,33 @@ void Adam::Step() {
       w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::ExportState(
+    std::vector<std::pair<std::string, const Tensor*>>* tensors,
+    std::vector<std::pair<std::string, double>>* scalars) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensors->emplace_back("m." + params_[i].name, &m_[i]);
+    tensors->emplace_back("v." + params_[i].name, &v_[i]);
+  }
+  scalars->emplace_back("t", static_cast<double>(t_));
+}
+
+Status Adam::ImportState(
+    const std::unordered_map<std::string, const Tensor*>& tensors,
+    const std::unordered_map<std::string, double>& scalars) {
+  auto t_it = scalars.find("t");
+  if (t_it == scalars.end()) {
+    return Status::NotFound("optimizer state missing scalar: t");
+  }
+  std::vector<Tensor> m_backup = m_;
+  QPS_RETURN_IF_ERROR(ImportSlots("m", params_, tensors, &m_));
+  if (Status st = ImportSlots("v", params_, tensors, &v_); !st.ok()) {
+    m_ = std::move(m_backup);  // keep the no-partial-mutation contract
+    return st;
+  }
+  t_ = static_cast<int64_t>(t_it->second);
+  return Status::OK();
 }
 
 }  // namespace nn

@@ -5,9 +5,13 @@
 #ifndef QPS_NN_OPTIM_H_
 #define QPS_NN_OPTIM_H_
 
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nn/layers.h"
+#include "util/status.h"
 
 namespace qps {
 namespace nn {
@@ -24,6 +28,21 @@ class Optimizer {
   /// Global-norm gradient clipping; returns the pre-clip norm.
   float ClipGradNorm(float max_norm);
 
+  /// Optimizer state as named tensors (slot variables keyed by parameter
+  /// name, e.g. "m.vae.enc0.w") and named scalars (e.g. Adam's step count
+  /// "t"), in a stable order — the payload of a resumable training
+  /// checkpoint (nn/serialize).
+  virtual void ExportState(
+      std::vector<std::pair<std::string, const Tensor*>>* tensors,
+      std::vector<std::pair<std::string, double>>* scalars) const = 0;
+
+  /// Restores state exported by the same optimizer type over the same
+  /// parameter list. Fails (without partial mutation) when an entry is
+  /// missing or a shape differs, naming the offending slot.
+  virtual Status ImportState(
+      const std::unordered_map<std::string, const Tensor*>& tensors,
+      const std::unordered_map<std::string, double>& scalars) = 0;
+
  protected:
   std::vector<NamedParam> params_;
 };
@@ -33,6 +52,12 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<NamedParam> params, float lr, float momentum = 0.0f);
   void Step() override;
+  void ExportState(std::vector<std::pair<std::string, const Tensor*>>* tensors,
+                   std::vector<std::pair<std::string, double>>* scalars)
+      const override;
+  Status ImportState(
+      const std::unordered_map<std::string, const Tensor*>& tensors,
+      const std::unordered_map<std::string, double>& scalars) override;
 
  private:
   float lr_, momentum_;
@@ -45,6 +70,12 @@ class Adam : public Optimizer {
   Adam(std::vector<NamedParam> params, float lr = 1e-3f, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
   void Step() override;
+  void ExportState(std::vector<std::pair<std::string, const Tensor*>>* tensors,
+                   std::vector<std::pair<std::string, double>>* scalars)
+      const override;
+  Status ImportState(
+      const std::unordered_map<std::string, const Tensor*>& tensors,
+      const std::unordered_map<std::string, double>& scalars) override;
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }

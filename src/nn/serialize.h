@@ -1,25 +1,89 @@
 // Copyright 2026 The QPSeeker Authors
 //
-// Binary (de)serialization of module parameters so trained QPSeeker models
-// can be saved and reloaded (e.g. train once, benchmark many times).
+// Durable (de)serialization of module parameters and training state.
+//
+// Checkpoint format v2 (DESIGN.md §11 has the byte-level diagram):
+//
+//   header:   magic "QPS\2" | version | section_count | reserved
+//   section*: kind | name | payload_len | payload | payload CRC32
+//   trailer:  CRC32 of every preceding byte
+//
+// Sections carry tensors (name + rows x cols + f32 data + per-tensor
+// CRC32), named f64 scalars, or raw bytes. Writers serialize to memory and
+// persist through io::AtomicWriteFile, so a crash mid-save leaves the
+// previous checkpoint intact; readers verify the whole-file CRC, then every
+// length, count, and per-record CRC against the actual byte budget — a
+// corrupt, truncated, or adversarial file yields a clean Status naming the
+// failing section/tensor, never a crash, hang, or unbounded allocation.
+//
+// Format v1 (magic "QPS\1", no version field, no checksums) is still
+// readable through the same hardened bounds-checked path.
 
 #ifndef QPS_NN_SERIALIZE_H_
 #define QPS_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/layers.h"
+#include "nn/optim.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace qps {
 namespace nn {
 
-/// Writes all parameters (name, shape, float32 data) to `path`.
-Status SaveModule(const Module& module, const std::string& path);
+/// Hard limits enforced by the loader (and respected by the writer).
+constexpr size_t kMaxCheckpointNameLen = 4096;
+constexpr int64_t kMaxCheckpointTensorElems = int64_t{1} << 27;  // 512 MiB f32
+constexpr uint64_t kMaxCheckpointTensors = 1 << 20;
 
-/// Loads parameters by name into an already-constructed module. Fails if a
-/// stored name is missing or a shape differs.
-Status LoadModule(Module* module, const std::string& path);
+/// Named f64 sidecar values stored alongside module weights (e.g. the
+/// label normalizer's fitted ranges).
+using ScalarEntries = std::vector<std::pair<std::string, double>>;
+
+/// Writes all parameters (name, shape, float32 data) plus optional scalar
+/// entries to `path` in format v2, atomically and durably. Refuses to
+/// overwrite an existing non-empty file that is not a QPSeeker checkpoint
+/// (magic check), so a typo'd path cannot clobber foreign data.
+Status SaveModule(const Module& module, const std::string& path,
+                  const ScalarEntries& extra = {});
+
+/// Loads parameters by name into an already-constructed module, accepting
+/// v1 and v2 files. Fails — naming the offending tensor — if a stored name
+/// is missing from the module, a shape differs, any checksum or bound is
+/// violated, or (v2) a module parameter is absent from the file. When
+/// `extra` is non-null it receives the stored scalar entries (empty for v1).
+Status LoadModule(Module* module, const std::string& path,
+                  ScalarEntries* extra = nullptr);
+
+/// Legacy v1 writer, kept so compatibility tests can produce real v1 files.
+Status SaveModuleV1(const Module& module, const std::string& path);
+
+/// Everything beyond weights that a resumable training run needs.
+struct TrainingState {
+  int64_t epoch = 0;   ///< last completed epoch
+  RngState rng;        ///< training stream position (shuffle + sampling)
+  ScalarEntries extra; ///< caller state (normalizer, schedules, ...)
+};
+
+/// Serializes model + optimizer slots + RNG + epoch into one v2 file, so a
+/// killed run resumes loss-continuous from its last good snapshot. Same
+/// atomicity and overwrite-safety guarantees as SaveModule.
+Status SaveTrainingCheckpoint(const Module& module, const Optimizer& optimizer,
+                              const TrainingState& state,
+                              const std::string& path);
+
+/// Restores a checkpoint written by SaveTrainingCheckpoint. The module and
+/// optimizer must be structurally identical to the saved ones.
+Status LoadTrainingCheckpoint(Module* module, Optimizer* optimizer,
+                              TrainingState* state, const std::string& path);
+
+/// True when `path` starts with a v1 or v2 checkpoint magic (existence and
+/// readability included) — a cheap pre-check, not a validation.
+bool LooksLikeCheckpoint(const std::string& path);
 
 }  // namespace nn
 }  // namespace qps

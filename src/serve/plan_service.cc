@@ -40,6 +40,15 @@ struct ServeMetrics {
   }
 };
 
+/// Merges batching counters from a retired rendezvous into an accumulator.
+void AccumulateBatching(BatchRendezvous::Stats* into,
+                        const BatchRendezvous::Stats& s) {
+  into->flushes += s.flushes;
+  into->fused_queries += s.fused_queries;
+  into->fused_plans += s.fused_plans;
+  into->max_fused = std::max(into->max_fused, s.max_fused);
+}
+
 }  // namespace
 
 /// One admitted request: the query and options live here until a worker
@@ -65,6 +74,9 @@ StatusOr<std::unique_ptr<PlanService>> PlanService::Create(
     const optimizer::Planner* baseline, const core::GuardedOptions& gopts,
     PlanServiceOptions options) {
   std::unique_ptr<PlanService> service(new PlanService(model, options));
+  service->planner_name_ = planner_name;
+  service->baseline_ = baseline;
+  service->gopts_ = gopts;
   const int slots = std::max(1, options.workers);
   for (int i = 0; i < slots; ++i) {
     auto slot = std::make_unique<PlannerSlot>();
@@ -84,12 +96,14 @@ StatusOr<std::unique_ptr<PlanService>> PlanService::Create(
 }
 
 PlanService::PlanService(const core::QpSeeker* model, PlanServiceOptions options)
-    : model_(model), options_(options) {
-  if (model_ != nullptr) {
+    // Aliasing ctor: non-owning view of the caller's model. SwapModel
+    // replaces it with an owning pointer.
+    : model_(std::shared_ptr<const core::QpSeeker>(), model), options_(options) {
+  if (model != nullptr) {
     BatchRendezvousOptions ropts;
     ropts.max_batch = options_.max_batch;
     ropts.flush_timeout_ms = options_.flush_timeout_ms;
-    rendezvous_ = std::make_unique<BatchRendezvous>(model_, ropts);
+    rendezvous_ = std::make_shared<BatchRendezvous>(model, ropts);
   }
   pool_ = std::make_unique<util::ThreadPool>(options_.workers);
 }
@@ -144,23 +158,36 @@ void PlanService::RunRequest(Request& req) {
   const int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
   sm.inflight->Set(static_cast<double>(inflight));
   sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
-  if (rendezvous_ != nullptr) rendezvous_->SetExpected(inflight);
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    if (rendezvous_ != nullptr) rendezvous_->SetExpected(inflight);
+  }
 
   QPS_TRACE_SPAN_VAR(span, "serve.plan");
   Timer timer;
   core::PlanRequestOptions ropts = req.ropts;
   if (ropts.deadline_ms <= 0.0) ropts.deadline_ms = options_.default_deadline_ms;
-  if (rendezvous_ != nullptr) {
-    ropts.evaluate = [this](const query::Query& q,
-                            const std::vector<const query::PlanNode*>& plans) {
-      return rendezvous_->Evaluate(q, plans);
-    };
-  }
 
   StatusOr<core::PlanResult> result = [&] {
     const size_t idx =
         next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
     std::lock_guard<std::mutex> lock(slots_[idx]->mu);
+    // Snapshot the rendezvous while holding the slot: SwapModel replaces
+    // planner and rendezvous together under every slot mutex, so this pair
+    // is consistent, and the shared_ptr capture keeps the rendezvous (and
+    // through the service's model_ handoff, the model) alive for the whole
+    // Plan call even if a swap lands right after it.
+    std::shared_ptr<BatchRendezvous> rdv;
+    {
+      std::lock_guard<std::mutex> mlock(model_mu_);
+      rdv = rendezvous_;
+    }
+    if (rdv != nullptr) {
+      ropts.evaluate = [rdv](const query::Query& q,
+                             const std::vector<const query::PlanNode*>& plans) {
+        return rdv->Evaluate(q, plans);
+      };
+    }
     return slots_[idx]->planner->Plan(req.query, ropts);
   }();
 
@@ -184,7 +211,10 @@ void PlanService::RunRequest(Request& req) {
 
   const int remaining = inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
   sm.inflight->Set(static_cast<double>(remaining));
-  if (rendezvous_ != nullptr) rendezvous_->SetExpected(std::max(remaining, 1));
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    if (rendezvous_ != nullptr) rendezvous_->SetExpected(std::max(remaining, 1));
+  }
   req.promise.set_value(std::move(result));
 }
 
@@ -194,8 +224,51 @@ PlanService::Stats PlanService::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = stats_;
   }
-  if (rendezvous_ != nullptr) out.batching = rendezvous_->stats();
+  std::lock_guard<std::mutex> lock(model_mu_);
+  out.batching = retired_batching_;
+  if (rendezvous_ != nullptr) {
+    AccumulateBatching(&out.batching, rendezvous_->stats());
+  }
   return out;
+}
+
+Status PlanService::SwapModel(std::shared_ptr<const core::QpSeeker> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("SwapModel requires a model");
+  }
+  // Build everything fallible before touching live state: a construction
+  // failure leaves the old model serving untouched.
+  std::vector<std::unique_ptr<core::Planner>> fresh;
+  fresh.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    QPS_ASSIGN_OR_RETURN(
+        auto planner,
+        core::MakePlanner(planner_name_, model.get(), baseline_, gopts_));
+    fresh.push_back(std::move(planner));
+  }
+  BatchRendezvousOptions ropts;
+  ropts.max_batch = options_.max_batch;
+  ropts.flush_timeout_ms = options_.flush_timeout_ms;
+  auto rendezvous = std::make_shared<BatchRendezvous>(model.get(), ropts);
+
+  // Quiesce: acquire every slot in index order. Each acquisition waits out
+  // the request currently planning there; requests parked in a rendezvous
+  // flush drain via its timeout, so this converges. New requests that grab
+  // a slot after us see the new planner + rendezvous pair.
+  std::vector<std::unique_lock<std::mutex>> slot_locks;
+  slot_locks.reserve(slots_.size());
+  for (auto& slot : slots_) slot_locks.emplace_back(slot->mu);
+
+  std::lock_guard<std::mutex> lock(model_mu_);
+  if (rendezvous_ != nullptr) {
+    AccumulateBatching(&retired_batching_, rendezvous_->stats());
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i]->planner = std::move(fresh[i]);
+  }
+  rendezvous_ = std::move(rendezvous);
+  model_ = std::move(model);
+  return Status::OK();
 }
 
 core::GuardStats PlanService::guard_stats() const {

@@ -106,6 +106,16 @@ class PlanService {
   /// Aggregated guard/breaker counters across the per-worker planners.
   core::GuardStats guard_stats() const;
 
+  /// Atomically replaces the serving model under in-flight traffic: builds
+  /// fresh per-slot planners and a fresh rendezvous for `model`, quiesces
+  /// every planner slot (in-flight requests finish on the model they
+  /// started with), and swaps. Requests submitted after SwapModel returns
+  /// plan against the new model; the shared_ptr keeps the old model alive
+  /// until its last in-flight reader drops it. On error (e.g. planner
+  /// construction fails) the old model keeps serving. Designed as the
+  /// ModelManager swap hook; safe to call concurrently with Submit.
+  Status SwapModel(std::shared_ptr<const core::QpSeeker> model);
+
   const PlanServiceOptions& options() const { return options_; }
 
  private:
@@ -117,8 +127,14 @@ class PlanService {
   void RunRequest(Request& req);
   StatusOr<core::PlanResult> PlanShedded(const query::Query& q);
 
-  const core::QpSeeker* model_;
+  /// Non-owning for the construction-time model; owning after SwapModel.
+  std::shared_ptr<const core::QpSeeker> model_;
   PlanServiceOptions options_;
+
+  /// Create() parameters, kept for rebuilding planners in SwapModel.
+  std::string planner_name_;
+  const optimizer::Planner* baseline_ = nullptr;
+  core::GuardedOptions gopts_;
 
   std::vector<std::unique_ptr<PlannerSlot>> slots_;
   std::atomic<size_t> next_slot_{0};
@@ -128,7 +144,13 @@ class PlanService {
   std::unique_ptr<core::Planner> shed_planner_;
   std::mutex shed_mu_;
 
-  std::unique_ptr<BatchRendezvous> rendezvous_;
+  /// Guards model_/rendezvous_/retired_batching_ across hot swaps. Lock
+  /// order where both are held: slot mutex first, then model_mu_ (SwapModel
+  /// acquires every slot mutex before this one).
+  mutable std::mutex model_mu_;
+  std::shared_ptr<BatchRendezvous> rendezvous_;
+  /// Batching counters accumulated from rendezvous retired by SwapModel.
+  BatchRendezvous::Stats retired_batching_;
 
   std::atomic<int> inflight_{0};
   mutable std::mutex stats_mu_;

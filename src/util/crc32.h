@@ -1,0 +1,29 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// integrity checks. The checkpoint format (nn/serialize) stores a CRC per
+// tensor record and one over the whole file, so a torn write, bit flip, or
+// truncation is detected before any bytes reach a model.
+
+#ifndef QPS_UTIL_CRC32_H_
+#define QPS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qps {
+namespace crc32 {
+
+/// Extends a running CRC with `n` more bytes. Start from 0 for a fresh
+/// checksum: Extend(Extend(0, a, na), b, nb) == Compute(a+b).
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC-32 of one contiguous buffer. Compute("123456789") == 0xCBF43926.
+inline uint32_t Compute(const void* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+}  // namespace crc32
+}  // namespace qps
+
+#endif  // QPS_UTIL_CRC32_H_

@@ -14,6 +14,14 @@
 
 namespace qps {
 
+/// Full generator state, for training checkpoints: restoring it resumes
+/// the stream exactly where it left off (including the Box-Muller cache).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  uint64_t have_cached_normal = 0;
+  double cached_normal = 0.0;
+};
+
 /// xoshiro256** PRNG with splitmix64 seeding. Fast, high quality, and
 /// trivially copyable (a copy replays the same stream).
 class Rng {
@@ -63,6 +71,20 @@ class Rng {
 
   /// Derives an independent child generator (for per-component streams).
   Rng Fork() { return Rng(Next() ^ 0xd1342543de82ef95ULL); }
+
+  /// Snapshot / restore of the exact stream position (checkpoint resume).
+  RngState SaveState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.have_cached_normal = have_cached_normal_ ? 1 : 0;
+    st.cached_normal = cached_normal_;
+    return st;
+  }
+  void LoadState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    have_cached_normal_ = st.have_cached_normal != 0;
+    cached_normal_ = st.cached_normal;
+  }
 
  private:
   uint64_t s_[4];
