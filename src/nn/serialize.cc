@@ -114,6 +114,20 @@ Status ValidateWritableTensors(
   return Status::OK();
 }
 
+/// The loader caps scalar names at kMaxCheckpointNameLen, so the writer must
+/// refuse them too — a save that reports OK must never yield an unloadable
+/// file.
+Status ValidateWritableScalars(const ScalarEntries& scalars) {
+  for (const auto& [name, value] : scalars) {
+    (void)value;
+    if (name.size() > kMaxCheckpointNameLen) {
+      return Status::InvalidArgument("scalar name too long: " +
+                                     name.substr(0, 64) + "...");
+    }
+  }
+  return Status::OK();
+}
+
 /// Refuses to clobber an existing non-empty file that does not carry a
 /// checkpoint magic — the guard against `Save("my_queries.sql")` typos.
 Status CheckOverwriteSafe(const std::string& path) {
@@ -130,6 +144,12 @@ Status CheckOverwriteSafe(const std::string& path) {
 }
 
 Status WriteCheckpoint(const std::string& path, std::vector<Section> sections) {
+  for (const Section& sec : sections) {
+    if (sec.name.size() > kMaxCheckpointNameLen) {
+      return Status::InvalidArgument("section name too long: " +
+                                     sec.name.substr(0, 64) + "...");
+    }
+  }
   QPS_RETURN_IF_ERROR(CheckOverwriteSafe(path));
   std::string out;
   PutU32(&out, kMagicV2);
@@ -185,10 +205,16 @@ class Reader {
     return Status::OK();
   }
 
-  /// Reads `elems` float32s into a (rows x cols) tensor. The caller has
-  /// already validated rows/cols; this only checks the byte budget.
+  /// Reads `rows*cols` float32s into a (rows x cols) tensor. Re-checks the
+  /// shape with overflow-safe division so neither the byte budget nor the
+  /// Tensor allocation is ever computed from an unvalidated product.
   Status ReadTensorData(int64_t rows, int64_t cols, Tensor* out,
                         const char* what) {
+    if (rows < 0 || cols < 0 ||
+        (rows > 0 && cols > kMaxCheckpointTensorElems / rows)) {
+      return Malformed(std::string(what) + ": shape " + std::to_string(rows) +
+                       "x" + std::to_string(cols) + " exceeds element cap");
+    }
     const size_t bytes = sizeof(float) * static_cast<size_t>(rows) *
                          static_cast<size_t>(cols);
     if (bytes > remaining()) return Truncated(what);
@@ -259,8 +285,10 @@ Status ParseTensorSection(const std::string& payload, const std::string& context
     uint32_t rows = 0, cols = 0;
     QPS_RETURN_IF_ERROR(r.ReadU32(&rows, "tensor rows"));
     QPS_RETURN_IF_ERROR(r.ReadU32(&cols, "tensor cols"));
-    const int64_t elems = static_cast<int64_t>(rows) * static_cast<int64_t>(cols);
-    if (elems > kMaxCheckpointTensorElems) {
+    // Overflow-safe cap check: u32 products can exceed INT64_MAX, so never
+    // compute rows*cols on unvalidated shapes — divide instead.
+    if (rows > 0 && static_cast<int64_t>(cols) >
+                        kMaxCheckpointTensorElems / static_cast<int64_t>(rows)) {
       return r.Malformed(label + ": " + std::to_string(rows) + "x" +
                          std::to_string(cols) + " exceeds element cap");
     }
@@ -493,6 +521,7 @@ Status SaveModule(const Module& module, const std::string& path,
   const auto params = module.Parameters();
   const auto tensors = ModuleTensors(module, params);
   QPS_RETURN_IF_ERROR(ValidateWritableTensors(tensors));
+  QPS_RETURN_IF_ERROR(ValidateWritableScalars(extra));
   std::vector<Section> sections;
   sections.push_back({kSectionTensors, kSecModel, TensorSectionPayload(tensors)});
   if (!extra.empty()) {
@@ -540,6 +569,7 @@ Status LoadModule(Module* module, const std::string& path, ScalarEntries* extra)
 Status SaveModuleV1(const Module& module, const std::string& path) {
   QPS_RETURN_IF_ERROR(CheckOverwriteSafe(path));
   const auto params = module.Parameters();
+  QPS_RETURN_IF_ERROR(ValidateWritableTensors(ModuleTensors(module, params)));
   std::string out;
   PutU32(&out, kMagicV1);
   PutU64(&out, params.size());
@@ -565,9 +595,11 @@ Status SaveTrainingCheckpoint(const Module& module, const Optimizer& optimizer,
   ScalarEntries opt_scalars;
   optimizer.ExportState(&opt_tensors, &opt_scalars);
   QPS_RETURN_IF_ERROR(ValidateWritableTensors(opt_tensors));
+  QPS_RETURN_IF_ERROR(ValidateWritableScalars(opt_scalars));
 
   ScalarEntries train = state.extra;
   train.emplace_back("epoch", static_cast<double>(state.epoch));
+  QPS_RETURN_IF_ERROR(ValidateWritableScalars(train));
 
   std::vector<Section> sections;
   sections.push_back(
@@ -621,29 +653,49 @@ Status LoadTrainingCheckpoint(Module* module, Optimizer* optimizer,
   RngState rng_state;
   QPS_RETURN_IF_ERROR(ParseRngSection(rng->payload, context + ": rng", &rng_state));
 
-  // All sections parsed and verified; now validate against the live module
-  // and optimizer before mutating anything.
+  // All sections parsed and verified. Extract the train payload before any
+  // mutation so a malformed train section cannot leave a half-applied load.
+  ScalarEntries extra_entries;
+  int64_t epoch = 0;
+  bool have_epoch = false;
+  for (const auto& [name, value] : train_entries) {
+    if (name == "epoch") {
+      epoch = static_cast<int64_t>(value);
+      have_epoch = true;
+    } else {
+      extra_entries.emplace_back(name, value);
+    }
+  }
+  if (!have_epoch) {
+    return Status::InvalidArgument(context + ": train section has no epoch");
+  }
+
+  // Validate against the live module and optimizer. ApplyTensorsToModule
+  // validates fully before touching a parameter, but ImportState can still
+  // reject afterwards (e.g. a checkpoint saved with a different optimizer
+  // type over the same weights), so snapshot the weights and roll them back
+  // on failure — the load either applies completely or leaves both the
+  // module and the optimizer untouched.
+  const auto params = module->Parameters();
+  std::vector<Tensor> weight_snapshot;
+  weight_snapshot.reserve(params.size());
+  for (const auto& p : params) weight_snapshot.push_back(p.var->value);
+
   QPS_RETURN_IF_ERROR(ApplyTensorsToModule(model_tensors, module, context,
                                            /*strict=*/true));
   std::unordered_map<std::string, const Tensor*> opt_map;
   for (const auto& [name, t] : opt_tensors) opt_map[name] = &t;
   std::unordered_map<std::string, double> opt_scalar_map(
       opt_scalar_entries.begin(), opt_scalar_entries.end());
-  QPS_RETURN_IF_ERROR(optimizer->ImportState(opt_map, opt_scalar_map));
-
-  state->extra.clear();
-  bool have_epoch = false;
-  for (const auto& [name, value] : train_entries) {
-    if (name == "epoch") {
-      state->epoch = static_cast<int64_t>(value);
-      have_epoch = true;
-    } else {
-      state->extra.emplace_back(name, value);
+  if (Status st = optimizer->ImportState(opt_map, opt_scalar_map); !st.ok()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].var->value = std::move(weight_snapshot[i]);
     }
+    return st;
   }
-  if (!have_epoch) {
-    return Status::InvalidArgument(context + ": train section has no epoch");
-  }
+
+  state->epoch = epoch;
+  state->extra = std::move(extra_entries);
   state->rng = rng_state;
   return Status::OK();
 }

@@ -53,18 +53,19 @@ std::shared_ptr<const core::QpSeeker> ModelManager::live() const {
 
 StatusOr<double> ModelManager::CanaryQError(const core::QpSeeker& model) const {
   // Callers hand us a quiescent model (a private candidate, or the live
-  // model before serving starts), so running the forward here is safe.
-  std::vector<const CanaryCase*> cases;
+  // model before serving starts), so running the forward here is safe. The
+  // snapshot shared_ptr keeps the cases alive past the lock even if a
+  // concurrent SetCanaries replaces the set mid-probe.
+  std::shared_ptr<const std::vector<CanaryCase>> cases;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    cases.reserve(canaries_.size());
-    for (const auto& c : canaries_) cases.push_back(&c);
+    cases = canaries_;
   }
-  if (cases.empty()) return 1.0;
+  if (cases == nullptr || cases->empty()) return 1.0;
 
   double total = 0.0;
-  for (size_t i = 0; i < cases.size(); ++i) {
-    const CanaryCase& c = *cases[i];
+  for (size_t i = 0; i < cases->size(); ++i) {
+    const CanaryCase& c = (*cases)[i];
     const query::NodeStats pred = model.PredictPlan(c.query, *c.plan);
     if (!query::StatsAreFinite(pred)) {
       return Status::Internal("canary #" + std::to_string(i) +
@@ -76,7 +77,7 @@ StatusOr<double> ModelManager::CanaryQError(const core::QpSeeker& model) const {
               QError(pred.runtime_ms, truth.runtime_ms)) /
              3.0;
   }
-  return total / static_cast<double>(cases.size());
+  return total / static_cast<double>(cases->size());
 }
 
 Status ModelManager::SetCanaries(std::vector<CanaryCase> canaries) {
@@ -86,10 +87,12 @@ Status ModelManager::SetCanaries(std::vector<CanaryCase> canaries) {
                                      " has no plan");
     }
   }
+  auto shared =
+      std::make_shared<const std::vector<CanaryCase>>(std::move(canaries));
   std::shared_ptr<core::QpSeeker> live;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    canaries_ = std::move(canaries);
+    canaries_ = std::move(shared);
     live = live_;
   }
   if (live == nullptr) return Status::OK();

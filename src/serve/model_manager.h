@@ -109,7 +109,9 @@ class ModelManager {
 
   mutable std::mutex mu_;  ///< guards everything below
   std::shared_ptr<core::QpSeeker> live_;
-  std::vector<CanaryCase> canaries_;
+  /// Immutable snapshot: probes copy the shared_ptr under mu_ and keep the
+  /// cases alive even if SetCanaries swaps in a new set mid-probe.
+  std::shared_ptr<const std::vector<CanaryCase>> canaries_;
   std::function<Status(std::shared_ptr<const core::QpSeeker>)> swap_hook_;
   Stats stats_;
 };

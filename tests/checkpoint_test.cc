@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -21,6 +22,7 @@
 #include "nn/serialize.h"
 #include "query/parser.h"
 #include "storage/schemas.h"
+#include "util/crc32.h"
 #include "util/fault.h"
 #include "util/io.h"
 
@@ -44,6 +46,18 @@ void WriteAll(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   ASSERT_TRUE(out.good()) << path;
+}
+
+void PutU32LE(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64LE(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
 }
 
 /// A module whose parameter shapes and names are driven by a seed, for
@@ -179,6 +193,89 @@ TEST(CheckpointTest, ShapeMismatchNamesTheTensor) {
   RandomModule other(14, false);
   Status st = LoadModule(&other, path);
   ASSERT_FALSE(st.ok());
+}
+
+TEST(CheckpointTest, HugeShapeProductRejectedWithoutAllocation) {
+  // rows * cols = 2^63 + 2^32: the product overflows int64, so a naive
+  // `rows * cols > cap` check would wrap negative and pass. The loader must
+  // reject this shape via overflow-safe division, before any byte budget or
+  // allocation is derived from the product. All CRCs are valid — an
+  // attacker can compute them — so the shape check is the only defense.
+  const uint32_t rows = 2863311532u;  // 4 * 715827883
+  const uint32_t cols = 3221225472u;  // 3 * 2^30
+  std::string record;
+  PutU32LE(&record, 1);  // name_len
+  record += "w";
+  PutU32LE(&record, rows);
+  PutU32LE(&record, cols);
+  // No tensor data: rejection must happen at the shape check.
+  std::string payload;
+  PutU64LE(&payload, 1);  // tensor count
+  payload += record;
+  PutU32LE(&payload, crc32::Compute(record.data(), record.size()));
+
+  std::string file;
+  PutU32LE(&file, 0x51505302u);  // v2 magic
+  PutU32LE(&file, 2);            // format version
+  PutU32LE(&file, 1);            // section count
+  PutU32LE(&file, 0);            // reserved
+  PutU32LE(&file, 1);            // section kind: tensors
+  PutU32LE(&file, 5);            // section name length
+  file += "model";
+  PutU64LE(&file, payload.size());
+  file += payload;
+  PutU32LE(&file, crc32::Compute(payload.data(), payload.size()));
+  PutU32LE(&file, crc32::Compute(file.data(), file.size()));
+
+  const std::string path = TempPath("overflow_shape.ckpt");
+  WriteAll(path, file);
+  RandomModule loaded(1, false);
+  Status st = LoadModule(&loaded, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("element cap"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(CheckpointTest, OptimizerMismatchLeavesModuleAndStateUntouched) {
+  const std::string path = TempPath("opt_mismatch.ckpt");
+  std::remove(path.c_str());
+  RandomModule saved(51, true);
+  Adam adam(saved.Parameters(), 1e-3f);
+  TrainingState state;
+  state.epoch = 4;
+  ASSERT_TRUE(SaveTrainingCheckpoint(saved, adam, state, path).ok());
+
+  // Same layout (so the model section alone would apply cleanly) but an SGD
+  // optimizer: the Adam slot names in the checkpoint don't match, so the
+  // load must fail atomically — the target keeps its own weights instead of
+  // silently adopting the checkpoint's.
+  RandomModule target(51, false);
+  Sgd sgd(target.Parameters(), 0.1f);
+  TrainingState st2;
+  st2.epoch = -1;
+  Status st = LoadTrainingCheckpoint(&target, &sgd, &st2, path);
+  ASSERT_FALSE(st.ok());
+  RandomModule zeros(51, false);
+  EXPECT_TRUE(ModulesBitIdentical(target, zeros));
+  EXPECT_EQ(st2.epoch, -1);
+}
+
+TEST(CheckpointTest, OverlongScalarNameFailsTheSave) {
+  // A name past the loader's cap must fail the *save* with a clean error —
+  // never report OK and leave behind a checkpoint the loader rejects.
+  const std::string path = TempPath("longname.ckpt");
+  std::remove(path.c_str());
+  RandomModule m(61, true);
+  const ScalarEntries extra = {
+      {std::string(kMaxCheckpointNameLen + 1, 'x'), 1.0}};
+  EXPECT_FALSE(SaveModule(m, path, extra).ok());
+  EXPECT_FALSE(LooksLikeCheckpoint(path));  // nothing was written
+
+  Adam adam(m.Parameters(), 1e-3f);
+  TrainingState state;
+  state.extra = extra;
+  EXPECT_FALSE(SaveTrainingCheckpoint(m, adam, state, path).ok());
+  EXPECT_FALSE(LooksLikeCheckpoint(path));
 }
 
 TEST(CheckpointTest, RefusesToOverwriteForeignFile) {

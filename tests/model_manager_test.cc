@@ -218,6 +218,36 @@ TEST_F(ModelManagerTest, ReloadFailureVisibleInMetricsRegistry) {
   EXPECT_EQ(counter->value(), before + 1);
 }
 
+TEST_F(ModelManagerTest, SetCanariesRacingReloadKeepsProbesSafe) {
+  // Reload's validation probe snapshots the canary set; a concurrent
+  // SetCanaries replacing that set (destroying the old cases) must not pull
+  // the probe's data out from under it. TSan/ASan guard the old raw-pointer
+  // failure mode here. The gate is opened wide: baseline and probe may see
+  // different canary subsets, and this test is about memory safety only.
+  ModelManagerOptions opts;
+  opts.max_qerror_ratio = 1e12;
+  ModelManager manager(SharedLive(), Factory(), opts);
+  ASSERT_TRUE(manager.SetCanaries(Canaries()).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread canary_thread([&] {
+    size_t n = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Status st = manager.SetCanaries(Canaries(1 + (n++ % 3)));
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    Status st = manager.Reload(checkpoint_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  stop.store(true);
+  canary_thread.join();
+  EXPECT_EQ(manager.stats().reloads, 8);
+  EXPECT_EQ(manager.stats().reload_failures, 0);
+}
+
 /// Rollout-capped MCTS so planning terminates deterministically fast.
 core::GuardedOptions Gopts() {
   core::GuardedOptions gopts;
