@@ -12,17 +12,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "== tier-1: TSan build (threadpool + hot-path + serving tests) =="
+echo "== tier-1: TSan build (threadpool + hot-path + serving + fuzz-replay tests) =="
 cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
 cmake --build build-tsan -j --target threadpool_test hotpath_test \
-  planner_conformance_test plan_service_test model_manager_test
+  planner_conformance_test plan_service_test model_manager_test \
+  planner_fuzz_test
 (cd build-tsan && ctest --output-on-failure \
-  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test")
+  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|planner_fuzz_test")
 
 echo "== tier-1: ASan checkpoint-loader fuzz (10k fixed-seed inputs) =="
 cmake -B build-asan -S . -DQPS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target serialize_fuzz_test
 (cd build-asan && QPS_FUZZ_ITERS=10000 ctest --output-on-failure \
   -R "serialize_fuzz_test")
+
+echo "== tier-1: ASan planner fuzz smoke (fixed-seed differential campaign) =="
+cmake --build build-asan -j --target qps_fuzz
+./build-asan/src/fuzz/qps_fuzz --iters=2000 --seed=42 --log-every=1000
 
 echo "tier-1 OK"

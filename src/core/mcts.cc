@@ -114,6 +114,7 @@ bool RandomCompletion(const Query& q, std::vector<Action>* actions, Rng* rng) {
 StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
                               const MctsOptions& opts) {
   QPS_RETURN_IF_ERROR(CheckPlannable(q));
+  QPS_RETURN_IF_ERROR(q.Validate(model.db()));
   static metrics::Counter* const rollouts_counter =
       metrics::Registry::Global().GetCounter("qps.mcts.rollouts");
   static metrics::Histogram* const plan_ms_hist =
@@ -286,6 +287,7 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
 StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q,
                                 const BatchEvalFn& evaluate) {
   QPS_RETURN_IF_ERROR(CheckPlannable(q));
+  QPS_RETURN_IF_ERROR(q.Validate(model.db()));
   QPS_RETURN_IF_ERROR(fault::Check("greedy.plan"));
   static metrics::Counter* const plans_counter =
       metrics::Registry::Global().GetCounter("qps.greedy.plans");

@@ -57,6 +57,7 @@ std::string GuardStats::ToString() const {
 
 Status CheckPlannable(const query::Query& q) {
   if (q.num_relations() == 0) return Status::InvalidArgument("empty query");
+  QPS_RETURN_IF_ERROR(q.ValidateStructure());
   if (q.num_relations() > 1 && !q.IsConnected()) {
     return Status::NotImplemented("cross products are not supported");
   }

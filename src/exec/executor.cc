@@ -88,6 +88,9 @@ StatusOr<double> Executor::Execute(const Query& q, PlanNode* plan) {
       metrics::Registry::Global().GetHistogram("qps.exec.wall_ms");
   QPS_TRACE_SPAN("exec.execute");
   executions_counter->Increment();
+  // The executor dereferences relation/column indices on every operator;
+  // reject malformed (e.g. fuzz-mutated) queries at the boundary instead.
+  QPS_RETURN_IF_ERROR(q.Validate(db_));
   Timer timer;
   total_ = WorkCounters{};
   node_wall_ms_.clear();

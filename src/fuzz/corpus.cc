@@ -1,0 +1,108 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "query/parser.h"
+#include "util/hash.h"
+#include "util/io.h"
+
+namespace qps {
+namespace fuzz {
+
+namespace {
+
+std::string Hash16(const std::string& s) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(util::HashString(s)));
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string RenderCorpusEntry(const query::Query& q,
+                              const storage::Database& db,
+                              const std::string& violation,
+                              uint64_t campaign_seed) {
+  std::ostringstream out;
+  out << "# violation: " << violation << "\n";
+  out << "# found-by: qps_fuzz seed=" << campaign_seed << "\n";
+  out << q.ToSql(db) << "\n";
+  return out.str();
+}
+
+StatusOr<std::string> WriteCorpusEntry(const std::string& dir,
+                                       const query::Query& q,
+                                       const storage::Database& db,
+                                       const std::string& violation,
+                                       uint64_t campaign_seed) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create corpus dir " + dir + ": " +
+                           ec.message());
+  }
+  // Name by the hash of the SQL alone (not the header), so the same
+  // minimized query found via different violations maps to one file.
+  const std::string sql = q.ToSql(db);
+  const std::string path = dir + "/v-" + Hash16(sql) + ".sql";
+  QPS_RETURN_IF_ERROR(io::AtomicWriteFile(
+      path, RenderCorpusEntry(q, db, violation, campaign_seed)));
+  return path;
+}
+
+StatusOr<std::vector<CorpusEntry>> LoadCorpus(const std::string& dir,
+                                              const storage::Database& db) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return entries;  // empty ok
+
+  std::vector<std::string> paths;
+  for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file()) continue;
+    if (de.path().extension() != ".sql") continue;
+    paths.push_back(de.path().string());
+  }
+  if (ec) {
+    return Status::IOError("cannot list corpus dir " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const std::string& path : paths) {
+    QPS_ASSIGN_OR_RETURN(std::string contents, io::ReadFileToString(path));
+    CorpusEntry entry;
+    entry.path = path;
+    std::istringstream in(contents);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] == '#') {
+        const std::string kViolation = "# violation: ";
+        if (entry.violation.empty() && line.rfind(kViolation, 0) == 0) {
+          entry.violation = line.substr(kViolation.size());
+        }
+        continue;
+      }
+      if (!entry.sql.empty()) entry.sql += "\n";
+      entry.sql += line;
+    }
+    auto query_or = query::ParseSql(entry.sql, db);
+    if (!query_or.ok()) {
+      return Status::InvalidArgument("corpus entry " + path +
+                                     " does not parse: " +
+                                     query_or.status().ToString());
+    }
+    entry.query = std::move(query_or).value();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace fuzz
+}  // namespace qps

@@ -1,0 +1,56 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// The self-growing regression corpus. Every minimized oracle violation is
+// persisted as one SQL file under tests/corpus/planner/ — human-readable,
+// reviewable in diffs, replayed by planner_fuzz_test on every tier-1 run.
+// File names are derived from the content hash of the SQL, so re-finding
+// the same minimized repro (or re-running a campaign with the same seed)
+// is idempotent and byte-identical.
+
+#ifndef QPS_FUZZ_CORPUS_H_
+#define QPS_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace qps {
+namespace fuzz {
+
+/// One corpus file: `# ` comment header lines plus the query SQL.
+struct CorpusEntry {
+  std::string path;      ///< full path of the file
+  std::string violation; ///< first "# violation:" header line, if any
+  std::string sql;       ///< the query text (comments stripped)
+  query::Query query;    ///< parsed against the replay database
+};
+
+/// Renders a corpus file body for a minimized violation.
+std::string RenderCorpusEntry(const query::Query& q,
+                              const storage::Database& db,
+                              const std::string& violation,
+                              uint64_t campaign_seed);
+
+/// Atomically writes `q` to `<dir>/v-<hash16>.sql` and returns the path.
+/// Writing the same query twice is a no-op rewrite of the same file.
+StatusOr<std::string> WriteCorpusEntry(const std::string& dir,
+                                       const query::Query& q,
+                                       const storage::Database& db,
+                                       const std::string& violation,
+                                       uint64_t campaign_seed);
+
+/// Loads every `*.sql` entry under `dir` (sorted by file name, so replay
+/// order is stable), parsing each against `db`. A file that fails to parse
+/// makes the whole load fail: a corrupt corpus should fail loudly in CI,
+/// not silently shrink coverage.
+StatusOr<std::vector<CorpusEntry>> LoadCorpus(const std::string& dir,
+                                              const storage::Database& db);
+
+}  // namespace fuzz
+}  // namespace qps
+
+#endif  // QPS_FUZZ_CORPUS_H_

@@ -1,0 +1,199 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "fuzz/corpus.h"
+#include "fuzz/minimizer.h"
+#include "fuzz/signature.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace qps {
+namespace fuzz {
+
+namespace {
+
+struct FuzzMetrics {
+  metrics::Counter* execs;
+  metrics::Counter* novel;
+  metrics::Counter* violations;
+  metrics::Counter* corpus_writes;
+  metrics::Counter* sterile;
+  metrics::Gauge* queue_depth;
+
+  static FuzzMetrics Get() {
+    auto& reg = metrics::Registry::Global();
+    return FuzzMetrics{
+        reg.GetCounter("qps.fuzz.execs"),
+        reg.GetCounter("qps.fuzz.novel_signatures"),
+        reg.GetCounter("qps.fuzz.oracle_failures"),
+        reg.GetCounter("qps.fuzz.corpus_writes"),
+        reg.GetCounter("qps.fuzz.sterile_mutants"),
+        reg.GetGauge("qps.fuzz.queue_depth"),
+    };
+  }
+};
+
+constexpr size_t kMaxViolationSamples = 8;
+
+}  // namespace
+
+std::string FuzzReport::ToString() const {
+  std::ostringstream out;
+  out << "fuzz campaign: " << execs << " oracle runs, "
+      << distinct_signatures << " distinct signatures, "
+      << oracle_violations << " violating runs, " << corpus_writes
+      << " corpus writes\n";
+  out << "  queue depth " << queue_depth << ", seeds admitted "
+      << seeds_admitted << ", sterile mutants " << sterile_mutants << "\n";
+  static const char* kKinds[] = {"plan-failure", "invalid-plan",
+                                 "non-finite-stats", "exec-failure",
+                                 "result-mismatch"};
+  out << "  violations by kind:";
+  for (int i = 0; i < 5; ++i) out << " " << kKinds[i] << "=" << violations_by_kind[i];
+  out << "\n  mutations applied:";
+  for (int i = 0; i < kNumMutationKinds; ++i) {
+    out << " " << MutationKindName(static_cast<MutationKind>(i)) << "="
+        << mutation_counts[i];
+  }
+  out << "\n";
+  for (const auto& s : violation_samples) out << "  violation: " << s << "\n";
+  for (const auto& f : corpus_files) out << "  corpus: " << f << "\n";
+  return out.str();
+}
+
+Fuzzer::Fuzzer(const storage::Database& db, const stats::DatabaseStats& stats,
+               const core::QpSeeker* model, const optimizer::Planner* baseline,
+               FuzzOptions options)
+    : db_(db),
+      mutator_(db, stats, options.mutator),
+      oracle_(db, model, baseline, options.oracle),
+      options_(std::move(options)) {}
+
+StatusOr<FuzzReport> Fuzzer::Run(const std::vector<query::Query>& seeds) {
+  FuzzMetrics m = FuzzMetrics::Get();
+  FuzzReport report;
+  Rng rng(options_.seed);
+
+  QPS_ASSIGN_OR_RETURN(std::unique_ptr<Searcher> searcher,
+                       MakeSearcher(options_.searcher));
+  SeedQueue queue(options_.max_seeds);
+  CoverageMap coverage;
+
+  auto record_violations = [&](const OracleReport& oracle_report,
+                               const query::Query& q, uint64_t mutant_seed) {
+    if (oracle_report.ok()) return;
+    ++report.oracle_violations;
+    m.violations->Increment();
+    for (const auto& v : oracle_report.violations) {
+      ++report.violations_by_kind[static_cast<int>(v.kind)];
+      if (report.violation_samples.size() < kMaxViolationSamples) {
+        report.violation_samples.push_back(v.ToString() + " -- " +
+                                           q.ToSql(db_));
+      }
+    }
+    if (options_.corpus_dir.empty()) return;
+
+    // Minimize against the *first* violation kind: the shrink target must
+    // be a single stable property or greedy removal chases a moving goal.
+    const ViolationKind kind0 = oracle_report.violations.front().kind;
+    query::Query repro = q;
+    if (options_.minimize) {
+      Minimizer minimizer(db_);
+      repro = minimizer.Minimize(
+          q,
+          [&](const query::Query& candidate) {
+            return oracle_.Check(candidate, mutant_seed).Has(kind0);
+          },
+          options_.minimize_checks);
+    }
+    auto path_or = WriteCorpusEntry(
+        options_.corpus_dir, repro, db_,
+        std::string(ViolationKindName(kind0)) + " (" +
+            oracle_report.violations.front().backend + ")",
+        options_.seed);
+    if (!path_or.ok()) {
+      QPS_LOG(Warning) << "corpus write failed: "
+                       << path_or.status().ToString();
+      return;
+    }
+    if (std::find(report.corpus_files.begin(), report.corpus_files.end(),
+                  path_or.value()) == report.corpus_files.end()) {
+      report.corpus_files.push_back(path_or.value());
+      ++report.corpus_writes;
+      m.corpus_writes->Increment();
+    }
+  };
+
+  // Admit the workload seeds: one oracle run each, novelty-gated exactly
+  // like mutants so duplicate seeds collapse.
+  for (const query::Query& q : seeds) {
+    if (!q.Validate(db_).ok() || !q.IsConnected()) continue;
+    const uint64_t run_seed = rng.Next() | 1;
+    OracleReport oracle_report = oracle_.Check(q, run_seed);
+    ++report.execs;
+    m.execs->Increment();
+    record_violations(oracle_report, q, run_seed);
+    if (coverage.Add(oracle_report.signature)) {
+      ++report.novel_signatures;
+      ++report.seeds_admitted;
+      m.novel->Increment();
+      queue.Add(Seed{q, oracle_report.signature, 0, 0, 0, 0});
+    }
+  }
+  if (queue.empty()) {
+    return Status::InvalidArgument(
+        "no usable fuzzing seeds (all invalid, disconnected, or duplicate)");
+  }
+  m.queue_depth->Set(static_cast<double>(queue.size()));
+
+  for (int64_t iter = 0; iter < options_.iters; ++iter) {
+    Seed& seed = queue.Pick(searcher.get(), &rng);
+    MutationKind kind;
+    std::optional<query::Query> mutant = mutator_.Mutate(seed.query, &rng, &kind);
+    if (!mutant.has_value()) {
+      ++report.sterile_mutants;
+      m.sterile->Increment();
+      continue;
+    }
+    ++report.mutation_counts[static_cast<int>(kind)];
+
+    const uint64_t run_seed = rng.Next() | 1;  // non-zero: pins MCTS
+    OracleReport oracle_report = oracle_.Check(*mutant, run_seed);
+    ++report.execs;
+    m.execs->Increment();
+
+    if (!oracle_report.ok()) {
+      ++seed.violations_found;
+      record_violations(oracle_report, *mutant, run_seed);
+    }
+    if (coverage.Add(oracle_report.signature)) {
+      ++report.novel_signatures;
+      ++seed.novel_children;
+      m.novel->Increment();
+      const int depth = seed.depth + 1;
+      queue.Add(
+          Seed{std::move(*mutant), oracle_report.signature, 0, 0, 0, depth});
+      m.queue_depth->Set(static_cast<double>(queue.size()));
+    }
+
+    if (options_.log_every > 0 && (iter + 1) % options_.log_every == 0) {
+      QPS_LOG(Info) << "fuzz iter " << (iter + 1) << "/" << options_.iters
+                    << ": " << coverage.size() << " signatures, "
+                    << report.oracle_violations << " violating runs, queue "
+                    << queue.size();
+    }
+  }
+
+  report.queue_depth = queue.size();
+  report.distinct_signatures = coverage.size();
+  m.queue_depth->Set(static_cast<double>(queue.size()));
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace qps

@@ -1,0 +1,82 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// The coverage-guided fuzzing campaign: seed queries enter the queue, a
+// searcher picks one, the mutator produces a semantic variant, the
+// differential oracle runs it through every planner backend, and the
+// behavior signature decides whether the mutant joins the queue. Oracle
+// violations are minimized on the spot and persisted to the SQL corpus.
+// With a fixed seed the whole campaign is deterministic: same queue
+// decisions, same mutants, same signatures, byte-identical corpus.
+
+#ifndef QPS_FUZZ_FUZZER_H_
+#define QPS_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/seed_queue.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace qps {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 42;       ///< campaign seed; fixes the entire run
+  int64_t iters = 5000;     ///< mutation attempts after seed admission
+  std::string searcher = "novelty";  ///< "novelty" | "roundrobin"
+  std::string corpus_dir;   ///< empty: violations are reported, not written
+  bool minimize = true;     ///< greedy-shrink violations before persisting
+  int minimize_checks = 128;
+  size_t max_seeds = 4096;
+  int64_t log_every = 0;    ///< progress log cadence in iterations (0: off)
+  QueryMutator::Options mutator;
+  OracleOptions oracle;
+};
+
+/// Campaign results; also exported as qps.fuzz.* metrics.
+struct FuzzReport {
+  int64_t execs = 0;            ///< oracle runs (seeds + mutants)
+  int64_t sterile_mutants = 0;  ///< picks where no mutation applied
+  int64_t novel_signatures = 0;
+  int64_t oracle_violations = 0;  ///< runs with >= 1 violation
+  int64_t corpus_writes = 0;
+  int64_t seeds_admitted = 0;   ///< workload seeds accepted into the queue
+  size_t queue_depth = 0;
+  size_t distinct_signatures = 0;
+  int64_t violations_by_kind[5] = {0};
+  int64_t mutation_counts[kNumMutationKinds] = {0};
+  std::vector<std::string> corpus_files;      ///< paths written this run
+  std::vector<std::string> violation_samples; ///< first few, for the log
+
+  std::string ToString() const;
+};
+
+class Fuzzer {
+ public:
+  /// `model` may be null only when every oracle backend is "baseline".
+  Fuzzer(const storage::Database& db, const stats::DatabaseStats& stats,
+         const core::QpSeeker* model, const optimizer::Planner* baseline,
+         FuzzOptions options = {});
+
+  /// Runs one campaign from `seeds` (typically eval::GenerateWorkload
+  /// output plus the checked-in corpus). Invalid or disconnected seeds are
+  /// skipped; fails kInvalidArgument when none survive.
+  StatusOr<FuzzReport> Run(const std::vector<query::Query>& seeds);
+
+  const FuzzOptions& options() const { return options_; }
+
+ private:
+  const storage::Database& db_;
+  QueryMutator mutator_;
+  DifferentialOracle oracle_;
+  FuzzOptions options_;
+};
+
+}  // namespace fuzz
+}  // namespace qps
+
+#endif  // QPS_FUZZ_FUZZER_H_

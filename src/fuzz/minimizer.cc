@@ -1,0 +1,134 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "fuzz/minimizer.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace qps {
+namespace fuzz {
+
+namespace {
+
+// Removes relation `rel` from `in`: drops its joins and filters, erases the
+// relation and remaps all indices above it. Returns false when the result
+// would be empty, structurally invalid, or disconnected.
+bool RemoveRelation(const query::Query& in, int rel, query::Query* out) {
+  if (in.num_relations() <= 1) return false;
+  query::Query q;
+  q.template_id = in.template_id;
+  q.relations.reserve(in.relations.size() - 1);
+  for (int i = 0; i < in.num_relations(); ++i) {
+    if (i != rel) q.relations.push_back(in.relations[static_cast<size_t>(i)]);
+  }
+  auto remap = [rel](int r) { return r > rel ? r - 1 : r; };
+  for (const auto& j : in.joins) {
+    if (j.left_rel == rel || j.right_rel == rel) continue;
+    query::JoinPredicate nj = j;
+    nj.left_rel = remap(nj.left_rel);
+    nj.right_rel = remap(nj.right_rel);
+    q.joins.push_back(nj);
+  }
+  for (const auto& f : in.filters) {
+    if (f.rel == rel) continue;
+    query::FilterPredicate nf = f;
+    nf.rel = remap(nf.rel);
+    q.filters.push_back(nf);
+  }
+  if (!q.ValidateStructure().ok() || !q.IsConnected()) return false;
+  *out = std::move(q);
+  return true;
+}
+
+bool RemoveJoin(const query::Query& in, size_t join, query::Query* out) {
+  query::Query q = in;
+  q.joins.erase(q.joins.begin() + static_cast<ptrdiff_t>(join));
+  if (!q.IsConnected()) return false;
+  *out = std::move(q);
+  return true;
+}
+
+}  // namespace
+
+query::Query Minimizer::Minimize(const query::Query& q,
+                                 const StillFails& still_fails,
+                                 int max_checks) const {
+  query::Query best = q;
+  int checks = 0;
+  auto budget = [&checks, max_checks]() { return checks < max_checks; };
+  auto accept = [&](query::Query* candidate) {
+    if (!candidate->Validate(db_).ok()) return false;
+    ++checks;
+    if (!still_fails(*candidate)) return false;
+    best = std::move(*candidate);
+    return true;
+  };
+
+  bool changed = true;
+  while (changed && budget()) {
+    changed = false;
+
+    // Pass 1: drop whole relations (the biggest shrink first).
+    for (int rel = best.num_relations() - 1; rel >= 0 && budget(); --rel) {
+      query::Query candidate;
+      if (!RemoveRelation(best, rel, &candidate)) continue;
+      if (accept(&candidate)) {
+        changed = true;
+        break;  // indices shifted; restart the pass over the new query
+      }
+    }
+    if (changed) continue;
+
+    // Pass 2: drop redundant join predicates (connectivity-preserving).
+    for (size_t j = best.joins.size(); j-- > 0 && budget();) {
+      query::Query candidate;
+      if (!RemoveJoin(best, j, &candidate)) continue;
+      if (accept(&candidate)) {
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+
+    // Pass 3: drop filters.
+    for (size_t f = best.filters.size(); f-- > 0 && budget();) {
+      query::Query candidate = best;
+      candidate.filters.erase(candidate.filters.begin() +
+                              static_cast<ptrdiff_t>(f));
+      if (accept(&candidate)) {
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+
+    // Pass 4: simplify surviving filter literals toward zero / the empty
+    // string — extreme constants obscure what a repro actually needs.
+    for (size_t f = 0; f < best.filters.size() && budget(); ++f) {
+      const storage::Value& v = best.filters[f].value;
+      storage::Value simple;
+      switch (v.type) {
+        case storage::DataType::kInt64:
+          if (v.i == 0) continue;
+          simple = storage::Value::Int(0);
+          break;
+        case storage::DataType::kFloat64:
+          if (v.d == 0.0) continue;
+          simple = storage::Value::Float(0.0);
+          break;
+        default:
+          continue;  // strings stay as-is (dictionary codes are db-specific)
+      }
+      query::Query candidate = best;
+      candidate.filters[f].value = simple;
+      if (accept(&candidate)) changed = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace fuzz
+}  // namespace qps

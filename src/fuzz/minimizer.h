@@ -1,0 +1,42 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Greedy shrink for oracle-violating queries, in the spirit of C-Reduce /
+// libFuzzer's -minimize_crash: repeatedly try structure-removing edits
+// (drop a relation, drop a join, drop a filter, zero a literal) and keep
+// any edit after which the violation still reproduces, until a fixpoint.
+// The result is the smallest query the minimizer can reach that still
+// breaks the oracle — what gets checked into tests/corpus/planner/.
+
+#ifndef QPS_FUZZ_MINIMIZER_H_
+#define QPS_FUZZ_MINIMIZER_H_
+
+#include <functional>
+
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace qps {
+namespace fuzz {
+
+class Minimizer {
+ public:
+  /// Predicate: does this candidate still reproduce the violation? Must be
+  /// deterministic (the fuzzer closes over the oracle with a fixed seed).
+  using StillFails = std::function<bool(const query::Query&)>;
+
+  explicit Minimizer(const storage::Database& db) : db_(db) {}
+
+  /// Shrinks `q` while `still_fails` holds. Every intermediate candidate
+  /// is valid (Query::Validate) and connected, so the result is always a
+  /// replayable corpus entry. `max_checks` bounds total predicate calls.
+  query::Query Minimize(const query::Query& q, const StillFails& still_fails,
+                        int max_checks = 256) const;
+
+ private:
+  const storage::Database& db_;
+};
+
+}  // namespace fuzz
+}  // namespace qps
+
+#endif  // QPS_FUZZ_MINIMIZER_H_

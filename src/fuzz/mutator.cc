@@ -1,0 +1,374 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace qps {
+namespace fuzz {
+
+using query::FilterPredicate;
+using query::JoinPredicate;
+using query::Query;
+using query::RelationRef;
+using storage::CompareOp;
+using storage::DataType;
+using storage::Value;
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kSwapRelations:
+      return "swap-relations";
+    case MutationKind::kRotateRelations:
+      return "rotate-relations";
+    case MutationKind::kAddJoin:
+      return "add-join";
+    case MutationKind::kRemoveJoin:
+      return "remove-join";
+    case MutationKind::kPerturbFilterOp:
+      return "perturb-filter-op";
+    case MutationKind::kMutateLiteral:
+      return "mutate-literal";
+    case MutationKind::kAddFilter:
+      return "add-filter";
+    case MutationKind::kRemoveFilter:
+      return "remove-filter";
+    case MutationKind::kDuplicateRelation:
+      return "duplicate-relation";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Double-to-int64 without UB on out-of-range inputs (UBSan-clean).
+int64_t SaturatingToInt64(double v) {
+  constexpr double kMax = 9.2233720368547748e18;  // just below 2^63
+  if (!(v > -kMax)) return std::numeric_limits<int64_t>::min() + 1;
+  if (!(v < kMax)) return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(std::llround(v));
+}
+
+CompareOp RandomOpOtherThan(CompareOp old, Rng* rng) {
+  static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                   CompareOp::kLt, CompareOp::kLe,
+                                   CompareOp::kGt, CompareOp::kGe};
+  CompareOp pick = old;
+  while (pick == old) {
+    pick = kOps[rng->UniformInt(uint64_t{6})];
+  }
+  return pick;
+}
+
+bool SameJoin(const JoinPredicate& a, const JoinPredicate& b) {
+  const auto norm = [](const JoinPredicate& j) {
+    if (j.left_rel < j.right_rel ||
+        (j.left_rel == j.right_rel && j.left_column <= j.right_column)) {
+      return std::tuple(j.left_rel, j.left_column, j.right_rel, j.right_column);
+    }
+    return std::tuple(j.right_rel, j.right_column, j.left_rel, j.left_column);
+  };
+  return norm(a) == norm(b);
+}
+
+}  // namespace
+
+QueryMutator::QueryMutator(const storage::Database& db,
+                           const stats::DatabaseStats& stats, Options options)
+    : db_(db), stats_(stats), options_(options) {}
+
+std::optional<Query> QueryMutator::Mutate(const Query& seed, Rng* rng,
+                                          MutationKind* kind_out) const {
+  std::vector<MutationKind> kinds = {
+      MutationKind::kSwapRelations,   MutationKind::kRotateRelations,
+      MutationKind::kAddJoin,         MutationKind::kRemoveJoin,
+      MutationKind::kPerturbFilterOp, MutationKind::kMutateLiteral,
+      MutationKind::kAddFilter,       MutationKind::kRemoveFilter,
+      MutationKind::kDuplicateRelation};
+  rng->Shuffle(&kinds);
+  for (MutationKind kind : kinds) {
+    Query mutant = seed;
+    if (!Apply(kind, &mutant, rng)) continue;
+    // A mutation that broke an invariant is a bug in the mutator itself;
+    // skipping it keeps the campaign running while the validator (which is
+    // also under test) rejects the mutant everywhere else.
+    if (!mutant.Validate(db_).ok() || !mutant.IsConnected()) continue;
+    if (kind_out != nullptr) *kind_out = kind;
+    return mutant;
+  }
+  return std::nullopt;
+}
+
+bool QueryMutator::Apply(MutationKind kind, Query* q, Rng* rng) const {
+  switch (kind) {
+    case MutationKind::kSwapRelations:
+      return SwapRelations(q, rng);
+    case MutationKind::kRotateRelations:
+      return RotateRelations(q, rng);
+    case MutationKind::kAddJoin:
+      return AddJoin(q, rng);
+    case MutationKind::kRemoveJoin:
+      return RemoveJoin(q, rng);
+    case MutationKind::kPerturbFilterOp:
+      return PerturbFilterOp(q, rng);
+    case MutationKind::kMutateLiteral:
+      return MutateLiteral(q, rng);
+    case MutationKind::kAddFilter:
+      return AddFilter(q, rng);
+    case MutationKind::kRemoveFilter:
+      return RemoveFilter(q, rng);
+    case MutationKind::kDuplicateRelation:
+      return DuplicateRelation(q, rng);
+  }
+  return false;
+}
+
+void QueryMutator::RemapRelations(Query* q, const std::vector<int>& perm) {
+  std::vector<RelationRef> relations(q->relations.size());
+  for (size_t i = 0; i < q->relations.size(); ++i) {
+    relations[static_cast<size_t>(perm[i])] = q->relations[i];
+  }
+  q->relations = std::move(relations);
+  for (auto& j : q->joins) {
+    j.left_rel = perm[static_cast<size_t>(j.left_rel)];
+    j.right_rel = perm[static_cast<size_t>(j.right_rel)];
+  }
+  for (auto& f : q->filters) {
+    f.rel = perm[static_cast<size_t>(f.rel)];
+  }
+}
+
+bool QueryMutator::SwapRelations(Query* q, Rng* rng) const {
+  const int n = q->num_relations();
+  if (n < 2) return false;
+  const int i = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+  int j = i;
+  while (j == i) j = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) perm[static_cast<size_t>(k)] = k;
+  std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  RemapRelations(q, perm);
+  return true;
+}
+
+bool QueryMutator::RotateRelations(Query* q, Rng* rng) const {
+  const int n = q->num_relations();
+  if (n < 2) return false;
+  const int shift = 1 + static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n - 1)));
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int k = 0; k < n; ++k) perm[static_cast<size_t>(k)] = (k + shift) % n;
+  RemapRelations(q, perm);
+  return true;
+}
+
+bool QueryMutator::AddJoin(Query* q, Rng* rng) const {
+  const int n = q->num_relations();
+  if (n < 2) return false;
+  if (static_cast<int>(q->joins.size()) >= 3 * options_.max_relations) return false;
+  std::vector<JoinPredicate> candidates;
+  const auto try_add = [&](JoinPredicate jp) {
+    for (const auto& existing : q->joins) {
+      if (SameJoin(existing, jp)) return;
+    }
+    candidates.push_back(jp);
+  };
+  // Schema edges between any two matching relation instances.
+  const auto& edges = db_.join_edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        if (a == b) continue;
+        if (q->relations[static_cast<size_t>(a)].table_id != edges[e].left_table ||
+            q->relations[static_cast<size_t>(b)].table_id != edges[e].right_table) {
+          continue;
+        }
+        JoinPredicate jp;
+        jp.left_rel = a;
+        jp.left_column = edges[e].left_column;
+        jp.right_rel = b;
+        jp.right_column = edges[e].right_column;
+        jp.schema_edge = static_cast<int>(e);
+        try_add(jp);
+      }
+    }
+  }
+  // Same-column self-joins between alias-duplicated instances of one table.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const int ta = q->relations[static_cast<size_t>(a)].table_id;
+      if (ta != q->relations[static_cast<size_t>(b)].table_id) continue;
+      const auto& table = db_.table(ta);
+      if (table.num_columns() == 0) continue;
+      JoinPredicate jp;
+      jp.left_rel = a;
+      jp.right_rel = b;
+      jp.left_column = jp.right_column = static_cast<int>(
+          rng->UniformInt(static_cast<uint64_t>(table.num_columns())));
+      jp.schema_edge = -1;
+      try_add(jp);
+    }
+  }
+  if (candidates.empty()) return false;
+  q->joins.push_back(candidates[rng->UniformInt(candidates.size())]);
+  return true;
+}
+
+bool QueryMutator::RemoveJoin(Query* q, Rng* rng) const {
+  if (q->joins.empty()) return false;
+  std::vector<size_t> removable;
+  for (size_t i = 0; i < q->joins.size(); ++i) {
+    Query trial = *q;
+    trial.joins.erase(trial.joins.begin() + static_cast<ptrdiff_t>(i));
+    if (trial.IsConnected()) removable.push_back(i);
+  }
+  if (removable.empty()) return false;
+  const size_t at = removable[rng->UniformInt(removable.size())];
+  q->joins.erase(q->joins.begin() + static_cast<ptrdiff_t>(at));
+  return true;
+}
+
+bool QueryMutator::PerturbFilterOp(Query* q, Rng* rng) const {
+  if (q->filters.empty()) return false;
+  FilterPredicate& f = q->filters[rng->UniformInt(q->filters.size())];
+  f.op = RandomOpOtherThan(f.op, rng);
+  return true;
+}
+
+bool QueryMutator::MutateLiteral(Query* q, Rng* rng) const {
+  if (q->filters.empty()) return false;
+  FilterPredicate& f = q->filters[rng->UniformInt(q->filters.size())];
+  const int table_id = q->relations[static_cast<size_t>(f.rel)].table_id;
+  f.value = SampleLiteral(table_id, f.column, rng);
+  return true;
+}
+
+bool QueryMutator::AddFilter(Query* q, Rng* rng) const {
+  const int n = q->num_relations();
+  if (n == 0) return false;
+  if (static_cast<int>(q->filters.size()) >= options_.max_filters) return false;
+  FilterPredicate f;
+  f.rel = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+  const int table_id = q->relations[static_cast<size_t>(f.rel)].table_id;
+  const auto& table = db_.table(table_id);
+  if (table.num_columns() == 0) return false;
+  f.column = static_cast<int>(
+      rng->UniformInt(static_cast<uint64_t>(table.num_columns())));
+  f.op = RandomOpOtherThan(CompareOp::kEq, rng);
+  if (rng->Bernoulli(0.3)) f.op = CompareOp::kEq;
+  f.value = SampleLiteral(table_id, f.column, rng);
+  q->filters.push_back(f);
+  return true;
+}
+
+bool QueryMutator::RemoveFilter(Query* q, Rng* rng) const {
+  if (q->filters.empty()) return false;
+  const size_t at = rng->UniformInt(q->filters.size());
+  q->filters.erase(q->filters.begin() + static_cast<ptrdiff_t>(at));
+  return true;
+}
+
+bool QueryMutator::DuplicateRelation(Query* q, Rng* rng) const {
+  const int n = q->num_relations();
+  if (n == 0 || n >= options_.max_relations) return false;
+  const int src = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+  const RelationRef& base = q->relations[static_cast<size_t>(src)];
+  RelationRef dup;
+  dup.table_id = base.table_id;
+  for (int suffix = 2; suffix < 2 + 2 * n; ++suffix) {
+    dup.alias = base.alias + "_d" + std::to_string(suffix);
+    bool taken = false;
+    for (const auto& r : q->relations) taken = taken || r.alias == dup.alias;
+    if (!taken) break;
+    dup.alias.clear();
+  }
+  if (dup.alias.empty()) return false;
+  const auto& table = db_.table(dup.table_id);
+  if (table.num_columns() == 0) return false;
+  const int new_rel = n;
+  q->relations.push_back(dup);
+  // Connect the duplicate to its source on one shared column — the
+  // canonical JOB-style self-join shape (t.id = t2.id).
+  JoinPredicate jp;
+  jp.left_rel = src;
+  jp.right_rel = new_rel;
+  jp.left_column = jp.right_column = static_cast<int>(
+      rng->UniformInt(static_cast<uint64_t>(table.num_columns())));
+  jp.schema_edge = db_.FindJoinEdge(dup.table_id, jp.left_column, dup.table_id,
+                                    jp.right_column);
+  q->joins.push_back(jp);
+  return true;
+}
+
+storage::Value QueryMutator::SampleLiteral(int table_id, int column,
+                                           Rng* rng) const {
+  const stats::ColumnStats& cs = stats_.column(table_id, column);
+  const storage::Column& col = db_.table(table_id).column(column);
+  double v = 0.0;
+  if (rng->Bernoulli(options_.boundary_bias) && !cs.histogram.empty()) {
+    // Histogram bucket boundaries, sometimes nudged one step off — the
+    // exact points where equi-depth selectivity interpolation changes.
+    const auto& bounds = cs.histogram.bounds();
+    v = bounds[rng->UniformInt(bounds.size())];
+    if (rng->Bernoulli(0.5)) v += rng->Bernoulli(0.5) ? 1.0 : -1.0;
+  } else {
+    switch (rng->UniformInt(uint64_t{6})) {
+      case 0:
+        v = cs.min - 1.0;
+        break;
+      case 1:
+        v = cs.max + 1.0;
+        break;
+      case 2:
+        v = 0.0;
+        break;
+      case 3:
+        v = -1.0;
+        break;
+      case 4:
+        v = cs.mcv.values.empty()
+                ? cs.mean
+                : cs.mcv.values[rng->UniformInt(cs.mcv.values.size())];
+        break;
+      default:
+        // Type extremes: the far end of what the literal syntax can carry.
+        if (col.type() == DataType::kFloat64) {
+          v = rng->Bernoulli(0.5) ? 1e300 : -1e300;
+        } else {
+          v = rng->Bernoulli(0.5)
+                  ? static_cast<double>(std::numeric_limits<int64_t>::max())
+                  : static_cast<double>(std::numeric_limits<int64_t>::min() + 2);
+        }
+        break;
+    }
+  }
+  switch (col.type()) {
+    case DataType::kInt64:
+      return Value::Int(SaturatingToInt64(v));
+    case DataType::kFloat64:
+      return Value::Float(v);
+    case DataType::kString: {
+      const auto& dict = col.dictionary();
+      const int64_t code = SaturatingToInt64(v);
+      if (!dict.empty() && code >= 0 &&
+          code < static_cast<int64_t>(dict.size())) {
+        Value out = Value::Str(dict[static_cast<size_t>(code)]);
+        out.i = code;
+        return out;
+      }
+      // Sentinel: a string absent from the dictionary (code -1), the
+      // "matches nothing on =" edge the parser also produces.
+      Value out = Value::Str("zzz_missing");
+      out.i = col.LookupDictCode("zzz_missing");
+      return out;
+    }
+  }
+  return Value::Int(0);
+}
+
+}  // namespace fuzz
+}  // namespace qps

@@ -1,0 +1,100 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Semantic query mutation for the planner fuzzer. Unlike byte-level
+// fuzzing, every mutation stays inside the IR's meaning: it permutes the
+// FROM order (planners must be invariant to it), grows or shrinks the join
+// graph while keeping it connected, perturbs predicate operators, pushes
+// literals toward histogram bucket boundaries and extreme/sentinel values
+// (where selectivity math is most fragile), and duplicates relations under
+// fresh aliases to manufacture self-joins. Mutants always satisfy
+// Query::Validate + IsConnected and round-trip through ToSql/ParseSql, so
+// every interesting one can be checked into the SQL regression corpus.
+
+#ifndef QPS_FUZZ_MUTATOR_H_
+#define QPS_FUZZ_MUTATOR_H_
+
+#include <optional>
+#include <string>
+
+#include "query/query.h"
+#include "stats/analyze.h"
+#include "storage/database.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace fuzz {
+
+/// The mutation classes QueryMutator applies.
+enum class MutationKind {
+  kSwapRelations,      ///< swap two FROM entries (planner order invariance)
+  kRotateRelations,    ///< rotate the whole FROM list
+  kAddJoin,            ///< add a schema-edge or self-column join predicate
+  kRemoveJoin,         ///< drop a join predicate, keeping connectivity
+  kPerturbFilterOp,    ///< rewrite a filter's comparison operator
+  kMutateLiteral,      ///< push a literal to a boundary / extreme value
+  kAddFilter,          ///< attach a new filter predicate
+  kRemoveFilter,       ///< drop a filter predicate
+  kDuplicateRelation,  ///< alias-duplicate a relation (self-join)
+};
+
+constexpr int kNumMutationKinds = 9;
+
+const char* MutationKindName(MutationKind kind);
+
+struct MutatorOptions {
+  int max_relations = 6;  ///< kAddJoin/kDuplicateRelation stop growing here
+  int max_filters = 8;    ///< kAddFilter stops growing here
+  /// Probability that kMutateLiteral / kAddFilter pick a histogram bucket
+  /// boundary rather than an extreme/sentinel value.
+  double boundary_bias = 0.6;
+};
+
+/// Applies one semantic mutation per call. Stateless besides configuration;
+/// all randomness comes from the caller's Rng, so campaigns are replayable.
+class QueryMutator {
+ public:
+  using Options = MutatorOptions;
+
+  QueryMutator(const storage::Database& db, const stats::DatabaseStats& stats,
+               MutatorOptions options = {});
+
+  /// Produces one mutant of `seed`, or nullopt when no mutation class is
+  /// applicable (e.g. a maximal query with no filters or removable joins).
+  /// The returned query passes Query::Validate(db) and IsConnected().
+  /// `kind_out`, when non-null, reports the mutation class applied.
+  std::optional<query::Query> Mutate(const query::Query& seed, Rng* rng,
+                                     MutationKind* kind_out = nullptr) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  bool Apply(MutationKind kind, query::Query* q, Rng* rng) const;
+
+  bool SwapRelations(query::Query* q, Rng* rng) const;
+  bool RotateRelations(query::Query* q, Rng* rng) const;
+  bool AddJoin(query::Query* q, Rng* rng) const;
+  bool RemoveJoin(query::Query* q, Rng* rng) const;
+  bool PerturbFilterOp(query::Query* q, Rng* rng) const;
+  bool MutateLiteral(query::Query* q, Rng* rng) const;
+  bool AddFilter(query::Query* q, Rng* rng) const;
+  bool RemoveFilter(query::Query* q, Rng* rng) const;
+  bool DuplicateRelation(query::Query* q, Rng* rng) const;
+
+  /// A literal for (table_id, column): histogram boundary (possibly nudged
+  /// off by one), extreme (min-1 / max+1 / int64 sentinels), or a value
+  /// sampled from the column's most-common values.
+  storage::Value SampleLiteral(int table_id, int column, Rng* rng) const;
+
+  /// Remaps relation indices in joins/filters after a permutation of the
+  /// relations vector; perm[i] is the new index of old relation i.
+  static void RemapRelations(query::Query* q, const std::vector<int>& perm);
+
+  const storage::Database& db_;
+  const stats::DatabaseStats& stats_;
+  Options options_;
+};
+
+}  // namespace fuzz
+}  // namespace qps
+
+#endif  // QPS_FUZZ_MUTATOR_H_

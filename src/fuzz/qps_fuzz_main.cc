@@ -1,0 +1,206 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// qps_fuzz: the coverage-guided planner fuzzing driver.
+//
+//   qps_fuzz --iters=10000 --seed=42 --corpus=tests/corpus/planner
+//
+// Builds a deterministic database + smoke-scale model, seeds the campaign
+// from a generated workload plus the existing corpus, and runs the
+// mutate -> differential-oracle -> minimize loop. Exit code 0 means zero
+// oracle violations; 1 means violations were found (and, with --corpus,
+// minimized repros were written); 2 means setup failed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qpseeker.h"
+#include "eval/workloads.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "optimizer/planner.h"
+#include "sampling/plan_sampler.h"
+#include "storage/schemas.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/scale.h"
+
+namespace {
+
+struct Flags {
+  int64_t iters = 5000;
+  uint64_t seed = 42;
+  std::string db = "toy";
+  int rows = 300;
+  std::string searcher = "novelty";
+  std::string corpus;
+  int64_t log_every = 1000;
+  int rollouts = 12;
+  int train_epochs = 6;
+  int num_seeds = 24;
+  bool minimize = true;
+  bool print_metrics = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--iters=N] [--seed=N] [--db=toy|imdb|stack] [--rows=N]\n"
+      "          [--searcher=novelty|roundrobin] [--corpus=DIR]\n"
+      "          [--log-every=N] [--rollouts=N] [--train-epochs=N]\n"
+      "          [--num-seeds=N] [--minimize=0|1] [--print-metrics]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qps;  // NOLINT
+
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (ParseFlag(arg, "iters", &v)) {
+      flags.iters = std::atoll(v.c_str());
+    } else if (ParseFlag(arg, "seed", &v)) {
+      flags.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (ParseFlag(arg, "db", &v)) {
+      flags.db = v;
+    } else if (ParseFlag(arg, "rows", &v)) {
+      flags.rows = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "searcher", &v)) {
+      flags.searcher = v;
+    } else if (ParseFlag(arg, "corpus", &v)) {
+      flags.corpus = v;
+    } else if (ParseFlag(arg, "log-every", &v)) {
+      flags.log_every = std::atoll(v.c_str());
+    } else if (ParseFlag(arg, "rollouts", &v)) {
+      flags.rollouts = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "train-epochs", &v)) {
+      flags.train_epochs = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "num-seeds", &v)) {
+      flags.num_seeds = std::atoi(v.c_str());
+    } else if (ParseFlag(arg, "minimize", &v)) {
+      flags.minimize = v != "0";
+    } else if (arg == "--print-metrics") {
+      flags.print_metrics = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  // Everything below hangs off one deterministic seed chain: database
+  // content, model training, workload seeds, and the campaign itself.
+  storage::DatabaseSpec spec;
+  if (flags.db == "toy") {
+    spec = storage::ToySpec();
+  } else if (flags.db == "imdb") {
+    spec = storage::ImdbLikeSpec();
+  } else if (flags.db == "stack") {
+    spec = storage::StackLikeSpec();
+  } else {
+    std::fprintf(stderr, "unknown --db=%s\n", flags.db.c_str());
+    return 2;
+  }
+
+  Rng db_rng(flags.seed);
+  auto db_or = storage::BuildDatabase(spec, flags.rows, &db_rng);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "BuildDatabase: %s\n",
+                 db_or.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<storage::Database> db = std::move(db_or).value();
+  std::unique_ptr<stats::DatabaseStats> stats =
+      stats::DatabaseStats::Analyze(*db);
+  optimizer::Planner baseline(*db, *stats);
+
+  // Train a smoke-scale model on a sampled QEP dataset — the oracle needs
+  // a model that scores plans deterministically, not a good one.
+  eval::WorkloadOptions train_wopts;
+  train_wopts.num_queries = 12;
+  train_wopts.max_joins = 2;
+  Rng train_rng(flags.seed ^ 0x7261696e);  // "rain"
+  std::vector<query::Query> train_queries =
+      eval::GenerateWorkload(*db, train_wopts, &train_rng);
+  sampling::DatasetOptions dopts;
+  dopts.source = sampling::PlanSource::kSampled;
+  dopts.sampler.max_plans_per_query = 4;
+  auto ds_or = sampling::BuildQepDataset(*db, *stats, train_queries, dopts,
+                                         &train_rng);
+  if (!ds_or.ok()) {
+    std::fprintf(stderr, "BuildQepDataset: %s\n",
+                 ds_or.status().ToString().c_str());
+    return 2;
+  }
+  core::QpSeeker model(*db, *stats,
+                       core::QpSeekerConfig::ForScale(Scale::kSmoke), 3);
+  core::TrainOptions topts;
+  topts.epochs = flags.train_epochs;
+  model.Train(ds_or.value(), topts);
+
+  // Campaign seeds: a generated workload plus every checked-in corpus
+  // entry, so past violations get re-fuzzed from day one.
+  eval::WorkloadOptions wopts;
+  wopts.num_queries = flags.num_seeds;
+  wopts.max_joins = 3;
+  Rng seed_rng(flags.seed ^ 0x73656564);  // "seed"
+  std::vector<query::Query> seeds =
+      eval::GenerateWorkload(*db, wopts, &seed_rng);
+  if (!flags.corpus.empty()) {
+    auto corpus_or = fuzz::LoadCorpus(flags.corpus, *db);
+    if (!corpus_or.ok()) {
+      std::fprintf(stderr, "LoadCorpus: %s\n",
+                   corpus_or.status().ToString().c_str());
+      return 2;
+    }
+    for (auto& entry : corpus_or.value()) {
+      seeds.push_back(std::move(entry.query));
+    }
+  }
+
+  fuzz::FuzzOptions fopts;
+  fopts.seed = flags.seed;
+  fopts.iters = flags.iters;
+  fopts.searcher = flags.searcher;
+  fopts.corpus_dir = flags.corpus;
+  fopts.minimize = flags.minimize;
+  fopts.log_every = flags.log_every;
+  fopts.oracle.guarded.hybrid.mcts.max_rollouts = flags.rollouts;
+
+  fuzz::Fuzzer fuzzer(*db, *stats, &model, &baseline, fopts);
+  auto report_or = fuzzer.Run(seeds);
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "fuzz run failed: %s\n",
+                 report_or.status().ToString().c_str());
+    return 2;
+  }
+  const fuzz::FuzzReport& report = report_or.value();
+  std::printf("%s", report.ToString().c_str());
+
+  if (flags.print_metrics) {
+    std::printf("%s",
+                metrics::RenderText(metrics::Registry::Global().TakeSnapshot())
+                    .c_str());
+  }
+
+  return report.oracle_violations > 0 ? 1 : 0;
+}

@@ -1,0 +1,53 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "fuzz/seed_queue.h"
+
+#include "util/logging.h"
+
+namespace qps {
+namespace fuzz {
+
+size_t RoundRobinSearcher::PickNext(const std::vector<Seed>& seeds, Rng* rng) {
+  (void)rng;
+  QPS_CHECK(!seeds.empty());
+  if (next_ >= seeds.size()) next_ = 0;
+  return next_++;
+}
+
+size_t NoveltySearcher::PickNext(const std::vector<Seed>& seeds, Rng* rng) {
+  QPS_CHECK(!seeds.empty());
+  std::vector<double> weights;
+  weights.reserve(seeds.size());
+  for (const auto& s : seeds) {
+    weights.push_back(
+        (1.0 + s.novel_children + 4.0 * s.violations_found) /
+        (1.0 + s.executions));
+  }
+  return rng->Categorical(weights);
+}
+
+StatusOr<std::unique_ptr<Searcher>> MakeSearcher(const std::string& name) {
+  if (name == "roundrobin") {
+    return std::unique_ptr<Searcher>(new RoundRobinSearcher());
+  }
+  if (name == "novelty") {
+    return std::unique_ptr<Searcher>(new NoveltySearcher());
+  }
+  return Status::InvalidArgument("unknown searcher: " + name +
+                                 " (expected roundrobin|novelty)");
+}
+
+void SeedQueue::Add(Seed seed) {
+  if (seeds_.size() >= max_seeds_) return;
+  seeds_.push_back(std::move(seed));
+}
+
+Seed& SeedQueue::Pick(Searcher* searcher, Rng* rng) {
+  QPS_CHECK(!seeds_.empty()) << "Pick on an empty seed queue";
+  Seed& s = seeds_[searcher->PickNext(seeds_, rng)];
+  ++s.executions;
+  return s;
+}
+
+}  // namespace fuzz
+}  // namespace qps

@@ -1,0 +1,94 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// The fuzzing seed queue, in the AFL mold: a growing pool of queries that
+// each produced a novel behavior signature when first executed, plus a
+// pluggable Searcher that decides which seed to mutate next. AFL's
+// searchers pick by coverage-distance and energy; ours weigh a seed's
+// yield (how many novel signatures its mutants produced) against how often
+// it has already been fuzzed, so productive regions of the query space get
+// more attention without starving the rest.
+
+#ifndef QPS_FUZZ_SEED_QUEUE_H_
+#define QPS_FUZZ_SEED_QUEUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qps {
+namespace fuzz {
+
+/// One queue entry with its fuzzing bookkeeping.
+struct Seed {
+  query::Query query;
+  uint64_t signature = 0;     ///< behavior signature that admitted it
+  int executions = 0;         ///< times this seed was picked for mutation
+  int novel_children = 0;     ///< mutants of this seed with new signatures
+  int violations_found = 0;   ///< mutants of this seed that broke an oracle
+  int depth = 0;              ///< mutation chain length from a workload seed
+};
+
+/// Strategy for picking the next seed to mutate. Implementations must be
+/// deterministic given the queue state and the Rng stream.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+  virtual const char* name() const = 0;
+  /// Index into `seeds` (non-empty) of the next seed to mutate.
+  virtual size_t PickNext(const std::vector<Seed>& seeds, Rng* rng) = 0;
+};
+
+/// Cycles through the queue in admission order (AFL's baseline sweep).
+class RoundRobinSearcher : public Searcher {
+ public:
+  const char* name() const override { return "roundrobin"; }
+  size_t PickNext(const std::vector<Seed>& seeds, Rng* rng) override;
+
+ private:
+  size_t next_ = 0;
+};
+
+/// Samples seeds with weight (1 + novel_children + 4 * violations_found)
+/// / (1 + executions): high-yield seeds get fuzzed more, over-fuzzed seeds
+/// decay, and fresh seeds start with the benefit of the doubt.
+class NoveltySearcher : public Searcher {
+ public:
+  const char* name() const override { return "novelty"; }
+  size_t PickNext(const std::vector<Seed>& seeds, Rng* rng) override;
+};
+
+/// Constructs a searcher by name ("roundrobin" | "novelty").
+StatusOr<std::unique_ptr<Searcher>> MakeSearcher(const std::string& name);
+
+/// The seed pool. Admission is novelty-gated by the caller (the fuzzer
+/// checks the coverage map before offering).
+class SeedQueue {
+ public:
+  explicit SeedQueue(size_t max_seeds = 4096) : max_seeds_(max_seeds) {}
+
+  /// Adds a seed; drops it silently once the queue is at capacity.
+  void Add(Seed seed);
+
+  bool empty() const { return seeds_.empty(); }
+  size_t size() const { return seeds_.size(); }
+
+  Seed& at(size_t i) { return seeds_[i]; }
+  const std::vector<Seed>& seeds() const { return seeds_; }
+
+  /// Picks the next seed via `searcher` and counts the execution.
+  Seed& Pick(Searcher* searcher, Rng* rng);
+
+ private:
+  std::vector<Seed> seeds_;
+  size_t max_seeds_;
+};
+
+}  // namespace fuzz
+}  // namespace qps
+
+#endif  // QPS_FUZZ_SEED_QUEUE_H_

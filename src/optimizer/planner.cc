@@ -192,6 +192,7 @@ StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints) const {
   plans_counter->Increment();
   if (q.num_relations() == 0) return Status::InvalidArgument("empty FROM list");
   if (!hints.Valid()) return Status::InvalidArgument("hints disable all operators");
+  QPS_RETURN_IF_ERROR(q.Validate(db_));
   if (q.num_relations() > 1 && !q.IsConnected()) {
     return Status::NotImplemented("cross products are not supported");
   }

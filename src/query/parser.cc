@@ -3,6 +3,9 @@
 #include "query/parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <optional>
 
 #include "util/metrics.h"
@@ -52,6 +55,19 @@ class Lexer {
       while (pos_ < in_.size() &&
              (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '.')) {
         ++pos_;
+      }
+      // Scientific notation ("1e+308", "2.5E-3"): accepted so extreme
+      // literals written by Value::ToString round-trip through the parser.
+      if (pos_ < in_.size() && (in_[pos_] == 'e' || in_[pos_] == 'E')) {
+        size_t exp = pos_ + 1;
+        if (exp < in_.size() && (in_[exp] == '+' || in_[exp] == '-')) ++exp;
+        if (exp < in_.size() && std::isdigit(static_cast<unsigned char>(in_[exp]))) {
+          pos_ = exp + 1;
+          while (pos_ < in_.size() &&
+                 std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+            ++pos_;
+          }
+        }
       }
       tok.kind = TokKind::kNumber;
       tok.text = in_.substr(start, pos_ - start);
@@ -124,6 +140,10 @@ class Parser {
       return Status::InvalidArgument(
           StrFormat("trailing input at %zu: '%s'", cur_.pos, cur_.text.c_str()));
     }
+    // Defense in depth at the parse boundary: everything above binds
+    // against the catalog already, but a parsed query must also pass the
+    // same validation the planner entry points enforce.
+    QPS_RETURN_IF_ERROR(query_.Validate(db_));
     return std::move(query_);
   }
 
@@ -270,10 +290,27 @@ class Parser {
     const auto& table = db_.table(query_.relations[static_cast<size_t>(lhs.rel)].table_id);
     const auto& column = table.column(lhs.column);
     if (cur_.kind == TokKind::kNumber) {
+      // strtod/strtoll instead of the std::sto* family: hostile literals
+      // ("1e99999", 20-digit ints) must yield a Status, not an exception.
+      errno = 0;
       if (column.type() == storage::DataType::kFloat64) {
-        fp.value = storage::Value::Float(std::stod(cur_.text));
+        char* end = nullptr;
+        const double d = std::strtod(cur_.text.c_str(), &end);
+        if (errno == ERANGE || !std::isfinite(d)) {
+          return Status::InvalidArgument("float literal out of range: " + cur_.text);
+        }
+        fp.value = storage::Value::Float(d);
+      } else if (column.type() == storage::DataType::kString) {
+        return Status::InvalidArgument("numeric literal on string column " +
+                                       column.name());
       } else {
-        fp.value = storage::Value::Int(std::stoll(cur_.text));
+        char* end = nullptr;
+        const long long v = std::strtoll(cur_.text.c_str(), &end, 10);
+        if (errno == ERANGE || end == nullptr || *end != '\0') {
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         cur_.text);
+        }
+        fp.value = storage::Value::Int(v);
       }
     } else if (cur_.kind == TokKind::kString) {
       if (column.type() != storage::DataType::kString) {

@@ -2,7 +2,9 @@
 
 #include "query/query.h"
 
+#include <cmath>
 #include <functional>
+#include <unordered_set>
 
 #include "util/string_util.h"
 
@@ -18,8 +20,13 @@ std::vector<FilterPredicate> Query::FiltersFor(int rel) const {
 }
 
 std::vector<std::vector<int>> Query::JoinAdjacency() const {
-  std::vector<std::vector<int>> adj(static_cast<size_t>(num_relations()));
+  const int n = num_relations();
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
   for (const auto& j : joins) {
+    if (j.left_rel < 0 || j.left_rel >= n || j.right_rel < 0 ||
+        j.right_rel >= n || j.left_rel == j.right_rel) {
+      continue;  // degenerate predicate: no edge rather than UB
+    }
     adj[static_cast<size_t>(j.left_rel)].push_back(j.right_rel);
     adj[static_cast<size_t>(j.right_rel)].push_back(j.left_rel);
   }
@@ -28,7 +35,8 @@ std::vector<std::vector<int>> Query::JoinAdjacency() const {
 
 bool Query::IsConnected() const {
   const int n = num_relations();
-  if (n <= 1) return true;
+  if (n == 0) return false;
+  if (n == 1) return true;
   auto adj = JoinAdjacency();
   std::vector<bool> seen(static_cast<size_t>(n), false);
   std::vector<int> stack = {0};
@@ -46,6 +54,113 @@ bool Query::IsConnected() const {
     }
   }
   return count == n;
+}
+
+Status Query::ValidateStructure() const {
+  const int n = num_relations();
+  std::unordered_set<std::string> aliases;
+  for (int r = 0; r < n; ++r) {
+    const RelationRef& ref = relations[static_cast<size_t>(r)];
+    if (ref.alias.empty()) {
+      return Status::InvalidArgument(StrFormat("relation %d has no alias", r));
+    }
+    if (!aliases.insert(ref.alias).second) {
+      return Status::InvalidArgument("duplicate alias: " + ref.alias);
+    }
+  }
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const JoinPredicate& j = joins[i];
+    if (j.left_rel < 0 || j.left_rel >= n || j.right_rel < 0 ||
+        j.right_rel >= n) {
+      return Status::InvalidArgument(
+          StrFormat("join %zu references relation %d/%d outside [0, %d)", i,
+                    j.left_rel, j.right_rel, n));
+    }
+    if (j.left_rel == j.right_rel) {
+      return Status::InvalidArgument(StrFormat(
+          "join %zu relates relation instance %d to itself", i, j.left_rel));
+    }
+    if (j.left_column < 0 || j.right_column < 0) {
+      return Status::InvalidArgument(
+          StrFormat("join %zu has a negative column index", i));
+    }
+  }
+  for (size_t i = 0; i < filters.size(); ++i) {
+    const FilterPredicate& f = filters[i];
+    if (f.rel < 0 || f.rel >= n) {
+      return Status::InvalidArgument(StrFormat(
+          "filter %zu references relation %d outside [0, %d)", i, f.rel, n));
+    }
+    if (f.column < 0) {
+      return Status::InvalidArgument(
+          StrFormat("filter %zu has a negative column index", i));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Strings only compare against strings; the two numeric types intermix.
+bool TypeClassesMatch(storage::DataType a, storage::DataType b) {
+  const bool a_str = a == storage::DataType::kString;
+  const bool b_str = b == storage::DataType::kString;
+  return a_str == b_str;
+}
+
+}  // namespace
+
+Status Query::Validate(const storage::Database& db) const {
+  QPS_RETURN_IF_ERROR(ValidateStructure());
+  for (size_t r = 0; r < relations.size(); ++r) {
+    const int table_id = relations[r].table_id;
+    if (table_id < 0 || table_id >= db.num_tables()) {
+      return Status::InvalidArgument(
+          StrFormat("relation %zu: table id %d outside [0, %d)", r, table_id,
+                    db.num_tables()));
+    }
+  }
+  const auto column_ok = [&](int rel, int column) {
+    const auto& table =
+        db.table(relations[static_cast<size_t>(rel)].table_id);
+    return column < table.num_columns();
+  };
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const JoinPredicate& j = joins[i];
+    if (!column_ok(j.left_rel, j.left_column) ||
+        !column_ok(j.right_rel, j.right_column)) {
+      return Status::InvalidArgument(
+          StrFormat("join %zu references a column outside its table", i));
+    }
+    const auto& lt = db.table(relations[static_cast<size_t>(j.left_rel)].table_id);
+    const auto& rt = db.table(relations[static_cast<size_t>(j.right_rel)].table_id);
+    if (!TypeClassesMatch(lt.column(j.left_column).type(),
+                          rt.column(j.right_column).type())) {
+      return Status::InvalidArgument(
+          StrFormat("join %zu compares a string column with a numeric one", i));
+    }
+  }
+  for (size_t i = 0; i < filters.size(); ++i) {
+    const FilterPredicate& f = filters[i];
+    if (!column_ok(f.rel, f.column)) {
+      return Status::InvalidArgument(
+          StrFormat("filter %zu references a column outside its table", i));
+    }
+    const auto& table = db.table(relations[static_cast<size_t>(f.rel)].table_id);
+    if (!TypeClassesMatch(table.column(f.column).type(), f.value.type)) {
+      return Status::InvalidArgument(
+          StrFormat("filter %zu: %s literal on %s column %s", i,
+                    storage::DataTypeName(f.value.type),
+                    storage::DataTypeName(table.column(f.column).type()),
+                    table.column(f.column).name().c_str()));
+    }
+    if (f.value.type == storage::DataType::kFloat64 &&
+        !std::isfinite(f.value.d)) {
+      return Status::InvalidArgument(
+          StrFormat("filter %zu: non-finite literal", i));
+    }
+  }
+  return Status::OK();
 }
 
 std::string Query::ToSql(const storage::Database& db) const {

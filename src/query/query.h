@@ -14,6 +14,7 @@
 
 #include "storage/database.h"
 #include "storage/value.h"
+#include "util/status.h"
 
 namespace qps {
 namespace query {
@@ -53,11 +54,27 @@ struct Query {
   /// Filters attached to one relation instance.
   std::vector<FilterPredicate> FiltersFor(int rel) const;
 
-  /// Adjacency of the join graph over relation indices.
+  /// Adjacency of the join graph over relation indices. Out-of-range or
+  /// self-referencing (left_rel == right_rel) join predicates contribute no
+  /// edge, so a mutated query cannot corrupt the graph walk.
   std::vector<std::vector<int>> JoinAdjacency() const;
 
   /// True if the join graph connects all relations (no cross products).
+  /// A query with zero relations is not connected.
   bool IsConnected() const;
+
+  /// Catalog-independent self-consistency: every join/filter index targets
+  /// an existing relation instance, no join predicate relates a relation
+  /// instance to itself, and aliases are non-empty and unique. This is the
+  /// floor every planner entry point enforces (core::CheckPlannable), so
+  /// malformed fuzz mutants fail with a Status instead of indexing UB.
+  Status ValidateStructure() const;
+
+  /// Full validation against a catalog: ValidateStructure plus table ids in
+  /// range for `db`, column indices in range for their tables, join-column
+  /// type classes matching, and filter literals finite and type-compatible
+  /// with the filtered column. The parser and the executor both run this.
+  Status Validate(const storage::Database& db) const;
 
   /// SQL-ish rendering for logs and docs.
   std::string ToSql(const storage::Database& db) const;

@@ -1,0 +1,6 @@
+# violation: plan-failure (parser): int literals at the int64 boundary went
+# through std::stoll, which throws std::out_of_range one past the boundary —
+# a hostile corpus file could terminate the replay process. Fixed by moving
+# literal conversion to strtoll/strtod with errno checks (InvalidArgument).
+# found-by: qps_fuzz seed=42 (development run, pre-fix)
+SELECT COUNT(*) FROM a WHERE a.a2 = 9223372036854775807;

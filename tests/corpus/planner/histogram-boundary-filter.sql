@@ -1,0 +1,6 @@
+# violation: non-finite-stats (candidate): equality on a histogram bucket
+# boundary value with a Zipf-skewed column is the selectivity edge case the
+# kMutateLiteral boundary bias targets; pins finite estimates and agreeing
+# cardinalities on the full 3-relation chain with boundary filters.
+# found-by: qps_fuzz seed=42 (development run)
+SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND a.a2 = 1 AND c.c2 <= 0;

@@ -1,0 +1,6 @@
+# violation: plan-failure (parser): large negative int literals shared the
+# std::stoll path that threw (and could terminate a replay process) one past
+# the int64 range; conversion now goes through strtoll with errno checks.
+# This entry pins the extreme in-range literal through plan + execute.
+# found-by: qps_fuzz seed=42 (development run, pre-fix)
+SELECT COUNT(*) FROM b WHERE b.b3 >= -9223372036854775807;

@@ -1,0 +1,6 @@
+# violation: result-mismatch (candidate): duplicate relation instances of the
+# same table (the kDuplicateRelation mutation) are where alias-insensitive
+# planners can mis-bind join predicates; this shape pins the differential
+# cardinality agreement across all four backends for a toy self-join fan-out.
+# found-by: qps_fuzz seed=42 (development run)
+SELECT COUNT(*) FROM b x, b y, a WHERE x.b1 = a.id AND y.b1 = a.id AND x.b3 = 5;

@@ -1,0 +1,7 @@
+# violation: result-mismatch (candidate): equality on a value below the
+# column's domain (the kMutateLiteral "min-1" sentinel) drives estimated
+# cardinality to the floor while the true result is zero rows — the regime
+# where backends are likeliest to diverge. Pins zero-row agreement across
+# all four backends on a joined query.
+# found-by: qps_fuzz seed=42 (development run)
+SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id AND a.a2 = 0;

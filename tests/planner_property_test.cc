@@ -220,5 +220,109 @@ TEST_P(HybridThresholdTest, RoutesExactlyByRelationCount) {
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, HybridThresholdTest, ::testing::Values(2, 3, 4));
 
+// ---- Exhaustive result-invariance oracle ------------------------------------
+//
+// Ground truth for the fuzzer's differential oracle: for every connected
+// query of <= 4 relations over the toy schema, *every* connected left-deep
+// join order must execute to the same root cardinality, and the DP and
+// greedy planners' chosen plans must match that cardinality exactly. A
+// planner that reorders joins may change cost, never the answer.
+
+// All connected queries over distinct-table subsets of the toy schema,
+// joined by every applicable schema edge, plus self-join variants that
+// exercise duplicate relation instances up to 4 relations.
+std::vector<query::Query> EnumerateSmallQueries(const storage::Database& db) {
+  std::vector<query::Query> out;
+  const int n = db.num_tables();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    query::Query q;
+    std::vector<int> rel_of_table(static_cast<size_t>(n), -1);
+    for (int t = 0; t < n; ++t) {
+      if (mask & (1u << t)) {
+        rel_of_table[static_cast<size_t>(t)] = q.num_relations();
+        q.relations.push_back({t, db.table(t).name()});
+      }
+    }
+    for (size_t e = 0; e < db.join_edges().size(); ++e) {
+      const auto& edge = db.join_edges()[e];
+      const int lr = rel_of_table[static_cast<size_t>(edge.left_table)];
+      const int rr = rel_of_table[static_cast<size_t>(edge.right_table)];
+      if (lr < 0 || rr < 0) continue;
+      q.joins.push_back({lr, edge.left_column, rr, edge.right_column,
+                         static_cast<int>(e)});
+    }
+    if (!q.IsConnected()) continue;
+    out.push_back(std::move(q));
+  }
+  // Self-join variants (toy schema: b.b1 -> a.id, c.c1 -> b.id).
+  const auto& fx = PlannerFixture::Get();
+  const char* self_join_sqls[] = {
+      "SELECT COUNT(*) FROM b x, b y, a WHERE x.b1 = a.id AND y.b1 = a.id;",
+      "SELECT COUNT(*) FROM a, b, c, c c2 WHERE b.b1 = a.id AND c.c1 = b.id "
+      "AND c2.c1 = b.id;",
+      "SELECT COUNT(*) FROM b x, b y, a, c WHERE x.b1 = a.id AND y.b1 = a.id "
+      "AND c.c1 = x.id;",
+  };
+  for (const char* sql : self_join_sqls) {
+    out.push_back(query::ParseSql(sql, *fx.db).value());
+  }
+  return out;
+}
+
+TEST(ExhaustiveInvarianceTest, AllJoinOrdersAndPlannersAgreeOnCardinality) {
+  const auto& fx = PlannerFixture::Get();
+  optimizer::Planner baseline(*fx.db, *fx.stats);
+  const auto queries = EnumerateSmallQueries(*fx.db);
+  ASSERT_GE(queries.size(), 8u);
+
+  for (const auto& q : queries) {
+    ASSERT_LE(q.num_relations(), 4);
+    ASSERT_TRUE(q.Validate(*fx.db).ok());
+    const auto orders = query::EnumerateJoinOrders(q, 10'000);
+    ASSERT_FALSE(orders.empty());
+
+    // Every connected left-deep order executes to the same cardinality.
+    double reference = -1.0;
+    for (const auto& order : orders) {
+      std::vector<query::OpType> scans(order.size(), query::OpType::kSeqScan);
+      std::vector<query::OpType> joins(
+          order.empty() ? 0 : order.size() - 1, query::OpType::kHashJoin);
+      auto plan = query::BuildLeftDeepPlan(q, order, scans, joins);
+      ASSERT_NE(plan, nullptr);
+      ASSERT_TRUE(query::ValidatePlan(q, *plan).ok());
+      exec::Executor ex(*fx.db);
+      auto rows = ex.Execute(q, plan.get());
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+      if (reference < 0.0) {
+        reference = rows.value();
+      } else {
+        ASSERT_EQ(rows.value(), reference)
+            << "join order changed the answer of " << q.ToSql(*fx.db);
+      }
+    }
+
+    // The DP planner's choice is valid, finite, and answer-preserving.
+    auto dp = baseline.Plan(q);
+    ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+    ASSERT_TRUE(query::ValidatePlan(q, **dp).ok());
+    (*dp)->PostOrder([](const query::PlanNode& n) {
+      EXPECT_TRUE(query::StatsAreFinite(n.estimated));
+    });
+    exec::Executor dp_ex(*fx.db);
+    auto dp_rows = dp_ex.Execute(q, dp->get());
+    ASSERT_TRUE(dp_rows.ok());
+    EXPECT_EQ(dp_rows.value(), reference);
+
+    // So is the greedy (model-guided) planner's.
+    auto greedy = core::GreedyPlan(*fx.model, q);
+    ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+    ASSERT_TRUE(query::ValidatePlan(q, *greedy->plan).ok());
+    exec::Executor g_ex(*fx.db);
+    auto g_rows = g_ex.Execute(q, greedy->plan.get());
+    ASSERT_TRUE(g_rows.ok());
+    EXPECT_EQ(g_rows.value(), reference);
+  }
+}
+
 }  // namespace
 }  // namespace qps

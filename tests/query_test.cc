@@ -308,6 +308,136 @@ TEST(StatsAreFiniteTest, FlagsNanAndInf) {
   EXPECT_FALSE(StatsAreFinite(neg_inf_rt));
 }
 
+// --- Query::ValidateStructure / Validate (the fuzzing boundary) ---------
+
+TEST_F(QueryTest, ValidateAcceptsParsedQueries) {
+  auto q = ParseSql(
+      "SELECT COUNT(*) FROM a, b, c WHERE b.b1 = a.id AND c.c1 = b.id AND "
+      "a.a2 > 3;",
+      *db_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->ValidateStructure().ok());
+  EXPECT_TRUE(q->Validate(*db_).ok());
+}
+
+TEST_F(QueryTest, ValidateStructureRejectsDuplicateAliases) {
+  Query q;
+  q.relations = {{0, "a"}, {1, "a"}};
+  q.joins = {{0, 1, 1, 1, -1}};
+  Status st = q.ValidateStructure();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, ValidateStructureRejectsEmptyAlias) {
+  Query q;
+  q.relations = {{0, ""}};
+  EXPECT_FALSE(q.ValidateStructure().ok());
+}
+
+TEST_F(QueryTest, ValidateStructureRejectsOutOfRangeJoinIndices) {
+  Query q;
+  q.relations = {{0, "a"}, {1, "b"}};
+  q.joins = {{0, 1, 7, 1, -1}};  // right_rel out of range
+  EXPECT_FALSE(q.ValidateStructure().ok());
+  q.joins = {{-1, 1, 1, 1, -1}};
+  EXPECT_FALSE(q.ValidateStructure().ok());
+}
+
+TEST_F(QueryTest, ValidateStructureRejectsSelfReferencingJoin) {
+  Query q;
+  q.relations = {{0, "a"}, {1, "b"}};
+  q.joins = {{0, 1, 0, 1, -1}};  // a.x = a.y relates a relation to itself
+  EXPECT_FALSE(q.ValidateStructure().ok());
+}
+
+TEST_F(QueryTest, ValidateStructureRejectsBadFilterIndices) {
+  Query q;
+  q.relations = {{0, "a"}};
+  FilterPredicate f;
+  f.rel = 3;
+  f.column = 0;
+  q.filters = {f};
+  EXPECT_FALSE(q.ValidateStructure().ok());
+  q.filters[0].rel = 0;
+  q.filters[0].column = -2;
+  EXPECT_FALSE(q.ValidateStructure().ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsOutOfRangeTableId) {
+  Query q;
+  q.relations = {{db_->num_tables(), "x"}};
+  EXPECT_FALSE(q.Validate(*db_).ok());
+  q.relations = {{-1, "x"}};
+  EXPECT_FALSE(q.Validate(*db_).ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsOutOfRangeColumn) {
+  Query q;
+  q.relations = {{0, "a"}};
+  FilterPredicate f;
+  f.rel = 0;
+  f.column = db_->table(0).num_columns();
+  f.value = storage::Value::Int(1);
+  q.filters = {f};
+  EXPECT_FALSE(q.Validate(*db_).ok());
+}
+
+TEST_F(QueryTest, ValidateRejectsTypeMismatchedLiteral) {
+  // a.a2 is an int column in ToySpec; a string literal must be rejected.
+  Query q;
+  q.relations = {{0, "a"}};
+  FilterPredicate f;
+  f.rel = 0;
+  f.column = 1;
+  f.value = storage::Value::Str("oops");
+  q.filters = {f};
+  Status st = q.Validate(*db_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, ValidateRejectsNonFiniteLiteral) {
+  Query q;
+  q.relations = {{0, "a"}};
+  FilterPredicate f;
+  f.rel = 0;
+  f.column = 1;
+  f.value = storage::Value::Float(std::nan(""));
+  q.filters = {f};
+  EXPECT_FALSE(q.Validate(*db_).ok());
+  q.filters[0].value =
+      storage::Value::Float(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(q.Validate(*db_).ok());
+}
+
+// --- join-graph hardening against degenerate inputs ---------------------
+
+TEST_F(QueryTest, EmptyQueryIsNotConnected) {
+  Query q;
+  EXPECT_FALSE(q.IsConnected());
+  EXPECT_TRUE(q.JoinAdjacency().empty());
+}
+
+TEST_F(QueryTest, SingleRelationIsConnected) {
+  Query q;
+  q.relations = {{0, "a"}};
+  EXPECT_TRUE(q.IsConnected());
+}
+
+TEST_F(QueryTest, DegenerateJoinsContributeNoEdges) {
+  Query q;
+  q.relations = {{0, "a"}, {1, "b"}};
+  // Self-referencing and out-of-range predicates must not corrupt the
+  // adjacency walk — and must not connect anything either.
+  q.joins = {{0, 1, 0, 1, -1}, {5, 0, 1, 0, -1}, {0, 0, -3, 0, -1}};
+  auto adj = q.JoinAdjacency();
+  ASSERT_EQ(adj.size(), 2u);
+  EXPECT_TRUE(adj[0].empty());
+  EXPECT_TRUE(adj[1].empty());
+  EXPECT_FALSE(q.IsConnected());
+}
+
 TEST(OpTypeTest, Classification) {
   EXPECT_TRUE(IsScan(OpType::kSeqScan));
   EXPECT_TRUE(IsScan(OpType::kIndexScan));
