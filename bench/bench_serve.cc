@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "exec/executor.h"
+#include "obs/accuracy.h"
+#include "obs/window.h"
 #include "serve/plan_service.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -82,6 +85,56 @@ RunResult RunClients(const core::QpSeeker& model, optimizer::Planner* baseline,
   return out;
 }
 
+/// Sustained-load observation phase (ISSUE: observability): serve rounds of
+/// requests, execute every served plan so the accuracy tracker receives
+/// predicted-vs-actual feedback, and print the sliding-window latency
+/// percentiles and q-error after each round. Both columns converge as the
+/// window fills — the acceptance signal for the windowed instrumentation.
+void RunWindowedObservation(const core::QpSeeker& model,
+                            optimizer::Planner* baseline,
+                            const storage::Database& db,
+                            const std::vector<query::Query>& queries,
+                            double budget_ms, int rounds) {
+  std::printf(
+      "\n--- Windowed observability: rolling p99 / q-error under sustained "
+      "load ---\n");
+  core::GuardedOptions gopts;
+  gopts.hybrid.mcts.time_budget_ms = budget_ms;
+  gopts.hybrid.mcts.threads = 1;
+  serve::PlanServiceOptions sopts;
+  sopts.workers = 4;
+  sopts.max_queue = 16;
+  auto service_or =
+      serve::PlanService::Create("neural", &model, baseline, gopts, sopts);
+  QPS_CHECK(service_or.ok());
+  auto service = std::move(service_or).value();
+
+  exec::ExecOptions eopts;
+  eopts.accuracy_backend = "neural";  // feed obs::AccuracyTracker::Global()
+  exec::Executor executor(db, eopts);
+
+  obs::WindowedHistogram* latency =
+      obs::WindowRegistry::Global().GetHistogram("qps.serve.latency_ms");
+  std::printf("%6s %8s %10s %10s %12s %10s\n", "round", "win n", "p50 ms",
+              "p99 ms", "qerr p50", "drift");
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      core::PlanRequestOptions ropts;
+      ropts.seed = 9000 + static_cast<uint64_t>(round) * 100 + i;
+      auto result = service->Submit(queries[i], ropts).get();
+      if (result.ok()) {
+        auto analyzed = executor.ExplainAnalyze(queries[i], result->plan.get());
+        (void)analyzed;  // feedback is the side effect; errors just skip it
+      }
+    }
+    const auto drift = obs::AccuracyTracker::Global().Update("neural");
+    const metrics::HistogramSnapshot window = latency->SnapshotWindow();
+    std::printf("%6d %8lld %10.2f %10.2f %12.2f %10.2f\n", round + 1,
+                static_cast<long long>(window.count), window.Percentile(50),
+                window.Percentile(99), drift.qerr_p50, drift.drift_score);
+  }
+}
+
 int Run() {
   Env env = MakeEnvFromEnvVar();
   std::printf("=== Serving: concurrent planning with cross-query batching (scale=%s) ===\n\n",
@@ -126,6 +179,9 @@ int Run() {
                 r.batching.MeanBatch(),
                 static_cast<long long>(r.batching.max_fused), r.failures);
   }
+
+  RunWindowedObservation(seeker, &baseline, *env.imdb, queries, budget_ms,
+                         env.scale == Scale::kSmoke ? 3 : 5);
   return 0;
 }
 

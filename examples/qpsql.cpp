@@ -11,6 +11,7 @@
 //         [--seed=N] [--v=N] [--threads=N] [--cache-mb=N]
 //         [--deadline-ms=D]
 //         [--serve --clients=N --requests=M]
+//         [--audit-log=FILE] [--obs-snapshot=FILE] [--obs-interval-ms=D]
 //
 //   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
 //
@@ -26,11 +27,17 @@
 // into shared batched model forwards (cross-query micro-batching); the
 // summary reports throughput, latency percentiles, the fused-batch
 // histogram, shed counts, and model-vs-simulated runtime q-error.
+// --audit-log=FILE appends one JSON line per served request;
+// --obs-snapshot=FILE starts a background obs::SnapshotWriter refreshing
+// the combined metrics/window/drift document every --obs-interval-ms
+// (point qps_top at the same file to watch the run live).
 //
 // Observability:
 //   EXPLAIN ANALYZE <sql>     per-operator estimated vs. actual rows,
 //                             cardinality q-error, simulated + wall time
 //   \metrics                  dump the global metrics registry
+//   \prom                     the same registry in Prometheus text
+//                             exposition (plus the windowed view as gauges)
 //   \cache [clear]            plan-prediction cache stats (--cache-mb=N)
 //   \trace on [file]          start span recording (default qpsql_trace.json)
 //   \trace off                stop and write Chrome-trace JSON
@@ -50,8 +57,8 @@
 //                             show up as qps.model.reload_failures in
 //                             \metrics
 //
-// Meta-commands: \tables  \schema <table>  \guards  \metrics  \cache  \trace
-//                \save <path>  \reload <path>  \quit
+// Meta-commands: \tables  \schema <table>  \guards  \metrics  \prom  \cache
+//                \trace  \save <path>  \reload <path>  \quit
 
 #include <cctype>
 #include <cstdio>
@@ -65,6 +72,10 @@
 #include "eval/metrics.h"
 #include "eval/workloads.h"
 #include "exec/executor.h"
+#include "obs/accuracy.h"
+#include "obs/audit.h"
+#include "obs/export.h"
+#include "obs/window.h"
 #include "optimizer/planner.h"
 #include "query/parser.h"
 #include "serve/model_manager.h"
@@ -94,6 +105,9 @@ struct Options {
   bool serve = false;
   int clients = 4;
   int requests = 16;
+  std::string audit_log;
+  std::string obs_snapshot;
+  double obs_interval_ms = 1000.0;
 };
 
 Options ParseArgs(int argc, char** argv) {
@@ -127,6 +141,12 @@ Options ParseArgs(int argc, char** argv) {
       opts.clients = std::stoi(value("--clients="));
     } else if (StartsWith(arg, "--requests=")) {
       opts.requests = std::stoi(value("--requests="));
+    } else if (StartsWith(arg, "--audit-log=")) {
+      opts.audit_log = value("--audit-log=");
+    } else if (StartsWith(arg, "--obs-snapshot=")) {
+      opts.obs_snapshot = value("--obs-snapshot=");
+    } else if (StartsWith(arg, "--obs-interval-ms=")) {
+      opts.obs_interval_ms = std::stod(value("--obs-interval-ms="));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       std::exit(2);
@@ -217,10 +237,30 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
     gopts.neural_deadline_ms = gopts.hybrid.mcts.time_budget_ms;
   }
 
+  // Operator surface: per-request audit lines and/or a periodically
+  // refreshed obs snapshot (the document qps_top polls).
+  std::unique_ptr<obs::AuditLog> audit;
+  if (!opts.audit_log.empty()) {
+    auto log_or = obs::AuditLog::Open(opts.audit_log);
+    if (!log_or.ok()) {
+      std::fprintf(stderr, "audit log: %s\n",
+                   log_or.status().ToString().c_str());
+      return 2;
+    }
+    audit = std::move(*log_or);
+  }
+  std::unique_ptr<obs::SnapshotWriter> snapshot;
+  if (!opts.obs_snapshot.empty()) {
+    snapshot = std::make_unique<obs::SnapshotWriter>(opts.obs_snapshot,
+                                                     opts.obs_interval_ms);
+    snapshot->Start();
+  }
+
   serve::PlanServiceOptions sopts;
   sopts.workers = std::max(1, opts.clients);
   sopts.default_deadline_ms = opts.deadline_ms;
   sopts.shed_to_baseline = true;
+  sopts.audit = audit.get();
   auto service_or =
       serve::PlanService::Create(opts.planner, model, &baseline, gopts, sopts);
   if (!service_or.ok()) {
@@ -301,7 +341,12 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
 
   // Execute the returned plans serially: per-request q-error accounting
   // (model-predicted runtime vs. the executor's simulated runtime).
-  exec::Executor executor(db);
+  // ExplainAnalyze (rather than bare Execute) so each plan also feeds a
+  // predicted-vs-actual sample to the accuracy tracker under this
+  // backend's name, populating the qps.model.drift.* gauges.
+  exec::ExecOptions eopts;
+  eopts.accuracy_backend = opts.planner;
+  exec::Executor executor(db, eopts);
   std::vector<double> runtime_qerr;
   int executed = 0, failed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -311,10 +356,10 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
       continue;
     }
     query::PlanNode* plan = outcomes[i].result.plan.get();
-    auto card = executor.Execute(queries[i], plan);
-    if (!card.ok()) {
+    auto analysis = executor.ExplainAnalyze(queries[i], plan);
+    if (!analysis.ok()) {
       std::printf("  request %zu execution failed: %s\n", i,
-                  card.status().ToString().c_str());
+                  analysis.status().ToString().c_str());
       ++failed;
       continue;
     }
@@ -333,6 +378,33 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
         "  runtime q-error (model vs simulated): p50=%.2f p95=%.2f "
         "(%zu neural plans)\n",
         qe.p50, qe.p95, n_neural);
+  }
+
+  // Fold the execution feedback into the drift tracker and report it the
+  // way the snapshot/qps_top would see it.
+  const auto drift = obs::AccuracyTracker::Global().Update(opts.planner);
+  if (drift.samples > 0) {
+    std::printf(
+        "  drift[%s]: score=%.2f  card q-error p50=%.2f p95=%.2f "
+        "(%lld samples)%s\n",
+        opts.planner.c_str(), drift.drift_score, drift.qerr_p50, drift.qerr_p95,
+        static_cast<long long>(drift.samples),
+        drift.drifted ? "  ** DRIFT **" : "");
+  }
+  if (audit != nullptr) {
+    std::printf("  audit: %lld records -> %s\n",
+                static_cast<long long>(audit->records_written()),
+                audit->path().c_str());
+  }
+  if (snapshot != nullptr) {
+    snapshot->Stop();
+    if (Status st = snapshot->WriteOnce(); !st.ok()) {
+      std::fprintf(stderr, "obs snapshot: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("  obs snapshot: %s (%lld writes)\n",
+                  snapshot->path().c_str(),
+                  static_cast<long long>(snapshot->snapshots_written()));
+    }
   }
   return failed == 0 ? 0 : 1;
 }
@@ -517,6 +589,15 @@ int main(int argc, char** argv) {
     if (sql == "\\metrics") {
       std::printf("%s",
                   metrics::RenderText(metrics::Registry::Global().TakeSnapshot())
+                      .c_str());
+      continue;
+    }
+    if (sql == "\\prom") {
+      const obs::WindowSnapshot window =
+          obs::WindowRegistry::Global().TakeSnapshot();
+      std::printf("%s",
+                  obs::RenderPrometheus(
+                      metrics::Registry::Global().TakeSnapshot(), &window)
                       .c_str());
       continue;
     }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Lints every metric-name string literal in the tree against the naming
+# convention the export surface depends on:
+#
+#   qps.<namespace>.<name>[.<subname>...]   — lowercase [a-z0-9_] segments,
+#                                             at least two after "qps"
+#
+# The Prometheus renderer translates dots to underscores, so an uppercase
+# letter or a stray character here would silently produce an invalid or
+# colliding exposition series. Run by scripts/tier1.sh; exits non-zero
+# listing every offending literal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pull every string literal starting with "qps." out of the sources.
+# A literal embedded in a JSON assertion appears as \"qps.foo\" — the
+# trailing backslash is stripped before validation.
+literals=$(grep -rhoE '"qps\.[^"]*' \
+    --include='*.cc' --include='*.h' --include='*.cpp' \
+    src bench examples tests tools \
+  | sed -e 's/^"//' -e 's/\\$//' \
+  | sort -u)
+
+bad=0
+while IFS= read -r name; do
+  [ -z "$name" ] && continue
+  if ! printf '%s\n' "$name" | grep -qE '^qps(\.[a-z0-9_]+){2,}$'; then
+    echo "bad metric name: $name" >&2
+    bad=1
+  fi
+done <<< "$literals"
+
+if [ "$bad" -ne 0 ]; then
+  echo "metric-name lint FAILED: names must match qps(\\.[a-z0-9_]+){2,}" >&2
+  exit 1
+fi
+echo "metric-name lint OK ($(printf '%s\n' "$literals" | wc -l) names)"

@@ -7,18 +7,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier-1: metric-name lint =="
+./scripts/check_metric_names.sh
+
 echo "== tier-1: release build + full ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "== tier-1: TSan build (threadpool + hot-path + serving + fuzz-replay tests) =="
+echo "== tier-1: TSan build (threadpool + hot-path + serving + obs + fuzz-replay tests) =="
 cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
 cmake --build build-tsan -j --target threadpool_test hotpath_test \
   planner_conformance_test plan_service_test model_manager_test \
-  planner_fuzz_test
+  planner_fuzz_test obs_test
 (cd build-tsan && ctest --output-on-failure \
-  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|planner_fuzz_test")
+  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|planner_fuzz_test|obs_test")
 
 echo "== tier-1: ASan checkpoint-loader fuzz (10k fixed-seed inputs) =="
 cmake -B build-asan -S . -DQPS_SANITIZE=ON >/dev/null

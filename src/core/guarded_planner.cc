@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/window.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -31,10 +32,15 @@ struct GuardMetrics {
   metrics::Counter* circuit_short_circuits;
   metrics::Gauge* circuit_open;
   metrics::Histogram* plan_ms;
+  /// Windowed ladder mix: which rung served recent traffic. Feeds the
+  /// "ladder" panel in qps_top and the Prometheus _window_rate series.
+  obs::WindowedCounter* stage_window[3];
+  obs::WindowedHistogram* plan_ms_window;
 
   static const GuardMetrics& Get() {
     static const GuardMetrics m = [] {
       auto& reg = metrics::Registry::Global();
+      auto& win = obs::WindowRegistry::Global();
       GuardMetrics out;
       out.requests = reg.GetCounter("qps.guarded.requests");
       out.served[0] = reg.GetCounter("qps.guarded.served_neural");
@@ -47,6 +53,10 @@ struct GuardMetrics {
           reg.GetCounter("qps.guarded.circuit_short_circuits");
       out.circuit_open = reg.GetGauge("qps.guarded.circuit_open");
       out.plan_ms = reg.GetHistogram("qps.guarded.plan_ms");
+      out.stage_window[0] = win.GetCounter("qps.guarded.stage.neural");
+      out.stage_window[1] = win.GetCounter("qps.guarded.stage.greedy");
+      out.stage_window[2] = win.GetCounter("qps.guarded.stage.traditional");
+      out.plan_ms_window = win.GetHistogram("qps.guarded.plan_ms");
       return out;
     }();
     return m;
@@ -212,8 +222,10 @@ StatusOr<GuardedResult> GuardedPlanner::PlanGuarded(
   auto serve = [&](GuardedResult&& r) {
     r.planning_ms = timer.ElapsedMillis();
     gm.served[static_cast<int>(r.stage)]->Increment();
+    gm.stage_window[static_cast<int>(r.stage)]->Increment();
     if (!r.fallback_reason.empty()) gm.fallbacks->Increment();
     gm.plan_ms->Record(r.planning_ms);
+    gm.plan_ms_window->Record(r.planning_ms);
     span.AddAttr("stage", PlanStageName(r.stage));
     if (!r.fallback_reason.empty()) span.AddAttr("fallback", r.fallback_reason);
     return std::move(r);

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "eval/metrics.h"
+#include "obs/accuracy.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -410,6 +411,22 @@ StatusOr<ExplainAnalysis> Executor::ExplainAnalyze(const Query& q, PlanNode* pla
     if (node.right != nullptr) visit(*node.right, depth + 1);
   };
   visit(*plan, 0);
+
+  // Close the serving loop: the root-node prediction/actual pair feeds the
+  // global accuracy tracker so the drift gauges reflect executed traffic.
+  if (!opts_.accuracy_backend.empty()) {
+    obs::AccuracySample sample;
+    sample.backend = opts_.accuracy_backend;
+    sample.predicted_rows = plan->estimated.cardinality;
+    sample.actual_rows = *card;
+    sample.predicted_ms = plan->estimated.runtime_ms;
+    sample.actual_ms = plan->actual.runtime_ms;
+    if (obs::AccuracyTracker::Global().Observe(sample)) {
+      static metrics::Counter* const feedback_samples =
+          metrics::Registry::Global().GetCounter("qps.exec.feedback_samples");
+      feedback_samples->Increment();
+    }
+  }
   return out;
 }
 

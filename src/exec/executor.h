@@ -66,6 +66,11 @@ struct ExecOptions {
   int64_t max_intermediate_rows = 2'000'000;
   /// Also abort if simulated runtime exceeds this budget (<=0: no limit).
   double timeout_ms = 0.0;
+  /// Backend label under which ExplainAnalyze feeds the root-node
+  /// predicted-vs-actual pair into obs::AccuracyTracker::Global(), closing
+  /// the serving loop for the q-error drift tracker. Empty disables the
+  /// feedback (Execute alone never reports).
+  std::string accuracy_backend = "exec";
 };
 
 /// One operator of an EXPLAIN ANALYZE report, in pre-order (root first).

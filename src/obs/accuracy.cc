@@ -1,0 +1,153 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "obs/accuracy.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "eval/metrics.h"
+#include "util/metrics.h"
+
+namespace qps {
+namespace obs {
+
+namespace {
+
+/// Pre-resolved drift gauges (DESIGN.md §8 naming convention).
+struct DriftMetrics {
+  metrics::Gauge* score;
+  metrics::Gauge* qerr_p50;
+  metrics::Gauge* qerr_p95;
+  metrics::Counter* samples;
+
+  static const DriftMetrics& Get() {
+    static const DriftMetrics m = [] {
+      auto& reg = metrics::Registry::Global();
+      DriftMetrics out;
+      out.score = reg.GetGauge("qps.model.drift.score");
+      out.qerr_p50 = reg.GetGauge("qps.model.drift.qerr_p50");
+      out.qerr_p95 = reg.GetGauge("qps.model.drift.qerr_p95");
+      out.samples = reg.GetCounter("qps.model.drift.samples");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+AccuracyTracker::AccuracyTracker(AccuracyOptions opts) : opts_(opts) {
+  opts_.capacity = std::max(1, opts_.capacity);
+  opts_.sample_every = std::max(1, opts_.sample_every);
+}
+
+AccuracyTracker& AccuracyTracker::Global() {
+  static AccuracyTracker* tracker = new AccuracyTracker();
+  return *tracker;
+}
+
+const Clock& AccuracyTracker::clock() const {
+  return opts_.clock != nullptr ? *opts_.clock : *Clock::Default();
+}
+
+bool AccuracyTracker::Observe(const AccuracySample& sample) {
+  const int64_t call =
+      observe_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (call % opts_.sample_every != 0) return false;
+
+  Entry entry;
+  entry.at_ms = clock().NowMillis();
+  entry.qerr_rows = eval::QError(sample.predicted_rows, sample.actual_rows);
+  entry.qerr_ms = eval::QError(sample.predicted_ms, sample.actual_ms, 1e-3);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Ring& ring = rings_[sample.backend];
+  if (ring.entries.size() < static_cast<size_t>(opts_.capacity)) {
+    ring.entries.push_back(entry);
+  } else {
+    ring.entries[ring.next] = entry;
+  }
+  ring.next = (ring.next + 1) % static_cast<size_t>(opts_.capacity);
+  ring.recorded += 1;
+  DriftMetrics::Get().samples->Increment();
+  return true;
+}
+
+AccuracyTracker::Report AccuracyTracker::ComputeLocked(
+    const std::string& backend) const {
+  const double now_ms = clock().NowMillis();
+  const double oldest_ms = now_ms - opts_.window_ms;
+  std::vector<double> qerr_rows;
+  std::vector<double> qerr_ms;
+  for (const auto& [name, ring] : rings_) {
+    if (!backend.empty() && name != backend) continue;
+    for (const Entry& e : ring.entries) {
+      if (e.at_ms < oldest_ms) continue;
+      qerr_rows.push_back(e.qerr_rows);
+      qerr_ms.push_back(e.qerr_ms);
+    }
+  }
+
+  Report report;
+  report.samples = static_cast<int64_t>(qerr_rows.size());
+  if (report.samples == 0) return report;
+  const auto rows_p = eval::ComputePercentiles(std::move(qerr_rows));
+  const auto ms_p = eval::ComputePercentiles(std::move(qerr_ms));
+  report.qerr_p50 = rows_p.p50;
+  report.qerr_p95 = rows_p.p95;
+  report.runtime_qerr_p50 = ms_p.p50;
+  return report;
+}
+
+AccuracyTracker::Report AccuracyTracker::Update(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Report report = ComputeLocked(backend);
+  if (report.samples > 0) {
+    if (!baseline_seeded_) {
+      baseline_p50_ = report.qerr_p50;
+      baseline_seeded_ = true;
+    }
+    report.baseline_p50 = baseline_p50_;
+    report.drift_score = report.qerr_p50 / std::max(baseline_p50_, 1.0);
+    report.drifted = report.drift_score >= opts_.drift_threshold;
+    // Publish, then fold the window into the slow-moving baseline.
+    const DriftMetrics& dm = DriftMetrics::Get();
+    dm.score->Set(report.drift_score);
+    dm.qerr_p50->Set(report.qerr_p50);
+    dm.qerr_p95->Set(report.qerr_p95);
+    baseline_p50_ = (1.0 - opts_.baseline_alpha) * baseline_p50_ +
+                    opts_.baseline_alpha * report.qerr_p50;
+  }
+  return report;
+}
+
+AccuracyTracker::Report AccuracyTracker::Peek(const std::string& backend) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Report report = ComputeLocked(backend);
+  if (report.samples > 0 && baseline_seeded_) {
+    report.baseline_p50 = baseline_p50_;
+    report.drift_score = report.qerr_p50 / std::max(baseline_p50_, 1.0);
+    report.drifted = report.drift_score >= opts_.drift_threshold;
+  }
+  return report;
+}
+
+std::vector<std::string> AccuracyTracker::Backends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, ring] : rings_) {
+    if (ring.recorded > 0) out.push_back(name);
+  }
+  return out;
+}
+
+void AccuracyTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  baseline_p50_ = 0.0;
+  baseline_seeded_ = false;
+  observe_calls_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace qps

@@ -1,0 +1,131 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Serving-time model-accuracy tracking. A learned planner must be judged
+// continuously on live traffic (Delta / Reqo, PAPERS.md): this tracker
+// samples served requests, pairs the model's predicted cost/cardinality
+// with actuals from exec::Executor::ExplainAnalyze, and maintains rolling
+// q-error quantiles per backend plus a drift score.
+//
+// Drift score definition (DESIGN.md §13): the tracker keeps an EWMA
+// baseline of the windowed median cardinality q-error, seeded by the first
+// Update(). Each Update() recomputes the current window's quantiles and
+// reports
+//
+//   drift_score = window_qerr_p50 / max(baseline_qerr_p50, 1.0)
+//
+// so ~1.0 means "the model is as accurate as it has been", and a sustained
+// label shift pushes the score above `drift_threshold` within one window
+// while the slow-moving baseline stays put. Update() publishes
+// qps.model.drift.{score,qerr_p50,qerr_p95} gauges (the retraining-trigger
+// signal of ROADMAP item 4) and then folds the window into the baseline.
+//
+// Recording takes a short mutex: samples arrive at per-request (not
+// per-operator) rate and only when the caller opted into execution
+// feedback, so a lock is fine — the exactness it buys makes the quantile
+// tests deterministic.
+
+#ifndef QPS_OBS_ACCURACY_H_
+#define QPS_OBS_ACCURACY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace qps {
+namespace obs {
+
+struct AccuracyOptions {
+  /// Ring capacity per backend; the oldest sample is overwritten.
+  int capacity = 512;
+  /// Samples older than this fall out of every quantile/drift computation.
+  double window_ms = 30000.0;
+  /// EWMA weight of the newest window median when updating the baseline.
+  double baseline_alpha = 0.2;
+  /// Update() reports drifted when drift_score >= this.
+  double drift_threshold = 2.0;
+  /// Record every Nth Observe() call (1 = all). Sampling happens before
+  /// the lock, so a high stride keeps overhead negligible.
+  int sample_every = 1;
+  /// Injectable time source; nullptr = Clock::Default().
+  const Clock* clock = nullptr;
+};
+
+/// One prediction/actual pair from a served + executed request.
+struct AccuracySample {
+  std::string backend;        ///< planner backend that produced the plan
+  double predicted_rows = 0;  ///< model/optimizer root-cardinality estimate
+  double actual_rows = 0;     ///< executed root cardinality
+  double predicted_ms = 0;    ///< predicted runtime (model score)
+  double actual_ms = 0;       ///< simulated/measured runtime
+};
+
+class AccuracyTracker {
+ public:
+  struct Report {
+    int64_t samples = 0;         ///< samples inside the window
+    double qerr_p50 = 0.0;       ///< cardinality q-error quantiles
+    double qerr_p95 = 0.0;
+    double runtime_qerr_p50 = 0.0;
+    double baseline_p50 = 0.0;   ///< EWMA reference the score divides by
+    double drift_score = 0.0;    ///< ~1.0 healthy; see header comment
+    bool drifted = false;
+  };
+
+  explicit AccuracyTracker(AccuracyOptions opts = {});
+
+  /// Process-wide tracker fed by exec::Executor::ExplainAnalyze. Default
+  /// options; never destroyed.
+  static AccuracyTracker& Global();
+
+  /// Applies the sampling stride, then records. Returns true when the
+  /// sample was kept. Thread-safe.
+  bool Observe(const AccuracySample& sample);
+
+  /// Recomputes windowed quantiles for `backend` ("" = all backends
+  /// merged), publishes the qps.model.drift.* gauges (overall form only),
+  /// advances the EWMA baseline, and returns the report. Thread-safe;
+  /// meant to be called periodically (SnapshotWriter does) or on demand.
+  Report Update(const std::string& backend = "");
+
+  /// Quantiles without touching the baseline or the gauges (const view).
+  Report Peek(const std::string& backend = "") const;
+
+  /// Backends that have recorded at least one sample.
+  std::vector<std::string> Backends() const;
+
+  void Reset();
+
+  const AccuracyOptions& options() const { return opts_; }
+
+ private:
+  struct Entry {
+    double at_ms = 0.0;  ///< clock timestamp at Observe
+    double qerr_rows = 1.0;
+    double qerr_ms = 1.0;
+  };
+  struct Ring {
+    std::vector<Entry> entries;  ///< capacity-bounded, oldest overwritten
+    size_t next = 0;
+    int64_t recorded = 0;
+  };
+
+  const Clock& clock() const;
+  Report ComputeLocked(const std::string& backend) const;
+
+  AccuracyOptions opts_;
+  std::atomic<int64_t> observe_calls_{0};
+
+  mutable std::mutex mu_;
+  std::map<std::string, Ring> rings_;
+  double baseline_p50_ = 0.0;
+  bool baseline_seeded_ = false;
+};
+
+}  // namespace obs
+}  // namespace qps
+
+#endif  // QPS_OBS_ACCURACY_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "obs/audit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "util/clock.h"
+#include "util/metrics.h"
+
+namespace qps {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderAuditJson(const AuditRecord& record, double ts_ms) {
+  char hash_hex[24];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(record.query_hash));
+  std::string out = "{\"ts_ms\":" + Num(ts_ms);
+  out += ",\"query_hash\":\"" + std::string(hash_hex) + "\"";
+  out += ",\"backend\":\"" + JsonEscape(record.backend) + "\"";
+  out += ",\"stage\":\"" + JsonEscape(record.stage) + "\"";
+  out += ",\"outcome\":\"" + JsonEscape(record.outcome) + "\"";
+  out += ",\"deadline_hit\":";
+  out += record.deadline_hit ? "true" : "false";
+  out += ",\"queue_ms\":" + Num(record.queue_ms);
+  out += ",\"plan_ms\":" + Num(record.plan_ms);
+  out += ",\"plans_evaluated\":" + std::to_string(record.plans_evaluated);
+  out += ",\"fallback\":\"" + JsonEscape(record.fallback_reason) + "\"}";
+  return out;
+}
+
+AuditLog::AuditLog(std::string path) : path_(std::move(path)) {}
+
+StatusOr<std::unique_ptr<AuditLog>> AuditLog::Open(const std::string& path) {
+  std::unique_ptr<AuditLog> log(new AuditLog(path));
+  log->file_.open(path, std::ios::out | std::ios::app);
+  if (!log->file_) {
+    return Status::IOError("audit log: cannot open " + path);
+  }
+  return log;
+}
+
+void AuditLog::Append(const AuditRecord& record) {
+  static metrics::Counter* const records_counter =
+      metrics::Registry::Global().GetCounter("qps.obs.audit_records");
+  static metrics::Counter* const errors_counter =
+      metrics::Registry::Global().GetCounter("qps.obs.audit_errors");
+  const std::string line =
+      RenderAuditJson(record, Clock::Default()->NowMillis()) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  file_ << line;
+  file_.flush();
+  if (file_) {
+    written_ += 1;
+    records_counter->Increment();
+  } else {
+    errors_counter->Increment();
+    file_.clear();  // keep trying on later appends
+  }
+}
+
+int64_t AuditLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+}  // namespace obs
+}  // namespace qps

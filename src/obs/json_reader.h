@@ -1,0 +1,74 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Minimal JSON reader for the observability surface's own documents: the
+// metrics JSON (metrics::RenderJson), the periodic obs snapshots
+// (obs::RenderObsJson), and the audit log lines — all emitted by this
+// process, so the reader only needs standard JSON (objects, arrays,
+// strings, numbers, booleans, null; no comments, no trailing commas).
+// qps_top and the round-trip tests parse through this instead of fragile
+// substring scans.
+
+#ifndef QPS_OBS_JSON_READER_H_
+#define QPS_OBS_JSON_READER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qps {
+namespace obs {
+
+/// One parsed JSON value. Object members keep map ordering (sorted by
+/// key), which is all the consumers need.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  double number() const { return number_; }
+  bool boolean() const { return bool_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Dotted-path lookup ("window.histograms"); nullptr when any hop is
+  /// missing.
+  const JsonValue* FindPath(const std::string& dotted_path) const;
+
+  /// Number at `key`, or `fallback` when absent / not a number.
+  double NumberOr(const std::string& key, double fallback) const;
+
+  /// String at `key`, or `fallback` when absent / not a string.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document. kInvalidArgument with a position on malformed
+/// input or trailing garbage.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace obs
+}  // namespace qps
+
+#endif  // QPS_OBS_JSON_READER_H_

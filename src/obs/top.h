@@ -1,0 +1,30 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Status-board formatting for the qps_top CLI. The board is computed from
+// one (or two consecutive) obs JSON snapshots (obs::RenderObsJson): the
+// current document provides levels (inflight, queue depth, windowed
+// percentiles, drift, breaker state), and the previous one — when given —
+// provides inter-poll deltas (throughput from the cumulative request
+// counter). Kept in the library, not the binary, so the rendering is unit
+// tested against known documents.
+
+#ifndef QPS_OBS_TOP_H_
+#define QPS_OBS_TOP_H_
+
+#include <string>
+
+#include "obs/json_reader.h"
+
+namespace qps {
+namespace obs {
+
+/// Renders the textual status board. `prev` may be null (first poll; the
+/// throughput row then falls back to the windowed rate). `poll_s` is the
+/// wall time between the two snapshots, for delta rates.
+std::string FormatTopBoard(const JsonValue& cur, const JsonValue* prev,
+                           double poll_s);
+
+}  // namespace obs
+}  // namespace qps
+
+#endif  // QPS_OBS_TOP_H_

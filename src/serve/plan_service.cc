@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/plan_cache.h"
+#include "obs/audit.h"
+#include "obs/window.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -22,10 +25,18 @@ struct ServeMetrics {
   metrics::Gauge* queue_depth;
   metrics::Histogram* queue_ms;
   metrics::Histogram* latency_ms;
+  /// Sliding-window mirrors of the cumulative series above: request/shed
+  /// rates and rolling latency percentiles for the export surface and
+  /// qps_top (obs/window.h).
+  obs::WindowedCounter* requests_window;
+  obs::WindowedCounter* shed_window;
+  obs::WindowedHistogram* queue_ms_window;
+  obs::WindowedHistogram* latency_ms_window;
 
   static const ServeMetrics& Get() {
     static const ServeMetrics m = [] {
       auto& reg = metrics::Registry::Global();
+      auto& win = obs::WindowRegistry::Global();
       ServeMetrics out;
       out.requests = reg.GetCounter("qps.serve.requests");
       out.shed = reg.GetCounter("qps.serve.shed");
@@ -34,6 +45,10 @@ struct ServeMetrics {
       out.queue_depth = reg.GetGauge("qps.serve.queue_depth");
       out.queue_ms = reg.GetHistogram("qps.serve.queue_ms");
       out.latency_ms = reg.GetHistogram("qps.serve.latency_ms");
+      out.requests_window = win.GetCounter("qps.serve.requests");
+      out.shed_window = win.GetCounter("qps.serve.shed");
+      out.queue_ms_window = win.GetHistogram("qps.serve.queue_ms");
+      out.latency_ms_window = win.GetHistogram("qps.serve.latency_ms");
       return out;
     }();
     return m;
@@ -122,6 +137,7 @@ std::future<StatusOr<core::PlanResult>> PlanService::Submit(
   const ServeMetrics& sm = ServeMetrics::Get();
   QPS_TRACE_SPAN("serve.submit");
   sm.requests->Increment();
+  sm.requests_window->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.submitted += 1;
@@ -137,14 +153,36 @@ std::future<StatusOr<core::PlanResult>> PlanService::Submit(
   sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
   if (!admitted) {
     sm.shed->Increment();
+    sm.shed_window->Increment();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.shed += 1;
       if (shed_planner_ != nullptr) stats_.shed_degraded += 1;
     }
     if (shed_planner_ != nullptr) {
-      req->promise.set_value(PlanShedded(req->query));
+      StatusOr<core::PlanResult> degraded = PlanShedded(req->query);
+      if (options_.audit != nullptr) {
+        obs::AuditRecord record;
+        record.query_hash = core::QueryFingerprint(req->query);
+        record.backend = planner_name_;
+        record.outcome = "shed_degraded";
+        if (degraded.ok()) {
+          record.stage = core::PlanStageName(degraded->stage);
+          record.plan_ms = degraded->plan_ms;
+          record.plans_evaluated = degraded->plans_evaluated;
+          record.fallback_reason = degraded->fallback_reason;
+        }
+        options_.audit->Append(record);
+      }
+      req->promise.set_value(std::move(degraded));
     } else {
+      if (options_.audit != nullptr) {
+        obs::AuditRecord record;
+        record.query_hash = core::QueryFingerprint(req->query);
+        record.backend = planner_name_;
+        record.outcome = "shed";
+        options_.audit->Append(record);
+      }
       req->promise.set_value(
           Status::ResourceExhausted("plan service admission queue full"));
     }
@@ -154,7 +192,9 @@ std::future<StatusOr<core::PlanResult>> PlanService::Submit(
 
 void PlanService::RunRequest(Request& req) {
   const ServeMetrics& sm = ServeMetrics::Get();
-  sm.queue_ms->Record(req.queued.ElapsedMillis());
+  const double queue_ms = req.queued.ElapsedMillis();
+  sm.queue_ms->Record(queue_ms);
+  sm.queue_ms_window->Record(queue_ms);
   const int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
   sm.inflight->Set(static_cast<double>(inflight));
   sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
@@ -191,8 +231,27 @@ void PlanService::RunRequest(Request& req) {
     return slots_[idx]->planner->Plan(req.query, ropts);
   }();
 
-  sm.latency_ms->Record(timer.ElapsedMillis());
+  const double latency_ms = timer.ElapsedMillis();
+  sm.latency_ms->Record(latency_ms);
+  sm.latency_ms_window->Record(latency_ms);
   span.AddAttr("ok", result.ok() ? 1 : 0);
+  if (options_.audit != nullptr) {
+    obs::AuditRecord record;
+    record.query_hash = core::QueryFingerprint(req.query);
+    record.backend = planner_name_;
+    record.outcome = result.ok() ? "ok" : "error";
+    record.queue_ms = queue_ms;
+    record.plan_ms = latency_ms;
+    if (result.ok()) {
+      record.stage = core::PlanStageName(result->stage);
+      record.deadline_hit = result->deadline_hit;
+      record.plans_evaluated = result->plans_evaluated;
+      record.fallback_reason = result->fallback_reason;
+    } else {
+      record.fallback_reason = result.status().ToString();
+    }
+    options_.audit->Append(record);
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (result.ok()) {

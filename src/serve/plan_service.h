@@ -38,6 +38,10 @@
 #include "serve/batch_rendezvous.h"
 
 namespace qps {
+namespace obs {
+class AuditLog;
+}  // namespace obs
+
 namespace serve {
 
 struct PlanServiceOptions {
@@ -59,6 +63,11 @@ struct PlanServiceOptions {
   /// Cross-query batching knobs (see BatchRendezvousOptions).
   int max_batch = 16;
   double flush_timeout_ms = 0.5;
+
+  /// Optional per-request audit log (obs/audit.h). Non-owning: the caller
+  /// keeps the log alive for the service's lifetime. Every terminal
+  /// outcome — ok, error, shed, shed_degraded — appends one JSON line.
+  obs::AuditLog* audit = nullptr;
 };
 
 /// Owns the planning backends, the worker pool, and the rendezvous.

@@ -218,7 +218,21 @@ std::string RenderJson(const Snapshot& snapshot) {
            ",\"mean\":" + FormatDouble(h.mean()) +
            ",\"p50\":" + FormatDouble(h.Percentile(50)) +
            ",\"p90\":" + FormatDouble(h.Percentile(90)) +
-           ",\"p99\":" + FormatDouble(h.Percentile(99)) + "}";
+           ",\"p99\":" + FormatDouble(h.Percentile(99));
+    // Raw bucket counts plus their finite upper bounds (the final bucket
+    // is the overflow), so scrapers and BENCH_*.json consumers re-derive
+    // percentiles exactly instead of trusting the summary above.
+    out += ",\"le\":[";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i > 0) out += ",";
+      out += FormatDouble(Histogram::BucketUpperBound(i));
+    }
+    out += "],\"buckets\":[";
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
   }
   out += "}}";
   return out;

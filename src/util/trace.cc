@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "util/clock.h"
+#include "util/metrics.h"
 
 namespace qps {
 namespace trace {
@@ -18,9 +19,13 @@ std::atomic<bool> g_enabled{false};
 
 namespace {
 
+constexpr size_t kDefaultMaxSpans = 65536;
+
 struct Collector {
   std::mutex mu;
   std::vector<SpanRecord> spans;
+  std::atomic<size_t> max_spans{kDefaultMaxSpans};
+  std::atomic<int64_t> dropped{0};
   std::atomic<int64_t> next_id{0};
   std::atomic<int> next_tid{0};
 };
@@ -85,7 +90,17 @@ void EndSpanSlow(const char* name, int64_t id, int64_t start_ns, int depth,
   record.start_us = start_ns / 1000;
   record.dur_us = (end_ns - start_ns) / 1000;
   record.attrs = std::move(attrs);
+  static metrics::Counter* const dropped_counter =
+      metrics::Registry::Global().GetCounter("qps.trace.dropped");
+  const size_t cap = collector.max_spans.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(collector.mu);
+  // Bounded buffer: tracing left on indefinitely (a serving process with
+  // \trace on) must not grow the global vector without limit.
+  if (collector.spans.size() >= cap) {
+    collector.dropped.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter->Increment();
+    return;
+  }
   collector.spans.push_back(std::move(record));
 }
 
@@ -96,6 +111,20 @@ void ScopedSpan::AddAttr(const char* key, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   attrs_.emplace_back(key, buf);
+}
+
+void SetMaxSpans(size_t max_spans) {
+  internal::GetCollector().max_spans.store(
+      max_spans > 0 ? max_spans : internal::kDefaultMaxSpans,
+      std::memory_order_relaxed);
+}
+
+size_t MaxSpans() {
+  return internal::GetCollector().max_spans.load(std::memory_order_relaxed);
+}
+
+int64_t DroppedSpans() {
+  return internal::GetCollector().dropped.load(std::memory_order_relaxed);
 }
 
 void Start() {
@@ -109,6 +138,7 @@ void Clear() {
   auto& collector = internal::GetCollector();
   std::lock_guard<std::mutex> lock(collector.mu);
   collector.spans.clear();
+  collector.dropped.store(0, std::memory_order_relaxed);
 }
 
 std::vector<SpanRecord> Snapshot() {

@@ -48,6 +48,16 @@ struct SpanRecord {
 /// True while spans are being recorded (one relaxed load).
 inline bool Enabled();
 
+/// Caps the global span buffer. Once `max_spans` finished spans are
+/// buffered, further spans are dropped (counted in qps.trace.dropped)
+/// instead of growing the vector without bound while tracing stays on.
+/// 0 restores the default (65536). Takes effect on the next Start().
+void SetMaxSpans(size_t max_spans);
+size_t MaxSpans();
+
+/// Spans dropped by the cap since the last Start()/Clear().
+int64_t DroppedSpans();
+
 /// Clears the buffer and starts recording.
 void Start();
 

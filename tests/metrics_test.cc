@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -100,6 +101,65 @@ TEST(HistogramTest, SnapshotPercentilesAreMonotone) {
   EXPECT_GT(hs->mean(), 0.0);
 }
 
+TEST(HistogramTest, PercentileOfEmptySnapshotIsZero) {
+  HistogramSnapshot hs;
+  hs.buckets.assign(Histogram::kNumBuckets + 1, 0);
+  hs.count = 0;
+  EXPECT_EQ(hs.Percentile(0.0), 0.0);
+  EXPECT_EQ(hs.Percentile(50.0), 0.0);
+  EXPECT_EQ(hs.Percentile(100.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileSingleSampleStaysInItsBucket) {
+  Histogram hist;
+  hist.Record(0.5);  // bucket [0.256, 0.512) ms
+  HistogramSnapshot hs;
+  hs.count = hist.count();
+  for (int i = 0; i <= Histogram::kNumBuckets; ++i) {
+    hs.buckets.push_back(hist.bucket_count(i));
+  }
+  // Every percentile of a single sample interpolates within its bucket.
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    const double v = hs.Percentile(p);
+    EXPECT_GE(v, 0.256);
+    EXPECT_LE(v, 0.512);
+  }
+}
+
+TEST(HistogramTest, PercentileAllOverflowReturnsLastFiniteBound) {
+  Histogram hist;
+  for (int i = 0; i < 10; ++i) hist.Record(1e15);
+  HistogramSnapshot hs;
+  hs.count = hist.count();
+  for (int i = 0; i <= Histogram::kNumBuckets; ++i) {
+    hs.buckets.push_back(hist.bucket_count(i));
+  }
+  // The overflow bucket has no upper bound; its percentile clamps to the
+  // bucket's lower bound (the last finite boundary) rather than inventing
+  // a value.
+  const double last_finite =
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
+  EXPECT_DOUBLE_EQ(hs.Percentile(50.0), last_finite);
+  EXPECT_DOUBLE_EQ(hs.Percentile(100.0), last_finite);
+}
+
+TEST(HistogramTest, PercentileExtremesBracketTheDistribution) {
+  Histogram hist;
+  hist.Record(0.0005);  // bucket 0
+  hist.Record(10.0);    // a much higher bucket
+  HistogramSnapshot hs;
+  hs.count = hist.count();
+  for (int i = 0; i <= Histogram::kNumBuckets; ++i) {
+    hs.buckets.push_back(hist.bucket_count(i));
+  }
+  // p=0 resolves inside the lowest occupied bucket, p=100 inside the
+  // highest; neither walks off the bucket array.
+  EXPECT_LE(hs.Percentile(0.0), Histogram::BucketUpperBound(0));
+  EXPECT_GT(hs.Percentile(100.0), 8.0);
+  EXPECT_LE(hs.Percentile(100.0), 16.384);
+  EXPECT_LE(hs.Percentile(0.0), hs.Percentile(100.0));
+}
+
 TEST(RegistryTest, SameNameReturnsSamePointer) {
   Registry& reg = Registry::Global();
   Counter* a = reg.GetCounter("qps.test.same");
@@ -141,6 +201,33 @@ TEST(RenderTest, TextAndJsonContainEveryMetric) {
   EXPECT_NE(json.find("\"qps.test.render_counter\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RenderTest, JsonCarriesRawBucketArrays) {
+  Registry& reg = Registry::Global();
+  Histogram* hist = reg.GetHistogram("qps.test.render_buckets");
+  hist->Reset();
+  hist->Record(0.0005);  // bucket 0
+  hist->Record(0.0015);  // bucket 1
+  hist->Record(1e15);    // overflow
+  const std::string json = RenderJson(reg.TakeSnapshot());
+
+  const size_t at = json.find("\"qps.test.render_buckets\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::string obj = json.substr(at, 2048);
+  // 28 finite bounds starting at 1 µs, then kNumBuckets+1 counts whose
+  // first two and last entries reflect the records above.
+  EXPECT_NE(obj.find("\"le\":[0.001,0.002,0.004"), std::string::npos);
+  const size_t buckets_at = obj.find("\"buckets\":[1,1,0");
+  ASSERT_NE(buckets_at, std::string::npos);
+  const size_t close = obj.find(']', buckets_at);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_NE(obj.rfind(",1]", close), std::string::npos);  // overflow count
+  // Exactly kNumBuckets le entries: count commas inside the le array.
+  const size_t le_at = obj.find("\"le\":[");
+  const size_t le_close = obj.find(']', le_at);
+  const std::string le = obj.substr(le_at, le_close - le_at);
+  EXPECT_EQ(std::count(le.begin(), le.end(), ','), Histogram::kNumBuckets - 1);
 }
 
 TEST(RenderTest, JsonStaysValidOnNonFiniteGauges) {

@@ -274,6 +274,42 @@ TEST_F(TraceTest, ChromeJsonRoundTripsThroughAParser) {
   EXPECT_NE(json.find("\"export.inner\""), std::string::npos);
 }
 
+TEST_F(TraceTest, SpanBufferCapDropsAndCounts) {
+  SetMaxSpans(4);
+  Start();
+  for (int i = 0; i < 10; ++i) {
+    QPS_TRACE_SPAN("cap.span");
+  }
+  Stop();
+  EXPECT_EQ(Snapshot().size(), 4u);
+  EXPECT_EQ(DroppedSpans(), 6);
+  EXPECT_EQ(MaxSpans(), 4u);
+
+  // Clear resets the drop count; 0 restores the default cap.
+  Clear();
+  EXPECT_EQ(DroppedSpans(), 0);
+  SetMaxSpans(0);
+  EXPECT_EQ(MaxSpans(), 65536u);
+}
+
+TEST_F(TraceTest, CapOnlyLimitsTheBufferNotTheBookkeeping) {
+  SetMaxSpans(1);
+  Start();
+  {
+    QPS_TRACE_SPAN("cap.outer");
+    { QPS_TRACE_SPAN("cap.inner"); }  // finishes first, takes the one slot
+  }
+  Stop();
+  const auto spans = Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  // The inner span kept correct depth/parent linkage even though the outer
+  // record was dropped.
+  EXPECT_EQ(spans[0].name, "cap.inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(DroppedSpans(), 1);
+  SetMaxSpans(0);
+}
+
 TEST_F(TraceTest, EmptyCaptureStillRendersValidJson) {
   const std::string json = RenderChromeJson();
   JsonParser parser(json);

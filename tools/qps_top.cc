@@ -1,0 +1,119 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// qps_top: live terminal status board for a serving QPSeeker process.
+//
+//   qps_top --snapshot=/tmp/qps_obs.json [--interval-ms=1000] [--once]
+//           [--no-clear]
+//
+// The serving process writes the snapshot file via obs::SnapshotWriter
+// (qpsql --serve --obs-snapshot=PATH, or any embedder); qps_top polls it,
+// computes inter-poll throughput deltas, and renders throughput, inflight,
+// queue depth, windowed latency percentiles, q-error/drift, and
+// breaker/ladder state. --once prints a single frame and exits (used by
+// scripts and the README walkthrough); polling stops with Ctrl-C.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "obs/json_reader.h"
+#include "obs/top.h"
+#include "util/io.h"
+#include "util/string_util.h"
+
+namespace qps {
+namespace {
+
+struct TopOptions {
+  std::string snapshot_path;
+  double interval_ms = 1000.0;
+  bool once = false;
+  bool clear_screen = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qps_top --snapshot=PATH [--interval-ms=N] [--once] "
+               "[--no-clear]\n");
+  return 2;
+}
+
+int RunTop(const TopOptions& opts) {
+  obs::JsonValue prev;
+  bool have_prev = false;
+  double prev_ts_ms = 0.0;
+  int64_t prev_seq = -1;
+  int consecutive_failures = 0;
+
+  while (true) {
+    auto contents = io::ReadFileToString(opts.snapshot_path);
+    if (!contents.ok()) {
+      if (opts.once || ++consecutive_failures > 30) {
+        std::fprintf(stderr, "qps_top: %s\n",
+                     contents.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "qps_top: waiting for %s\n",
+                   opts.snapshot_path.c_str());
+    } else {
+      auto doc = obs::ParseJson(*contents);
+      if (!doc.ok()) {
+        // An atomic writer never tears a file, but a foreign/partial file
+        // is still reported rather than crashing the board.
+        std::fprintf(stderr, "qps_top: %s\n", doc.status().ToString().c_str());
+        if (opts.once) return 1;
+      } else {
+        consecutive_failures = 0;
+        const double ts_ms = doc->NumberOr("ts_ms", 0.0);
+        const int64_t seq = static_cast<int64_t>(doc->NumberOr("seq", 0.0));
+        const double poll_s =
+            have_prev && ts_ms > prev_ts_ms ? (ts_ms - prev_ts_ms) / 1000.0
+                                            : 0.0;
+        if (opts.clear_screen && !opts.once) {
+          std::printf("\x1b[2J\x1b[H");  // clear + home
+        }
+        // Re-reading an unchanged file (writer slower than the poll) keeps
+        // the previous frame's deltas instead of reporting zero traffic.
+        if (!have_prev || seq != prev_seq) {
+          std::printf("%s",
+                      obs::FormatTopBoard(*doc, have_prev ? &prev : nullptr,
+                                          poll_s)
+                          .c_str());
+          std::fflush(stdout);
+          prev = std::move(*doc);
+          prev_ts_ms = ts_ms;
+          prev_seq = seq;
+          have_prev = true;
+        }
+      }
+    }
+    if (opts.once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(opts.interval_ms)));
+  }
+}
+
+}  // namespace
+}  // namespace qps
+
+int main(int argc, char** argv) {
+  qps::TopOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (qps::StartsWith(arg, "--snapshot=")) {
+      opts.snapshot_path = arg.substr(std::string("--snapshot=").size());
+    } else if (qps::StartsWith(arg, "--interval-ms=")) {
+      opts.interval_ms = std::stod(arg.substr(std::string("--interval-ms=").size()));
+    } else if (arg == "--once") {
+      opts.once = true;
+    } else if (arg == "--no-clear") {
+      opts.clear_screen = false;
+    } else {
+      return qps::Usage();
+    }
+  }
+  if (opts.snapshot_path.empty()) return qps::Usage();
+  return qps::RunTop(opts);
+}
