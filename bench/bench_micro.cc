@@ -13,12 +13,18 @@
 #include <fstream>
 #include <string>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 #include "core/mcts.h"
 #include "core/plan_cache.h"
 #include "core/qpseeker.h"
 #include "exec/executor.h"
+#include "nn/gemm_int8.h"
 #include "nn/layers.h"
 #include "nn/optim.h"
+#include "nn/quant.h"
 #include "obs/window.h"
 #include "optimizer/planner.h"
 #include "query/parser.h"
@@ -74,14 +80,65 @@ void ScalarBaselineMatMul(const nn::Tensor& a, const nn::Tensor& b,
 
 void GemmArgs(benchmark::internal::Benchmark* bench) {
   for (int64_t batch : {1, 8, 64}) {
-    for (int64_t d : {64, 256}) bench->Args({batch, d});
+    for (int64_t d : {64, 128, 256}) bench->Args({batch, d});
   }
 }
 
-void SetGemmCounters(benchmark::State& state, int64_t m, int64_t k, int64_t n) {
+/// TSC ticks per nanosecond, calibrated once against steady_clock over a
+/// ~50 ms busy window. Returns 0 when no invariant TSC is available, in
+/// which case the bytes/cycle counter is skipped (GB/s still reports).
+double TscTicksPerNs() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const double ticks_per_ns = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = __rdtsc();
+    // Busy-wait ~50 ms: long enough to swamp clock-read jitter, short
+    // enough to not matter at benchmark startup.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(50)) {
+    }
+    const uint64_t c1 = __rdtsc();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    return ns > 0 ? static_cast<double>(c1 - c0) / ns : 0.0;
+  }();
+  return ticks_per_ns;
+#else
+  return 0.0;
+#endif
+}
+
+/// GFLOPS plus memory-traffic counters for an (m x k) @ (k x n) GEMM.
+/// `bytes_per_call` is the minimal streamed traffic — A + B + C once each —
+/// so bytes/cycle compares kernels by how much useful data they move per
+/// core clock: f32 moves 4 bytes/element everywhere, int8 moves 1 byte for
+/// A and B and 4 for the f32 output.
+void SetGemmCounters(benchmark::State& state, int64_t m, int64_t k, int64_t n,
+                     int64_t bytes_per_call) {
+  const double iters = static_cast<double>(state.iterations());
   state.counters["GFLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(m * k * n) * static_cast<double>(state.iterations()) * 1e-9,
+      2.0 * static_cast<double>(m * k * n) * iters * 1e-9,
       benchmark::Counter::kIsRate);
+  const double bytes = static_cast<double>(bytes_per_call) * iters;
+  state.counters["GB/s"] =
+      benchmark::Counter(bytes * 1e-9, benchmark::Counter::kIsRate);
+  const double ticks_per_ns = TscTicksPerNs();
+  if (ticks_per_ns > 0) {
+    // benchmark reports rates per second of wall time; dividing the per-
+    // second byte rate by ticks/sec yields bytes per TSC cycle.
+    state.counters["bytes/cycle"] =
+        benchmark::Counter(bytes / ticks_per_ns * 1e-9,
+                           benchmark::Counter::kIsRate);
+  }
+}
+
+int64_t F32GemmBytes(int64_t m, int64_t k, int64_t n) {
+  return (m * k + k * n + m * n) * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t Int8GemmBytes(int64_t m, int64_t k, int64_t n) {
+  return m * k + k * n + m * n * static_cast<int64_t>(sizeof(float));
 }
 
 void BM_GemmScalarBaseline(benchmark::State& state) {
@@ -94,7 +151,7 @@ void BM_GemmScalarBaseline(benchmark::State& state) {
     ScalarBaselineMatMul(a, b, &out);
     benchmark::DoNotOptimize(out.data());
   }
-  SetGemmCounters(state, batch, d, d);
+  SetGemmCounters(state, batch, d, d, F32GemmBytes(batch, d, d));
 }
 BENCHMARK(BM_GemmScalarBaseline)->Apply(GemmArgs);
 
@@ -108,9 +165,43 @@ void BM_GemmTiled(benchmark::State& state) {
     nn::Gemm(nn::GemmLayout::kNone, a, b, &out, /*accumulate=*/false);
     benchmark::DoNotOptimize(out.data());
   }
-  SetGemmCounters(state, batch, d, d);
+  SetGemmCounters(state, batch, d, d, F32GemmBytes(batch, d, d));
 }
 BENCHMARK(BM_GemmTiled)->Apply(GemmArgs);
+
+// Int8 serving path at the widths the model forward actually runs
+// (d = hidden width 128/256, batch = plans per MCTS evaluation). Each
+// iteration includes per-row activation quantization — the full cost a
+// Linear layer pays per call — so the ratio against BM_GemmTiled is the
+// honest end-to-end speedup, not just the inner kernel. Run once with
+// QPS_FORCE_SCALAR=1 to measure the portable fallback.
+
+void Int8GemmArgs(benchmark::internal::Benchmark* bench) {
+  for (int64_t batch : {1, 8, 64}) {
+    for (int64_t d : {128, 256}) bench->Args({batch, d});
+  }
+}
+
+void BM_GemmInt8(benchmark::State& state) {
+  const int64_t batch = state.range(0), d = state.range(1);
+  Rng rng(21);
+  nn::Tensor a = nn::Tensor::Randn(batch, d, &rng);
+  nn::Tensor w = nn::Tensor::Randn(d, d, &rng);
+  const nn::QuantizedTensor q =
+      nn::QuantizeWeights(w, nn::QuantScheme::kPerTensor);
+  const nn::PackedQuantWeights packed = nn::PackForGemm(q);
+  std::vector<float> bias(static_cast<size_t>(d), 0.125f);
+  nn::Tensor out(batch, d);
+  nn::QuantizedActs acts;
+  for (auto _ : state) {
+    nn::QuantizeActivationsPerRow(a, &acts);
+    nn::GemmInt8(acts, packed, bias.data(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(nn::ActiveInt8Kernel());
+  SetGemmCounters(state, batch, d, d, Int8GemmBytes(batch, d, d));
+}
+BENCHMARK(BM_GemmInt8)->Apply(Int8GemmArgs);
 
 void BM_MlpForwardBackward(benchmark::State& state) {
   Rng rng(2);

@@ -9,7 +9,7 @@
 //   qpsql [--db=imdb|stack|toy] [--rows=N]
 //         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
 //         [--seed=N] [--v=N] [--threads=N] [--cache-mb=N]
-//         [--deadline-ms=D]
+//         [--quant=int8] [--deadline-ms=D]
 //         [--serve --clients=N --requests=M]
 //         [--audit-log=FILE] [--obs-snapshot=FILE] [--obs-interval-ms=D]
 //
@@ -56,9 +56,16 @@
 //                             failures roll back to the serving model and
 //                             show up as qps.model.reload_failures in
 //                             \metrics
+//   --quant=int8              quantize the trained model for int8 inference
+//                             at startup (SIMD GEMM, runtime-dispatched;
+//                             QPS_FORCE_SCALAR=1 pins the portable kernel)
+//   \quantize <path>          write an int8 quantized checkpoint of the
+//                             serving model; follow with \reload <path> to
+//                             canary-gate the quantized model against the
+//                             live one (qps.model.quant_gate.* in \metrics)
 //
 // Meta-commands: \tables  \schema <table>  \guards  \metrics  \prom  \cache
-//                \trace  \save <path>  \reload <path>  \quit
+//                \trace  \save <path>  \quantize [path]  \reload <path>  \quit
 
 #include <cctype>
 #include <cstdio>
@@ -69,6 +76,7 @@
 
 #include "core/planner_backends.h"
 #include "core/qpseeker.h"
+#include "nn/gemm_int8.h"
 #include "eval/metrics.h"
 #include "eval/workloads.h"
 #include "exec/executor.h"
@@ -101,6 +109,7 @@ struct Options {
   int verbosity = 0;
   int threads = 1;
   int64_t cache_mb = 0;
+  std::string quant;  ///< "" (f32) or "int8"
   double deadline_ms = 0.0;
   bool serve = false;
   int clients = 4;
@@ -133,6 +142,13 @@ Options ParseArgs(int argc, char** argv) {
       opts.threads = std::stoi(value("--threads="));
     } else if (StartsWith(arg, "--cache-mb=")) {
       opts.cache_mb = std::stoll(value("--cache-mb="));
+    } else if (StartsWith(arg, "--quant=")) {
+      opts.quant = value("--quant=");
+      if (opts.quant != "int8") {
+        std::fprintf(stderr, "unknown --quant: %s (only int8 is supported)\n",
+                     opts.quant.c_str());
+        std::exit(2);
+      }
     } else if (StartsWith(arg, "--deadline-ms=")) {
       opts.deadline_ms = std::stod(value("--deadline-ms="));
     } else if (arg == "--serve") {
@@ -476,6 +492,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "qpsql: plan-prediction cache enabled (%lld MiB)\n",
                    static_cast<long long>(opts.cache_mb));
     }
+    if (opts.quant == "int8") {
+      const int64_t n = model->QuantizeForInference();
+      std::fprintf(stderr, "qpsql: int8 inference enabled (%lld weights, %s kernel)\n",
+                   static_cast<long long>(n), nn::ActiveInt8Kernel());
+    }
   }
 
   if (opts.serve) return RunServe(*db, model.get(), baseline, opts);
@@ -614,6 +635,28 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (StartsWith(sql, "\\quantize")) {
+      const std::string path = StrTrim(sql.substr(9));
+      if (serving == nullptr) {
+        std::printf("usage: \\quantize <path>  (requires a neural planner)\n");
+        continue;
+      }
+      if (path.empty()) {
+        std::printf("serving model: %s inference (active kernel %s)\n"
+                    "usage: \\quantize <path> writes an int8 checkpoint;"
+                    " \\reload <path> canary-gates it\n",
+                    serving->quantized() ? "int8" : "f32",
+                    nn::ActiveInt8Kernel());
+        continue;
+      }
+      if (Status st = serving->SaveQuantized(path); !st.ok()) {
+        std::printf("quantized save failed: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("int8 checkpoint written to %s; \\reload %s canary-gates it\n",
+                    path.c_str(), path.c_str());
+      }
+      continue;
+    }
     if (StartsWith(sql, "\\reload")) {
       const std::string path = StrTrim(sql.substr(7));
       if (manager == nullptr || path.empty()) {
@@ -624,8 +667,10 @@ int main(int argc, char** argv) {
         std::printf("reload rejected, previous model still serving: %s\n",
                     st.ToString().c_str());
       } else {
-        std::printf("model reloaded from %s (canary q-error %.3f)\n",
-                    path.c_str(), manager->stats().live_qerror);
+        const auto mstats = manager->stats();
+        std::printf("model reloaded from %s (canary q-error %.3f%s)\n",
+                    path.c_str(), mstats.live_qerror,
+                    mstats.last_candidate_quantized ? ", int8 inference" : "");
       }
       continue;
     }

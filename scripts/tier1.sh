@@ -15,6 +15,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== tier-1: forced-scalar int8 kernel leg (QPS_FORCE_SCALAR=1) =="
+# The int8 GEMM dispatches to SIMD kernels at runtime; this leg pins the
+# portable scalar kernel and re-runs the tests that exercise quantized
+# inference, so a host without AVX2 is covered from an AVX-512 CI box.
+(cd build && QPS_FORCE_SCALAR=1 ctest --output-on-failure \
+  -R "quant_test|nn_test|model_manager_test|checkpoint_test")
+
 echo "== tier-1: TSan build (threadpool + hot-path + serving + obs + fuzz-replay tests) =="
 cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
 cmake --build build-tsan -j --target threadpool_test hotpath_test \

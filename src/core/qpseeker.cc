@@ -174,6 +174,10 @@ TrainReport QpSeeker::Train(const sampling::QepDataset& dataset,
   report.num_parameters = NumParameters();
   QPS_CHECK(!dataset.qeps.empty()) << "empty training set";
 
+  // Training updates the f32 weights, so any attached int8 slots would go
+  // stale after the first step; drop them up front.
+  nn::ClearModuleQuantization(bundle_.get());
+
   normalizer_ = encoder::LabelNormalizer();
   for (const auto& qep : dataset.qeps) normalizer_.Observe(*qep.plan);
   normalizer_.Finalize();
@@ -657,6 +661,22 @@ Status QpSeeker::Save(const std::string& path) const {
   // (v1 checkpoints carried the normalizer in a ".norm" sidecar, which a
   // torn copy could orphan).
   return nn::SaveModule(*bundle_, path, NormalizerEntries(normalizer_));
+}
+
+Status QpSeeker::SaveQuantized(const std::string& path) const {
+  return nn::SaveModuleQuantized(*bundle_, path, NormalizerEntries(normalizer_));
+}
+
+int64_t QpSeeker::QuantizeForInference() {
+  const int64_t count = nn::QuantizeModule(bundle_.get());
+  // f32 and int8 forwards differ in the low bits; cached predictions made
+  // under the other kernel must not leak through.
+  if (cache_ != nullptr) cache_->Clear();
+  return count;
+}
+
+bool QpSeeker::quantized() const {
+  return nn::ModuleHasQuantizedWeights(*bundle_);
 }
 
 Status QpSeeker::Load(const std::string& path) {

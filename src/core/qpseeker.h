@@ -154,6 +154,19 @@ class QpSeeker {
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 
+  /// Writes an int8 quantized checkpoint (weights as quant records, the
+  /// rest f32). Persists the attached quantization when one is active,
+  /// else quantizes on the fly without changing this model's inference.
+  Status SaveQuantized(const std::string& path) const;
+
+  /// Quantizes all eligible weights in place for int8 inference and clears
+  /// the prediction cache. Returns the number of weights quantized.
+  /// Train() and Load() of a plain f32 checkpoint undo this.
+  int64_t QuantizeForInference();
+
+  /// True when inference currently runs through the int8 path.
+  bool quantized() const;
+
   const encoder::LabelNormalizer& normalizer() const { return normalizer_; }
   const QpSeekerConfig& config() const { return config_; }
   const storage::Database& db() const { return db_; }

@@ -1,0 +1,322 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// This file is deliberately compiled WITHOUT -march=native (see
+// src/nn/CMakeLists.txt): the scalar kernel must stay an honest portable
+// baseline, so only the functions tagged __attribute__((target(...)))
+// may use wide ops. The AVX2 kernel widens u8/s8 lanes to i16
+// (vpmovzxbw / vpmovsxbw) and multiply-accumulates with vpmaddwd into i32
+// lanes. We do NOT use vpmaddubsw: it saturates its i16 pair sums (u8*s8
+// pairs can reach 255*127*2 > 32767), which would silently clip large
+// activations and break the scalar/AVX2 bit-identity contract. vpmaddwd
+// products fit i32 exactly, so both kernels compute the same integers.
+//
+// The AVX512-VNNI kernel uses vpdpbusd, which is also exact for our
+// operands: each u8*s8 product fits i16 (255*127 = 32385 <= 32767 — the
+// non-saturating vpdpbusd, not vpdpbusds), and the 4-way product sum is
+// sign-extended into the i32 accumulator without saturation. All three
+// kernels therefore compute bit-identical i32 accumulates (integer
+// addition is associative), which the quant tests assert directly.
+
+#include "nn/gemm_int8.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <vector>
+
+#include "util/aligned.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace qps {
+namespace nn {
+
+namespace {
+
+constexpr int64_t kGemmMetricMinWork = 4096;  // mirrors tensor.cc
+
+metrics::Histogram* Int8GemmHistogram() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Global().GetHistogram("qps.nn.int8.gemm_ms");
+  return h;
+}
+
+// Portable scalar kernel. k_padded is a multiple of 32 and the padded
+// activation lanes line up with zero weights, so no tail handling is
+// needed. The multiply goes through i16 casts (exact: u8 and s8 both fit
+// i16, and every i16*i16 product fits i32) so the compiler's dot-product
+// pattern matcher can turn the loop into whatever the *baseline* target
+// offers (pmaddwd on plain x86-64 SSE2) — still portable C++, no
+// intrinsics, same integers on any host.
+void AccumulateScalar(const uint8_t* __restrict a, const int8_t* __restrict w,
+                      int64_t m, int64_t n, int64_t kp,
+                      int32_t* __restrict acc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const uint8_t* arow = a + i * kp;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* wrow = w + j * kp;
+      int32_t sum = 0;
+      for (int64_t p = 0; p < kp; ++p) {
+        const int16_t av = static_cast<int16_t>(arow[p]);
+        const int16_t wv = static_cast<int16_t>(wrow[p]);
+        sum += static_cast<int32_t>(av) * static_cast<int32_t>(wv);
+      }
+      acc[i * n + j] = sum;
+    }
+  }
+}
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define QPS_HAVE_AVX2_KERNEL 1
+
+// One 16-lane step: widen 16 u8 activations and 16 s8 weights to i16,
+// vpmaddwd pairs them into 8 i32 partial sums. Exact: |product| <=
+// 255 * 127 and pair sums fit i32 with room to spare.
+__attribute__((target("avx2"))) inline __m256i MaddStep(const uint8_t* ap,
+                                                        const int8_t* wp) {
+  const __m256i av =
+      _mm256_cvtepu8_epi16(_mm_load_si128(reinterpret_cast<const __m128i*>(ap)));
+  const __m256i wv =
+      _mm256_cvtepi8_epi16(_mm_load_si128(reinterpret_cast<const __m128i*>(wp)));
+  return _mm256_madd_epi16(av, wv);
+}
+
+__attribute__((target("avx2"))) inline int32_t ReduceI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Four output channels at a time share each activation load: the GEMV case
+// (m == 1) is weight-bandwidth-bound, so amortizing the activation widen
+// across 4 weight rows keeps the port pressure on loads + vpmaddwd.
+__attribute__((target("avx2"))) void AccumulateAvx2(const uint8_t* a,
+                                                    const int8_t* w, int64_t m,
+                                                    int64_t n, int64_t kp,
+                                                    int32_t* acc) {
+  for (int64_t i = 0; i < m; ++i) {
+    const uint8_t* arow = a + i * kp;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const int8_t* w0 = w + (j + 0) * kp;
+      const int8_t* w1 = w + (j + 1) * kp;
+      const int8_t* w2 = w + (j + 2) * kp;
+      const int8_t* w3 = w + (j + 3) * kp;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (int64_t p = 0; p < kp; p += 16) {
+        const __m256i av = _mm256_cvtepu8_epi16(
+            _mm_load_si128(reinterpret_cast<const __m128i*>(arow + p)));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_load_si128(
+                              reinterpret_cast<const __m128i*>(w0 + p)))));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_load_si128(
+                              reinterpret_cast<const __m128i*>(w1 + p)))));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_load_si128(
+                              reinterpret_cast<const __m128i*>(w2 + p)))));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_load_si128(
+                              reinterpret_cast<const __m128i*>(w3 + p)))));
+      }
+      int32_t* out = acc + i * n + j;
+      out[0] = ReduceI32(acc0);
+      out[1] = ReduceI32(acc1);
+      out[2] = ReduceI32(acc2);
+      out[3] = ReduceI32(acc3);
+    }
+    for (; j < n; ++j) {
+      const int8_t* wrow = w + j * kp;
+      __m256i accv = _mm256_setzero_si256();
+      for (int64_t p = 0; p < kp; p += 16) {
+        accv = _mm256_add_epi32(accv, MaddStep(arow + p, wrow + p));
+      }
+      acc[i * n + j] = ReduceI32(accv);
+    }
+  }
+}
+
+// The VNNI kernel consumes the NK4-blocked copy of the weights
+// (PackedQuantWeights::vnni_data): 16 output channels per zmm of i32
+// accumulators, 4 k-lanes per vpdpbusd step. Broadcasting 4 activation
+// bytes to all 16 lanes turns every step into one load + one broadcast +
+// one vpdpbusd with NO horizontal reduction anywhere — the reduce chain
+// is what capped the row-major layout at k=256, where each output got
+// only k/64 vector ops before paying a ~6-uop reduce. Blocking 2 rows x
+// 32 channels amortizes the broadcasts and keeps vpdpbusd ports busy.
+
+__attribute__((target("avx512f,avx512vnni"))) inline __m512i Bcast4(
+    const uint8_t* p) {
+  int32_t v;
+  __builtin_memcpy(&v, p, 4);
+  return _mm512_set1_epi32(v);
+}
+
+// Stores min(lanes, 16) i32 lanes; `lanes` < 16 only for the final ragged
+// channel block.
+__attribute__((target("avx512f"))) inline void Store16(int32_t* dst,
+                                                       __m512i v,
+                                                       int64_t lanes) {
+  if (lanes >= 16) {
+    _mm512_storeu_si512(dst, v);
+  } else {
+    const __mmask16 mask = static_cast<__mmask16>((1u << lanes) - 1u);
+    _mm512_mask_storeu_epi32(dst, mask, v);
+  }
+}
+
+// One block of R (<= 4) activation rows against every channel block. R is
+// a compile-time constant so the r-loops fully unroll and the 2R
+// accumulators live in registers. Deeper row blocking halves weight
+// re-reads from L2 per extra row — at m = 64, d = 256 the weight panel
+// (64 KiB) no longer fits L1, so this is what moves the needle.
+template <int R>
+__attribute__((target("avx512f,avx512vnni"))) void VnniRows(
+    const uint8_t* a, const int8_t* wblk, int64_t n, int64_t kp,
+    int32_t* out) {
+  const int64_t nb = (n + 15) / 16;
+  const int64_t steps = kp / 4;
+  const int64_t block_stride = 16 * kp;
+  int64_t jb = 0;
+  for (; jb + 2 <= nb; jb += 2) {
+    const int8_t* b0 = wblk + jb * block_stride;
+    const int8_t* b1 = b0 + block_stride;
+    __m512i acc0[R];
+    __m512i acc1[R];
+    for (int r = 0; r < R; ++r) {
+      acc0[r] = _mm512_setzero_si512();
+      acc1[r] = _mm512_setzero_si512();
+    }
+    for (int64_t s = 0; s < steps; ++s) {
+      const __m512i w0 = _mm512_load_si512(b0 + 64 * s);
+      const __m512i w1 = _mm512_load_si512(b1 + 64 * s);
+      for (int r = 0; r < R; ++r) {
+        const __m512i av = Bcast4(a + r * kp + 4 * s);
+        acc0[r] = _mm512_dpbusd_epi32(acc0[r], av, w0);
+        acc1[r] = _mm512_dpbusd_epi32(acc1[r], av, w1);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      Store16(out + r * n + jb * 16, acc0[r], n - jb * 16);
+      Store16(out + r * n + (jb + 1) * 16, acc1[r], n - (jb + 1) * 16);
+    }
+  }
+  for (; jb < nb; ++jb) {
+    const int8_t* b0 = wblk + jb * block_stride;
+    __m512i accv[R];
+    for (int r = 0; r < R; ++r) accv[r] = _mm512_setzero_si512();
+    for (int64_t s = 0; s < steps; ++s) {
+      const __m512i w0 = _mm512_load_si512(b0 + 64 * s);
+      for (int r = 0; r < R; ++r) {
+        accv[r] = _mm512_dpbusd_epi32(accv[r], Bcast4(a + r * kp + 4 * s), w0);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      Store16(out + r * n + jb * 16, accv[r], n - jb * 16);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512vnni"))) void AccumulateAvx512Vnni(
+    const uint8_t* a, const int8_t* wblk, int64_t m, int64_t n, int64_t kp,
+    int32_t* acc) {
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    VnniRows<4>(a + i * kp, wblk, n, kp, acc + i * n);
+  }
+  switch (m - i) {
+    case 3:
+      VnniRows<3>(a + i * kp, wblk, n, kp, acc + i * n);
+      break;
+    case 2:
+      VnniRows<2>(a + i * kp, wblk, n, kp, acc + i * n);
+      break;
+    case 1:
+      VnniRows<1>(a + i * kp, wblk, n, kp, acc + i * n);
+      break;
+    default:
+      break;
+  }
+}
+#define QPS_HAVE_AVX512VNNI_KERNEL 1
+#endif  // x86 + GNU/clang
+
+}  // namespace
+
+void Int8AccumulateRows(simd::Isa isa, const QuantizedActs& a,
+                        const PackedQuantWeights& w, int32_t* acc) {
+  const int64_t m = a.rows;
+  const int64_t n = w.out;
+  const int64_t kp = a.k_padded;
+  QPS_CHECK(kp == w.k_padded) << "Int8AccumulateRows padded-k mismatch: "
+                              << kp << " vs " << w.k_padded;
+  QPS_CHECK(kp % 32 == 0) << "Int8AccumulateRows: k_padded " << kp
+                          << " is not a multiple of 32";
+  if (m == 0 || n == 0) return;
+  QPS_DCHECK(util::IsAligned(a.data.data()))
+      << "int8 GEMM activations not 32-byte aligned";
+  QPS_DCHECK(util::IsAligned(w.data.data()))
+      << "int8 GEMM weights not 32-byte aligned";
+#if defined(QPS_HAVE_AVX512VNNI_KERNEL)
+  // The VNNI path needs the blocked weight copy (hand-built test packs may
+  // omit it) and 64-byte-aligned blocks, which PackForGemm guarantees.
+  if (isa == simd::Isa::kAvx512Vnni &&
+      static_cast<int64_t>(w.vnni_data.size()) == w.out_padded * kp &&
+      w.out_padded >= n) {
+    AccumulateAvx512Vnni(a.data.data(), w.vnni_data.data(), m, n, kp, acc);
+    return;
+  }
+#endif
+#if defined(QPS_HAVE_AVX2_KERNEL)
+  if (isa != simd::Isa::kScalar) {
+    AccumulateAvx2(a.data.data(), w.data.data(), m, n, kp, acc);
+    return;
+  }
+#endif
+  (void)isa;
+  AccumulateScalar(a.data.data(), w.data.data(), m, n, kp, acc);
+}
+
+void GemmInt8(const QuantizedActs& a, const PackedQuantWeights& w,
+              const float* bias, Tensor* out) {
+  QPS_CHECK(a.cols == w.in) << "GemmInt8 inner-dimension mismatch: activations are "
+                            << a.rows << "x" << a.cols << " but weights expect k="
+                            << w.in;
+  QPS_CHECK(a.k_padded == w.k_padded)
+      << "GemmInt8 padded-k mismatch: activations " << a.k_padded << " vs weights "
+      << w.k_padded;
+  QPS_CHECK(out->rows() == a.rows && out->cols() == w.out)
+      << "GemmInt8 output shape mismatch: expected " << a.rows << "x" << w.out
+      << " but out is " << out->rows() << "x" << out->cols();
+  if (a.rows == 0 || w.out == 0) return;
+
+  const int64_t m = a.rows;
+  const int64_t n = w.out;
+  const bool record_metric = m * a.cols * n >= kGemmMetricMinWork;
+  Timer timer;
+
+  thread_local std::vector<int32_t> acc;
+  acc.resize(static_cast<size_t>(m * n));
+  Int8AccumulateRows(simd::ActiveIsa(), a, w, acc.data());
+  DequantizeGemmOutput(a, w, acc.data(), bias, out);
+
+  if (record_metric) Int8GemmHistogram()->Record(timer.ElapsedMillis());
+}
+
+const char* ActiveInt8Kernel() { return simd::IsaName(simd::ActiveIsa()); }
+
+}  // namespace nn
+}  // namespace qps

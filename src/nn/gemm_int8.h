@@ -1,0 +1,46 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Int8 GEMM for quantized Linear forwards: u8 activations x s8 packed
+// weights -> exact i32 accumulate -> affine dequantize (+ optional bias)
+// into an f32 tensor. Runtime-dispatched between a portable scalar
+// kernel, an AVX2 micro-kernel, and an AVX512-VNNI micro-kernel
+// (simd::ActiveIsa()); all tiers accumulate the same integers, so their
+// results are bit-identical by construction — integer addition is
+// associative, unlike the f32 path — which quant_test checks across
+// ragged shapes.
+
+#ifndef QPS_NN_GEMM_INT8_H_
+#define QPS_NN_GEMM_INT8_H_
+
+#include <cstdint>
+
+#include "nn/quant.h"
+#include "nn/tensor.h"
+#include "util/cpuid.h"
+
+namespace qps {
+namespace nn {
+
+/// out(m x n) = dequant(a(m x k) @ w(k x n)) + bias, where
+///   dequant(i, j) = scale_a[i] * scale_w[j] * (acc(i, j) - zp_a[i] * row_sum_w[j])
+/// `bias` may be null (no bias) or point at n floats. `out` must already be
+/// m x n. Records `qps.nn.int8.gemm_ms` above a small work threshold.
+void GemmInt8(const QuantizedActs& a, const PackedQuantWeights& w,
+              const float* bias, Tensor* out);
+
+/// Raw integer core, exposed for the cross-kernel bit-identity tests:
+/// acc(a.rows x w.out) = a @ W with i32 accumulation, routed to the
+/// kernel for `isa` (clamped to what this binary/host can run). `acc` is
+/// fully overwritten. Every tier must produce identical integers for
+/// identical inputs.
+void Int8AccumulateRows(simd::Isa isa, const QuantizedActs& a,
+                        const PackedQuantWeights& w, int32_t* acc);
+
+/// Name of the kernel ActiveIsa() currently selects ("scalar" / "avx2" /
+/// "avx512vnni"); surfaced by the qpsql \quantize meta-command.
+const char* ActiveInt8Kernel();
+
+}  // namespace nn
+}  // namespace qps
+
+#endif  // QPS_NN_GEMM_INT8_H_

@@ -7,7 +7,9 @@
 #include <cstring>
 #include <utility>
 
+#include "nn/gemm_int8.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace qps {
 namespace nn {
@@ -20,6 +22,54 @@ std::vector<NamedParam> Module::Parameters() const {
     }
   }
   return out;
+}
+
+std::vector<QuantTarget> Module::QuantTargets() const {
+  std::vector<QuantTarget> out = quant_targets_;
+  for (const auto& [name, child] : children_) {
+    for (const auto& t : child->QuantTargets()) {
+      out.push_back({name + "." + t.name, t.weight, t.scheme, t.slot});
+    }
+  }
+  return out;
+}
+
+void Module::RegisterQuantizable(const std::string& param_name, Var weight,
+                                 QuantScheme* scheme, QuantSlot* slot) {
+  quant_targets_.push_back({param_name, std::move(weight), scheme, slot});
+}
+
+namespace {
+
+metrics::Gauge* Int8EnabledGauge() {
+  static metrics::Gauge* const g =
+      metrics::Registry::Global().GetGauge("qps.nn.int8.enabled");
+  return g;
+}
+
+}  // namespace
+
+int64_t QuantizeModule(Module* module) {
+  int64_t count = 0;
+  for (auto& t : module->QuantTargets()) {
+    t.slot->stored = QuantizeWeights(t.weight->value, *t.scheme);
+    t.slot->packed = PackForGemm(t.slot->stored);
+    ++count;
+  }
+  if (count > 0) Int8EnabledGauge()->Set(1.0);
+  return count;
+}
+
+bool ModuleHasQuantizedWeights(const Module& module) {
+  for (const auto& t : module.QuantTargets()) {
+    if (t.slot->ready()) return true;
+  }
+  return false;
+}
+
+void ClearModuleQuantization(Module* module) {
+  for (auto& t : module->QuantTargets()) t.slot->Clear();
+  Int8EnabledGauge()->Set(0.0);
 }
 
 void Module::ZeroGrad() {
@@ -63,6 +113,7 @@ Linear::Linear(int64_t in, int64_t out, Rng* rng, const std::string& name)
   const float limit = std::sqrt(6.0f / static_cast<float>(in + out));
   w_ = RegisterParam(name + ".w", Tensor::RandUniform(in, out, rng, limit));
   b_ = RegisterParam(name + ".b", Tensor::Zeros(1, out));
+  RegisterQuantizable(name + ".w", w_, &quant_scheme_, &quant_slot_);
 }
 
 Var Linear::Forward(const Var& x) const {
@@ -74,6 +125,15 @@ Var Linear::Forward(const Var& x) const {
 void Linear::ForwardTensor(const Tensor& x, Tensor* out) const {
   QPS_CHECK(x.cols() == in_) << "Linear input width " << x.cols() << " != " << in_;
   if (out->rows() != x.rows() || out->cols() != out_) *out = Tensor(x.rows(), out_);
+  if (quant_slot_.ready()) {
+    // Int8 inference: per-row dynamic activation quantization (row i of the
+    // result depends only on row i of x, so batching stays bit-identical to
+    // per-row evaluation), bias folded into the dequantize epilogue.
+    thread_local QuantizedActs acts;
+    QuantizeActivationsPerRow(x, &acts);
+    GemmInt8(acts, quant_slot_.packed, b_->value.data(), out);
+    return;
+  }
   Gemm(GemmLayout::kNone, x, w_->value, out, /*accumulate=*/false);
   AddRowBroadcastInPlace(out, b_->value);
 }
@@ -112,6 +172,10 @@ Mlp::Mlp(int64_t in, int64_t hidden, int64_t out, int hidden_layers, Rng* rng,
     cur = hidden;
   }
   layers_.push_back(std::make_unique<Linear>(cur, out, rng, name + ".out"));
+  // The output layer carries the widest per-channel dynamic range (each
+  // head predicts a differently-scaled quantity), so it quantizes per
+  // channel; hidden layers share one scale.
+  layers_.back()->set_quant_scheme(QuantScheme::kPerChannel);
   for (size_t i = 0; i < layers_.size(); ++i) {
     RegisterChild("l" + std::to_string(i), layers_[i].get());
   }
@@ -148,6 +212,7 @@ LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng,
   // Forget-gate bias 1.0 keeps early gradients flowing through the plan tree.
   for (int64_t j = hidden_; j < 2 * hidden_; ++j) bias(0, j) = 1.0f;
   b_ = RegisterParam(name + ".b", std::move(bias));
+  RegisterQuantizable(name + ".w", w_, &quant_scheme_, &quant_slot_);
 }
 
 LstmCell::State LstmCell::InitialState() const {
@@ -182,8 +247,14 @@ void LstmCell::ForwardTensor(const Tensor& x, Tensor* h, Tensor* c) const {
                 sizeof(float) * static_cast<size_t>(hidden_));
   }
   Tensor gates(batch, 4 * hidden_);
-  Gemm(GemmLayout::kNone, xh, w_->value, &gates, /*accumulate=*/false);
-  AddRowBroadcastInPlace(&gates, b_->value);
+  if (quant_slot_.ready()) {
+    thread_local QuantizedActs acts;
+    QuantizeActivationsPerRow(xh, &acts);
+    GemmInt8(acts, quant_slot_.packed, b_->value.data(), &gates);
+  } else {
+    Gemm(GemmLayout::kNone, xh, w_->value, &gates, /*accumulate=*/false);
+    AddRowBroadcastInPlace(&gates, b_->value);
+  }
   for (int64_t r = 0; r < batch; ++r) {
     const float* g = gates.data() + r * 4 * hidden_;
     float* hr = h->data() + r * hidden_;
@@ -276,6 +347,10 @@ Vae::Vae(int64_t input_dim, int64_t latent_dim, int hidden_layers, Rng* rng,
     cur = widths[i];
   }
   enc_head_ = std::make_unique<Linear>(cur, 2 * latent_dim, rng, name + ".enc_head");
+  // mu and logvar channels live on very different scales; per-channel
+  // quantization keeps the small-magnitude logvar lanes from being crushed
+  // by mu's range.
+  enc_head_->set_quant_scheme(QuantScheme::kPerChannel);
   // Start with small posterior variance (logvar ~ -4, std ~ 0.14) so the
   // reparameterization noise does not swamp mu early in training — the
   // classic guard against posterior collapse.
@@ -290,6 +365,7 @@ Vae::Vae(int64_t input_dim, int64_t latent_dim, int hidden_layers, Rng* rng,
     cur = out;
   }
   dec_.push_back(std::make_unique<Linear>(cur, input_dim, rng, name + ".dec_out"));
+  dec_.back()->set_quant_scheme(QuantScheme::kPerChannel);
   for (size_t i = 0; i < enc_.size(); ++i) RegisterChild("e" + std::to_string(i), enc_[i].get());
   RegisterChild("eh", enc_head_.get());
   for (size_t i = 0; i < dec_.size(); ++i) RegisterChild("d" + std::to_string(i), dec_[i].get());

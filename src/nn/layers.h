@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "nn/quant.h"
 #include "util/rng.h"
 
 namespace qps {
@@ -23,6 +24,17 @@ struct NamedParam {
   Var var;
 };
 
+/// One weight a layer volunteered for int8 inference: the f32 source Var,
+/// the layer's scheme choice, and the slot the quantized form lives in.
+/// `name` matches the weight's Parameters() name exactly, so the
+/// checkpoint quant section and the f32 tensor section key identically.
+struct QuantTarget {
+  std::string name;
+  Var weight;
+  QuantScheme* scheme;
+  QuantSlot* slot;
+};
+
 /// Base class for trainable components. Subclasses register parameters and
 /// child modules; Parameters() flattens the tree for optimizers/serializers.
 class Module {
@@ -31,6 +43,10 @@ class Module {
 
   /// All trainable parameters, depth-first, with hierarchical names.
   std::vector<NamedParam> Parameters() const;
+
+  /// All int8-capable weights, depth-first, names prefixed like
+  /// Parameters(). Slots may or may not be populated.
+  std::vector<QuantTarget> QuantTargets() const;
 
   /// Zeroes all parameter gradients.
   void ZeroGrad();
@@ -42,10 +58,30 @@ class Module {
   Var RegisterParam(const std::string& name, Tensor init);
   void RegisterChild(const std::string& name, Module* child);
 
+  /// Declares `weight` (already registered under `param_name`) as eligible
+  /// for int8 inference. The layer owns scheme + slot; the pointers must
+  /// outlive the module tree (they are members of the registering layer).
+  void RegisterQuantizable(const std::string& param_name, Var weight,
+                           QuantScheme* scheme, QuantSlot* slot);
+
  private:
   std::vector<NamedParam> params_;
+  std::vector<QuantTarget> quant_targets_;
   std::vector<std::pair<std::string, Module*>> children_;
 };
+
+/// Quantizes every registered target in place (symmetric int8 weights,
+/// packed for the GEMM kernel) and flips the `qps.nn.int8.enabled` gauge.
+/// Returns the number of weights quantized. Inference-only: autograd
+/// Forward paths keep using the f32 weights; Train must clear this.
+int64_t QuantizeModule(Module* module);
+
+/// True when any target currently holds a ready quantized slot.
+bool ModuleHasQuantizedWeights(const Module& module);
+
+/// Drops all quantized slots (back to pure f32 inference) and clears the
+/// `qps.nn.int8.enabled` gauge.
+void ClearModuleQuantization(Module* module);
 
 /// Nonlinearity selector for MLP hidden layers.
 enum class Activation { kRelu, kTanh, kSigmoid, kLeakyRelu, kNone };
@@ -70,9 +106,17 @@ class Linear : public Module {
   const Var& weight() const { return w_; }
   const Var& bias() const { return b_; }
 
+  /// Scheme used when this layer's weight is next quantized (default
+  /// per-tensor; output layers opt into per-channel). Must be set before
+  /// QuantizeModule / SaveModuleQuantized.
+  void set_quant_scheme(QuantScheme scheme) { quant_scheme_ = scheme; }
+  QuantScheme quant_scheme() const { return quant_scheme_; }
+
  private:
   int64_t in_, out_;
   Var w_, b_;
+  QuantScheme quant_scheme_ = QuantScheme::kPerTensor;
+  QuantSlot quant_slot_;
 };
 
 /// Feed-forward stack: `hidden_layers` hidden Linear+activation layers of
@@ -127,6 +171,8 @@ class LstmCell : public Module {
   int64_t input_, hidden_;
   Var w_;  ///< (input+hidden, 4*hidden), gate order [i, f, g, o]
   Var b_;  ///< (1, 4*hidden); forget gate bias initialized to 1
+  QuantScheme quant_scheme_ = QuantScheme::kPerTensor;
+  QuantSlot quant_slot_;
 };
 
 /// Multi-head cross-attention between one query vector and n context rows

@@ -1,0 +1,355 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace qps {
+namespace nn {
+
+namespace {
+
+// Padding granularity of the packed k dimension: one AVX-512 register of
+// int8 lanes, so the VNNI kernel needs no tail handling; a multiple of 64
+// is also a multiple of the AVX2 kernel's 16-lane step and unroll-friendly
+// for the scalar fallback.
+constexpr int64_t kKPad = 64;
+
+// Below this many quantized elements the Timer + histogram overhead would
+// rival the conversion itself (mirrors kGemmMetricMinWork in tensor.cc).
+constexpr int64_t kQuantMetricMinWork = 4096;
+
+metrics::Histogram* DequantHistogram() {
+  static metrics::Histogram* const h =
+      metrics::Registry::Global().GetHistogram("qps.nn.int8.dequant_ms");
+  return h;
+}
+
+int64_t PadK(int64_t k) { return (k + kKPad - 1) / kKPad * kKPad; }
+
+// The hot per-forward loops below take __restrict raw pointers: a uint8_t*
+// store legally aliases anything (char aliasing rule), and without the
+// annotation the vectorizer must assume each store may clobber the source
+// row or the loop bound — which kept these loops scalar (~7 cycles per
+// element) on exactly the path quantization is supposed to accelerate.
+
+// Lane-parallel min/max: a plain `lo = min(lo, src[j])` reduction is NOT
+// vectorizable without -ffast-math (reassociating float min changes
+// NaN/signed-zero semantics, so GCC refuses); 16 independent lane
+// accumulators need no reassociation, vectorize to vminps/vmaxps, and are
+// exact for finite inputs in any order. Seeded with 0 because the row
+// range must include zero (see QuantizeActivationsPerRow).
+void MinMaxRow(const float* __restrict src, int64_t cols, float* lo_out,
+               float* hi_out) {
+  constexpr int kLanes = 16;
+  float los[kLanes];
+  float his[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    los[l] = 0.0f;
+    his[l] = 0.0f;
+  }
+  int64_t j = 0;
+  for (; j + kLanes <= cols; j += kLanes) {
+    // Keep the lane loop rolled: -funroll-loops would peel it into 32
+    // scalar min/max chains before the vectorizer sees it.
+#pragma GCC unroll 1
+    for (int l = 0; l < kLanes; ++l) {
+      const float v = src[j + l];
+      los[l] = v < los[l] ? v : los[l];
+      his[l] = v > his[l] ? v : his[l];
+    }
+  }
+  float lo = 0.0f;
+  float hi = 0.0f;
+  for (int l = 0; l < kLanes; ++l) {
+    lo = std::min(lo, los[l]);
+    hi = std::max(hi, his[l]);
+  }
+  for (; j < cols; ++j) {
+    lo = std::min(lo, src[j]);
+    hi = std::max(hi, src[j]);
+  }
+  *lo_out = lo;
+  *hi_out = hi;
+}
+
+// Round-half-up via truncation: src*inv + zp >= -0.5 by construction
+// (zp rounds -lo/scale, and lo is the row minimum), so `bias` = zp + 0.5
+// makes the operand non-negative and the float->int truncation rounds to
+// nearest. Branch- and libm-free, so the compiler vectorizes it
+// (cvttps2dq + pack) — the per-call cost sits on every quantized forward.
+void QuantizeRow(const float* __restrict src, int64_t cols, float inv,
+                 float bias, uint8_t* __restrict dst) {
+  for (int64_t j = 0; j < cols; ++j) {
+    int32_t q = static_cast<int32_t>(src[j] * inv + bias);
+    q = q < 0 ? 0 : (q > 255 ? 255 : q);
+    dst[j] = static_cast<uint8_t>(q);
+  }
+}
+
+// Dequantize epilogue row: orow[j] = sa*sw[j]*(acc[j] - zp*rs[j]) (+ b[j]).
+void DequantRow(const int32_t* __restrict arow, const float* __restrict sw,
+                const int32_t* __restrict rs, const float* __restrict b,
+                float sa, int32_t zp, int64_t n, float* __restrict orow) {
+  if (b != nullptr) {
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = sa * sw[j] * static_cast<float>(arow[j] - zp * rs[j]) + b[j];
+    }
+  } else {
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = sa * sw[j] * static_cast<float>(arow[j] - zp * rs[j]);
+    }
+  }
+}
+
+// Symmetric scale for values in [-amax, amax]: quantized = round(x / scale)
+// clamped to [-127, 127]. amax == 0 (all-zero channel) degenerates to
+// scale 1 so dequantization is still exact.
+float SymmetricScale(float amax) { return amax > 0.0f ? amax / 127.0f : 1.0f; }
+
+int8_t QuantizeValue(float x, float inv_scale) {
+  const float scaled = x * inv_scale;
+  const long q = std::lround(scaled);
+  return static_cast<int8_t>(std::min<long>(127, std::max<long>(-127, q)));
+}
+
+}  // namespace
+
+const char* QuantSchemeName(QuantScheme scheme) {
+  switch (scheme) {
+    case QuantScheme::kPerTensor:
+      return "per_tensor";
+    case QuantScheme::kPerChannel:
+      return "per_channel";
+  }
+  return "unknown";
+}
+
+QuantizedTensor QuantizeWeights(const Tensor& w, QuantScheme scheme) {
+  QuantizedTensor q;
+  q.rows = w.rows();
+  q.cols = w.cols();
+  q.scheme = scheme;
+  q.data.resize(static_cast<size_t>(w.size()));
+
+  const int64_t rows = w.rows();
+  const int64_t cols = w.cols();
+  const float* src = w.data();
+
+  if (scheme == QuantScheme::kPerTensor) {
+    float amax = 0.0f;
+    for (int64_t i = 0; i < w.size(); ++i) amax = std::max(amax, std::fabs(src[i]));
+    const float scale = SymmetricScale(amax);
+    q.scales.assign(1, scale);
+    q.zero_points.assign(1, 0);
+    const float inv = 1.0f / scale;
+    for (int64_t i = 0; i < w.size(); ++i) {
+      q.data[static_cast<size_t>(i)] = QuantizeValue(src[i], inv);
+    }
+    return q;
+  }
+
+  // Per channel: one scale per column (output channel of y = x @ W).
+  q.scales.assign(static_cast<size_t>(cols), 1.0f);
+  q.zero_points.assign(static_cast<size_t>(cols), 0);
+  std::vector<float> amax(static_cast<size_t>(cols), 0.0f);
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = src + i * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      amax[static_cast<size_t>(j)] =
+          std::max(amax[static_cast<size_t>(j)], std::fabs(row[j]));
+    }
+  }
+  std::vector<float> inv(static_cast<size_t>(cols));
+  for (int64_t j = 0; j < cols; ++j) {
+    const float scale = SymmetricScale(amax[static_cast<size_t>(j)]);
+    q.scales[static_cast<size_t>(j)] = scale;
+    inv[static_cast<size_t>(j)] = 1.0f / scale;
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = src + i * cols;
+    int8_t* dst = q.data.data() + i * cols;
+    for (int64_t j = 0; j < cols; ++j) {
+      dst[j] = QuantizeValue(row[j], inv[static_cast<size_t>(j)]);
+    }
+  }
+  return q;
+}
+
+Tensor Dequantize(const QuantizedTensor& q) {
+  const bool record_metric = q.rows * q.cols >= kQuantMetricMinWork;
+  Timer timer;
+  Tensor out(q.rows, q.cols);
+  float* dst = out.data();
+  if (q.scheme == QuantScheme::kPerTensor) {
+    const float scale = q.scales.empty() ? 1.0f : q.scales[0];
+    for (int64_t i = 0; i < out.size(); ++i) {
+      dst[i] = scale * static_cast<float>(q.data[static_cast<size_t>(i)]);
+    }
+  } else {
+    for (int64_t i = 0; i < q.rows; ++i) {
+      const int8_t* src = q.data.data() + i * q.cols;
+      float* row = dst + i * q.cols;
+      for (int64_t j = 0; j < q.cols; ++j) {
+        row[j] = q.scales[static_cast<size_t>(j)] * static_cast<float>(src[j]);
+      }
+    }
+  }
+  if (record_metric) DequantHistogram()->Record(timer.ElapsedMillis());
+  return out;
+}
+
+Status ValidateQuantizedTensor(const QuantizedTensor& q,
+                               const std::string& context) {
+  if (q.rows <= 0 || q.cols <= 0) {
+    return Status::InvalidArgument(context + ": non-positive quantized shape " +
+                                   std::to_string(q.rows) + "x" +
+                                   std::to_string(q.cols));
+  }
+  if (q.scheme != QuantScheme::kPerTensor &&
+      q.scheme != QuantScheme::kPerChannel) {
+    return Status::InvalidArgument(
+        context + ": unknown quantization scheme tag " +
+        std::to_string(static_cast<uint32_t>(q.scheme)));
+  }
+  const int64_t want_scales = q.num_scales();
+  if (static_cast<int64_t>(q.scales.size()) != want_scales) {
+    return Status::InvalidArgument(
+        context + ": scale count " + std::to_string(q.scales.size()) +
+        " does not match scheme " + QuantSchemeName(q.scheme) + " (expected " +
+        std::to_string(want_scales) + ")");
+  }
+  if (q.zero_points.size() != q.scales.size()) {
+    return Status::InvalidArgument(
+        context + ": zero-point count " + std::to_string(q.zero_points.size()) +
+        " does not match scale count " + std::to_string(q.scales.size()));
+  }
+  for (size_t i = 0; i < q.scales.size(); ++i) {
+    const float s = q.scales[i];
+    if (!std::isfinite(s) || s <= 0.0f) {
+      return Status::InvalidArgument(context + ": malformed quantization scale[" +
+                                std::to_string(i) + "] = " +
+                                std::to_string(s) +
+                                " (must be finite and > 0)");
+    }
+  }
+  for (size_t i = 0; i < q.zero_points.size(); ++i) {
+    if (q.zero_points[i] != 0) {
+      return Status::InvalidArgument(
+          context + ": nonzero weight zero point zp[" + std::to_string(i) +
+          "] = " + std::to_string(q.zero_points[i]) +
+          " (weight quantization is symmetric)");
+    }
+  }
+  if (static_cast<int64_t>(q.data.size()) != q.rows * q.cols) {
+    return Status::InvalidArgument(
+        context + ": quantized data has " + std::to_string(q.data.size()) +
+        " values for a " + std::to_string(q.rows) + "x" +
+        std::to_string(q.cols) + " tensor");
+  }
+  return Status::OK();
+}
+
+PackedQuantWeights PackForGemm(const QuantizedTensor& q) {
+  QPS_CHECK(q.rows > 0 && q.cols > 0)
+      << "PackForGemm: empty quantized tensor " << q.rows << "x" << q.cols;
+  QPS_CHECK(static_cast<int64_t>(q.data.size()) == q.rows * q.cols)
+      << "PackForGemm: data size " << q.data.size() << " for " << q.rows << "x"
+      << q.cols;
+
+  PackedQuantWeights p;
+  p.in = q.rows;
+  p.out = q.cols;
+  p.k_padded = PadK(q.rows);
+  p.out_padded = (q.cols + 15) / 16 * 16;
+  // Zero padding: the activation rows are padded with their zero point, and
+  // 0-weight * anything contributes nothing after the zp correction.
+  p.data.assign(static_cast<size_t>(p.out * p.k_padded), 0);
+  p.vnni_data.assign(static_cast<size_t>(p.out_padded * p.k_padded), 0);
+  p.scales.assign(static_cast<size_t>(p.out), 1.0f);
+  p.row_sums.assign(static_cast<size_t>(p.out), 0);
+
+  for (int64_t j = 0; j < p.out; ++j) {
+    p.scales[static_cast<size_t>(j)] =
+        q.scheme == QuantScheme::kPerTensor ? q.scales[0]
+                                            : q.scales[static_cast<size_t>(j)];
+    int8_t* dst = p.data.data() + j * p.k_padded;
+    // VNNI blocked layout: channel j lives in 16-channel block jb at lane
+    // c, with k grouped 4 to a vpdpbusd step (see quant.h).
+    int8_t* vdst = p.vnni_data.data() + (j / 16) * 16 * p.k_padded + (j % 16) * 4;
+    int32_t sum = 0;
+    for (int64_t i = 0; i < p.in; ++i) {
+      const int8_t v = q.data[static_cast<size_t>(i * q.cols + j)];
+      dst[i] = v;
+      vdst[(i / 4) * 64 + (i % 4)] = v;
+      sum += v;
+    }
+    p.row_sums[static_cast<size_t>(j)] = sum;
+  }
+  return p;
+}
+
+void QuantizeActivationsPerRow(const Tensor& x, QuantizedActs* out) {
+  const bool record_metric = x.size() >= kQuantMetricMinWork;
+  Timer timer;
+
+  out->rows = x.rows();
+  out->cols = x.cols();
+  out->k_padded = PadK(x.cols());
+  out->data.resize(static_cast<size_t>(out->rows * out->k_padded));
+  out->scales.assign(static_cast<size_t>(out->rows), 1.0f);
+  out->zero_points.assign(static_cast<size_t>(out->rows), 0);
+
+  const int64_t rows = x.rows();
+  const int64_t cols = x.cols();
+  const int64_t kp = out->k_padded;
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* src = x.data() + i * cols;
+    // Row range always includes 0, so lo <= 0 <= hi: the zero point lands
+    // in [0, 255] and zero activations quantize exactly.
+    float lo;
+    float hi;
+    MinMaxRow(src, cols, &lo, &hi);
+    const float range = hi - lo;
+    float scale = 1.0f;
+    int32_t zp = 0;
+    if (range > 0.0f) {
+      scale = range / 255.0f;
+      zp = static_cast<int32_t>(std::lround(-lo / scale));
+      zp = std::min(255, std::max(0, zp));
+    }
+    out->scales[static_cast<size_t>(i)] = scale;
+    out->zero_points[static_cast<size_t>(i)] = zp;
+
+    uint8_t* dst = out->data.data() + i * kp;
+    QuantizeRow(src, cols, 1.0f / scale, static_cast<float>(zp) + 0.5f, dst);
+    // Pad with the zero point: padded weight lanes are 0, and the zp
+    // correction subtracts zp * row_sum, which only covers real lanes — a
+    // 0 weight times any pad value contributes 0 to the accumulator.
+    for (int64_t j = cols; j < kp; ++j) {
+      dst[j] = static_cast<uint8_t>(zp);
+    }
+  }
+
+  if (record_metric) DequantHistogram()->Record(timer.ElapsedMillis());
+}
+
+void DequantizeGemmOutput(const QuantizedActs& a, const PackedQuantWeights& w,
+                          const int32_t* acc, const float* bias, Tensor* out) {
+  const int64_t m = a.rows;
+  const int64_t n = w.out;
+  for (int64_t i = 0; i < m; ++i) {
+    DequantRow(acc + i * n, w.scales.data(), w.row_sums.data(), bias,
+               a.scales[static_cast<size_t>(i)],
+               a.zero_points[static_cast<size_t>(i)], n, out->data() + i * n);
+  }
+}
+
+}  // namespace nn
+}  // namespace qps

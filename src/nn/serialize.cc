@@ -26,10 +26,16 @@ enum SectionKind : uint32_t {
   kSectionTensors = 1,
   kSectionScalars = 2,
   kSectionRaw = 3,
+  kSectionQuantTensors = 4,
 };
+
+/// Dtype tags inside a quant-tensor record (only int8 exists today; the
+/// tag keeps the record self-describing for future widths).
+constexpr uint32_t kQuantDtypeInt8 = 1;
 
 // Well-known section names.
 constexpr char kSecModel[] = "model";
+constexpr char kSecModelInt8[] = "model_int8";
 constexpr char kSecExtra[] = "extra";
 constexpr char kSecOptimizer[] = "optimizer";
 constexpr char kSecOptimizerScalars[] = "optimizer_scalars";
@@ -76,6 +82,34 @@ std::string TensorSectionPayload(
     PutU32(&out, static_cast<uint32_t>(t->cols()));
     out.append(reinterpret_cast<const char*>(t->data()),
                sizeof(float) * static_cast<size_t>(t->size()));
+    PutU32(&out, crc32::Compute(out.data() + record_start,
+                                out.size() - record_start));
+  }
+  return out;
+}
+
+/// Quant record framing, mirroring the f32 tensor records (name + shape +
+/// payload + per-record CRC) with the quantization parameters in between:
+///   name_len u32 | name | rows u32 | cols u32 | dtype u32 | scheme u32 |
+///   num_scales u64 | scales f32* | zero_points i32* | data s8* | crc u32
+std::string QuantSectionPayload(
+    const std::vector<std::pair<std::string, const QuantizedTensor*>>& tensors) {
+  std::string out;
+  PutU64(&out, tensors.size());
+  for (const auto& [name, q] : tensors) {
+    const size_t record_start = out.size();
+    PutU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+    PutU32(&out, static_cast<uint32_t>(q->rows));
+    PutU32(&out, static_cast<uint32_t>(q->cols));
+    PutU32(&out, kQuantDtypeInt8);
+    PutU32(&out, static_cast<uint32_t>(q->scheme));
+    PutU64(&out, q->scales.size());
+    out.append(reinterpret_cast<const char*>(q->scales.data()),
+               sizeof(float) * q->scales.size());
+    out.append(reinterpret_cast<const char*>(q->zero_points.data()),
+               sizeof(int32_t) * q->zero_points.size());
+    out.append(reinterpret_cast<const char*>(q->data.data()), q->data.size());
     PutU32(&out, crc32::Compute(out.data() + record_start,
                                 out.size() - record_start));
   }
@@ -197,6 +231,16 @@ class Reader {
   Status ReadI64(int64_t* v, const char* what) {
     return ReadRaw(v, sizeof(*v), what);
   }
+  Status ReadF32(float* v, const char* what) {
+    return ReadRaw(v, sizeof(*v), what);
+  }
+  Status ReadI32(int32_t* v, const char* what) {
+    return ReadRaw(v, sizeof(*v), what);
+  }
+
+  Status ReadBytes(void* dst, size_t n, const char* what) {
+    return ReadRaw(dst, n, what);
+  }
 
   Status ReadString(size_t len, std::string* out, const char* what) {
     if (len > remaining()) return Truncated(what);
@@ -306,6 +350,96 @@ Status ParseTensorSection(const std::string& payload, const std::string& context
   }
   if (r.remaining() != 0) {
     return r.Malformed("trailing garbage after last tensor");
+  }
+  return Status::OK();
+}
+
+using NamedQuantTensors = std::vector<std::pair<std::string, QuantizedTensor>>;
+
+/// Parses a v2 quant-tensors payload, verifying framing, caps, the dtype
+/// tag, scheme/scale-count coherence, per-record CRCs, and the semantic
+/// scale/zero-point constraints (ValidateQuantizedTensor) — a malformed
+/// scale is a load error, never a silently wrong model.
+Status ParseQuantSection(const std::string& payload, const std::string& context,
+                         NamedQuantTensors* out) {
+  Reader r(payload, context);
+  uint64_t count = 0;
+  QPS_RETURN_IF_ERROR(r.ReadU64(&count, "quant tensor count"));
+  if (count > kMaxCheckpointTensors || count > payload.size() / 28) {
+    return r.Malformed("quant tensor count " + std::to_string(count) +
+                       " impossible for payload of " +
+                       std::to_string(payload.size()) + " bytes");
+  }
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string which = "quant tensor #" + std::to_string(i);
+    const size_t record_start = r.offset();
+    uint32_t name_len = 0;
+    QPS_RETURN_IF_ERROR(r.ReadU32(&name_len, "quant tensor name length"));
+    if (name_len > kMaxCheckpointNameLen) {
+      return r.Malformed(which + ": name length " + std::to_string(name_len) +
+                         " exceeds cap");
+    }
+    std::string name;
+    QPS_RETURN_IF_ERROR(r.ReadString(name_len, &name, "quant tensor name"));
+    const std::string label = which + " ('" + name + "')";
+    uint32_t rows = 0, cols = 0, dtype = 0, scheme = 0;
+    QPS_RETURN_IF_ERROR(r.ReadU32(&rows, "quant tensor rows"));
+    QPS_RETURN_IF_ERROR(r.ReadU32(&cols, "quant tensor cols"));
+    QPS_RETURN_IF_ERROR(r.ReadU32(&dtype, "quant tensor dtype"));
+    QPS_RETURN_IF_ERROR(r.ReadU32(&scheme, "quant tensor scheme"));
+    if (dtype != kQuantDtypeInt8) {
+      return r.Malformed(label + ": unsupported quant dtype tag " +
+                         std::to_string(dtype));
+    }
+    if (scheme != static_cast<uint32_t>(QuantScheme::kPerTensor) &&
+        scheme != static_cast<uint32_t>(QuantScheme::kPerChannel)) {
+      return r.Malformed(label + ": unknown quant scheme tag " +
+                         std::to_string(scheme));
+    }
+    if (rows == 0 || cols == 0 ||
+        static_cast<int64_t>(cols) >
+            kMaxCheckpointTensorElems / static_cast<int64_t>(rows)) {
+      return r.Malformed(label + ": invalid quant shape " +
+                         std::to_string(rows) + "x" + std::to_string(cols));
+    }
+    uint64_t num_scales = 0;
+    QPS_RETURN_IF_ERROR(r.ReadU64(&num_scales, "quant scale count"));
+    const uint64_t want_scales =
+        scheme == static_cast<uint32_t>(QuantScheme::kPerTensor)
+            ? 1
+            : static_cast<uint64_t>(cols);
+    if (num_scales != want_scales) {
+      return r.Malformed(label + ": scale count " + std::to_string(num_scales) +
+                         " does not match scheme (expected " +
+                         std::to_string(want_scales) + ")");
+    }
+    QuantizedTensor q;
+    q.rows = static_cast<int64_t>(rows);
+    q.cols = static_cast<int64_t>(cols);
+    q.scheme = static_cast<QuantScheme>(scheme);
+    q.scales.resize(static_cast<size_t>(num_scales));
+    q.zero_points.resize(static_cast<size_t>(num_scales));
+    QPS_RETURN_IF_ERROR(r.ReadBytes(q.scales.data(),
+                                    sizeof(float) * q.scales.size(),
+                                    "quant scales"));
+    QPS_RETURN_IF_ERROR(r.ReadBytes(q.zero_points.data(),
+                                    sizeof(int32_t) * q.zero_points.size(),
+                                    "quant zero points"));
+    q.data.resize(static_cast<size_t>(q.rows * q.cols));
+    QPS_RETURN_IF_ERROR(r.ReadBytes(q.data.data(), q.data.size(),
+                                    "quant int8 data"));
+    const uint32_t computed = r.CrcSince(record_start);
+    uint32_t stored = 0;
+    QPS_RETURN_IF_ERROR(r.ReadU32(&stored, "quant tensor checksum"));
+    if (stored != computed) {
+      return r.Malformed(label + ": checksum mismatch");
+    }
+    QPS_RETURN_IF_ERROR(ValidateQuantizedTensor(q, context + ": " + label));
+    out->emplace_back(std::move(name), std::move(q));
+  }
+  if (r.remaining() != 0) {
+    return r.Malformed("trailing garbage after last quant tensor");
   }
   return Status::OK();
 }
@@ -530,6 +664,65 @@ Status SaveModule(const Module& module, const std::string& path,
   return WriteCheckpoint(path, std::move(sections));
 }
 
+Status SaveModuleQuantized(const Module& module, const std::string& path,
+                           const ScalarEntries& extra) {
+  const auto targets = module.QuantTargets();
+  if (targets.empty()) {
+    return Status::InvalidArgument(
+        "SaveModuleQuantized: module registers no quantizable weights");
+  }
+
+  // Quantized weights: reuse an attached slot (persist exactly what is
+  // being served), else quantize on the fly without touching the module.
+  NamedQuantTensors qtensors;
+  std::unordered_set<std::string> quantized_names;
+  qtensors.reserve(targets.size());
+  for (const auto& t : targets) {
+    if (t.name.size() > kMaxCheckpointNameLen) {
+      return Status::InvalidArgument("quant tensor name too long: " + t.name);
+    }
+    const Tensor& w = t.weight->value;
+    if (w.size() == 0 || w.size() > kMaxCheckpointTensorElems) {
+      return Status::InvalidArgument("tensor too large to checkpoint: " + t.name);
+    }
+    QuantizedTensor q = t.slot->ready()
+                            ? t.slot->stored
+                            : QuantizeWeights(w, *t.scheme);
+    QPS_RETURN_IF_ERROR(ValidateQuantizedTensor(q, "saving " + t.name));
+    if (!quantized_names.insert(t.name).second) {
+      return Status::InvalidArgument("duplicate quantizable weight: " + t.name);
+    }
+    qtensors.emplace_back(t.name, std::move(q));
+  }
+
+  // Everything not quantized stays f32 in the normal model section, so the
+  // strict loader's full-coverage check keeps working.
+  const auto params = module.Parameters();
+  std::vector<std::pair<std::string, const Tensor*>> f32_tensors;
+  f32_tensors.reserve(params.size());
+  for (const auto& p : params) {
+    if (quantized_names.count(p.name) == 0) {
+      f32_tensors.emplace_back(p.name, &p.var->value);
+    }
+  }
+  QPS_RETURN_IF_ERROR(ValidateWritableTensors(f32_tensors));
+  QPS_RETURN_IF_ERROR(ValidateWritableScalars(extra));
+
+  std::vector<std::pair<std::string, const QuantizedTensor*>> qrefs;
+  qrefs.reserve(qtensors.size());
+  for (const auto& [name, q] : qtensors) qrefs.emplace_back(name, &q);
+
+  std::vector<Section> sections;
+  sections.push_back(
+      {kSectionTensors, kSecModel, TensorSectionPayload(f32_tensors)});
+  sections.push_back(
+      {kSectionQuantTensors, kSecModelInt8, QuantSectionPayload(qrefs)});
+  if (!extra.empty()) {
+    sections.push_back({kSectionScalars, kSecExtra, ScalarSectionPayload(extra)});
+  }
+  return WriteCheckpoint(path, std::move(sections));
+}
+
 Status LoadModule(Module* module, const std::string& path, ScalarEntries* extra) {
   QPS_ASSIGN_OR_RETURN(const std::string buf, io::ReadFileToString(path));
   const std::string context = "checkpoint " + path;
@@ -540,7 +733,10 @@ Status LoadModule(Module* module, const std::string& path, ScalarEntries* extra)
   std::memcpy(&magic, buf.data(), 4);
   if (magic == kMagicV1) {
     if (extra != nullptr) extra->clear();
-    return LoadV1(buf, context, module);
+    QPS_RETURN_IF_ERROR(LoadV1(buf, context, module));
+    // v1 predates quantization; stale slots must not serve old weights.
+    ClearModuleQuantization(module);
+    return Status::OK();
   }
   if (magic != kMagicV2) {
     return Status::InvalidArgument(context + ": bad magic");
@@ -554,8 +750,53 @@ Status LoadModule(Module* module, const std::string& path, ScalarEntries* extra)
   NamedTensors stored;
   QPS_RETURN_IF_ERROR(
       ParseTensorSection(model->payload, context + ": model", &stored));
+
+  // Quant section: validate every record against a module target BEFORE
+  // ApplyTensorsToModule mutates anything, so a bad quant checkpoint leaves
+  // the module untouched. Dequantized copies join the f32 list to satisfy
+  // the strict full-coverage check.
+  NamedQuantTensors qstored;
+  if (const Section* qsec = parsed.Find(kSecModelInt8, kSectionQuantTensors)) {
+    QPS_RETURN_IF_ERROR(
+        ParseQuantSection(qsec->payload, context + ": model_int8", &qstored));
+  }
+  std::unordered_map<std::string, const QuantTarget*> target_by_name;
+  const auto targets = module->QuantTargets();
+  for (const auto& t : targets) target_by_name[t.name] = &t;
+  for (const auto& [name, q] : qstored) {
+    auto it = target_by_name.find(name);
+    if (it == target_by_name.end()) {
+      return Status::NotFound(context +
+                              ": quantized weight not quantizable in module: " +
+                              name);
+    }
+    const Tensor& dst = it->second->weight->value;
+    if (dst.rows() != q.rows || dst.cols() != q.cols) {
+      return Status::InvalidArgument(
+          context + ": shape mismatch for quantized " + name + ": module " +
+          std::to_string(dst.rows()) + "x" + std::to_string(dst.cols()) +
+          " vs file " + std::to_string(q.rows) + "x" + std::to_string(q.cols));
+    }
+    stored.emplace_back(name, Dequantize(q));
+  }
+
   QPS_RETURN_IF_ERROR(ApplyTensorsToModule(stored, module, context,
                                            /*strict=*/true));
+
+  // Weights changed: any previously attached quantization is stale. A plain
+  // f32 checkpoint leaves the module fully dequantized; a quant checkpoint
+  // re-attaches exactly what the file carries.
+  ClearModuleQuantization(module);
+  for (auto& [name, q] : qstored) {
+    const QuantTarget* t = target_by_name[name];
+    *t->scheme = q.scheme;
+    t->slot->stored = std::move(q);
+    t->slot->packed = PackForGemm(t->slot->stored);
+  }
+  if (!qstored.empty()) {
+    metrics::Registry::Global().GetGauge("qps.nn.int8.enabled")->Set(1.0);
+  }
+
   if (extra != nullptr) {
     extra->clear();
     if (const Section* s = parsed.Find(kSecExtra, kSectionScalars)) {
@@ -693,6 +934,10 @@ Status LoadTrainingCheckpoint(Module* module, Optimizer* optimizer,
     }
     return st;
   }
+
+  // Training resumes on fresh f32 weights; any attached inference
+  // quantization is stale now.
+  ClearModuleQuantization(module);
 
   state->epoch = epoch;
   state->extra = std::move(extra_entries);

@@ -51,11 +51,28 @@ using ScalarEntries = std::vector<std::pair<std::string, double>>;
 Status SaveModule(const Module& module, const std::string& path,
                   const ScalarEntries& extra = {});
 
+/// Like SaveModule, but every RegisterQuantizable weight is written as an
+/// int8 quant record (dtype tag + scheme + scales + zero points + int8
+/// data, CRC-covered) in a dedicated `model_int8` section; all remaining
+/// parameters stay f32 in the normal `model` section. Weights whose slots
+/// are already populated (QuantizeModule) are persisted exactly as served;
+/// unpopulated ones are quantized on the fly without touching the module.
+/// Fails if the module registers no quantizable weights.
+Status SaveModuleQuantized(const Module& module, const std::string& path,
+                           const ScalarEntries& extra = {});
+
 /// Loads parameters by name into an already-constructed module, accepting
 /// v1 and v2 files. Fails — naming the offending tensor — if a stored name
 /// is missing from the module, a shape differs, any checksum or bound is
 /// violated, or (v2) a module parameter is absent from the file. When
 /// `extra` is non-null it receives the stored scalar entries (empty for v1).
+///
+/// A `model_int8` section, when present, is validated (dims, scheme,
+/// finite positive scales, zero weight zero-points, CRCs), dequantized
+/// into the f32 parameters, and attached to the module's quant slots so
+/// inference runs int8 immediately; loading a plain f32 checkpoint clears
+/// any previously attached quantization. Either the whole file applies or
+/// the module is left untouched.
 Status LoadModule(Module* module, const std::string& path,
                   ScalarEntries* extra = nullptr);
 

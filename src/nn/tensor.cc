@@ -16,7 +16,7 @@ namespace nn {
 
 Tensor Tensor::Row(const std::vector<float>& values) {
   Tensor t(1, static_cast<int64_t>(values.size()));
-  t.data_ = values;
+  t.data_.assign(values.begin(), values.end());
   return t;
 }
 
@@ -216,6 +216,11 @@ void Gemm(GemmLayout layout, const Tensor& a, const Tensor& b, Tensor* out,
   QPS_CHECK(out->rows() == m && out->cols() == n)
       << "Gemm output shape mismatch: expected " << m << "x" << n << " for m=" << m
       << " k=" << ka << " n=" << n << " but out is " << out->rows() << "x" << out->cols();
+  // Tensor storage is 32-byte aligned (util::AlignedVector); SIMD kernels
+  // rely on it, so catch any unaligned operand at the one shared entry point.
+  QPS_DCHECK(util::IsAligned(a.data()) && util::IsAligned(b.data()) &&
+             util::IsAligned(out->data()))
+      << "Gemm operand base pointer not 32-byte aligned";
   const int64_t k = ka;
 
   const bool record_metric = m * k * n >= kGemmMetricMinWork;

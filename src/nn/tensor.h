@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/rng.h"
 
 namespace qps {
@@ -72,14 +73,16 @@ class Tensor {
   float Max() const;
 
   /// Flattened copy of the data.
-  std::vector<float> ToVector() const { return data_; }
+  std::vector<float> ToVector() const { return {data_.begin(), data_.end()}; }
 
   std::string DebugString(int64_t max_entries = 8) const;
 
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<float> data_;
+  // 32-byte aligned so SIMD kernels can use aligned vector loads on tensor
+  // data; the GEMM drivers assert this (util::IsAligned).
+  util::AlignedVector<float> data_;
 };
 
 /// Operand layout for Gemm: which input is read transposed. (Transposing

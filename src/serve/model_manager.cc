@@ -17,6 +17,11 @@ namespace {
 struct ReloadMetrics {
   metrics::Counter* reloads;
   metrics::Counter* reload_failures;
+  /// Quant-gate outcomes: a quantized candidate that passed / failed the
+  /// canary q-error gate, plus the last measured candidate/baseline ratio.
+  metrics::Counter* quant_gate_pass;
+  metrics::Counter* quant_gate_fail;
+  metrics::Gauge* quant_gate_ratio;
 
   static const ReloadMetrics& Get() {
     static const ReloadMetrics m = [] {
@@ -24,6 +29,9 @@ struct ReloadMetrics {
       ReloadMetrics out;
       out.reloads = reg.GetCounter("qps.model.reloads");
       out.reload_failures = reg.GetCounter("qps.model.reload_failures");
+      out.quant_gate_pass = reg.GetCounter("qps.model.quant_gate.pass");
+      out.quant_gate_fail = reg.GetCounter("qps.model.quant_gate.fail");
+      out.quant_gate_ratio = reg.GetGauge("qps.model.quant_gate.ratio");
       return out;
     }();
     return m;
@@ -131,10 +139,19 @@ Status ModelManager::Reload(const std::string& path) {
     return fail(Status::Internal("model factory returned null"));
   }
 
+  // A quantized candidate goes through the same q-error gate, but its
+  // outcome is additionally published as the quant gate: the probe below
+  // measures the int8 inference path against the live (typically f32)
+  // baseline, so a quantization that drifts plan quality rolls back here.
+  const bool candidate_quantized = candidate->quantized();
+
   // Stage 2: validation probe. The candidate is private to this thread, so
   // its (non-reentrant) forward pass is safe to run directly.
   auto qerror_or = CanaryQError(*candidate);
-  if (!qerror_or.ok()) return fail(qerror_or.status());
+  if (!qerror_or.ok()) {
+    if (candidate_quantized) rm.quant_gate_fail->Increment();
+    return fail(qerror_or.status());
+  }
   const double candidate_qerror = *qerror_or;
 
   double baseline;
@@ -142,16 +159,22 @@ Status ModelManager::Reload(const std::string& path) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.last_candidate_qerror = candidate_qerror;
+    stats_.last_candidate_quantized = candidate_quantized;
     baseline = std::max(stats_.live_qerror, options_.min_live_qerror);
     hook = swap_hook_;
   }
+  if (candidate_quantized) {
+    rm.quant_gate_ratio->Set(candidate_qerror / baseline);
+  }
   const double bound = options_.max_qerror_ratio * baseline;
   if (candidate_qerror > bound) {
+    if (candidate_quantized) rm.quant_gate_fail->Increment();
     return fail(Status::Aborted(
         "candidate canary q-error " + std::to_string(candidate_qerror) +
         " exceeds gate " + std::to_string(bound) + " (live baseline " +
         std::to_string(baseline) + ")"));
   }
+  if (candidate_quantized) rm.quant_gate_pass->Increment();
 
   // Stage 3: atomic swap. The hook quiesces in-flight requests; a hook
   // failure means the previous model is still serving (nothing swapped).
@@ -167,7 +190,8 @@ Status ModelManager::Reload(const std::string& path) {
   }
   rm.reloads->Increment();
   QPS_LOG(Info) << "model reloaded from " << path << " (canary q-error "
-                << candidate_qerror << ")";
+                << candidate_qerror
+                << (candidate_quantized ? ", int8 inference)" : ")");
   return Status::OK();
 }
 

@@ -66,6 +66,9 @@ class ModelManager {
     int64_t reload_failures = 0;  ///< load / probe / swap-hook failures
     double live_qerror = 0.0;     ///< canary baseline of the serving model
     double last_candidate_qerror = 0.0;  ///< most recent probe result
+    /// Whether the most recent probed candidate served int8 weights (the
+    /// quant gate: its canary q-error was measured through the int8 path).
+    bool last_candidate_quantized = false;
   };
 
   /// `initial` is the currently serving model (may be null when serving

@@ -1,0 +1,68 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// 32-byte aligned allocation for SIMD-visible buffers. Tensor data and the
+// int8 GEMM operands are allocated through AlignedAllocator so vector loads
+// in the micro-kernels are always aligned and never split a cache line; the
+// GEMM drivers assert this invariant (util::IsAligned) at their entry.
+
+#ifndef QPS_UTIL_ALIGNED_H_
+#define QPS_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace qps {
+namespace util {
+
+/// Alignment every SIMD-visible buffer honors: one AVX2 vector register.
+constexpr size_t kSimdAlignment = 32;
+
+inline bool IsAligned(const void* p, size_t alignment = kSimdAlignment) {
+  return (reinterpret_cast<uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+/// Minimal std::allocator drop-in whose blocks start on an Align boundary.
+template <typename T, size_t Align = kSimdAlignment>
+class AlignedAllocator {
+ public:
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+  using size_type = size_t;
+  using difference_type = ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace util
+}  // namespace qps
+
+#endif  // QPS_UTIL_ALIGNED_H_

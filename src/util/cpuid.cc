@@ -1,0 +1,77 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "util/cpuid.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qps {
+namespace simd {
+
+namespace {
+
+Isa DetectIsaUncached() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vnni")) {
+    return Isa::kAvx512Vnni;
+  }
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+}
+
+bool ReadForceScalarEnv() {
+  const char* env = std::getenv("QPS_FORCE_SCALAR");
+  return env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0';
+}
+
+/// -1 = no override; otherwise a static_cast<int>(Isa) value.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+Isa DetectIsa() {
+  static const Isa detected = DetectIsaUncached();
+  return detected;
+}
+
+bool ScalarForcedByEnv() {
+  static const bool forced = ReadForceScalarEnv();
+  return forced;
+}
+
+Isa ActiveIsa() {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) {
+    const Isa requested = static_cast<Isa>(ov);
+    return requested <= DetectIsa() ? requested : DetectIsa();
+  }
+  if (ScalarForcedByEnv()) return Isa::kScalar;
+  return DetectIsa();
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512Vnni:
+      return "avx512vnni";
+  }
+  return "unknown";
+}
+
+void SetIsaOverrideForTest(Isa isa) {
+  g_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ClearIsaOverrideForTest() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace qps

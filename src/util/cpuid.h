@@ -1,0 +1,50 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Runtime CPU-feature dispatch for the SIMD kernels. One detection at first
+// use picks the widest ISA the host supports; `QPS_FORCE_SCALAR=1` in the
+// environment pins the portable scalar kernels (the tier-1 forced-scalar
+// leg runs the whole test suite this way), and tests can install an
+// explicit override to compare kernel variants inside one process.
+
+#ifndef QPS_UTIL_CPUID_H_
+#define QPS_UTIL_CPUID_H_
+
+namespace qps {
+namespace simd {
+
+/// Kernel tiers, widest last. kAvx2 implies the 256-bit integer ISA the
+/// int8 GEMM micro-kernel needs (AVX2 = VEX-encoded integer ops);
+/// kAvx512Vnni additionally implies AVX512F + AVX512-VNNI (vpdpbusd, the
+/// fused u8*s8 dot-product accumulate). Each tier is a superset of the
+/// ones below it, so dispatch can fall through to any lower tier.
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512Vnni = 2,
+};
+
+/// The widest ISA the host CPU supports, ignoring every override. Detected
+/// once and cached.
+Isa DetectIsa();
+
+/// The ISA the dispatched kernels actually use: a test override if one is
+/// installed, else kScalar when QPS_FORCE_SCALAR=1 was set at first call,
+/// else DetectIsa(). Cheap enough for per-GEMM-call dispatch (one relaxed
+/// atomic load).
+Isa ActiveIsa();
+
+const char* IsaName(Isa isa);
+
+/// True when the environment pinned the scalar kernels (QPS_FORCE_SCALAR=1
+/// at the time of the first ActiveIsa/ScalarForcedByEnv call).
+bool ScalarForcedByEnv();
+
+/// Test hooks: force kernels to `isa` (requests above DetectIsa() are
+/// clamped to it, so forcing kAvx2 on a scalar-only host stays safe).
+void SetIsaOverrideForTest(Isa isa);
+void ClearIsaOverrideForTest();
+
+}  // namespace simd
+}  // namespace qps
+
+#endif  // QPS_UTIL_CPUID_H_

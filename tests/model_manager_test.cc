@@ -190,6 +190,64 @@ TEST_F(ModelManagerTest, QErrorGateRejectsRegressedCandidate) {
   EXPECT_GT(manager.stats().last_candidate_qerror, 0.0);
 }
 
+TEST_F(ModelManagerTest, QuantizedCandidatePassesGateAndSwaps) {
+  // An int8 checkpoint hot-loads as a canary candidate: the probe runs
+  // through the quantized forward path, and with the default gate the
+  // (near-identical) plan quality passes and the candidate swaps in.
+  const std::string qpath = TempPath("quant_candidate.ckpt");
+  std::remove(qpath.c_str());
+  ASSERT_TRUE(model_->SaveQuantized(qpath).ok());
+
+  auto* pass =
+      metrics::Registry::Global().GetCounter("qps.model.quant_gate.pass");
+  const int64_t pass_before = pass->value();
+
+  ModelManager manager(SharedLive(), Factory());
+  ASSERT_TRUE(manager.SetCanaries(Canaries()).ok());
+  const auto before = manager.live();
+
+  Status st = manager.Reload(qpath);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(manager.live(), before);
+  EXPECT_TRUE(manager.live()->quantized());
+  const auto ms = manager.stats();
+  EXPECT_EQ(ms.reloads, 1);
+  EXPECT_EQ(ms.reload_failures, 0);
+  EXPECT_TRUE(ms.last_candidate_quantized);
+  EXPECT_EQ(pass->value(), pass_before + 1);
+  std::remove(qpath.c_str());
+}
+
+TEST_F(ModelManagerTest, DegradedQuantizedCandidateRolledBack) {
+  // Same impossible gate as QErrorGateRejectsRegressedCandidate, but with
+  // a quantized candidate: the quant gate records the failure and the f32
+  // live model keeps serving.
+  const std::string qpath = TempPath("quant_degraded.ckpt");
+  std::remove(qpath.c_str());
+  ASSERT_TRUE(model_->SaveQuantized(qpath).ok());
+
+  auto* fail =
+      metrics::Registry::Global().GetCounter("qps.model.quant_gate.fail");
+  const int64_t fail_before = fail->value();
+
+  ModelManagerOptions opts;
+  opts.max_qerror_ratio = 1e-9;
+  ModelManager manager(SharedLive(), Factory(), opts);
+  ASSERT_TRUE(manager.SetCanaries(Canaries()).ok());
+  const auto before = manager.live();
+
+  Status st = manager.Reload(qpath);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("q-error"), std::string::npos) << st.ToString();
+  EXPECT_EQ(manager.live(), before);     // rollback: f32 model still serving
+  EXPECT_FALSE(manager.live()->quantized());
+  const auto ms = manager.stats();
+  EXPECT_EQ(ms.reload_failures, 1);
+  EXPECT_TRUE(ms.last_candidate_quantized);
+  EXPECT_EQ(fail->value(), fail_before + 1);
+  std::remove(qpath.c_str());
+}
+
 TEST_F(ModelManagerTest, FailingSwapHookCountsAsFailedReload) {
   ModelManager manager(SharedLive(), Factory());
   ASSERT_TRUE(manager.SetCanaries(Canaries()).ok());

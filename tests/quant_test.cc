@@ -1,0 +1,516 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Int8 quantization path: round-trip error bounds, pack layout (including
+// the VNNI blocked copy), cross-kernel bit-identity across ragged shapes,
+// GEMM accuracy vs the f32 reference, batch-composition-independence, the
+// quantized checkpoint round trip, and malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/gemm_int8.h"
+#include "nn/layers.h"
+#include "nn/quant.h"
+#include "nn/serialize.h"
+#include "nn/tensor.h"
+#include "util/aligned.h"
+#include "util/cpuid.h"
+#include "util/rng.h"
+
+namespace qps {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Plain f32 reference: out = x @ W + bias, accumulated in double so the
+/// reference itself contributes no meaningful error.
+Tensor ReferenceGemm(const Tensor& x, const Tensor& w, const float* bias) {
+  Tensor out(x.rows(), w.cols());
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    for (int64_t j = 0; j < w.cols(); ++j) {
+      double sum = bias != nullptr ? bias[j] : 0.0;
+      for (int64_t p = 0; p < x.cols(); ++p) {
+        sum += static_cast<double>(x(i, p)) * static_cast<double>(w(p, j));
+      }
+      out(i, j) = static_cast<float>(sum);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Alignment
+
+TEST(QuantAlignmentTest, TensorAndQuantBuffersAre32ByteAligned) {
+  Rng rng(1);
+  for (const int64_t cols : {1, 7, 33, 256}) {
+    Tensor t = Tensor::Randn(3, cols, &rng);
+    EXPECT_TRUE(util::IsAligned(t.data())) << "cols=" << cols;
+
+    QuantizedTensor q = QuantizeWeights(t, QuantScheme::kPerTensor);
+    EXPECT_TRUE(util::IsAligned(q.data.data()));
+
+    PackedQuantWeights p = PackForGemm(q);
+    EXPECT_TRUE(util::IsAligned(p.data.data()));
+    EXPECT_TRUE(util::IsAligned(p.vnni_data.data(), 64));
+
+    QuantizedActs acts;
+    QuantizeActivationsPerRow(t, &acts);
+    EXPECT_TRUE(util::IsAligned(acts.data.data()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Weight round trip
+
+TEST(QuantWeightsTest, PerTensorRoundTripWithinHalfScale) {
+  Rng rng(2);
+  Tensor w = Tensor::Randn(13, 29, &rng, 2.5f);
+  QuantizedTensor q = QuantizeWeights(w, QuantScheme::kPerTensor);
+  ASSERT_EQ(q.num_scales(), 1);
+  ASSERT_TRUE(ValidateQuantizedTensor(q, "test").ok());
+  Tensor deq = Dequantize(q);
+  const float bound = q.scales[0] / 2.0f + 1e-6f;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(deq.at(i) - w.at(i)), bound) << "i=" << i;
+    EXPECT_GE(127.0f * q.scales[0], std::fabs(w.at(i)) - bound);
+  }
+}
+
+TEST(QuantWeightsTest, PerChannelRoundTripWithinHalfChannelScale) {
+  Rng rng(3);
+  Tensor w = Tensor::Randn(17, 9, &rng);
+  // Blow up one channel so per-channel genuinely beats per-tensor.
+  for (int64_t i = 0; i < w.rows(); ++i) w(i, 4) *= 100.0f;
+  QuantizedTensor q = QuantizeWeights(w, QuantScheme::kPerChannel);
+  ASSERT_EQ(q.num_scales(), w.cols());
+  ASSERT_TRUE(ValidateQuantizedTensor(q, "test").ok());
+  Tensor deq = Dequantize(q);
+  for (int64_t i = 0; i < w.rows(); ++i) {
+    for (int64_t j = 0; j < w.cols(); ++j) {
+      EXPECT_LE(std::fabs(deq(i, j) - w(i, j)),
+                q.scales[static_cast<size_t>(j)] / 2.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(QuantWeightsTest, ZeroTensorGetsScaleOneAndZeroCodes) {
+  Tensor w = Tensor::Zeros(4, 6);
+  for (const QuantScheme scheme :
+       {QuantScheme::kPerTensor, QuantScheme::kPerChannel}) {
+    QuantizedTensor q = QuantizeWeights(w, scheme);
+    ASSERT_TRUE(ValidateQuantizedTensor(q, "zero").ok());
+    for (const float s : q.scales) EXPECT_EQ(s, 1.0f);
+    for (const int8_t v : q.data) EXPECT_EQ(v, 0);
+  }
+}
+
+TEST(QuantWeightsTest, CodesNeverReachMinusOneTwentyEight) {
+  Rng rng(4);
+  Tensor w = Tensor::Randn(31, 15, &rng, 10.0f);
+  w(0, 0) = -1234.5f;  // force the most negative value to be the range edge
+  QuantizedTensor q = QuantizeWeights(w, QuantScheme::kPerTensor);
+  for (const int8_t v : q.data) {
+    EXPECT_GE(static_cast<int>(v), -127);
+    EXPECT_LE(static_cast<int>(v), 127);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation (the loader routes through the same function)
+
+TEST(QuantValidateTest, RejectsMalformedScalesAndShapes) {
+  Rng rng(5);
+  Tensor w = Tensor::Randn(6, 8, &rng);
+  const QuantizedTensor good = QuantizeWeights(w, QuantScheme::kPerChannel);
+  ASSERT_TRUE(ValidateQuantizedTensor(good, "good").ok());
+
+  {
+    QuantizedTensor q = good;
+    q.scales[2] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "nan").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.scales[0] = -0.25f;
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "negative").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.scales[1] = 0.0f;
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "zero").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.scales[3] = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "inf").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.zero_points[4] = 1;  // weights are symmetric; nonzero zp is malformed
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "zp").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.scales.pop_back();  // count no longer matches the scheme
+    q.zero_points.pop_back();
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "count").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.data.pop_back();  // data no longer rows*cols
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "size").ok());
+  }
+  {
+    QuantizedTensor q = good;
+    q.rows = -1;
+    EXPECT_FALSE(ValidateQuantizedTensor(q, "dims").ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pack layout
+
+TEST(QuantPackTest, TransposesPadsAndSumsCorrectly) {
+  Rng rng(6);
+  const int64_t in = 37, out = 19;  // deliberately not multiples of 64 / 16
+  Tensor w = Tensor::Randn(in, out, &rng);
+  QuantizedTensor q = QuantizeWeights(w, QuantScheme::kPerTensor);
+  PackedQuantWeights p = PackForGemm(q);
+
+  EXPECT_EQ(p.in, in);
+  EXPECT_EQ(p.out, out);
+  EXPECT_EQ(p.k_padded % 64, 0);
+  EXPECT_GE(p.k_padded, in);
+  EXPECT_LT(p.k_padded, in + 64);
+  EXPECT_EQ(p.out_padded % 16, 0);
+  EXPECT_GE(p.out_padded, out);
+  ASSERT_EQ(static_cast<int64_t>(p.data.size()), out * p.k_padded);
+  ASSERT_EQ(static_cast<int64_t>(p.vnni_data.size()),
+            p.out_padded * p.k_padded);
+  ASSERT_EQ(static_cast<int64_t>(p.scales.size()), out);
+  ASSERT_EQ(static_cast<int64_t>(p.row_sums.size()), out);
+
+  for (int64_t j = 0; j < out; ++j) {
+    int32_t sum = 0;
+    for (int64_t i = 0; i < p.k_padded; ++i) {
+      const int8_t plain = p.data[static_cast<size_t>(j * p.k_padded + i)];
+      // Transposed: packed row j, lane i == stored (i, j); padding is zero.
+      const int8_t expect =
+          i < in ? q.data[static_cast<size_t>(i * out + j)] : int8_t{0};
+      ASSERT_EQ(plain, expect) << "j=" << j << " i=" << i;
+      // VNNI blocked copy holds the same weight at
+      // [jb*16*kp + kg*64 + c*4 + b] for j = 16*jb + c, i = 4*kg + b.
+      const int64_t jb = j / 16, c = j % 16, kg = i / 4, b = i % 4;
+      const int8_t blocked = p.vnni_data[static_cast<size_t>(
+          jb * 16 * p.k_padded + kg * 64 + c * 4 + b)];
+      ASSERT_EQ(blocked, expect) << "j=" << j << " i=" << i;
+      sum += expect;
+    }
+    EXPECT_EQ(p.row_sums[static_cast<size_t>(j)], sum) << "j=" << j;
+  }
+  // Channels beyond `out` in the blocked copy are zero.
+  for (int64_t j = out; j < p.out_padded; ++j) {
+    const int64_t jb = j / 16, c = j % 16;
+    for (int64_t i = 0; i < p.k_padded; ++i) {
+      ASSERT_EQ(p.vnni_data[static_cast<size_t>(jb * 16 * p.k_padded +
+                                                (i / 4) * 64 + c * 4 + i % 4)],
+                0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activation quantization
+
+TEST(QuantActsTest, PerRowZeroExactAndPaddingIsZeroPoint) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn(5, 50, &rng);
+  // An all-positive row and an all-negative row: the range must still
+  // include zero so the zero point is exact.
+  for (int64_t j = 0; j < x.cols(); ++j) {
+    x(1, j) = 0.5f + std::fabs(x(1, j));
+    x(2, j) = -0.5f - std::fabs(x(2, j));
+  }
+  QuantizedActs acts;
+  QuantizeActivationsPerRow(x, &acts);
+  ASSERT_EQ(acts.rows, x.rows());
+  ASSERT_EQ(acts.cols, x.cols());
+  ASSERT_EQ(acts.k_padded % 64, 0);
+
+  for (int64_t i = 0; i < acts.rows; ++i) {
+    const float scale = acts.scales[static_cast<size_t>(i)];
+    const int32_t zp = acts.zero_points[static_cast<size_t>(i)];
+    ASSERT_GT(scale, 0.0f);
+    ASSERT_GE(zp, 0);
+    ASSERT_LE(zp, 255);
+    // Dequantizing the zero point gives exactly zero.
+    EXPECT_EQ(scale * static_cast<float>(0), scale * (zp - zp) * 1.0f);
+    for (int64_t j = 0; j < acts.cols; ++j) {
+      const uint8_t code = acts.data[static_cast<size_t>(i * acts.k_padded + j)];
+      const float deq = scale * (static_cast<int32_t>(code) - zp);
+      EXPECT_LE(std::fabs(deq - x(i, j)), scale / 2.0f + 1e-6f)
+          << "i=" << i << " j=" << j;
+    }
+    for (int64_t j = acts.cols; j < acts.k_padded; ++j) {
+      EXPECT_EQ(acts.data[static_cast<size_t>(i * acts.k_padded + j)],
+                static_cast<uint8_t>(zp));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+struct Shape {
+  int64_t m, k, n;
+};
+
+TEST(GemmInt8Test, AllKernelTiersProduceIdenticalIntegers) {
+  const Shape shapes[] = {{1, 1, 1},   {1, 64, 16},  {2, 31, 7},
+                          {3, 64, 1},  {4, 65, 17},  {5, 127, 33},
+                          {8, 128, 48}, {7, 200, 63}, {64, 256, 40}};
+  const simd::Isa detected = simd::DetectIsa();
+  Rng rng(8);
+  for (const Shape& s : shapes) {
+    Tensor x = Tensor::Randn(s.m, s.k, &rng);
+    Tensor w = Tensor::Randn(s.k, s.n, &rng);
+    QuantizedActs acts;
+    QuantizeActivationsPerRow(x, &acts);
+    PackedQuantWeights packed =
+        PackForGemm(QuantizeWeights(w, QuantScheme::kPerTensor));
+
+    std::vector<int32_t> ref(static_cast<size_t>(s.m * s.n));
+    Int8AccumulateRows(simd::Isa::kScalar, acts, packed, ref.data());
+
+    // The scalar result must equal the plain i32 dot product.
+    for (int64_t i = 0; i < s.m; ++i) {
+      for (int64_t j = 0; j < s.n; ++j) {
+        int32_t sum = 0;
+        for (int64_t p = 0; p < acts.k_padded; ++p) {
+          const int32_t av =
+              acts.data[static_cast<size_t>(i * acts.k_padded + p)];
+          const int32_t wv =
+              packed.data[static_cast<size_t>(j * packed.k_padded + p)];
+          sum += av * wv;
+        }
+        ASSERT_EQ(ref[static_cast<size_t>(i * s.n + j)], sum)
+            << "m=" << s.m << " k=" << s.k << " n=" << s.n;
+      }
+    }
+
+    for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kAvx512Vnni}) {
+      if (isa > detected) continue;  // host can't run this tier
+      std::vector<int32_t> got(static_cast<size_t>(s.m * s.n), -1);
+      Int8AccumulateRows(isa, acts, packed, got.data());
+      ASSERT_EQ(got, ref) << "isa=" << static_cast<int>(isa) << " m=" << s.m
+                          << " k=" << s.k << " n=" << s.n;
+    }
+  }
+}
+
+TEST(GemmInt8Test, IsaOverrideAboveHostCapabilityIsClamped) {
+  simd::SetIsaOverrideForTest(simd::Isa::kAvx512Vnni);
+  EXPECT_LE(simd::ActiveIsa(), simd::DetectIsa());
+  simd::ClearIsaOverrideForTest();
+}
+
+TEST(GemmInt8Test, MatchesF32ReferenceWithinQuantizationBound) {
+  Rng rng(9);
+  const int64_t m = 6, k = 96, n = 24;
+  Tensor x = Tensor::Randn(m, k, &rng);
+  Tensor w = Tensor::Randn(k, n, &rng);
+  std::vector<float> bias(static_cast<size_t>(n), 0.0f);
+  for (auto& b : bias) b = rng.Normal();
+
+  QuantizedActs acts;
+  QuantizeActivationsPerRow(x, &acts);
+  QuantizedTensor q = QuantizeWeights(w, QuantScheme::kPerChannel);
+  PackedQuantWeights packed = PackForGemm(q);
+  Tensor out(m, n);
+  GemmInt8(acts, packed, bias.data(), &out);
+
+  const Tensor ref = ReferenceGemm(x, w, bias.data());
+  for (int64_t i = 0; i < m; ++i) {
+    const float sa = acts.scales[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < n; ++j) {
+      const float sw = packed.scales[static_cast<size_t>(j)];
+      // |a~w~ - aw| <= sum_p |a_p| sw/2 + (|w_pj| + sw/2) sa/2, plus slack
+      // for f32 epilogue rounding.
+      double bound = 1e-4;
+      for (int64_t p = 0; p < k; ++p) {
+        bound += std::fabs(x(i, p)) * sw / 2.0 +
+                 (std::fabs(w(p, j)) + sw / 2.0) * sa / 2.0;
+      }
+      EXPECT_LE(std::fabs(out(i, j) - ref(i, j)), bound)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(GemmInt8Test, BatchRowsMatchSingleRowBitwise) {
+  // The per-row activation scheme makes row r of a batched quantized
+  // forward depend only on row r — the invariant serving determinism
+  // relies on (PredictPlansBatch == PredictPlan bitwise).
+  Rng rng(10);
+  const int64_t m = 9, k = 70, n = 21;
+  Tensor x = Tensor::Randn(m, k, &rng);
+  Tensor w = Tensor::Randn(k, n, &rng);
+  std::vector<float> bias(static_cast<size_t>(n), 0.25f);
+  PackedQuantWeights packed =
+      PackForGemm(QuantizeWeights(w, QuantScheme::kPerTensor));
+
+  QuantizedActs batch_acts;
+  QuantizeActivationsPerRow(x, &batch_acts);
+  Tensor batch_out(m, n);
+  GemmInt8(batch_acts, packed, bias.data(), &batch_out);
+
+  for (int64_t i = 0; i < m; ++i) {
+    Tensor row(1, k);
+    std::memcpy(row.data(), x.data() + i * k,
+                sizeof(float) * static_cast<size_t>(k));
+    QuantizedActs row_acts;
+    QuantizeActivationsPerRow(row, &row_acts);
+    ASSERT_EQ(row_acts.scales[0], batch_acts.scales[static_cast<size_t>(i)]);
+    ASSERT_EQ(row_acts.zero_points[0],
+              batch_acts.zero_points[static_cast<size_t>(i)]);
+    Tensor row_out(1, n);
+    GemmInt8(row_acts, packed, bias.data(), &row_out);
+    for (int64_t j = 0; j < n; ++j) {
+      ASSERT_EQ(row_out(0, j), batch_out(i, j)) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Module + checkpoint integration
+
+TEST(QuantCheckpointTest, QuantizedSaveLoadServesBitIdentically) {
+  Rng rng(11);
+  Mlp saved(12, 32, 4, /*hidden_layers=*/2, &rng);
+  ASSERT_GT(QuantizeModule(&saved), 0);
+  ASSERT_TRUE(ModuleHasQuantizedWeights(saved));
+
+  const std::string path = TempPath("quant_roundtrip.ckpt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveModuleQuantized(saved, path).ok());
+
+  Rng rng2(99);  // different init: everything must come from the file
+  Mlp loaded(12, 32, 4, 2, &rng2);
+  Status st = LoadModule(&loaded, path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(ModuleHasQuantizedWeights(loaded));
+
+  Tensor x = Tensor::Randn(5, 12, &rng);
+  Tensor out_saved, out_loaded;
+  saved.ForwardTensor(x, &out_saved);
+  loaded.ForwardTensor(x, &out_loaded);
+  ASSERT_EQ(out_saved.rows(), out_loaded.rows());
+  ASSERT_EQ(out_saved.cols(), out_loaded.cols());
+  for (int64_t i = 0; i < out_saved.size(); ++i) {
+    ASSERT_EQ(out_saved.at(i), out_loaded.at(i)) << "i=" << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QuantCheckpointTest, PlainF32CheckpointClearsAttachedQuantization) {
+  Rng rng(12);
+  Mlp module(8, 16, 3, 1, &rng);
+  ASSERT_GT(QuantizeModule(&module), 0);
+  ASSERT_TRUE(ModuleHasQuantizedWeights(module));
+
+  const std::string path = TempPath("quant_f32.ckpt");
+  std::remove(path.c_str());
+  Rng rng2(13);
+  Mlp f32_source(8, 16, 3, 1, &rng2);
+  ASSERT_TRUE(SaveModule(f32_source, path).ok());
+  ASSERT_TRUE(LoadModule(&module, path).ok());
+  EXPECT_FALSE(ModuleHasQuantizedWeights(module));
+  std::remove(path.c_str());
+}
+
+TEST(QuantCheckpointTest, CorruptedQuantSectionRejectedAtomically) {
+  Rng rng(14);
+  Mlp saved(10, 24, 2, 1, &rng);
+  const std::string path = TempPath("quant_corrupt.ckpt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveModuleQuantized(saved, path).ok());
+
+  std::string bytes = ReadAll(path);
+  // Find the int8 section by its name and damage a byte well inside it.
+  const size_t at = bytes.find("model_int8");
+  ASSERT_NE(at, std::string::npos);
+  ASSERT_LT(at + 64, bytes.size());
+  bytes[at + 48] ^= 0x20;
+  WriteAll(path, bytes);
+
+  Rng rng2(15);
+  Mlp loaded(10, 24, 2, 1, &rng2);
+  Tensor x = Tensor::Randn(3, 10, &rng2);
+  Tensor before, after;
+  loaded.ForwardTensor(x, &before);
+
+  Status st = LoadModule(&loaded, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(ModuleHasQuantizedWeights(loaded));
+  // All-or-nothing: the failed load left the module untouched.
+  loaded.ForwardTensor(x, &after);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(before.at(i), after.at(i)) << "i=" << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QuantModuleTest, ClearRestoresF32Inference) {
+  Rng rng(16);
+  Mlp module(6, 12, 2, 1, &rng);
+  Tensor x = Tensor::Randn(4, 6, &rng);
+  Tensor f32_out, int8_out, cleared_out;
+  module.ForwardTensor(x, &f32_out);
+
+  ASSERT_GT(QuantizeModule(&module), 0);
+  module.ForwardTensor(x, &int8_out);
+  // Quantized inference is close to, but generally not equal to, f32.
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < f32_out.size(); ++i) {
+    max_abs = std::max(max_abs,
+                       static_cast<double>(std::fabs(f32_out.at(i))));
+  }
+  for (int64_t i = 0; i < f32_out.size(); ++i) {
+    EXPECT_NEAR(int8_out.at(i), f32_out.at(i), 0.1 * (1.0 + max_abs));
+  }
+
+  ClearModuleQuantization(&module);
+  EXPECT_FALSE(ModuleHasQuantizedWeights(module));
+  module.ForwardTensor(x, &cleared_out);
+  for (int64_t i = 0; i < f32_out.size(); ++i) {
+    ASSERT_EQ(cleared_out.at(i), f32_out.at(i)) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace qps

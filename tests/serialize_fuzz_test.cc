@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,7 +51,9 @@ int FuzzIters() {
   return 1500;  // quick-mode default; tier1.sh ASan pass uses 10000
 }
 
-/// Small module with a few oddly named parameters, as fuzz substrate.
+/// Small module with a few oddly named parameters plus a quantizable
+/// Linear child, as fuzz substrate (the Linear gives SaveModuleQuantized
+/// something to write, so the quant-record parser sees hostile bytes too).
 class FuzzModule : public Module {
  public:
   explicit FuzzModule(uint64_t seed) {
@@ -58,10 +61,13 @@ class FuzzModule : public Module {
     w1_ = RegisterParam("enc.w", Tensor::RandUniform(3, 5, &rng, 1.0f));
     b1_ = RegisterParam("enc/bias", Tensor::RandUniform(1, 5, &rng, 1.0f));
     w2_ = RegisterParam("head.0", Tensor::RandUniform(5, 2, &rng, 1.0f));
+    lin_ = std::make_unique<Linear>(5, 4, &rng, "lin");
+    RegisterChild("lin", lin_.get());
   }
 
  private:
   Var w1_, b1_, w2_;
+  std::unique_ptr<Linear> lin_;
 };
 
 /// Applies one seeded mutation to `bytes`. The mutation classes cover the
@@ -128,13 +134,16 @@ std::string Mutate(const std::string& base, Rng* rng) {
 class SerializeFuzzTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    // A module checkpoint and a full training checkpoint as base corpora.
+    // A module checkpoint, a full training checkpoint, and an int8
+    // quantized checkpoint as base corpora.
     module_path_ = new std::string(TempPath("fuzz_module.ckpt"));
     train_path_ = new std::string(TempPath("fuzz_train.ckpt"));
+    quant_path_ = new std::string(TempPath("fuzz_quant.ckpt"));
 
     FuzzModule module(7);
     ScalarEntries extra = {{"normalizer.log_max.0", 3.5}};
     ASSERT_TRUE(SaveModule(module, *module_path_, extra).ok());
+    ASSERT_TRUE(SaveModuleQuantized(module, *quant_path_, extra).ok());
 
     Adam adam(module.Parameters(), 1e-3f);
     for (auto& p : module.Parameters()) {
@@ -152,29 +161,38 @@ class SerializeFuzzTest : public ::testing::Test {
 
     module_bytes_ = new std::string(ReadAll(*module_path_));
     train_bytes_ = new std::string(ReadAll(*train_path_));
+    quant_bytes_ = new std::string(ReadAll(*quant_path_));
     ASSERT_FALSE(module_bytes_->empty());
     ASSERT_FALSE(train_bytes_->empty());
+    ASSERT_FALSE(quant_bytes_->empty());
   }
 
   static void TearDownTestSuite() {
     std::remove(module_path_->c_str());
     std::remove(train_path_->c_str());
+    std::remove(quant_path_->c_str());
     delete module_path_;
     delete train_path_;
+    delete quant_path_;
     delete module_bytes_;
     delete train_bytes_;
+    delete quant_bytes_;
   }
 
   static std::string* module_path_;
   static std::string* train_path_;
+  static std::string* quant_path_;
   static std::string* module_bytes_;
   static std::string* train_bytes_;
+  static std::string* quant_bytes_;
 };
 
 std::string* SerializeFuzzTest::module_path_ = nullptr;
 std::string* SerializeFuzzTest::train_path_ = nullptr;
+std::string* SerializeFuzzTest::quant_path_ = nullptr;
 std::string* SerializeFuzzTest::module_bytes_ = nullptr;
 std::string* SerializeFuzzTest::train_bytes_ = nullptr;
+std::string* SerializeFuzzTest::quant_bytes_ = nullptr;
 
 TEST_F(SerializeFuzzTest, MutatedCheckpointsNeverCrashTheLoader) {
   const int iters = FuzzIters();
@@ -184,8 +202,11 @@ TEST_F(SerializeFuzzTest, MutatedCheckpointsNeverCrashTheLoader) {
 
   for (int i = 0; i < iters; ++i) {
     Rng rng(0x51505345ull + static_cast<uint64_t>(i));
-    const bool use_train = rng.UniformInt(uint64_t{2}) == 0;
-    const std::string& base = use_train ? *train_bytes_ : *module_bytes_;
+    const uint64_t corpus = rng.UniformInt(uint64_t{3});
+    const bool use_train = corpus == 0;
+    const std::string& base = use_train ? *train_bytes_
+                              : corpus == 1 ? *module_bytes_
+                                            : *quant_bytes_;
     WriteAll(path, Mutate(base, &rng));
 
     // Fresh targets per iteration: a load that errors must not have
