@@ -5,8 +5,16 @@
 // coalesces candidate evaluations from concurrently planning queries into
 // fused model forwards. Reports throughput, client-observed latency
 // percentiles, and the cross-query batching profile for 1/2/4/8 clients.
+// A final phase runs 16 tenants behind the ShardedPlanService under
+// Zipfian-skewed traffic and checks the isolation contract: the hot tenant
+// sheds on its own quota while cold-tenant p99 stays flat, and sharded
+// plans are bit-identical to single-tenant serving.
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -14,7 +22,7 @@
 #include "exec/executor.h"
 #include "obs/accuracy.h"
 #include "obs/window.h"
-#include "serve/plan_service.h"
+#include "serve/sharded_service.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -42,8 +50,13 @@ RunResult RunClients(const core::QpSeeker& model, optimizer::Planner* baseline,
   serve::PlanServiceOptions sopts;
   sopts.workers = clients;
   sopts.max_queue = static_cast<size_t>(4 * clients);
-  auto service_or =
-      serve::PlanService::Create("neural", &model, baseline, gopts, sopts);
+  serve::PlanServiceDeps deps;
+  deps.planner_name = "neural";
+  deps.model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), &model);
+  deps.baseline = baseline;
+  deps.guard_options = gopts;
+  auto service_or = serve::PlanService::Create(std::move(deps), sopts);
   QPS_CHECK(service_or.ok());
   auto service = std::move(service_or).value();
 
@@ -57,10 +70,11 @@ RunResult RunClients(const core::QpSeeker& model, optimizer::Planner* baseline,
       for (int r = 0; r < requests_per_client; ++r) {
         const size_t qi = static_cast<size_t>(c * requests_per_client + r) %
                           queries.size();
-        core::PlanRequestOptions ropts;
-        ropts.seed = 7000 + static_cast<uint64_t>(c * 1000 + r);
+        serve::PlanRequest request;
+        request.query = queries[qi];
+        request.seed = 7000 + static_cast<uint64_t>(c * 1000 + r);
         Timer timer;
-        auto result = service->Submit(queries[qi], ropts).get();
+        auto result = service->Submit(std::move(request)).get();
         latencies[static_cast<size_t>(c)].push_back(timer.ElapsedMillis());
         if (!result.ok()) failures[static_cast<size_t>(c)] += 1;
       }
@@ -104,8 +118,13 @@ void RunWindowedObservation(const core::QpSeeker& model,
   serve::PlanServiceOptions sopts;
   sopts.workers = 4;
   sopts.max_queue = 16;
-  auto service_or =
-      serve::PlanService::Create("neural", &model, baseline, gopts, sopts);
+  serve::PlanServiceDeps deps;
+  deps.planner_name = "neural";
+  deps.model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), &model);
+  deps.baseline = baseline;
+  deps.guard_options = gopts;
+  auto service_or = serve::PlanService::Create(std::move(deps), sopts);
   QPS_CHECK(service_or.ok());
   auto service = std::move(service_or).value();
 
@@ -119,9 +138,10 @@ void RunWindowedObservation(const core::QpSeeker& model,
               "p99 ms", "qerr p50", "drift");
   for (int round = 0; round < rounds; ++round) {
     for (size_t i = 0; i < queries.size(); ++i) {
-      core::PlanRequestOptions ropts;
-      ropts.seed = 9000 + static_cast<uint64_t>(round) * 100 + i;
-      auto result = service->Submit(queries[i], ropts).get();
+      serve::PlanRequest request;
+      request.query = queries[i];
+      request.seed = 9000 + static_cast<uint64_t>(round) * 100 + i;
+      auto result = service->Submit(std::move(request)).get();
       if (result.ok()) {
         auto analyzed = executor.ExplainAnalyze(queries[i], result->plan.get());
         (void)analyzed;  // feedback is the side effect; errors just skip it
@@ -133,6 +153,235 @@ void RunWindowedObservation(const core::QpSeeker& model,
                 static_cast<long long>(window.count), window.Percentile(50),
                 window.Percentile(99), drift.qerr_p50, drift.drift_score);
   }
+}
+
+/// Zipfian rank sampler: P(rank r) ∝ 1/(r+1)^skew over ranks [0, n).
+/// Rank 0 is the traffic head — the "hot" tenant in the isolation phase.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double skew) : cdf_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+      cdf_[static_cast<size_t>(r)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  int Sample(Rng* rng) const {
+    const double u = rng->Uniform();
+    return static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Rollout-capped MCTS so every plan is a pure function of (query, seed):
+/// the bit-identity check against single-tenant serving needs determinism,
+/// and fixed work per request makes the latency comparison fair.
+core::GuardedOptions TenantGopts() {
+  core::GuardedOptions gopts;
+  gopts.hybrid.mcts.time_budget_ms = 1e9;
+  gopts.hybrid.mcts.max_rollouts = 48;
+  gopts.hybrid.mcts.eval_batch = 4;
+  gopts.hybrid.mcts.seed = 5;
+  gopts.hybrid.mcts.threads = 1;
+  return gopts;
+}
+
+serve::PlanServiceDeps TenantDeps(const core::QpSeeker& model,
+                                  optimizer::Planner* baseline) {
+  serve::PlanServiceDeps deps;
+  deps.planner_name = "neural";
+  deps.model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), &model);
+  deps.baseline = baseline;
+  deps.guard_options = TenantGopts();
+  return deps;
+}
+
+/// Isolation phase: 16 tenants on a ShardedPlanService, Zipfian-skewed
+/// closed-loop traffic. Measures cold-tenant (everyone but the Zipf head)
+/// latency unloaded, then again while a flooder drives the head far past
+/// its admission quota, and asserts the isolation contract: the head sheds
+/// on its own quota, cold p99 stays ≤ 1.3x its unloaded baseline, and
+/// sharded plans are bit-identical to a standalone single-tenant service.
+void RunMultiTenantPhase(const core::QpSeeker& model,
+                         optimizer::Planner* baseline,
+                         const storage::Database& db,
+                         const std::vector<query::Query>& queries,
+                         Scale scale) {
+  std::printf(
+      "\n--- Multi-tenant isolation: 16 tenants, Zipfian skew, hot-tenant "
+      "overload ---\n");
+  constexpr int kTenants = 16;
+  serve::ShardedPlanServiceOptions shopts;
+  // Modest per-shard pools: the phase measures queueing isolation, not
+  // throughput, and CI boxes are often 1-2 cores — oversubscribing them
+  // with 16 workers turns client-observed p99 into scheduler noise.
+  shopts.shards = 4;
+  shopts.workers_per_shard = 2;
+  shopts.shard_max_queue = 256;
+  auto sharded_or = serve::ShardedPlanService::Create(shopts);
+  QPS_CHECK(sharded_or.ok());
+  auto sharded = std::move(sharded_or).value();
+
+  std::vector<std::string> ids;
+  for (int t = 0; t < kTenants; ++t) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "tenant_%02d", t);
+    serve::TenantSpec spec;
+    spec.tenant_id = buf;
+    spec.deps = TenantDeps(model, baseline);
+    // Tight quota on the Zipf head (the knob the flooder is driven
+    // past); roomy everywhere else so cold tenants never shed.
+    spec.quota.max_pending = t == 0 ? 1 : 16;
+    QPS_CHECK(sharded->AddTenant(std::move(spec)).ok());
+    ids.push_back(buf);
+  }
+  const std::string hot = ids[0];
+
+  const int per_client = scale == Scale::kSmoke ? 32 : 48;
+  constexpr int kClients = 4;
+
+  // One closed-loop trial. Clients offer Zipf-shaped traffic over the
+  // *cold* tenants (ranks 1..15) in both phases, so the offered cold load
+  // is identical with and without the flood and the only delta is the hot
+  // tenant's overload; returns client-observed cold p99.
+  auto run_trial = [&](bool overload, uint64_t salt) {
+    std::atomic<bool> stop{false};
+    std::thread flooder;
+    if (overload) {
+      flooder = std::thread([&] {
+        uint64_t seed = 100000;
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Burst far past max_pending; all but one shed instantly.
+          std::vector<std::future<StatusOr<core::PlanResult>>> burst;
+          for (int i = 0; i < 16; ++i) {
+            serve::PlanRequest request;
+            request.tenant_id = hot;
+            request.query = queries[seed % queries.size()];
+            request.seed = seed++;
+            burst.push_back(sharded->Submit(std::move(request)));
+          }
+          for (auto& f : burst) (void)f.get();
+          // Brief gap between bursts: overload pressure (each burst is 16x
+          // the quota) without the flooder thread itself monopolizing a
+          // 1-core CI box, which would measure CPU famine, not isolation.
+          std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        }
+      });
+    }
+    std::mutex cold_mu;
+    std::vector<double> cold;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c, salt] {
+        Rng rng(static_cast<uint64_t>(900 + c) + salt * 131);
+        ZipfSampler zipf(kTenants - 1, 1.1);  // ranks 1..15: cold tenants
+        std::vector<double> local;
+        for (int r = 0; r < per_client; ++r) {
+          const int t = 1 + zipf.Sample(&rng);
+          serve::PlanRequest request;
+          request.tenant_id = ids[static_cast<size_t>(t)];
+          request.query = queries[static_cast<size_t>(
+              (c * per_client + r) % static_cast<int>(queries.size()))];
+          request.seed = 20000 + static_cast<uint64_t>(c * per_client + r);
+          Timer timer;
+          auto result = sharded->Submit(std::move(request)).get();
+          if (result.ok()) local.push_back(timer.ElapsedMillis());
+        }
+        std::lock_guard<std::mutex> lock(cold_mu);
+        cold.insert(cold.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : clients) t.join();
+    stop.store(true, std::memory_order_relaxed);
+    if (flooder.joinable()) flooder.join();
+    return eval::ComputePercentiles(cold).p99;
+  };
+
+  // Paired rounds: each round measures unloaded then loaded back to back,
+  // so slow drift on a shared CI box (frequency scaling, noisy neighbours)
+  // hits both phases of a round equally and cancels in the comparison.
+  // Client-observed p99 on an oversubscribed box carries multi-ms
+  // scheduler noise per trial, so the contract is judged per round and
+  // must hold in a majority of rounds.
+  constexpr int kRounds = 5;
+  int rounds_ok = 0;
+  double unloaded_p99 = 0.0;
+  double loaded_p99 = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    const double u = run_trial(false, static_cast<uint64_t>(round));
+    const double l = run_trial(true, static_cast<uint64_t>(round));
+    // Absolute slack of ~one planning service time: on a 1-core box the
+    // hot tenant's single admitted request adds up to one service time of
+    // CPU queueing to any cold request — a physical fair-share delay, not
+    // an isolation failure the multiplicative bound should flag.
+    const bool ok = l <= 1.3 * u + 5.0;
+    std::printf("round %d: cold p99 unloaded %.2f ms -> loaded %.2f ms "
+                "(%.2fx)%s\n",
+                round, u, l, u > 0 ? l / u : 0.0, ok ? "" : "  [over bound]");
+    rounds_ok += ok ? 1 : 0;
+    unloaded_p99 += u / kRounds;
+    loaded_p99 += l / kRounds;
+  }
+
+  const auto hot_stats = sharded->TenantStats(hot);
+  QPS_CHECK(hot_stats.ok());
+  std::printf("%-14s %8s %8s %8s %8s\n", "tenant", "shard", "submit", "done",
+              "shed");
+  for (int t = 0; t < 4; ++t) {
+    const auto ts = sharded->TenantStats(ids[static_cast<size_t>(t)]);
+    QPS_CHECK(ts.ok());
+    std::printf("%-14s %8d %8lld %8lld %8lld\n",
+                ids[static_cast<size_t>(t)].c_str(),
+                sharded->ShardOf(ids[static_cast<size_t>(t)]),
+                static_cast<long long>(ts->submitted),
+                static_cast<long long>(ts->completed),
+                static_cast<long long>(ts->shed));
+  }
+  std::printf("cold p99 (mean over %d rounds) unloaded %.2f ms -> loaded "
+              "%.2f ms (%.2fx), %d/%d rounds within 1.3x\n",
+              kRounds, unloaded_p99, loaded_p99,
+              unloaded_p99 > 0 ? loaded_p99 / unloaded_p99 : 0.0, rounds_ok,
+              kRounds);
+
+  // Isolation contract. The hot tenant must have shed on its own quota;
+  // cold tenants must not have absorbed its overload (per-round bound with
+  // a small absolute slack, majority of rounds, so millisecond-scale
+  // scheduler noise on a 1-2 core CI box cannot fail a run).
+  QPS_CHECK(hot_stats->shed > 0);
+  QPS_CHECK(2 * rounds_ok > kRounds);
+
+  // Bit-identity: the same (tenant, query, seed) through the sharded
+  // service and through a standalone single-tenant PlanService must give
+  // byte-for-byte the same plan.
+  serve::PlanServiceOptions solo_opts;
+  solo_opts.workers = 2;
+  auto solo_or =
+      serve::PlanService::Create(TenantDeps(model, baseline), solo_opts);
+  QPS_CHECK(solo_or.ok());
+  auto solo = std::move(solo_or).value();
+  for (int i = 0; i < 4; ++i) {
+    const query::Query& q = queries[static_cast<size_t>(i) % queries.size()];
+    serve::PlanRequest via_shard;
+    via_shard.tenant_id = ids[static_cast<size_t>(7 + i) % ids.size()];
+    via_shard.query = q;
+    via_shard.seed = 31000 + static_cast<uint64_t>(i);
+    serve::PlanRequest via_solo;
+    via_solo.query = q;
+    via_solo.seed = 31000 + static_cast<uint64_t>(i);
+    auto sharded_result = sharded->Submit(std::move(via_shard)).get();
+    auto solo_result = solo->Submit(std::move(via_solo)).get();
+    QPS_CHECK(sharded_result.ok() && solo_result.ok());
+    QPS_CHECK(sharded_result->plan->ToString(db, q) ==
+              solo_result->plan->ToString(db, q));
+  }
+  std::printf("isolation OK: hot shed %lld, plans bit-identical to "
+              "single-tenant serving\n",
+              static_cast<long long>(hot_stats->shed));
 }
 
 int Run() {
@@ -182,6 +431,7 @@ int Run() {
 
   RunWindowedObservation(seeker, &baseline, *env.imdb, queries, budget_ms,
                          env.scale == Scale::kSmoke ? 3 : 5);
+  RunMultiTenantPhase(seeker, &baseline, *env.imdb, queries, env.scale);
   return 0;
 }
 

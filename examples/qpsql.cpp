@@ -10,7 +10,7 @@
 //         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
 //         [--seed=N] [--v=N] [--threads=N] [--cache-mb=N]
 //         [--quant=int8] [--deadline-ms=D]
-//         [--serve --clients=N --requests=M]
+//         [--serve --clients=N --requests=M] [--tenants=FILE]
 //         [--audit-log=FILE] [--obs-snapshot=FILE] [--obs-interval-ms=D]
 //
 //   echo "SELECT COUNT(*) FROM a, b WHERE b.b1 = a.id;" | ./build/examples/qpsql --db=toy
@@ -64,12 +64,26 @@
 //                             canary-gate the quantized model against the
 //                             live one (qps.model.quant_gate.* in \metrics)
 //
+// Multi-tenant mode (--tenants=FILE): each non-comment line of FILE is
+//   <tenant_id> [backend] [max_pending] [shed]
+// (backend defaults to --planner, max_pending to 16; a trailing "shed"
+// degrades over-quota requests to the inline baseline instead of
+// rejecting). Tenants are hosted on a serve::ShardedPlanService sharing
+// the session's database/model; SQL statements route through the selected
+// tenant's core. \tenant <id> switches tenants, \tenants lists them with
+// shard placement and per-tenant serving stats, and \tenants add/rm
+// changes the fleet at runtime.
+//
 // Meta-commands: \tables  \schema <table>  \guards  \metrics  \prom  \cache
-//                \trace  \save <path>  \quantize [path]  \reload <path>  \quit
+//                \trace  \save <path>  \quantize [path]  \reload <path>
+//                \tenants [add <id> [backend] [quota] [shed] | rm <id>]
+//                \tenant <id>  \quit
 
 #include <cctype>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,7 +101,7 @@
 #include "optimizer/planner.h"
 #include "query/parser.h"
 #include "serve/model_manager.h"
-#include "serve/plan_service.h"
+#include "serve/sharded_service.h"
 #include "storage/schemas.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -114,6 +128,7 @@ struct Options {
   bool serve = false;
   int clients = 4;
   int requests = 16;
+  std::string tenants_file;
   std::string audit_log;
   std::string obs_snapshot;
   double obs_interval_ms = 1000.0;
@@ -157,6 +172,8 @@ Options ParseArgs(int argc, char** argv) {
       opts.clients = std::stoi(value("--clients="));
     } else if (StartsWith(arg, "--requests=")) {
       opts.requests = std::stoi(value("--requests="));
+    } else if (StartsWith(arg, "--tenants=")) {
+      opts.tenants_file = value("--tenants=");
     } else if (StartsWith(arg, "--audit-log=")) {
       opts.audit_log = value("--audit-log=");
     } else if (StartsWith(arg, "--obs-snapshot=")) {
@@ -239,6 +256,76 @@ std::vector<serve::CanaryCase> BuildCanaries(const storage::Database& db,
   return canaries;
 }
 
+/// One `--tenants=FILE` line: `<id> [backend] [max_pending] [shed]`.
+struct TenantLine {
+  std::string id;
+  std::string backend;
+  size_t max_pending = 16;
+  bool shed = false;
+};
+
+/// Builds a TenantSpec over the session's model/baseline. Backends other
+/// than "baseline" reuse the session model; per-tenant planning is
+/// single-threaded (parallelism comes from concurrent requests).
+serve::TenantSpec MakeTenantSpec(const TenantLine& line,
+                                 const std::shared_ptr<core::QpSeeker>& model,
+                                 const optimizer::Planner& baseline) {
+  core::GuardedOptions gopts;
+  gopts.hybrid.mcts.threads = 1;
+  serve::TenantSpec spec;
+  spec.tenant_id = line.id;
+  spec.deps.planner_name = line.backend;
+  spec.deps.model = model;
+  spec.deps.baseline = &baseline;
+  spec.deps.guard_options = gopts;
+  spec.quota.max_pending = line.max_pending;
+  spec.quota.shed_to_baseline = line.shed;
+  return spec;
+}
+
+/// Parses a `--tenants` file; `default_backend` fills omitted backends.
+std::vector<TenantLine> ParseTenantsFile(const std::string& path,
+                                         const std::string& default_backend) {
+  std::vector<TenantLine> lines;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "qpsql: cannot read --tenants file %s\n", path.c_str());
+    return lines;
+  }
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string trimmed = StrTrim(raw);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream tok(trimmed);
+    TenantLine line;
+    line.backend = default_backend;
+    tok >> line.id;
+    std::string word;
+    if (tok >> word) line.backend = word;
+    if (tok >> word) line.max_pending = static_cast<size_t>(std::stoull(word));
+    if (tok >> word) line.shed = (word == "shed");
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void PrintTenants(const serve::ShardedPlanService& sharded) {
+  std::printf("%-20s %5s %-10s %6s %6s %9s %9s %9s\n", "tenant", "shard",
+              "backend", "quota", "shed?", "submit", "done", "shed");
+  for (const std::string& id : sharded.tenant_ids()) {
+    const auto spec = sharded.registry().Get(id);
+    const auto stats = sharded.TenantStats(id);
+    if (!spec.ok() || !stats.ok()) continue;
+    std::printf("%-20s %5d %-10s %6zu %6s %9lld %9lld %9lld\n", id.c_str(),
+                sharded.ShardOf(id), spec->deps.planner_name.c_str(),
+                spec->quota.max_pending,
+                spec->quota.shed_to_baseline ? "degr" : "rej",
+                static_cast<long long>(stats->submitted),
+                static_cast<long long>(stats->completed),
+                static_cast<long long>(stats->shed));
+  }
+}
+
 /// --serve: drive a generated workload through the plan service with
 /// --clients concurrent submitters, then execute the returned plans
 /// serially for q-error accounting.
@@ -277,8 +364,13 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
   sopts.default_deadline_ms = opts.deadline_ms;
   sopts.shed_to_baseline = true;
   sopts.audit = audit.get();
-  auto service_or =
-      serve::PlanService::Create(opts.planner, model, &baseline, gopts, sopts);
+  serve::PlanServiceDeps deps;
+  deps.planner_name = opts.planner;
+  deps.model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), model);
+  deps.baseline = &baseline;
+  deps.guard_options = gopts;
+  auto service_or = serve::PlanService::Create(std::move(deps), sopts);
   if (!service_or.ok()) {
     std::fprintf(stderr, "plan service: %s\n",
                  service_or.status().ToString().c_str());
@@ -311,13 +403,14 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
     clients.emplace_back([&, c] {
       for (size_t i = static_cast<size_t>(c); i < queries.size();
            i += static_cast<size_t>(nclients)) {
-        core::PlanRequestOptions ropts;
-        ropts.deadline_ms = opts.deadline_ms;
+        serve::PlanRequest request;
+        request.query = queries[i];
+        request.deadline_ms = opts.deadline_ms;
         // Per-request seeds pinned to the request index: the plans are a
         // function of the workload alone, not of scheduling.
-        ropts.seed = opts.seed + 1000 + i;
+        request.seed = opts.seed + 1000 + i;
         Timer t;
-        auto result = service->Submit(queries[i], ropts).get();
+        auto result = service->Submit(std::move(request)).get();
         outcomes[i].latency_ms = t.ElapsedMillis();
         if (result.ok()) {
           outcomes[i].ok = true;
@@ -559,6 +652,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --tenants: host a tenant fleet on a sharded service sharing the
+  // session's database/model; SQL routes through the selected tenant.
+  std::unique_ptr<serve::ShardedPlanService> sharded;
+  std::string current_tenant;
+  if (!opts.tenants_file.empty()) {
+    serve::ShardedPlanServiceOptions shopts;
+    shopts.shards = 2;
+    shopts.workers_per_shard = std::max(1, opts.threads);
+    shopts.default_deadline_ms = opts.deadline_ms;
+    auto sharded_or = serve::ShardedPlanService::Create(shopts);
+    if (!sharded_or.ok()) {
+      std::fprintf(stderr, "sharded service: %s\n",
+                   sharded_or.status().ToString().c_str());
+      return 2;
+    }
+    sharded = std::move(*sharded_or);
+    for (const TenantLine& tl :
+         ParseTenantsFile(opts.tenants_file, opts.planner)) {
+      if (Status st = sharded->AddTenant(MakeTenantSpec(tl, model, baseline));
+          !st.ok()) {
+        std::fprintf(stderr, "qpsql: tenant %s: %s\n", tl.id.c_str(),
+                     st.ToString().c_str());
+        continue;
+      }
+      if (current_tenant.empty()) current_tenant = tl.id;
+    }
+    std::fprintf(stderr,
+                 "qpsql: %zu tenants on %d shards, current tenant: %s\n",
+                 sharded->tenant_ids().size(), sharded->num_shards(),
+                 current_tenant.empty() ? "(none)" : current_tenant.c_str());
+  }
+
   std::string trace_path = "qpsql_trace.json";
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -674,6 +799,70 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (sql == "\\tenants" || StartsWith(sql, "\\tenants ")) {
+      if (sharded == nullptr) {
+        std::printf("\\tenants requires --tenants=FILE\n");
+        continue;
+      }
+      const std::string rest = StrTrim(sql.substr(8));
+      if (rest.empty()) {
+        PrintTenants(*sharded);
+        continue;
+      }
+      std::istringstream tok(rest);
+      std::string verb;
+      tok >> verb;
+      if (verb == "add") {
+        TenantLine tl;
+        tl.backend = opts.planner;
+        std::string word;
+        if (!(tok >> tl.id)) {
+          std::printf("usage: \\tenants add <id> [backend] [quota] [shed]\n");
+          continue;
+        }
+        if (tok >> word) tl.backend = word;
+        if (tok >> word) tl.max_pending = static_cast<size_t>(std::stoull(word));
+        if (tok >> word) tl.shed = (word == "shed");
+        if (Status st = sharded->AddTenant(MakeTenantSpec(tl, model, baseline));
+            !st.ok()) {
+          std::printf("add failed: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("tenant %s added on shard %d\n", tl.id.c_str(),
+                      sharded->ShardOf(tl.id));
+          if (current_tenant.empty()) current_tenant = tl.id;
+        }
+      } else if (verb == "rm") {
+        std::string id;
+        if (!(tok >> id)) {
+          std::printf("usage: \\tenants rm <id>\n");
+          continue;
+        }
+        if (Status st = sharded->RemoveTenant(id); !st.ok()) {
+          std::printf("rm failed: %s\n", st.ToString().c_str());
+        } else {
+          std::printf("tenant %s removed (in-flight requests drained)\n",
+                      id.c_str());
+          if (current_tenant == id) current_tenant.clear();
+        }
+      } else {
+        std::printf(
+            "usage: \\tenants [add <id> [backend] [quota] [shed] | rm <id>]\n");
+      }
+      continue;
+    }
+    if (StartsWith(sql, "\\tenant ")) {
+      const std::string id = StrTrim(sql.substr(7));
+      if (sharded == nullptr) {
+        std::printf("\\tenant requires --tenants=FILE\n");
+      } else if (!sharded->registry().Contains(id)) {
+        std::printf("no such tenant: %s (\\tenants lists them)\n", id.c_str());
+      } else {
+        current_tenant = id;
+        std::printf("now planning as tenant %s (shard %d)\n", id.c_str(),
+                    sharded->ShardOf(id));
+      }
+      continue;
+    }
     if (StartsWith(sql, "\\trace")) {
       const std::string rest = StrTrim(sql.substr(6));
       if (rest == "on" || StartsWith(rest, "on ")) {
@@ -705,15 +894,31 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    // Every backend dispatches through the one unified interface.
-    core::PlanRequestOptions ropts;
-    ropts.deadline_ms = opts.deadline_ms;
-    auto p = planner->Plan(*q, ropts);
+    // Every backend dispatches through the one unified interface; with a
+    // tenant fleet loaded, the request routes through the selected
+    // tenant's core instead of the session planner.
+    auto p = [&]() -> StatusOr<core::PlanResult> {
+      if (sharded != nullptr && !current_tenant.empty()) {
+        serve::PlanRequest request;
+        request.query = *q;
+        request.tenant_id = current_tenant;
+        request.deadline_ms = opts.deadline_ms;
+        request.seed = opts.seed;
+        return sharded->Submit(std::move(request)).get();
+      }
+      core::PlanRequestOptions ropts;
+      ropts.deadline_ms = opts.deadline_ms;
+      return planner->Plan(*q, ropts);
+    }();
     if (!p.ok()) {
       std::printf("plan error: %s\n", p.status().ToString().c_str());
       continue;
     }
-    if (opts.planner != "baseline") {
+    if (sharded != nullptr && !current_tenant.empty()) {
+      std::printf("-- tenant %s: %s stage, %d plans evaluated in %.0f ms\n",
+                  current_tenant.c_str(), core::PlanStageName(p->stage),
+                  p->plans_evaluated, p->plan_ms);
+    } else if (opts.planner != "baseline") {
       std::printf("-- %s planner: %s stage, %d plans evaluated in %.0f ms%s%s%s\n",
                   planner->name(), core::PlanStageName(p->stage),
                   p->plans_evaluated, p->plan_ms,

@@ -24,10 +24,32 @@ literals=$(grep -rhoE '"qps\.[^"]*' \
 bad=0
 while IFS= read -r name; do
   [ -z "$name" ] && continue
+  # Dynamic-label prefixes end in "." (code appends a runtime label, e.g.
+  # "qps.tenant.requests." + tenant_id). The prefix itself must still be a
+  # valid name, and tenant ids are validated to [a-z0-9_] at registration.
+  if printf '%s\n' "$name" | grep -qE '^qps(\.[a-z0-9_]+){2,}\.$'; then
+    name="${name%.}"
+  fi
   if ! printf '%s\n' "$name" | grep -qE '^qps(\.[a-z0-9_]+){2,}$'; then
     echo "bad metric name: $name" >&2
     bad=1
   fi
+  # The per-tenant family is a closed set: a typo'd member would fork a
+  # new series per tenant and escape every dashboard.
+  case "$name" in
+    qps.tenant.*)
+      member="${name#qps.tenant.}"
+      member="${member%%.*}"
+      case "$member" in
+        requests|shed|latency_ms|qerr|count) ;;
+        *)
+          echo "unknown qps.tenant.* member: $name (allowed:" \
+               "requests shed latency_ms qerr count)" >&2
+          bad=1
+          ;;
+      esac
+      ;;
+  esac
 done <<< "$literals"
 
 if [ "$bad" -ne 0 ]; then

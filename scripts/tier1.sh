@@ -26,9 +26,9 @@ echo "== tier-1: TSan build (threadpool + hot-path + serving + obs + fuzz-replay
 cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
 cmake --build build-tsan -j --target threadpool_test hotpath_test \
   planner_conformance_test plan_service_test model_manager_test \
-  planner_fuzz_test obs_test
+  tenant_test planner_fuzz_test obs_test
 (cd build-tsan && ctest --output-on-failure \
-  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|planner_fuzz_test|obs_test")
+  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|tenant_test|planner_fuzz_test|obs_test")
 
 echo "== tier-1: ASan checkpoint-loader fuzz (10k fixed-seed inputs) =="
 cmake -B build-asan -S . -DQPS_SANITIZE=ON >/dev/null

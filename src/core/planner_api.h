@@ -100,6 +100,12 @@ struct PlanRequestOptions {
   /// serving determinism tests) can pin per-request randomness.
   uint64_t seed = 0;
 
+  /// Tenant context, stamped by the serving layer (serve::PlanRequest) for
+  /// attribution in traces/audit. Backends must not let it influence
+  /// planning: plans are a function of (query, seed) alone, so sharded
+  /// multi-tenant serving stays bit-identical to single-tenant serving.
+  std::string tenant_id;
+
   /// Cross-query batch evaluator; see BatchEvalFn.
   BatchEvalFn evaluate;
 };

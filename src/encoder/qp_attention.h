@@ -33,7 +33,9 @@ class QpAttention : public nn::Module {
   int out_dim() const { return query_dim_ + node_dim_; }
 
   /// Per-head attention scores of the last multi-node Combine (heads x n).
-  const nn::Tensor& last_scores() const { return attn_->last_scores(); }
+  /// By value: the underlying buffer is republished by every forward, which
+  /// may run concurrently on a shared model (see MultiHeadCrossAttention).
+  nn::Tensor last_scores() const { return attn_->last_scores(); }
 
  private:
   int query_dim_;

@@ -292,7 +292,10 @@ MultiHeadCrossAttention::MultiHeadCrossAttention(int64_t query_dim,
 Var MultiHeadCrossAttention::Forward(const Var& query, const Var& context) const {
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   std::vector<Var> head_outs;
-  last_scores_ = Tensor(heads_, context->value.rows());
+  // Scores accumulate in a local and publish at the end: forwards may run
+  // concurrently over shared weights, and a shared in-progress buffer would
+  // be a cross-thread use-after-free when another forward reallocates it.
+  Tensor scores_out(heads_, context->value.rows());
   for (int h = 0; h < heads_; ++h) {
     Var q = MatMul(query, wq_[h]);                       // (1, d)
     Var k = MatMul(context, wk_[h]);                     // (n, d)
@@ -300,9 +303,13 @@ Var MultiHeadCrossAttention::Forward(const Var& query, const Var& context) const
     Var scores = Scale(MatMul(q, Transpose(k)), scale);  // (1, n)
     Var attn = SoftmaxRows(scores);
     for (int64_t j = 0; j < attn->value.cols(); ++j) {
-      last_scores_(h, j) = attn->value(0, j);
+      scores_out(h, j) = attn->value(0, j);
     }
     head_outs.push_back(MatMul(attn, v));  // (1, d)
+  }
+  {
+    std::lock_guard<std::mutex> lock(scores_mu_);
+    last_scores_ = std::move(scores_out);
   }
   return out_proj_->Forward(ConcatCols(head_outs));
 }
@@ -311,7 +318,8 @@ void MultiHeadCrossAttention::ForwardTensor(const Tensor& query, const Tensor& c
                                             Tensor* out) const {
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   const int64_t n = context.rows();
-  last_scores_ = Tensor(heads_, n);
+  // Local scores buffer, published under the lock at the end — see Forward.
+  Tensor scores_out(heads_, n);
   Tensor concat(1, heads_ * head_dim_);
   Tensor q(1, head_dim_), k(n, head_dim_), v(n, head_dim_);
   Tensor scores(1, n), head_out(1, head_dim_);
@@ -322,10 +330,14 @@ void MultiHeadCrossAttention::ForwardTensor(const Tensor& query, const Tensor& c
     Gemm(GemmLayout::kTransB, q, k, &scores, false);  // (1, n)
     scores.ScaleInPlace(scale);
     SoftmaxRowsInPlace(&scores);
-    for (int64_t j = 0; j < n; ++j) last_scores_(h, j) = scores(0, j);
+    for (int64_t j = 0; j < n; ++j) scores_out(h, j) = scores(0, j);
     Gemm(GemmLayout::kNone, scores, v, &head_out, false);
     std::memcpy(concat.data() + h * head_dim_, head_out.data(),
                 sizeof(float) * static_cast<size_t>(head_dim_));
+  }
+  {
+    std::lock_guard<std::mutex> lock(scores_mu_);
+    last_scores_ = std::move(scores_out);
   }
   out_proj_->ForwardTensor(concat, out);
 }

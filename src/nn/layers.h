@@ -8,6 +8,7 @@
 #define QPS_NN_LAYERS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -191,15 +192,23 @@ class MultiHeadCrossAttention : public Module {
   void ForwardTensor(const Tensor& query, const Tensor& context, Tensor* out) const;
 
   /// Attention weights of the last Forward call, one row per head (heads, n).
-  /// Useful for inspecting which plan nodes dominate the estimate.
-  const Tensor& last_scores() const { return last_scores_; }
+  /// Useful for inspecting which plan nodes dominate the estimate. Returned
+  /// by value: forwards may run concurrently on a shared model (one serving
+  /// core per tenant over the same weights), so each forward computes its
+  /// scores locally and publishes them under a lock — a reference into the
+  /// buffer would race with the next publication.
+  Tensor last_scores() const {
+    std::lock_guard<std::mutex> lock(scores_mu_);
+    return last_scores_;
+  }
 
  private:
   int heads_;
   int64_t head_dim_;
   std::vector<Var> wq_, wk_, wv_;  ///< per head
   std::unique_ptr<Linear> out_proj_;
-  mutable Tensor last_scores_;
+  mutable std::mutex scores_mu_;
+  mutable Tensor last_scores_;  ///< guarded by scores_mu_
 };
 
 /// Variational autoencoder over QEP embeddings (the Cost Modeler, §4.4).

@@ -48,6 +48,9 @@ std::string RenderAuditJson(const AuditRecord& record, double ts_ms) {
   std::string out = "{\"ts_ms\":" + Num(ts_ms);
   out += ",\"query_hash\":\"" + std::string(hash_hex) + "\"";
   out += ",\"backend\":\"" + JsonEscape(record.backend) + "\"";
+  if (!record.tenant.empty()) {
+    out += ",\"tenant\":\"" + JsonEscape(record.tenant) + "\"";
+  }
   out += ",\"stage\":\"" + JsonEscape(record.stage) + "\"";
   out += ",\"outcome\":\"" + JsonEscape(record.outcome) + "\"";
   out += ",\"deadline_hit\":";

@@ -34,6 +34,7 @@ namespace obs {
 struct AuditRecord {
   uint64_t query_hash = 0;      ///< core::QueryFingerprint
   std::string backend;          ///< planner backend name
+  std::string tenant;           ///< tenant id ("" in single-tenant serving)
   std::string stage;            ///< ladder stage that served ("" if none)
   std::string outcome;          ///< ok | error | shed | shed_degraded
   bool deadline_hit = false;

@@ -66,11 +66,10 @@ void AccumulateBatching(BatchRendezvous::Stats* into,
 
 }  // namespace
 
-/// One admitted request: the query and options live here until a worker
-/// picks the task up, and the promise carries the result back.
+/// One admitted request: the PlanRequest lives here until a worker picks
+/// the task up, and the promise carries the result back.
 struct PlanService::Request {
-  query::Query query;
-  core::PlanRequestOptions ropts;
+  PlanRequest request;
   std::promise<StatusOr<core::PlanResult>> promise;
   Timer queued;  ///< admission -> task start, for qps.serve.queue_ms
 };
@@ -85,45 +84,90 @@ struct PlanService::PlannerSlot {
 };
 
 StatusOr<std::unique_ptr<PlanService>> PlanService::Create(
-    const std::string& planner_name, const core::QpSeeker* model,
-    const optimizer::Planner* baseline, const core::GuardedOptions& gopts,
-    PlanServiceOptions options) {
-  std::unique_ptr<PlanService> service(new PlanService(model, options));
-  service->planner_name_ = planner_name;
-  service->baseline_ = baseline;
-  service->gopts_ = gopts;
-  const int slots = std::max(1, options.workers);
+    PlanServiceDeps deps, PlanServiceOptions options) {
+  std::unique_ptr<PlanService> service(
+      new PlanService(std::move(deps), std::move(options)));
+  const int slots = std::max(1, service->options_.workers);
   for (int i = 0; i < slots; ++i) {
     auto slot = std::make_unique<PlannerSlot>();
-    QPS_ASSIGN_OR_RETURN(slot->planner,
-                         core::MakePlanner(planner_name, model, baseline, gopts));
+    QPS_ASSIGN_OR_RETURN(
+        slot->planner,
+        core::MakePlanner(service->planner_name_, service->model_.get(),
+                          service->baseline_, service->gopts_));
     service->slots_.push_back(std::move(slot));
   }
-  if (options.shed_to_baseline) {
-    if (baseline == nullptr) {
+  if (service->options_.shed_to_baseline) {
+    if (service->baseline_ == nullptr) {
       return Status::InvalidArgument(
           "shed_to_baseline requires a baseline planner");
     }
-    QPS_ASSIGN_OR_RETURN(service->shed_planner_,
-                         core::MakePlanner("baseline", model, baseline, gopts));
+    QPS_ASSIGN_OR_RETURN(
+        service->shed_planner_,
+        core::MakePlanner("baseline", service->model_.get(),
+                          service->baseline_, service->gopts_));
   }
   return service;
 }
 
-PlanService::PlanService(const core::QpSeeker* model, PlanServiceOptions options)
-    // Aliasing ctor: non-owning view of the caller's model. SwapModel
-    // replaces it with an owning pointer.
-    : model_(std::shared_ptr<const core::QpSeeker>(), model), options_(options) {
-  if (model != nullptr) {
+StatusOr<std::unique_ptr<PlanService>> PlanService::Create(
+    const std::string& planner_name, const core::QpSeeker* model,
+    const optimizer::Planner* baseline, const core::GuardedOptions& gopts,
+    PlanServiceOptions options) {
+  PlanServiceDeps deps;
+  deps.planner_name = planner_name;
+  deps.model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), model);
+  deps.baseline = baseline;
+  deps.guard_options = gopts;
+  return Create(std::move(deps), std::move(options));
+}
+
+PlanService::PlanService(PlanServiceDeps deps, PlanServiceOptions options)
+    : model_(std::move(deps.model)),
+      options_(std::move(options)),
+      planner_name_(std::move(deps.planner_name)),
+      baseline_(deps.baseline),
+      gopts_(deps.guard_options) {
+  if (model_ != nullptr) {
     BatchRendezvousOptions ropts;
     ropts.max_batch = options_.max_batch;
     ropts.flush_timeout_ms = options_.flush_timeout_ms;
-    rendezvous_ = std::make_shared<BatchRendezvous>(model, ropts);
+    rendezvous_ = std::make_shared<BatchRendezvous>(model_.get(), ropts);
   }
-  pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+  if (!options_.tenant_id.empty()) {
+    auto& win = obs::WindowRegistry::Global();
+    tenant_requests_ =
+        win.GetCounter("qps.tenant.requests." + options_.tenant_id);
+    tenant_shed_ = win.GetCounter("qps.tenant.shed." + options_.tenant_id);
+    tenant_latency_ =
+        win.GetHistogram("qps.tenant.latency_ms." + options_.tenant_id);
+  }
+  if (options_.pool == nullptr) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.workers);
+  }
 }
 
-PlanService::~PlanService() = default;
+PlanService::~PlanService() {
+  // On a shared pool the service cannot drain by destroying it; wait out
+  // every task that still references this object.
+  if (options_.pool != nullptr) Quiesce();
+}
+
+void PlanService::TaskStarted() {
+  std::lock_guard<std::mutex> lock(outstanding_mu_);
+  outstanding_ += 1;
+}
+
+void PlanService::TaskFinished() {
+  std::lock_guard<std::mutex> lock(outstanding_mu_);
+  outstanding_ -= 1;
+  if (outstanding_ == 0) outstanding_cv_.notify_all();
+}
+
+void PlanService::Quiesce() {
+  std::unique_lock<std::mutex> lock(outstanding_mu_);
+  outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
 
 StatusOr<core::PlanResult> PlanService::PlanShedded(const query::Query& q) {
   std::lock_guard<std::mutex> lock(shed_mu_);
@@ -132,60 +176,91 @@ StatusOr<core::PlanResult> PlanService::PlanShedded(const query::Query& q) {
   return result;
 }
 
+void PlanService::ShedRequest(Request& req) {
+  const ServeMetrics& sm = ServeMetrics::Get();
+  sm.shed->Increment();
+  sm.shed_window->Increment();
+  if (tenant_shed_ != nullptr) tenant_shed_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.shed += 1;
+    if (shed_planner_ != nullptr) stats_.shed_degraded += 1;
+  }
+  obs::AuditRecord record;
+  record.query_hash = core::QueryFingerprint(req.request.query);
+  record.backend = planner_name_;
+  record.tenant = req.request.tenant_id.empty() ? options_.tenant_id
+                                                : req.request.tenant_id;
+  if (shed_planner_ != nullptr) {
+    StatusOr<core::PlanResult> degraded = PlanShedded(req.request.query);
+    if (options_.audit != nullptr) {
+      record.outcome = "shed_degraded";
+      if (degraded.ok()) {
+        record.stage = core::PlanStageName(degraded->stage);
+        record.plan_ms = degraded->plan_ms;
+        record.plans_evaluated = degraded->plans_evaluated;
+        record.fallback_reason = degraded->fallback_reason;
+      }
+      options_.audit->Append(record);
+    }
+    req.promise.set_value(std::move(degraded));
+  } else {
+    if (options_.audit != nullptr) {
+      record.outcome = "shed";
+      options_.audit->Append(record);
+    }
+    req.promise.set_value(
+        Status::ResourceExhausted("plan service admission queue full"));
+  }
+}
+
 std::future<StatusOr<core::PlanResult>> PlanService::Submit(
-    query::Query q, core::PlanRequestOptions ropts) {
+    PlanRequest request) {
   const ServeMetrics& sm = ServeMetrics::Get();
   QPS_TRACE_SPAN("serve.submit");
   sm.requests->Increment();
   sm.requests_window->Increment();
+  if (tenant_requests_ != nullptr) tenant_requests_->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.submitted += 1;
   }
 
   auto req = std::make_shared<Request>();
-  req->query = std::move(q);
-  req->ropts = std::move(ropts);
+  req->request = std::move(request);
   auto future = req->promise.get_future();
 
-  const bool admitted = pool_->TrySchedule(
-      [this, req] { RunRequest(*req); }, options_.max_queue);
-  sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
+  // Admission: bound admitted-but-unstarted requests at max_queue. A pool
+  // with no workers runs everything inline on the caller and never sheds
+  // (matching ThreadPool's never-drop inline semantics).
+  const bool inline_pool = active_pool().num_threads() == 0;
+  const int64_t prior = pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!inline_pool && prior >= static_cast<int64_t>(options_.max_queue)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    ShedRequest(*req);
+    return future;
+  }
+
+  TaskStarted();
+  auto task = [this, req] {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    RunRequest(*req);
+    TaskFinished();
+  };
+  bool admitted = true;
+  if (options_.pool != nullptr && options_.pool_max_queue > 0) {
+    admitted = active_pool().TrySchedule(std::move(task),
+                                         options_.pool_max_queue);
+  } else {
+    active_pool().Schedule(std::move(task));
+  }
+  sm.queue_depth->Set(static_cast<double>(queue_depth()));
   if (!admitted) {
-    sm.shed->Increment();
-    sm.shed_window->Increment();
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.shed += 1;
-      if (shed_planner_ != nullptr) stats_.shed_degraded += 1;
-    }
-    if (shed_planner_ != nullptr) {
-      StatusOr<core::PlanResult> degraded = PlanShedded(req->query);
-      if (options_.audit != nullptr) {
-        obs::AuditRecord record;
-        record.query_hash = core::QueryFingerprint(req->query);
-        record.backend = planner_name_;
-        record.outcome = "shed_degraded";
-        if (degraded.ok()) {
-          record.stage = core::PlanStageName(degraded->stage);
-          record.plan_ms = degraded->plan_ms;
-          record.plans_evaluated = degraded->plans_evaluated;
-          record.fallback_reason = degraded->fallback_reason;
-        }
-        options_.audit->Append(record);
-      }
-      req->promise.set_value(std::move(degraded));
-    } else {
-      if (options_.audit != nullptr) {
-        obs::AuditRecord record;
-        record.query_hash = core::QueryFingerprint(req->query);
-        record.backend = planner_name_;
-        record.outcome = "shed";
-        options_.audit->Append(record);
-      }
-      req->promise.set_value(
-          Status::ResourceExhausted("plan service admission queue full"));
-    }
+    // Shard-pool backstop tripped: the tenant was under its own quota but
+    // the shared pool is drowning in aggregate traffic.
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    TaskFinished();
+    ShedRequest(*req);
   }
   return future;
 }
@@ -197,7 +272,7 @@ void PlanService::RunRequest(Request& req) {
   sm.queue_ms_window->Record(queue_ms);
   const int inflight = inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
   sm.inflight->Set(static_cast<double>(inflight));
-  sm.queue_depth->Set(static_cast<double>(pool_->queue_depth()));
+  sm.queue_depth->Set(static_cast<double>(queue_depth()));
   {
     std::lock_guard<std::mutex> lock(model_mu_);
     if (rendezvous_ != nullptr) rendezvous_->SetExpected(inflight);
@@ -205,8 +280,14 @@ void PlanService::RunRequest(Request& req) {
 
   QPS_TRACE_SPAN_VAR(span, "serve.plan");
   Timer timer;
-  core::PlanRequestOptions ropts = req.ropts;
-  if (ropts.deadline_ms <= 0.0) ropts.deadline_ms = options_.default_deadline_ms;
+  core::PlanRequestOptions ropts;
+  ropts.deadline_ms = req.request.deadline_ms > 0.0
+                          ? req.request.deadline_ms
+                          : options_.default_deadline_ms;
+  ropts.fail_on_deadline = req.request.fail_on_deadline;
+  ropts.seed = req.request.seed;
+  ropts.tenant_id = req.request.tenant_id.empty() ? options_.tenant_id
+                                                  : req.request.tenant_id;
 
   StatusOr<core::PlanResult> result = [&] {
     const size_t idx =
@@ -228,17 +309,20 @@ void PlanService::RunRequest(Request& req) {
         return rdv->Evaluate(q, plans);
       };
     }
-    return slots_[idx]->planner->Plan(req.query, ropts);
+    return slots_[idx]->planner->Plan(req.request.query, ropts);
   }();
 
   const double latency_ms = timer.ElapsedMillis();
   sm.latency_ms->Record(latency_ms);
   sm.latency_ms_window->Record(latency_ms);
+  if (tenant_latency_ != nullptr) tenant_latency_->Record(latency_ms);
   span.AddAttr("ok", result.ok() ? 1 : 0);
   if (options_.audit != nullptr) {
     obs::AuditRecord record;
-    record.query_hash = core::QueryFingerprint(req.query);
+    record.query_hash = core::QueryFingerprint(req.request.query);
     record.backend = planner_name_;
+    record.tenant = req.request.tenant_id.empty() ? options_.tenant_id
+                                                  : req.request.tenant_id;
     record.outcome = result.ok() ? "ok" : "error";
     record.queue_ms = queue_ms;
     record.plan_ms = latency_ms;
@@ -278,12 +362,12 @@ void PlanService::RunRequest(Request& req) {
 }
 
 PlanService::Stats PlanService::stats() const {
-  Stats out;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out = stats_;
-  }
-  std::lock_guard<std::mutex> lock(model_mu_);
+  // Both locks at once (std::scoped_lock's deadlock-avoiding acquisition):
+  // the counter snapshot and the batching merge see the same instant, so a
+  // SwapModel retiring a rendezvous between the two reads cannot tear the
+  // view.
+  std::scoped_lock lock(stats_mu_, model_mu_);
+  Stats out = stats_;
   out.batching = retired_batching_;
   if (rendezvous_ != nullptr) {
     AccumulateBatching(&out.batching, rendezvous_->stats());

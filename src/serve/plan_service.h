@@ -4,15 +4,19 @@
 // plans them on a bounded worker pool and coalesces their model
 // evaluations into shared batched forwards. The pipeline per request:
 //
-//   Submit(query, deadline)
-//     -> admission: util::ThreadPool::TrySchedule against a bounded queue;
-//        a full queue sheds the request (kResourceExhausted) or, when
-//        shed_to_baseline is set, degrades it to an inline DP plan on the
-//        caller's thread — load never builds an unbounded backlog.
+//   Submit(PlanRequest)
+//     -> admission: a per-service pending counter bounds admitted-but-
+//        unstarted requests at `max_queue`; a full queue sheds the request
+//        (kResourceExhausted) or, when shed_to_baseline is set, degrades it
+//        to an inline DP plan on the caller's thread — load never builds an
+//        unbounded backlog. When the service runs on a shared (shard) pool,
+//        `pool_max_queue` is a second backstop on the pool itself.
 //     -> planning: a per-worker core::Planner instance (backends keep
 //        per-request state like breaker windows, so instances are not
 //        shared across threads) runs with the request deadline and a
-//        BatchRendezvous evaluate hook injected via PlanRequestOptions.
+//        BatchRendezvous evaluate hook the service injects itself — the
+//        hook is not settable by callers, so nothing can silently bypass
+//        (or race) the rendezvous.
 //     -> batching: every model evaluation from every in-flight request
 //        meets in the rendezvous and rides a fused PredictPlansMulti
 //        forward. Plans stay bit-identical to serial planning (see
@@ -21,14 +25,21 @@
 //        and returns the best plan found so far with deadline_hit set;
 //        only fail_on_deadline requests see kDeadlineExceeded.
 //
+// Construction goes through PlanServiceDeps (named fields, shared model
+// ownership from the start) instead of the old positional raw-pointer
+// Create — the sharded multi-tenant layer (sharded_service.h) builds one
+// such core per tenant on a shard-owned pool.
+//
 // Metrics: qps.serve.{requests,inflight,queue_depth,queue_ms,latency_ms,
-// batch_size,batch_plans,deadline_misses,shed}. Trace spans: serve.submit,
-// serve.plan, serve.batch_flush.
+// batch_size,batch_plans,deadline_misses,shed}; services labelled with a
+// tenant id additionally feed qps.tenant.{requests,shed,latency_ms}.<id>
+// windowed series. Trace spans: serve.submit, serve.plan, serve.batch_flush.
 
 #ifndef QPS_SERVE_PLAN_SERVICE_H_
 #define QPS_SERVE_PLAN_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <string>
@@ -40,17 +51,84 @@
 namespace qps {
 namespace obs {
 class AuditLog;
+class WindowedCounter;
+class WindowedHistogram;
 }  // namespace obs
 
 namespace serve {
 
+/// Everything a PlanService plans *with*: the backend, the model, and the
+/// traditional planner. Named fields replace the old positional Create
+/// signature; the model is shared from construction, so there is no
+/// pre-/post-SwapModel ownership split inside the service.
+struct PlanServiceDeps {
+  /// Backend built per worker via core::MakePlanner: "baseline", "neural",
+  /// "hybrid", or "guarded".
+  std::string planner_name = "baseline";
+
+  /// The serving model. May be null only for the "baseline" backend (no
+  /// rendezvous is created without a model). Callers owning the model
+  /// elsewhere can pass a non-owning alias:
+  /// std::shared_ptr<const core::QpSeeker>(std::shared_ptr<void>(), &m).
+  std::shared_ptr<const core::QpSeeker> model;
+
+  /// Traditional DP planner; required by every backend except "neural",
+  /// and by shed_to_baseline. Non-owning.
+  const optimizer::Planner* baseline = nullptr;
+
+  /// Routing / MCTS / guard-rail configuration (per-backend subset used).
+  core::GuardedOptions guard_options;
+};
+
+/// One planning request: the value type Submit consumes. Callers set what
+/// they own (query, tenant, deadline, seed); the service owns the evaluate
+/// hook, the rendezvous, and the worker placement.
+struct PlanRequest {
+  query::Query query;
+
+  /// Tenant attribution for routing (ShardedPlanService), audit lines, and
+  /// qps.tenant.* metrics. Empty = the single-tenant default.
+  std::string tenant_id;
+
+  /// Planning deadline in ms (0 = the service default).
+  double deadline_ms = 0.0;
+
+  /// When true a blown deadline returns kDeadlineExceeded instead of the
+  /// best-effort plan.
+  bool fail_on_deadline = false;
+
+  /// Pins per-request MCTS randomness (0 = backend seed); plans become a
+  /// function of (query, seed) alone, independent of scheduling.
+  uint64_t seed = 0;
+};
+
 struct PlanServiceOptions {
-  /// Planning workers. 0 runs every request inline on the caller.
+  /// Planner slots, and worker threads when the service owns its pool.
+  /// 0 runs every request inline on the caller (never sheds).
   int workers = 4;
 
-  /// Admission-queue bound: requests beyond `max_queue` waiting tasks are
-  /// shed instead of enqueued.
+  /// Admission bound: requests beyond `max_queue` admitted-but-unstarted
+  /// ones are shed instead of enqueued. This is the per-tenant quota knob
+  /// in sharded serving: a hot tenant exhausts its own bound, not the
+  /// shard's pool.
   size_t max_queue = 32;
+
+  /// External worker pool (non-owning). Null = the service creates and
+  /// owns a pool of `workers` threads. Sharded serving points every tenant
+  /// core of a shard at the shard's pool; the destructor then quiesces
+  /// (waits out scheduled tasks) instead of tearing the pool down.
+  util::ThreadPool* pool = nullptr;
+
+  /// Backstop bound on an external pool's queue (0 = none): even when a
+  /// tenant is under its own quota, a shard drowning in aggregate traffic
+  /// sheds. Ignored for service-owned pools, where max_queue already
+  /// bounds the pool's only user.
+  size_t pool_max_queue = 0;
+
+  /// Tenant label. Non-empty: per-request accounting is mirrored into
+  /// qps.tenant.{requests,shed,latency_ms}.<tenant_id> windowed series and
+  /// stamped on audit records.
+  std::string tenant_id;
 
   /// Deadline applied to requests that don't carry their own (0 = none).
   double default_deadline_ms = 0.0;
@@ -70,8 +148,9 @@ struct PlanServiceOptions {
   obs::AuditLog* audit = nullptr;
 };
 
-/// Owns the planning backends, the worker pool, and the rendezvous.
-/// Thread-safe: Submit may be called from any number of client threads.
+/// Owns the planning backends and the rendezvous (and the worker pool,
+/// unless deps point it at a shared one). Thread-safe: Submit may be
+/// called from any number of client threads.
 class PlanService {
  public:
   struct Stats {
@@ -84,9 +163,15 @@ class PlanService {
     BatchRendezvous::Stats batching;
   };
 
-  /// Builds one `planner_name` backend per worker via core::MakePlanner.
-  /// `model` may be null only for the "baseline" backend (no rendezvous is
-  /// created without a model). Returns kInvalidArgument for unknown names.
+  /// Builds one `deps.planner_name` backend per worker via
+  /// core::MakePlanner. Returns kInvalidArgument for unknown backends or a
+  /// shed_to_baseline config without a baseline.
+  static StatusOr<std::unique_ptr<PlanService>> Create(
+      PlanServiceDeps deps, PlanServiceOptions options = {});
+
+  /// Deprecated positional shim, kept for one PR: forwards to the
+  /// PlanServiceDeps overload with a non-owning model alias.
+  [[deprecated("use Create(PlanServiceDeps, PlanServiceOptions)")]]
   static StatusOr<std::unique_ptr<PlanService>> Create(
       const std::string& planner_name, const core::QpSeeker* model,
       const optimizer::Planner* baseline, const core::GuardedOptions& gopts,
@@ -97,19 +182,24 @@ class PlanService {
   PlanService(const PlanService&) = delete;
   PlanService& operator=(const PlanService&) = delete;
 
-  /// Submits one query. The future resolves to the PlanResult, or to
+  /// Submits one request. The future resolves to the PlanResult, or to
   /// kResourceExhausted when the request was shed with no baseline to
-  /// degrade to. `ropts.evaluate` is overridden by the service's
-  /// rendezvous hook; deadline/seed/fail_on_deadline pass through.
-  std::future<StatusOr<core::PlanResult>> Submit(query::Query q,
-                                                 core::PlanRequestOptions ropts = {});
+  /// degrade to. The batch-evaluate hook is injected by the service and
+  /// cannot be overridden per request.
+  std::future<StatusOr<core::PlanResult>> Submit(PlanRequest request);
 
   /// Requests currently being planned (not queued).
   int inflight() const { return inflight_.load(std::memory_order_relaxed); }
 
-  /// Tasks admitted but not yet started.
-  size_t queue_depth() const { return pool_->queue_depth(); }
+  /// Requests admitted but not yet started on a worker.
+  size_t queue_depth() const {
+    return static_cast<size_t>(pending_.load(std::memory_order_relaxed));
+  }
 
+  /// One coherent snapshot: counters and batching stats are read under
+  /// both locks at once, so a concurrent SwapModel can never show a
+  /// rendezvous's flushes both in `batching` and missing from the retired
+  /// accumulator (or vice versa).
   Stats stats() const;
 
   /// Aggregated guard/breaker counters across the per-worker planners.
@@ -125,22 +215,37 @@ class PlanService {
   /// ModelManager swap hook; safe to call concurrently with Submit.
   Status SwapModel(std::shared_ptr<const core::QpSeeker> model);
 
+  /// Blocks until every scheduled task has finished (admitted requests
+  /// resolve their futures first). With no concurrent Submits the service
+  /// is idle afterwards — the sharded layer quiesces a tenant core this
+  /// way before destroying it, since a shared pool cannot be drained by
+  /// tearing it down.
+  void Quiesce();
+
   const PlanServiceOptions& options() const { return options_; }
 
  private:
-  PlanService(const core::QpSeeker* model, PlanServiceOptions options);
+  PlanService(PlanServiceDeps deps, PlanServiceOptions options);
 
   struct Request;
   struct PlannerSlot;
 
-  void RunRequest(Request& req);
-  StatusOr<core::PlanResult> PlanShedded(const query::Query& q);
+  util::ThreadPool& active_pool() const {
+    return options_.pool != nullptr ? *options_.pool : *owned_pool_;
+  }
 
-  /// Non-owning for the construction-time model; owning after SwapModel.
+  void RunRequest(Request& req);
+  /// Terminal shed path: degrade to the inline baseline or reject, plus
+  /// metrics/audit/stats bookkeeping. Runs on the submitting thread.
+  void ShedRequest(Request& req);
+  StatusOr<core::PlanResult> PlanShedded(const query::Query& q);
+  void TaskStarted();
+  void TaskFinished();
+
   std::shared_ptr<const core::QpSeeker> model_;
   PlanServiceOptions options_;
 
-  /// Create() parameters, kept for rebuilding planners in SwapModel.
+  /// Create() deps, kept for rebuilding planners in SwapModel.
   std::string planner_name_;
   const optimizer::Planner* baseline_ = nullptr;
   core::GuardedOptions gopts_;
@@ -154,20 +259,37 @@ class PlanService {
   std::mutex shed_mu_;
 
   /// Guards model_/rendezvous_/retired_batching_ across hot swaps. Lock
-  /// order where both are held: slot mutex first, then model_mu_ (SwapModel
-  /// acquires every slot mutex before this one).
+  /// order where others are held: slot mutex -> model_mu_ (SwapModel
+  /// acquires every slot mutex before this one); stats() takes stats_mu_
+  /// and model_mu_ together via std::scoped_lock (deadlock-avoiding, no
+  /// other path nests the two).
   mutable std::mutex model_mu_;
   std::shared_ptr<BatchRendezvous> rendezvous_;
   /// Batching counters accumulated from rendezvous retired by SwapModel.
   BatchRendezvous::Stats retired_batching_;
 
+  /// Admitted-but-unstarted requests: the admission bound and queue gauge.
+  std::atomic<int64_t> pending_{0};
   std::atomic<int> inflight_{0};
+
+  /// Scheduled-but-unfinished tasks, for Quiesce(). Counted under a mutex
+  /// (not an atomic) so the cv wait is race-free.
+  std::mutex outstanding_mu_;
+  std::condition_variable outstanding_cv_;
+  int64_t outstanding_ = 0;
+
   mutable std::mutex stats_mu_;
   Stats stats_;
 
+  /// Per-tenant windowed mirrors; null unless options_.tenant_id is set.
+  obs::WindowedCounter* tenant_requests_ = nullptr;
+  obs::WindowedCounter* tenant_shed_ = nullptr;
+  obs::WindowedHistogram* tenant_latency_ = nullptr;
+
   /// Declared last: its destructor drains queued tasks, which still touch
-  /// the members above.
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// the members above. Null when running on an external pool (the
+  /// destructor quiesces instead).
+  std::unique_ptr<util::ThreadPool> owned_pool_;
 };
 
 }  // namespace serve

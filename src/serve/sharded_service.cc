@@ -1,0 +1,192 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "serve/sharded_service.h"
+
+#include <utility>
+
+#include "obs/window.h"
+#include "util/metrics.h"
+
+namespace qps {
+namespace serve {
+
+namespace {
+
+/// A future already resolved to `status`, for routing errors that never
+/// reach a tenant core.
+std::future<StatusOr<core::PlanResult>> ReadyFuture(Status status) {
+  std::promise<StatusOr<core::PlanResult>> promise;
+  auto future = promise.get_future();
+  promise.set_value(std::move(status));
+  return future;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedPlanService>> ShardedPlanService::Create(
+    ShardedPlanServiceOptions options) {
+  if (options.shards < 1) {
+    return Status::InvalidArgument("ShardedPlanService needs >= 1 shard");
+  }
+  if (options.workers_per_shard < 1) {
+    return Status::InvalidArgument(
+        "ShardedPlanService needs >= 1 worker per shard");
+  }
+  return std::unique_ptr<ShardedPlanService>(
+      new ShardedPlanService(std::move(options)));
+}
+
+ShardedPlanService::ShardedPlanService(ShardedPlanServiceOptions options)
+    : options_(std::move(options)), ring_(options_.shards) {
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->pool =
+        std::make_unique<util::ThreadPool>(options_.workers_per_shard);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedPlanService::~ShardedPlanService() {
+  // Tenant cores run on shard pools they don't own; quiesce each one
+  // before any pool is torn down (members destroy in reverse declaration
+  // order, so shards_ — and with it the pools — outlive this loop).
+  for (auto& shard : shards_) {
+    std::map<std::string, std::shared_ptr<PlanService>> tenants;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      tenants.swap(shard->tenants);
+    }
+    for (auto& [id, core] : tenants) core->Quiesce();
+  }
+}
+
+Status ShardedPlanService::AddTenant(TenantSpec spec) {
+  // Registry first: it owns id validation and duplicate rejection.
+  QPS_RETURN_IF_ERROR(registry_.Add(spec));
+  Shard& shard = *shards_[static_cast<size_t>(ring_.ShardFor(spec.tenant_id))];
+
+  PlanServiceOptions sopts;
+  sopts.workers = options_.workers_per_shard;  // planner slots
+  sopts.max_queue = spec.quota.max_pending;
+  sopts.pool = shard.pool.get();
+  sopts.pool_max_queue = options_.shard_max_queue;
+  sopts.tenant_id = spec.tenant_id;
+  sopts.default_deadline_ms = options_.default_deadline_ms;
+  sopts.shed_to_baseline = spec.quota.shed_to_baseline;
+  sopts.max_batch = options_.max_batch;
+  sopts.flush_timeout_ms = options_.flush_timeout_ms;
+  sopts.audit = options_.audit;
+
+  const std::string tenant_id = spec.tenant_id;
+  auto core_or = PlanService::Create(std::move(spec.deps), std::move(sopts));
+  if (!core_or.ok()) {
+    // Roll the registration back so a failed build leaves no ghost tenant.
+    (void)registry_.Remove(tenant_id);
+    return core_or.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.tenants.emplace(tenant_id, std::move(*core_or));
+  }
+  metrics::Registry::Global()
+      .GetGauge("qps.tenant.count")
+      ->Set(static_cast<double>(registry_.size()));
+  return Status::OK();
+}
+
+Status ShardedPlanService::RemoveTenant(const std::string& tenant_id) {
+  QPS_RETURN_IF_ERROR(registry_.Remove(tenant_id));
+  Shard& shard = *shards_[static_cast<size_t>(ring_.ShardFor(tenant_id))];
+  std::shared_ptr<PlanService> core;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.tenants.find(tenant_id);
+    if (it != shard.tenants.end()) {
+      core = std::move(it->second);
+      shard.tenants.erase(it);
+    }
+  }
+  if (core != nullptr) {
+    // Unrouted above; wait out everything already admitted so every
+    // in-flight future resolves before the core (and its planners /
+    // rendezvous) is destroyed.
+    core->Quiesce();
+  }
+  metrics::Registry::Global()
+      .GetGauge("qps.tenant.count")
+      ->Set(static_cast<double>(registry_.size()));
+  return Status::OK();
+}
+
+Status ShardedPlanService::SwapTenantModel(
+    const std::string& tenant_id,
+    std::shared_ptr<const core::QpSeeker> model) {
+  std::shared_ptr<PlanService> core = FindCore(tenant_id);
+  if (core == nullptr) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  QPS_RETURN_IF_ERROR(core->SwapModel(model));
+  return registry_.UpdateModel(tenant_id, std::move(model));
+}
+
+std::shared_ptr<PlanService> ShardedPlanService::FindCore(
+    const std::string& tenant_id) const {
+  if (tenant_id.empty()) return nullptr;
+  const Shard& shard =
+      *shards_[static_cast<size_t>(ring_.ShardFor(tenant_id))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.tenants.find(tenant_id);
+  return it != shard.tenants.end() ? it->second : nullptr;
+}
+
+std::future<StatusOr<core::PlanResult>> ShardedPlanService::Submit(
+    PlanRequest request) {
+  std::shared_ptr<PlanService> core = FindCore(request.tenant_id);
+  if (core == nullptr) {
+    return ReadyFuture(Status::NotFound(
+        request.tenant_id.empty()
+            ? "PlanRequest.tenant_id is required for sharded serving"
+            : "no such tenant: " + request.tenant_id));
+  }
+  return core->Submit(std::move(request));
+}
+
+void ShardedPlanService::RecordQError(const std::string& tenant_id,
+                                      double qerror) {
+  if (!registry_.Contains(tenant_id)) return;
+  obs::WindowedHistogram* window = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(qerr_mu_);
+    auto it = qerr_windows_.find(tenant_id);
+    if (it == qerr_windows_.end()) {
+      it = qerr_windows_
+               .emplace(tenant_id, obs::WindowRegistry::Global().GetHistogram(
+                                       "qps.tenant.qerr." + tenant_id))
+               .first;
+    }
+    window = it->second;
+  }
+  window->Record(qerror);
+}
+
+StatusOr<PlanService::Stats> ShardedPlanService::TenantStats(
+    const std::string& tenant_id) const {
+  std::shared_ptr<PlanService> core = FindCore(tenant_id);
+  if (core == nullptr) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  return core->stats();
+}
+
+StatusOr<core::GuardStats> ShardedPlanService::TenantGuardStats(
+    const std::string& tenant_id) const {
+  std::shared_ptr<PlanService> core = FindCore(tenant_id);
+  if (core == nullptr) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  return core->guard_stats();
+}
+
+}  // namespace serve
+}  // namespace qps

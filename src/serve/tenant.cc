@@ -1,0 +1,143 @@
+// Copyright 2026 The QPSeeker Authors
+
+#include "serve/tenant.h"
+
+#include <algorithm>
+
+namespace qps {
+namespace serve {
+
+Status ValidateTenantId(const std::string& id) {
+  if (id.empty()) {
+    return Status::InvalidArgument("tenant id must not be empty");
+  }
+  if (id.size() > 64) {
+    return Status::InvalidArgument("tenant id too long (max 64): " + id);
+  }
+  for (char c : id) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "tenant id must match [a-z0-9_]+ (metric-name alphabet): " + id);
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t TenantHash(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  // splitmix64 finalizer. Raw FNV-1a diffuses short, near-identical keys
+  // (tenant_00, tenant_01, ...) into one narrow hash range, which parks
+  // every such tenant on the same ring arc; the avalanche spreads them.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+ShardRing::ShardRing(int num_shards, int replicas)
+    : num_shards_(std::max(1, num_shards)) {
+  const int reps = std::max(1, replicas);
+  points_.reserve(static_cast<size_t>(num_shards_) * static_cast<size_t>(reps));
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int r = 0; r < reps; ++r) {
+      const std::string node =
+          "shard:" + std::to_string(s) + "#" + std::to_string(r);
+      points_.push_back({TenantHash(node), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+int ShardRing::ShardFor(std::string_view tenant_id) const {
+  const uint64_t h = TenantHash(tenant_id);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t key) { return p.hash < key; });
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->shard;
+}
+
+Status TenantRegistry::Add(TenantSpec spec) {
+  QPS_RETURN_IF_ERROR(ValidateTenantId(spec.tenant_id));
+  if (spec.deps.planner_name != "baseline" && spec.deps.model == nullptr) {
+    return Status::InvalidArgument("tenant '" + spec.tenant_id +
+                                   "': backend '" + spec.deps.planner_name +
+                                   "' requires a model");
+  }
+  if (spec.quota.shed_to_baseline && spec.deps.baseline == nullptr) {
+    return Status::InvalidArgument(
+        "tenant '" + spec.tenant_id +
+        "': shed_to_baseline requires a baseline planner");
+  }
+  // Copy the key out first: the map node's key copy and the value move
+  // from `spec` are unsequenced relative to each other.
+  const std::string id = spec.tenant_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tenants_.emplace(id, std::move(spec));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("tenant already registered: " + id);
+  }
+  return Status::OK();
+}
+
+Status TenantRegistry::Remove(const std::string& tenant_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.erase(tenant_id) == 0) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  return Status::OK();
+}
+
+StatusOr<TenantSpec> TenantRegistry::Get(const std::string& tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  return it->second;
+}
+
+bool TenantRegistry::Contains(const std::string& tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.count(tenant_id) > 0;
+}
+
+Status TenantRegistry::UpdateModel(
+    const std::string& tenant_id,
+    std::shared_ptr<const core::QpSeeker> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  it->second.deps.model = std::move(model);
+  return Status::OK();
+}
+
+std::vector<std::string> TenantRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, spec] : tenants_) out.push_back(id);
+  return out;
+}
+
+size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace serve
+}  // namespace qps

@@ -1,0 +1,113 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Tenant metadata for sharded multi-tenant serving. A *tenant* is one
+// (database, model, planner backend, config, quota) workload sharing the
+// process with others; the registry is the control-plane source of truth
+// mapping tenant_id -> TenantSpec, and the shard ring assigns every tenant
+// to a shard deterministically (consistent hashing over virtual nodes, so
+// the assignment depends only on the tenant id and the shard count — never
+// on registration order or process history).
+//
+// The data plane lives in sharded_service.h: ShardedPlanService consumes
+// specs from here and builds one PlanService core per tenant on its
+// shard's pool. The registry itself is storage + validation only, so it is
+// unit-testable without models or pools.
+
+#ifndef QPS_SERVE_TENANT_H_
+#define QPS_SERVE_TENANT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/plan_service.h"
+
+namespace qps {
+namespace serve {
+
+/// Per-tenant admission quota. The point of the quota is isolation: a hot
+/// tenant exhausts *its* bound and sheds (or degrades), while the shard's
+/// pool keeps serving everyone else.
+struct TenantQuota {
+  /// Max admitted-but-unstarted requests for this tenant (the PlanService
+  /// max_queue of its core).
+  size_t max_pending = 16;
+
+  /// Shed policy past the quota: false rejects with kResourceExhausted;
+  /// true degrades to an inline DP plan on the submitting thread (requires
+  /// deps.baseline).
+  bool shed_to_baseline = false;
+};
+
+/// Everything needed to serve one tenant: identity, planning deps (model,
+/// backend, baseline, guard config — see PlanServiceDeps), and quota. The
+/// database binding is implicit in the deps: the model, baseline planner,
+/// and guard options are all constructed over the tenant's database.
+struct TenantSpec {
+  std::string tenant_id;
+  PlanServiceDeps deps;
+  TenantQuota quota;
+};
+
+/// Tenant ids become metric-name segments (qps.tenant.requests.<id>) and
+/// audit fields, so they are restricted to the metric-name alphabet:
+/// non-empty, at most 64 chars, [a-z0-9_] only. kInvalidArgument otherwise.
+Status ValidateTenantId(const std::string& id);
+
+/// 64-bit FNV-1a, the stable hash under the shard ring (std::hash is not
+/// specified across implementations, and shard assignment must be
+/// reproducible across processes and platforms).
+uint64_t TenantHash(std::string_view s);
+
+/// Consistent-hash ring over `num_shards` shards, each projected onto
+/// `replicas` virtual nodes. ShardFor(tenant) walks to the first ring
+/// point at or after the tenant's hash (wrapping), so the same tenant id
+/// always lands on the same shard for a given shard count, and changing
+/// the shard count only moves the tenants between the affected ring arcs.
+class ShardRing {
+ public:
+  explicit ShardRing(int num_shards, int replicas = 32);
+
+  int ShardFor(std::string_view tenant_id) const;
+  int num_shards() const { return num_shards_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int shard;
+  };
+  int num_shards_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+/// Thread-safe tenant_id -> TenantSpec table. Add validates the id and
+/// rejects duplicates (kAlreadyExists); Remove/Get return kNotFound for
+/// unknown ids. Specs are returned by value: the registry can be mutated
+/// concurrently without invalidating readers.
+class TenantRegistry {
+ public:
+  Status Add(TenantSpec spec);
+  Status Remove(const std::string& tenant_id);
+  StatusOr<TenantSpec> Get(const std::string& tenant_id) const;
+  bool Contains(const std::string& tenant_id) const;
+
+  /// Repoints the spec's model (after a validated hot swap), so later Get
+  /// calls see what is actually serving.
+  Status UpdateModel(const std::string& tenant_id,
+                     std::shared_ptr<const core::QpSeeker> model);
+
+  std::vector<std::string> ids() const;  ///< sorted
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TenantSpec> tenants_;
+};
+
+}  // namespace serve
+}  // namespace qps
+
+#endif  // QPS_SERVE_TENANT_H_

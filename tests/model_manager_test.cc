@@ -321,8 +321,13 @@ TEST_F(ModelManagerTest, HotReloadUnderConcurrentTraffic) {
   PlanServiceOptions sopts;
   sopts.workers = 4;
   sopts.max_queue = 256;
-  auto service_or =
-      PlanService::Create("hybrid", model_, baseline_, Gopts(), sopts);
+  PlanServiceDeps deps;
+  deps.planner_name = "hybrid";
+  deps.model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), model_);
+  deps.baseline = baseline_;
+  deps.guard_options = Gopts();
+  auto service_or = PlanService::Create(std::move(deps), sopts);
   ASSERT_TRUE(service_or.ok()) << service_or.status().ToString();
   auto service = std::move(*service_or);
 
@@ -354,8 +359,10 @@ TEST_F(ModelManagerTest, HotReloadUnderConcurrentTraffic) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
       for (int i = 0; i < kPerClient; ++i) {
-        auto q = query::ParseSql(sqls[(c + i) % 2], *db_).value();
-        auto fut = service->Submit(std::move(q));
+        PlanRequest request;
+        request.query = query::ParseSql(sqls[(c + i) % 2], *db_).value();
+        request.seed = static_cast<uint64_t>(c * kPerClient + i);
+        auto fut = service->Submit(std::move(request));
         auto result = fut.get();
         ASSERT_TRUE(result.ok()) << result.status().ToString();
         EXPECT_NE(result->plan, nullptr);

@@ -89,11 +89,31 @@ class PlanServiceTest : public ::testing::Test {
     return gopts;
   }
 
+  /// Deps over the suite fixtures; the model is a non-owning alias (the
+  /// suite owns it), exactly how embedding callers adapt raw pointers.
+  static PlanServiceDeps Deps(const std::string& backend) {
+    PlanServiceDeps deps;
+    deps.planner_name = backend;
+    deps.model = std::shared_ptr<const core::QpSeeker>(
+        std::shared_ptr<const core::QpSeeker>(), model_);
+    deps.baseline = baseline_;
+    deps.guard_options = Gopts();
+    return deps;
+  }
+
   static std::unique_ptr<PlanService> MakeService(const std::string& backend,
                                                   PlanServiceOptions opts) {
-    auto service = PlanService::Create(backend, model_, baseline_, Gopts(), opts);
+    auto service = PlanService::Create(Deps(backend), opts);
     EXPECT_TRUE(service.ok()) << service.status().ToString();
     return std::move(service).value();
+  }
+
+  /// PlanRequest shorthand for the common (query, seed) submissions.
+  static PlanRequest Req(query::Query q, uint64_t seed = 0) {
+    PlanRequest request;
+    request.query = std::move(q);
+    request.seed = seed;
+    return request;
   }
 
   static storage::Database* db_;
@@ -117,9 +137,8 @@ TEST_F(PlanServiceTest, ConcurrentSubmitsAllCompleteWithValidPlans) {
   std::vector<std::future<StatusOr<core::PlanResult>>> futures;
   for (int i = 0; i < kRequests; ++i) {
     queries.push_back(i % 2 == 0 ? ThreeWay() : TwoWay());
-    core::PlanRequestOptions ropts;
-    ropts.seed = 100 + static_cast<uint64_t>(i);
-    futures.push_back(service->Submit(queries[static_cast<size_t>(i)], ropts));
+    futures.push_back(service->Submit(
+        Req(queries[static_cast<size_t>(i)], 100 + static_cast<uint64_t>(i))));
   }
   for (int i = 0; i < kRequests; ++i) {
     auto result = futures[static_cast<size_t>(i)].get();
@@ -172,9 +191,8 @@ TEST_F(PlanServiceTest, ConcurrentPlansAreBitIdenticalToSerialPlanning) {
   auto service = MakeService("neural", opts);
   std::vector<std::future<StatusOr<core::PlanResult>>> futures;
   for (int i = 0; i < kRequests; ++i) {
-    core::PlanRequestOptions ropts;
-    ropts.seed = 500 + static_cast<uint64_t>(i);
-    futures.push_back(service->Submit(queries[static_cast<size_t>(i)], ropts));
+    futures.push_back(service->Submit(
+        Req(queries[static_cast<size_t>(i)], 500 + static_cast<uint64_t>(i))));
   }
   for (int i = 0; i < kRequests; ++i) {
     auto result = futures[static_cast<size_t>(i)].get();
@@ -201,10 +219,10 @@ TEST_F(PlanServiceTest, ExpiredDeadlineReturnsBestSoFarPlan) {
   std::vector<std::future<StatusOr<core::PlanResult>>> futures;
   for (int i = 0; i < kRequests; ++i) {
     queries.push_back(ThreeWay());
-    core::PlanRequestOptions ropts;
-    ropts.deadline_ms = 1e-3;  // expires before the first batch finishes
-    ropts.seed = 40 + static_cast<uint64_t>(i);
-    futures.push_back(service->Submit(queries[static_cast<size_t>(i)], ropts));
+    PlanRequest request =
+        Req(queries[static_cast<size_t>(i)], 40 + static_cast<uint64_t>(i));
+    request.deadline_ms = 1e-3;  // expires before the first batch finishes
+    futures.push_back(service->Submit(std::move(request)));
   }
   for (int i = 0; i < kRequests; ++i) {
     auto result = futures[static_cast<size_t>(i)].get();
@@ -223,7 +241,7 @@ TEST_F(PlanServiceTest, DefaultDeadlineFromOptionsApplies) {
   opts.workers = 1;
   opts.default_deadline_ms = 1e-3;
   auto service = MakeService("neural", opts);
-  auto result = service->Submit(ThreeWay()).get();
+  auto result = service->Submit(Req(ThreeWay())).get();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->deadline_hit);
 }
@@ -232,10 +250,10 @@ TEST_F(PlanServiceTest, FailOnDeadlinePropagatesDeadlineExceeded) {
   PlanServiceOptions opts;
   opts.workers = 1;
   auto service = MakeService("neural", opts);
-  core::PlanRequestOptions ropts;
-  ropts.deadline_ms = 1e-3;
-  ropts.fail_on_deadline = true;
-  auto result = service->Submit(ThreeWay(), ropts).get();
+  PlanRequest request = Req(ThreeWay());
+  request.deadline_ms = 1e-3;
+  request.fail_on_deadline = true;
+  auto result = service->Submit(std::move(request)).get();
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsDeadlineExceeded())
       << result.status().ToString();
@@ -256,15 +274,17 @@ TEST_F(PlanServiceTest, FullQueueShedsWithResourceExhausted) {
   stall.trigger_on_hit = 1;
   fault::FaultInjector::Global().Arm("mcts.rollout", stall);
 
-  auto first = service->Submit(ThreeWay());
+  auto first = service->Submit(Req(ThreeWay()));
   // Wait until the worker claims it (and parks in the stalled rollout), so
   // the next submit deterministically fills the queue slot.
   while (service->queue_depth() != 0) std::this_thread::yield();
-  auto second = service->Submit(ThreeWay());
+  auto second = service->Submit(Req(ThreeWay()));
   ASSERT_EQ(service->queue_depth(), 1u);
 
   std::vector<std::future<StatusOr<core::PlanResult>>> rejected;
-  for (int i = 0; i < 4; ++i) rejected.push_back(service->Submit(ThreeWay()));
+  for (int i = 0; i < 4; ++i) {
+    rejected.push_back(service->Submit(Req(ThreeWay())));
+  }
 
   for (auto& f : rejected) {
     auto result = f.get();
@@ -294,11 +314,11 @@ TEST_F(PlanServiceTest, ShedToBaselineDegradesInsteadOfRejecting) {
   fault::FaultInjector::Global().Arm("mcts.rollout", stall);
 
   const query::Query q = ThreeWay();
-  auto first = service->Submit(q);
+  auto first = service->Submit(Req(q));
   while (service->queue_depth() != 0) std::this_thread::yield();
-  auto second = service->Submit(q);
+  auto second = service->Submit(Req(q));
   std::vector<std::future<StatusOr<core::PlanResult>>> degraded;
-  for (int i = 0; i < 4; ++i) degraded.push_back(service->Submit(q));
+  for (int i = 0; i < 4; ++i) degraded.push_back(service->Submit(Req(q)));
 
   for (auto& f : degraded) {
     auto result = f.get();
@@ -323,9 +343,8 @@ TEST_F(PlanServiceTest, GuardStatsAggregateAcrossWorkerPlanners) {
   constexpr int kRequests = 8;
   std::vector<std::future<StatusOr<core::PlanResult>>> futures;
   for (int i = 0; i < kRequests; ++i) {
-    core::PlanRequestOptions ropts;
-    ropts.seed = 10 + static_cast<uint64_t>(i);
-    futures.push_back(service->Submit(ThreeWay(), ropts));
+    futures.push_back(
+        service->Submit(Req(ThreeWay(), 10 + static_cast<uint64_t>(i))));
   }
   for (auto& f : futures) ASSERT_TRUE(f.get().ok());
 
@@ -337,14 +356,15 @@ TEST_F(PlanServiceTest, GuardStatsAggregateAcrossWorkerPlanners) {
 }
 
 TEST_F(PlanServiceTest, CreateRejectsUnknownBackendAndBadShedConfig) {
-  auto unknown = PlanService::Create("quantum", model_, baseline_, Gopts(), {});
+  auto unknown = PlanService::Create(Deps("quantum"), {});
   ASSERT_FALSE(unknown.ok());
   EXPECT_TRUE(unknown.status().code() == StatusCode::kInvalidArgument);
 
   PlanServiceOptions opts;
   opts.shed_to_baseline = true;
-  auto no_baseline =
-      PlanService::Create("neural", model_, nullptr, Gopts(), opts);
+  PlanServiceDeps no_baseline_deps = Deps("neural");
+  no_baseline_deps.baseline = nullptr;
+  auto no_baseline = PlanService::Create(std::move(no_baseline_deps), opts);
   ASSERT_FALSE(no_baseline.ok());
   EXPECT_TRUE(no_baseline.status().code() == StatusCode::kInvalidArgument);
 }
@@ -405,10 +425,58 @@ TEST_F(PlanServiceTest, ZeroWorkersPlansInlineOnTheCaller) {
   PlanServiceOptions opts;
   opts.workers = 0;
   auto service = MakeService("neural", opts);
-  auto result = service->Submit(ThreeWay()).get();
+  auto result = service->Submit(Req(ThreeWay())).get();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->used_neural);
   EXPECT_EQ(service->stats().completed, 1);
+}
+
+// stats() must hand back one coherent snapshot while SwapModel retires
+// rendezvous: the request counters (stats_mu_) and the batching
+// accumulator (model_mu_) are read under both locks at once. Under TSan
+// this also shakes out any unlocked access on the swap path itself.
+TEST_F(PlanServiceTest, StatsSnapshotStaysCoherentAcrossSwapModel) {
+  PlanServiceOptions opts;
+  opts.workers = 2;
+  opts.max_batch = 4;
+  auto service = MakeService("neural", opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto stats = service->stats();
+        // Deliveries never outrun admissions in a coherent snapshot.
+        EXPECT_LE(stats.completed + stats.errors + stats.deadline_hits,
+                  stats.submitted);
+        EXPECT_GE(stats.batching.fused_queries, 0);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  auto model = std::shared_ptr<const core::QpSeeker>(
+      std::shared_ptr<const core::QpSeeker>(), model_);
+  constexpr int kRounds = 6;
+  constexpr int kPerRound = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<StatusOr<core::PlanResult>>> futures;
+    for (int i = 0; i < kPerRound; ++i) {
+      futures.push_back(service->Submit(
+          Req(ThreeWay(), 70 + static_cast<uint64_t>(round * kPerRound + i))));
+    }
+    ASSERT_TRUE(service->SwapModel(model).ok());
+    for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  const auto stats = service->stats();
+  EXPECT_EQ(stats.submitted, kRounds * kPerRound);
+  EXPECT_EQ(stats.completed, kRounds * kPerRound);
+  // Every rendezvous flush survived retirement into the merged view.
+  EXPECT_GE(stats.batching.fused_queries, 0);
 }
 
 }  // namespace
