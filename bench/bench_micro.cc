@@ -30,7 +30,9 @@
 #include "query/parser.h"
 #include "sampling/plan_sampler.h"
 #include "storage/schemas.h"
+#include "serve/retry.h"
 #include "tabert/tabsketch.h"
+#include "util/cancel.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -700,6 +702,40 @@ int CheckWindowedOverheadBound() {
   return 1;
 }
 
+/// Acceptance bound (ISSUE: robustness): the two operations the self-healing
+/// layer adds to every request's hot path — polling a live CancelToken at
+/// rollout boundaries and classifying a Status as retryable — must each cost
+/// <= 2x a disarmed fault-point check, the price the serving path already
+/// pays per request. Returns 0 on pass.
+int CheckResilienceOverheadBound() {
+  fault::FaultInjector::Global().DisarmAll();
+  const double disarmed_ns =
+      BestNsPerOp([] { benchmark::DoNotOptimize(fault::Check("bench.disarmed")); });
+
+  util::CancelToken token;
+  const double cancel_ns =
+      BestNsPerOp([&] { benchmark::DoNotOptimize(token.Cancelled()); });
+
+  serve::RetryPolicy policy;
+  policy.max_retries = 2;
+  const Status failure = Status::Unavailable("transient");
+  const double classify_ns = BestNsPerOp(
+      [&] { benchmark::DoNotOptimize(policy.ShouldRetry(failure, 1)); });
+
+  const double bound_ns = 2.0 * disarmed_ns + 0.5;
+  const bool ok = cancel_ns <= bound_ns && classify_ns <= bound_ns;
+  std::printf(
+      "resilience-overhead check: disarmed fault %.3f ns/op, cancel poll "
+      "%.3f ns/op, retry classify %.3f ns/op, bound %.3f ns/op -> %s\n",
+      disarmed_ns, cancel_ns, classify_ns, bound_ns, ok ? "OK" : "FAIL");
+  if (ok) return 0;
+  std::fprintf(stderr,
+               "FAIL: resilience hot-path ops (cancel %.3f ns, classify "
+               "%.3f ns) exceed 2x disarmed fault check (%.3f ns)\n",
+               cancel_ns, classify_ns, disarmed_ns);
+  return 1;
+}
+
 }  // namespace
 }  // namespace qps
 
@@ -708,5 +744,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return qps::CheckWindowedOverheadBound();
+  int rc = qps::CheckWindowedOverheadBound();
+  rc |= qps::CheckResilienceOverheadBound();
+  return rc;
 }

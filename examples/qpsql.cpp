@@ -10,6 +10,7 @@
 //         [--planner=baseline|neural|hybrid|guarded] [--train-queries=N]
 //         [--seed=N] [--v=N] [--threads=N] [--cache-mb=N]
 //         [--quant=int8] [--deadline-ms=D]
+//         [--retry-max=N] [--retry-backoff-ms=D]
 //         [--serve --clients=N --requests=M] [--tenants=FILE]
 //         [--audit-log=FILE] [--obs-snapshot=FILE] [--obs-interval-ms=D]
 //
@@ -41,7 +42,18 @@
 //   \cache [clear]            plan-prediction cache stats (--cache-mb=N)
 //   \trace on [file]          start span recording (default qpsql_trace.json)
 //   \trace off                stop and write Chrome-trace JSON
+//   \health                   per-tenant/per-shard breaker state, rolling
+//                             error rates, quarantines/probes/recoveries
+//                             (--tenants mode)
 //   --v=N                     QPS_VLOG verbosity (breaker transitions at 1)
+//
+// Resilience:
+//   --retry-max=N             retry transient serving failures (shed,
+//                             pool-full, injected I/O faults) up to N times
+//                             per request, each attempt budgeted against
+//                             the remaining --deadline-ms
+//   --retry-backoff-ms=D      base of the exponential retry backoff
+//                             (deterministic jitter seeded by the request)
 //
 // Performance:
 //   --threads=N               thread-pool workers for MCTS leaf evaluation;
@@ -77,7 +89,7 @@
 // Meta-commands: \tables  \schema <table>  \guards  \metrics  \prom  \cache
 //                \trace  \save <path>  \quantize [path]  \reload <path>
 //                \tenants [add <id> [backend] [quota] [shed] | rm <id>]
-//                \tenant <id>  \quit
+//                \tenant <id>  \health  \quit
 
 #include <cctype>
 #include <cstdio>
@@ -125,6 +137,8 @@ struct Options {
   int64_t cache_mb = 0;
   std::string quant;  ///< "" (f32) or "int8"
   double deadline_ms = 0.0;
+  int retry_max = 0;
+  double retry_backoff_ms = 2.0;
   bool serve = false;
   int clients = 4;
   int requests = 16;
@@ -166,6 +180,10 @@ Options ParseArgs(int argc, char** argv) {
       }
     } else if (StartsWith(arg, "--deadline-ms=")) {
       opts.deadline_ms = std::stod(value("--deadline-ms="));
+    } else if (StartsWith(arg, "--retry-max=")) {
+      opts.retry_max = std::stoi(value("--retry-max="));
+    } else if (StartsWith(arg, "--retry-backoff-ms=")) {
+      opts.retry_backoff_ms = std::stod(value("--retry-backoff-ms="));
     } else if (arg == "--serve") {
       opts.serve = true;
     } else if (StartsWith(arg, "--clients=")) {
@@ -309,6 +327,28 @@ std::vector<TenantLine> ParseTenantsFile(const std::string& path,
   return lines;
 }
 
+/// `\health`: every key the serving-path HealthMonitor has seen — tenants
+/// (breaker-governed) and shard_<i> shadow keys (observed rates only) —
+/// with rolling window rates and lifetime transition counts.
+void PrintHealth(const serve::ShardedPlanService& sharded) {
+  const auto all = sharded.health().AllStats();
+  if (all.empty()) {
+    std::printf("no health samples yet (serve some queries first)\n");
+    return;
+  }
+  std::printf("%-16s %-10s %10s %10s %8s %7s %7s\n", "key", "state",
+              "win att", "win fail", "quarant", "probes", "recov");
+  for (const auto& [key, s] : all) {
+    std::printf("%-16s %-10s %10lld %10lld %8lld %7lld %7lld\n", key.c_str(),
+                serve::HealthStateName(s.state),
+                static_cast<long long>(s.window_attempts),
+                static_cast<long long>(s.window_failures),
+                static_cast<long long>(s.quarantines),
+                static_cast<long long>(s.probes),
+                static_cast<long long>(s.recoveries));
+  }
+}
+
 void PrintTenants(const serve::ShardedPlanService& sharded) {
   std::printf("%-20s %5s %-10s %6s %6s %9s %9s %9s\n", "tenant", "shard",
               "backend", "quota", "shed?", "submit", "done", "shed");
@@ -364,6 +404,8 @@ int RunServe(const storage::Database& db, core::QpSeeker* model,
   sopts.default_deadline_ms = opts.deadline_ms;
   sopts.shed_to_baseline = true;
   sopts.audit = audit.get();
+  sopts.retry.max_retries = opts.retry_max;
+  sopts.retry.backoff_base_ms = opts.retry_backoff_ms;
   serve::PlanServiceDeps deps;
   deps.planner_name = opts.planner;
   deps.model = std::shared_ptr<const core::QpSeeker>(
@@ -661,6 +703,8 @@ int main(int argc, char** argv) {
     shopts.shards = 2;
     shopts.workers_per_shard = std::max(1, opts.threads);
     shopts.default_deadline_ms = opts.deadline_ms;
+    shopts.retry.max_retries = opts.retry_max;
+    shopts.retry.backoff_base_ms = opts.retry_backoff_ms;
     auto sharded_or = serve::ShardedPlanService::Create(shopts);
     if (!sharded_or.ok()) {
       std::fprintf(stderr, "sharded service: %s\n",
@@ -796,6 +840,14 @@ int main(int argc, char** argv) {
         std::printf("model reloaded from %s (canary q-error %.3f%s)\n",
                     path.c_str(), mstats.live_qerror,
                     mstats.last_candidate_quantized ? ", int8 inference" : "");
+      }
+      continue;
+    }
+    if (sql == "\\health") {
+      if (sharded == nullptr) {
+        std::printf("\\health requires --tenants=FILE\n");
+      } else {
+        PrintHealth(*sharded);
       }
       continue;
     }

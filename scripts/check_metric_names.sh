@@ -49,6 +49,32 @@ while IFS= read -r name; do
           ;;
       esac
       ;;
+    # Health-breaker and retry families are closed sets too: the chaos
+    # dashboards alert on exactly these members.
+    qps.health.*)
+      member="${name#qps.health.}"
+      member="${member%%.*}"
+      case "$member" in
+        state|quarantines|probes|recoveries) ;;
+        *)
+          echo "unknown qps.health.* member: $name (allowed:" \
+               "state quarantines probes recoveries)" >&2
+          bad=1
+          ;;
+      esac
+      ;;
+    qps.serve.retries.*)
+      member="${name#qps.serve.retries.}"
+      member="${member%%.*}"
+      case "$member" in
+        attempts|exhausted|success_after_retry) ;;
+        *)
+          echo "unknown qps.serve.retries.* member: $name (allowed:" \
+               "attempts exhausted success_after_retry)" >&2
+          bad=1
+          ;;
+      esac
+      ;;
   esac
 done <<< "$literals"
 

@@ -26,15 +26,24 @@ echo "== tier-1: TSan build (threadpool + hot-path + serving + obs + fuzz-replay
 cmake -B build-tsan -S . -DQPS_SANITIZE=THREAD >/dev/null
 cmake --build build-tsan -j --target threadpool_test hotpath_test \
   planner_conformance_test plan_service_test model_manager_test \
-  tenant_test planner_fuzz_test obs_test
+  tenant_test resilience_test planner_fuzz_test obs_test
 (cd build-tsan && ctest --output-on-failure \
-  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|tenant_test|planner_fuzz_test|obs_test")
+  -R "threadpool_test|hotpath_test|planner_conformance_test|plan_service_test|model_manager_test|tenant_test|resilience_test|planner_fuzz_test|obs_test")
 
 echo "== tier-1: ASan checkpoint-loader fuzz (10k fixed-seed inputs) =="
 cmake -B build-asan -S . -DQPS_SANITIZE=ON >/dev/null
 cmake --build build-asan -j --target serialize_fuzz_test
 (cd build-asan && QPS_FUZZ_ITERS=10000 ctest --output-on-failure \
   -R "serialize_fuzz_test")
+
+echo "== tier-1: ASan chaos smoke (serve tests with fault points armed) =="
+# The resilience/serving tests arm util/fault points (injected errors,
+# stalls, NaN corruption) on the serve path; this leg re-runs them under
+# ASan so cancellation and retry paths leak nothing when attempts die
+# mid-plan.
+cmake --build build-asan -j --target resilience_test plan_service_test
+(cd build-asan && ctest --output-on-failure \
+  -R "resilience_test|plan_service_test")
 
 echo "== tier-1: ASan planner fuzz smoke (fixed-seed differential campaign) =="
 cmake --build build-asan -j --target qps_fuzz

@@ -109,6 +109,7 @@ Status GuardedPlanner::TryNeural(const query::Query& q,
   mopts.deadline_ms = ropts.deadline_ms;
   if (ropts.seed != 0) mopts.seed = ropts.seed;
   if (ropts.evaluate) mopts.evaluate = ropts.evaluate;
+  mopts.cancel = ropts.cancel;
   auto mcts = MctsPlan(*model_, q, mopts);
   if (!mcts.ok()) {
     const Status& st = mcts.status();
@@ -147,7 +148,7 @@ Status GuardedPlanner::TryGreedy(const query::Query& q,
                                  GuardedResult* out) {
   QPS_TRACE_SPAN("guarded.greedy");
   stats_.greedy_attempts += 1;
-  auto greedy = GreedyPlan(*model_, q, ropts.evaluate);
+  auto greedy = GreedyPlan(*model_, q, ropts.evaluate, ropts.cancel);
   Status st = greedy.ok() ? Status::OK() : greedy.status();
   if (st.ok() && !std::isfinite(greedy->predicted_runtime_ms)) {
     st = Status::Internal("non-finite greedy plan score");
@@ -166,10 +167,12 @@ Status GuardedPlanner::TryGreedy(const query::Query& q,
   return Status::OK();
 }
 
-Status GuardedPlanner::TryTraditional(const query::Query& q, GuardedResult* out) {
+Status GuardedPlanner::TryTraditional(const query::Query& q,
+                                      const PlanRequestOptions& ropts,
+                                      GuardedResult* out) {
   QPS_TRACE_SPAN("guarded.traditional");
   stats_.traditional_attempts += 1;
-  auto plan = baseline_->Plan(q);
+  auto plan = baseline_->Plan(q, {}, ropts.cancel);
   Status st = plan.ok() ? Status::OK() : plan.status();
   if (st.ok() && options_.validate_plans) st = query::ValidatePlan(q, **plan);
   if (!st.ok()) {
@@ -212,6 +215,9 @@ StatusOr<PlanResult> GuardedPlanner::Plan(const query::Query& q,
 
 StatusOr<GuardedResult> GuardedPlanner::PlanGuarded(
     const query::Query& q, const PlanRequestOptions& ropts) {
+  // An already-cancelled request never enters the ladder (and never counts
+  // against the breaker — cancellation is caller-driven, not model health).
+  QPS_RETURN_IF_ERROR(util::CheckCancel(ropts.cancel));
   const GuardMetrics& gm = GuardMetrics::Get();
   QPS_TRACE_SPAN_VAR(span, "guarded.plan");
   stats_.requests += 1;
@@ -243,12 +249,18 @@ StatusOr<GuardedResult> GuardedPlanner::PlanGuarded(
       result.fallback_reason = "circuit open";
     } else {
       Status neural = TryNeural(q, ropts, &result);
+      // A rung tripped by the cancel token ends the ladder: degrading a
+      // request nobody is waiting for just burns more CPU. The tripped
+      // outcome also stays out of the breaker window — it says nothing
+      // about model health.
+      if (!neural.ok() && util::Cancelled(ropts.cancel)) return neural;
       RecordNeuralOutcome(neural.ok());
       if (neural.ok()) return serve(std::move(result));
       result.fallback_reason = "neural: " + neural.ToString();
       QPS_VLOG(1) << "guarded: neural rung failed (" << neural.ToString()
                   << "), degrading to greedy";
       Status greedy = TryGreedy(q, ropts, &result);
+      if (!greedy.ok() && util::Cancelled(ropts.cancel)) return greedy;
       if (greedy.ok()) return serve(std::move(result));
       result.fallback_reason += "; greedy: " + greedy.ToString();
       QPS_VLOG(1) << "guarded: greedy rung failed (" << greedy.ToString()
@@ -256,7 +268,7 @@ StatusOr<GuardedResult> GuardedPlanner::PlanGuarded(
     }
   }
 
-  Status traditional = TryTraditional(q, &result);
+  Status traditional = TryTraditional(q, ropts, &result);
   if (!traditional.ok()) return traditional;
   return serve(std::move(result));
 }

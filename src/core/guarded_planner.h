@@ -118,7 +118,8 @@ class GuardedPlanner : public Planner {
                    GuardedResult* out);
   Status TryGreedy(const query::Query& q, const PlanRequestOptions& ropts,
                    GuardedResult* out);
-  Status TryTraditional(const query::Query& q, GuardedResult* out);
+  Status TryTraditional(const query::Query& q, const PlanRequestOptions& ropts,
+                        GuardedResult* out);
 
   const QpSeeker* model_;
   const optimizer::Planner* baseline_;

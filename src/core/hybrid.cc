@@ -23,6 +23,7 @@ StatusOr<HybridResult> PlanHybrid(const QpSeeker* model,
     mopts.deadline_ms = ropts.deadline_ms;
     if (ropts.seed != 0) mopts.seed = ropts.seed;
     if (ropts.evaluate) mopts.evaluate = ropts.evaluate;
+    mopts.cancel = ropts.cancel;
     QPS_ASSIGN_OR_RETURN(MctsResult mcts, MctsPlan(*model, q, mopts));
     result.plan = std::move(mcts.plan);
     result.used_neural = true;
@@ -30,7 +31,8 @@ StatusOr<HybridResult> PlanHybrid(const QpSeeker* model,
     result.predicted_runtime_ms = mcts.predicted_runtime_ms;
     result.deadline_hit = mcts.deadline_hit;
   } else {
-    QPS_ASSIGN_OR_RETURN(result.plan, baseline->Plan(q));
+    QPS_ASSIGN_OR_RETURN(result.plan,
+                         baseline->Plan(q, {}, ropts.cancel));
     result.used_neural = false;
   }
   result.planning_ms = timer.ElapsedMillis();

@@ -165,6 +165,10 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
            result.plans_evaluated + static_cast<int>(batch.size()) <
                opts.max_rollouts) {
       if (!batch.empty() && timer.ElapsedMillis() >= budget_ms) break;
+      // Cancellation boundary: a deadline-expired or abandoned request
+      // stops here, before this rollout's tree walk and model evaluation
+      // spend CPU the caller will never read.
+      QPS_RETURN_IF_ERROR(util::CheckCancel(opts.cancel));
       // Fault point: a rollout may error out or stall (injected latency).
       QPS_RETURN_IF_ERROR(fault::Check("mcts.rollout"));
       QPS_TRACE_SPAN("mcts.rollout");
@@ -239,6 +243,9 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
     }
     if (batch.empty()) continue;  // dead ends only; budget checks re-run above
     batch_size_hist->Record(static_cast<double>(batch.size()));
+    // Second boundary before the batched encode+forward — the expensive
+    // stage — so a token tripped mid-gather skips it entirely.
+    QPS_RETURN_IF_ERROR(util::CheckCancel(opts.cancel));
 
     // 4. Evaluation with the learned cost model: one batched forward for
     // the whole candidate set (annotation sharded across the pool). A
@@ -285,7 +292,8 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const Query& q,
 }
 
 StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q,
-                                const BatchEvalFn& evaluate) {
+                                const BatchEvalFn& evaluate,
+                                const util::CancelToken* cancel) {
   QPS_RETURN_IF_ERROR(CheckPlannable(q));
   QPS_RETURN_IF_ERROR(q.Validate(model.db()));
   QPS_RETURN_IF_ERROR(fault::Check("greedy.plan"));
@@ -298,6 +306,9 @@ StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const Query& q,
   std::vector<Action> prefix;
   const int n = q.num_relations();
   for (int step = 0; step < n; ++step) {
+    // Cancellation boundary: one check per step, before the step's
+    // candidate enumeration and batched forward.
+    QPS_RETURN_IF_ERROR(util::CheckCancel(cancel));
     // Build every step candidate first, then score them as one batched
     // forward — the greedy analogue of MCTS leaf-parallel evaluation.
     std::vector<Action> step_actions;

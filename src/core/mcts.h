@@ -65,6 +65,12 @@ struct MctsOptions {
   /// Optional externally owned pool (e.g. qpsql's --threads pool). When
   /// null and threads > 1, MctsPlan spins up a temporary pool.
   util::ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation, polled once per rollout and before each
+  /// batched evaluation (util/cancel.h). A tripped token aborts the search
+  /// immediately — no best-so-far plan comes back, because the caller has
+  /// abandoned the request. Null = never cancelled; non-owning.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct MctsResult {
@@ -83,9 +89,11 @@ StatusOr<MctsResult> MctsPlan(const QpSeeker& model, const query::Query& q,
 /// operator pair whose completed-by-greedy plan the model scores best.
 /// `evaluate` substitutes for the direct model call exactly as in
 /// MctsOptions::evaluate (the guarded ladder threads the serving hook
-/// through so its greedy rung also joins cross-query batches).
+/// through so its greedy rung also joins cross-query batches); `cancel` is
+/// polled once per planning step, as in MctsOptions::cancel.
 StatusOr<MctsResult> GreedyPlan(const QpSeeker& model, const query::Query& q,
-                                const BatchEvalFn& evaluate = nullptr);
+                                const BatchEvalFn& evaluate = nullptr,
+                                const util::CancelToken* cancel = nullptr);
 
 }  // namespace core
 }  // namespace qps

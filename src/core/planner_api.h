@@ -14,8 +14,15 @@
 //   kNotImplemented     unsupported query shape (cross products)
 //   kDeadlineExceeded   the hard planning deadline was blown and the caller
 //                       asked to fail instead of taking a best-effort plan
+//                       (or a deadline-armed cancel token fired mid-search)
+//   kAborted            the request's cancel token was tripped: the caller
+//                       abandoned the work and the backend stopped at the
+//                       next rollout/step boundary. Never retryable.
 //   kResourceExhausted  reserved for the serving layer: the request was shed
 //                       by admission control before reaching a backend
+//   kUnavailable        reserved for the serving layer: the tenant is
+//                       quarantined by its health breaker (fast-fail;
+//                       retryable once the breaker half-opens)
 //   kInternal           backend defects (diverged model, no plan found)
 // No entry point returns a null plan on OK: `PlanResult::plan` is non-null
 // and ValidatePlan-clean whenever the status is OK.
@@ -30,6 +37,7 @@
 
 #include "query/plan.h"
 #include "query/query.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace qps {
@@ -108,6 +116,14 @@ struct PlanRequestOptions {
 
   /// Cross-query batch evaluator; see BatchEvalFn.
   BatchEvalFn evaluate;
+
+  /// Cooperative cancellation (util/cancel.h), polled at rollout/step/DP
+  /// boundaries. Null = never cancelled. Non-owning: the caller keeps the
+  /// token alive for the whole Plan() call. A tripped token surfaces as
+  /// kAborted (explicit Cancel) or kDeadlineExceeded (armed deadline) —
+  /// cancellation wins over best-so-far results, because the caller has
+  /// already stopped listening.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// The unified planning result. `stage` and the guard counters replace the

@@ -11,12 +11,11 @@ namespace core {
 
 StatusOr<PlanResult> BaselinePlanner::Plan(const query::Query& q,
                                            const PlanRequestOptions& ropts) {
-  (void)ropts;
   QPS_RETURN_IF_ERROR(CheckPlannable(q));
   QPS_TRACE_SPAN("baseline.plan");
   Timer timer;
   PlanResult result;
-  QPS_ASSIGN_OR_RETURN(result.plan, baseline_->Plan(q));
+  QPS_ASSIGN_OR_RETURN(result.plan, baseline_->Plan(q, {}, ropts.cancel));
   result.stage = PlanStage::kTraditional;
   result.node_stats = result.plan->estimated;
   result.plan_ms = timer.ElapsedMillis();
@@ -30,6 +29,7 @@ StatusOr<PlanResult> MctsPlanner::Plan(const query::Query& q,
   mopts.deadline_ms = ropts.deadline_ms;
   if (ropts.seed != 0) mopts.seed = ropts.seed;
   if (ropts.evaluate) mopts.evaluate = ropts.evaluate;
+  mopts.cancel = ropts.cancel;
   QPS_ASSIGN_OR_RETURN(MctsResult mcts, MctsPlan(*model_, q, mopts));
   if (mcts.deadline_hit && ropts.fail_on_deadline) {
     return Status::DeadlineExceeded("planning deadline expired");

@@ -58,7 +58,11 @@ std::string RenderAuditJson(const AuditRecord& record, double ts_ms) {
   out += ",\"queue_ms\":" + Num(record.queue_ms);
   out += ",\"plan_ms\":" + Num(record.plan_ms);
   out += ",\"plans_evaluated\":" + std::to_string(record.plans_evaluated);
-  out += ",\"fallback\":\"" + JsonEscape(record.fallback_reason) + "\"}";
+  out += ",\"fallback\":\"" + JsonEscape(record.fallback_reason) + "\"";
+  if (!record.reason.empty()) {
+    out += ",\"reason\":\"" + JsonEscape(record.reason) + "\"";
+  }
+  out += "}";
   return out;
 }
 

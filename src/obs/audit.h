@@ -42,6 +42,10 @@ struct AuditRecord {
   double plan_ms = 0.0;         ///< inside Planner::Plan
   int plans_evaluated = 0;
   std::string fallback_reason;  ///< ladder detail; empty when first choice
+  /// Machine-readable cause token for non-ok outcomes: "shed_queue_full",
+  /// "shed_pool_backstop", "quarantined", "fault_injected", "cancelled".
+  /// Mirrors Status::reason(); empty for ok outcomes.
+  std::string reason;
 };
 
 /// Renders the single-line JSON form (no trailing newline); exposed so

@@ -118,7 +118,8 @@ PlanPtr Planner::BestJoin(const Query& q, PlanPtr left, int rel,
   return best;
 }
 
-PlanPtr Planner::PlanDp(const Query& q, const PlanHints& hints) const {
+PlanPtr Planner::PlanDp(const Query& q, const PlanHints& hints,
+                        const util::CancelToken* cancel) const {
   const int n = q.num_relations();
   // best[mask] = cheapest left-deep plan covering mask.
   std::unordered_map<uint64_t, PlanPtr> best;
@@ -129,6 +130,9 @@ PlanPtr Planner::PlanDp(const Query& q, const PlanHints& hints) const {
   // superset has a larger value than its subsets with this construction).
   const uint64_t full = (uint64_t{1} << n) - 1;
   for (uint64_t mask = 1; mask <= full; ++mask) {
+    // Cancellation boundary: abandoned requests stop enumerating. Plan()
+    // turns the resulting null plan into the token's status.
+    if (util::Cancelled(cancel)) return nullptr;
     auto it = best.find(mask);
     if (it == best.end()) continue;
     for (int r = 0; r < n; ++r) {
@@ -148,7 +152,8 @@ PlanPtr Planner::PlanDp(const Query& q, const PlanHints& hints) const {
   return std::move(it->second);
 }
 
-PlanPtr Planner::PlanGreedy(const Query& q, const PlanHints& hints) const {
+PlanPtr Planner::PlanGreedy(const Query& q, const PlanHints& hints,
+                            const util::CancelToken* cancel) const {
   const int n = q.num_relations();
   // Start from the relation with the fewest estimated rows, repeatedly add
   // the connecting relation whose join is cheapest.
@@ -164,6 +169,7 @@ PlanPtr Planner::PlanGreedy(const Query& q, const PlanHints& hints) const {
   PlanPtr cur = BestScan(q, start, hints);
   uint64_t mask = uint64_t{1} << start;
   for (int step = 1; step < n; ++step) {
+    if (util::Cancelled(cancel)) return nullptr;
     PlanPtr best;
     int best_rel = -1;
     for (int r = 0; r < n; ++r) {
@@ -182,7 +188,8 @@ PlanPtr Planner::PlanGreedy(const Query& q, const PlanHints& hints) const {
   return cur;
 }
 
-StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints) const {
+StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints,
+                                const util::CancelToken* cancel) const {
   // Fault point: even the traditional planner can fail (e.g. stats missing);
   // lets tests exercise the very bottom of the degradation ladder.
   QPS_RETURN_IF_ERROR(fault::Check("planner.dp"));
@@ -190,15 +197,21 @@ StatusOr<PlanPtr> Planner::Plan(const Query& q, const PlanHints& hints) const {
       metrics::Registry::Global().GetCounter("qps.planner.dp_plans");
   QPS_TRACE_SPAN("planner.dp");
   plans_counter->Increment();
+  QPS_RETURN_IF_ERROR(util::CheckCancel(cancel));
   if (q.num_relations() == 0) return Status::InvalidArgument("empty FROM list");
   if (!hints.Valid()) return Status::InvalidArgument("hints disable all operators");
   QPS_RETURN_IF_ERROR(q.Validate(db_));
   if (q.num_relations() > 1 && !q.IsConnected()) {
     return Status::NotImplemented("cross products are not supported");
   }
-  PlanPtr plan = q.num_relations() <= kDpRelationLimit ? PlanDp(q, hints)
-                                                       : PlanGreedy(q, hints);
-  if (plan == nullptr) return Status::Internal("no plan found");
+  PlanPtr plan = q.num_relations() <= kDpRelationLimit
+                     ? PlanDp(q, hints, cancel)
+                     : PlanGreedy(q, hints, cancel);
+  if (plan == nullptr) {
+    // Distinguish "enumeration abandoned" from "no plan exists".
+    QPS_RETURN_IF_ERROR(util::CheckCancel(cancel));
+    return Status::Internal("no plan found");
+  }
   // Re-estimate top-down for a consistent final annotation.
   cost_.EstimatePlan(q, plan.get());
   return plan;

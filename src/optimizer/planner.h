@@ -15,6 +15,7 @@
 
 #include "exec/executor.h"
 #include "optimizer/cost_model.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace qps {
@@ -42,8 +43,13 @@ class Planner {
   Planner(const storage::Database& db, const stats::DatabaseStats& stats);
 
   /// Chooses a plan for `q` and fills estimated stats on every node.
+  /// `cancel` (util/cancel.h, null = never) is polled once per DP mask /
+  /// greedy step, so an abandoned request stops enumerating join orders;
+  /// a tripped token returns its Check() status (kAborted or
+  /// kDeadlineExceeded).
   StatusOr<query::PlanPtr> Plan(const query::Query& q,
-                                const PlanHints& hints = {}) const;
+                                const PlanHints& hints = {},
+                                const util::CancelToken* cancel = nullptr) const;
 
   /// Fits ms_per_cost by executing the chosen plans of `sample` queries
   /// (least squares through the origin). Returns the fitted factor.
@@ -60,8 +66,10 @@ class Planner {
   static constexpr int kDpRelationLimit = 12;
 
  private:
-  query::PlanPtr PlanDp(const query::Query& q, const PlanHints& hints) const;
-  query::PlanPtr PlanGreedy(const query::Query& q, const PlanHints& hints) const;
+  query::PlanPtr PlanDp(const query::Query& q, const PlanHints& hints,
+                        const util::CancelToken* cancel) const;
+  query::PlanPtr PlanGreedy(const query::Query& q, const PlanHints& hints,
+                            const util::CancelToken* cancel) const;
 
   /// Cheapest scan leaf for one relation under the hints.
   query::PlanPtr BestScan(const query::Query& q, int rel, const PlanHints& hints) const;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -57,6 +58,12 @@ void BatchRendezvous::FlushLocked(std::unique_lock<std::mutex>& lk) {
     QPS_TRACE_SPAN_VAR(span, "serve.batch_flush");
     span.AddAttr("queries", static_cast<int64_t>(batch.size()));
     span.AddAttr("plans", total_plans);
+    // Latency-only fault point: the fused forward has no Status path (the
+    // rendezvous contract is "plans come back"), so chaos specs here stall
+    // the whole batch — modelling a slow model, not a broken one. The
+    // stall surfaces downstream as deadline pressure on every fused
+    // request.
+    (void)fault::Check("serve.batch");
     fused = model_->PredictPlansMulti(requests, options_.annotation_pool);
   }
   RendezvousMetrics::Get().batch_size->Record(static_cast<double>(batch.size()));

@@ -3,11 +3,15 @@
 #include "serve/plan_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "core/plan_cache.h"
 #include "obs/audit.h"
 #include "obs/window.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -28,8 +32,13 @@ struct ServeMetrics {
   /// Sliding-window mirrors of the cumulative series above: request/shed
   /// rates and rolling latency percentiles for the export surface and
   /// qps_top (obs/window.h).
+  /// Retry accounting (worker-side and caller-side loops both feed these).
+  metrics::Counter* retry_attempts;
+  metrics::Counter* retry_exhausted;
+  metrics::Counter* retry_success;
   obs::WindowedCounter* requests_window;
   obs::WindowedCounter* shed_window;
+  obs::WindowedCounter* retry_attempts_window;
   obs::WindowedHistogram* queue_ms_window;
   obs::WindowedHistogram* latency_ms_window;
 
@@ -45,8 +54,13 @@ struct ServeMetrics {
       out.queue_depth = reg.GetGauge("qps.serve.queue_depth");
       out.queue_ms = reg.GetHistogram("qps.serve.queue_ms");
       out.latency_ms = reg.GetHistogram("qps.serve.latency_ms");
+      out.retry_attempts = reg.GetCounter("qps.serve.retries.attempts");
+      out.retry_exhausted = reg.GetCounter("qps.serve.retries.exhausted");
+      out.retry_success =
+          reg.GetCounter("qps.serve.retries.success_after_retry");
       out.requests_window = win.GetCounter("qps.serve.requests");
       out.shed_window = win.GetCounter("qps.serve.shed");
+      out.retry_attempts_window = win.GetCounter("qps.serve.retries.attempts");
       out.queue_ms_window = win.GetHistogram("qps.serve.queue_ms");
       out.latency_ms_window = win.GetHistogram("qps.serve.latency_ms");
       return out;
@@ -54,6 +68,15 @@ struct ServeMetrics {
     return m;
   }
 };
+
+/// Blocking backoff between retry attempts. Millisecond-scale sleeps on a
+/// worker (or submitting) thread; the deadline budget has already been
+/// checked by the caller.
+void SleepForBackoff(double backoff_ms) {
+  if (backoff_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(backoff_ms));
+}
 
 /// Merges batching counters from a retired rendezvous into an accumulator.
 void AccumulateBatching(BatchRendezvous::Stats* into,
@@ -169,14 +192,15 @@ void PlanService::Quiesce() {
   outstanding_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-StatusOr<core::PlanResult> PlanService::PlanShedded(const query::Query& q) {
+StatusOr<core::PlanResult> PlanService::PlanShedded(const query::Query& q,
+                                                    const char* reason) {
   std::lock_guard<std::mutex> lock(shed_mu_);
   auto result = shed_planner_->Plan(q, core::PlanRequestOptions{});
-  if (result.ok()) result->fallback_reason = "shed: admission queue full";
+  if (result.ok()) result->fallback_reason = std::string("shed: ") + reason;
   return result;
 }
 
-void PlanService::ShedRequest(Request& req) {
+void PlanService::ShedRequest(Request& req, const char* reason) {
   const ServeMetrics& sm = ServeMetrics::Get();
   sm.shed->Increment();
   sm.shed_window->Increment();
@@ -191,8 +215,10 @@ void PlanService::ShedRequest(Request& req) {
   record.backend = planner_name_;
   record.tenant = req.request.tenant_id.empty() ? options_.tenant_id
                                                 : req.request.tenant_id;
+  record.reason = reason;
   if (shed_planner_ != nullptr) {
-    StatusOr<core::PlanResult> degraded = PlanShedded(req.request.query);
+    StatusOr<core::PlanResult> degraded =
+        PlanShedded(req.request.query, reason);
     if (options_.audit != nullptr) {
       record.outcome = "shed_degraded";
       if (degraded.ok()) {
@@ -209,9 +235,32 @@ void PlanService::ShedRequest(Request& req) {
       record.outcome = "shed";
       options_.audit->Append(record);
     }
-    req.promise.set_value(
-        Status::ResourceExhausted("plan service admission queue full"));
+    // Quarantine rejections are kUnavailable (retryable once the breaker
+    // half-opens); load sheds stay kResourceExhausted. Either way the
+    // machine-readable cause rides Status::reason(), not the message.
+    Status rejected =
+        std::strcmp(reason, "quarantined") == 0
+            ? Status::Unavailable("tenant quarantined by health monitor")
+            : Status::ResourceExhausted("plan service admission queue full");
+    req.promise.set_value(std::move(rejected).SetReason(reason));
   }
+}
+
+std::future<StatusOr<core::PlanResult>> PlanService::SubmitDegraded(
+    PlanRequest request, const char* reason) {
+  const ServeMetrics& sm = ServeMetrics::Get();
+  sm.requests->Increment();
+  sm.requests_window->Increment();
+  if (tenant_requests_ != nullptr) tenant_requests_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.submitted += 1;
+  }
+  auto req = std::make_shared<Request>();
+  req->request = std::move(request);
+  auto future = req->promise.get_future();
+  ShedRequest(*req, reason);
+  return future;
 }
 
 std::future<StatusOr<core::PlanResult>> PlanService::Submit(
@@ -230,6 +279,26 @@ std::future<StatusOr<core::PlanResult>> PlanService::Submit(
   req->request = std::move(request);
   auto future = req->promise.get_future();
 
+  // Chaos hook on the submitting thread, before admission: an armed
+  // serve.submit spec fails the request synchronously (the future is ready
+  // on return), which is exactly the shape the caller-side retry loop in
+  // ShardedPlanService handles. Scoped to the tenant so only_context specs
+  // can target one tenant's submissions.
+  {
+    fault::ScopedContext fault_ctx(req->request.tenant_id.empty()
+                                       ? options_.tenant_id
+                                       : req->request.tenant_id);
+    Status injected = fault::Check("serve.submit");
+    if (!injected.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.errors += 1;
+      }
+      req->promise.set_value(std::move(injected));
+      return future;
+    }
+  }
+
   // Admission: bound admitted-but-unstarted requests at max_queue. A pool
   // with no workers runs everything inline on the caller and never sheds
   // (matching ThreadPool's never-drop inline semantics).
@@ -237,7 +306,7 @@ std::future<StatusOr<core::PlanResult>> PlanService::Submit(
   const int64_t prior = pending_.fetch_add(1, std::memory_order_relaxed);
   if (!inline_pool && prior >= static_cast<int64_t>(options_.max_queue)) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
-    ShedRequest(*req);
+    ShedRequest(*req, "shed_queue_full");
     return future;
   }
 
@@ -260,7 +329,7 @@ std::future<StatusOr<core::PlanResult>> PlanService::Submit(
     // the shared pool is drowning in aggregate traffic.
     pending_.fetch_sub(1, std::memory_order_relaxed);
     TaskFinished();
-    ShedRequest(*req);
+    ShedRequest(*req, "shed_pool_backstop");
   }
   return future;
 }
@@ -289,7 +358,24 @@ void PlanService::RunRequest(Request& req) {
   ropts.tenant_id = req.request.tenant_id.empty() ? options_.tenant_id
                                                   : req.request.tenant_id;
 
-  StatusOr<core::PlanResult> result = [&] {
+  // Cancellation: the caller's token when supplied; otherwise, for
+  // fail_on_deadline requests, a service-armed one so a blown deadline
+  // aborts the search cooperatively instead of running out the budget.
+  // Best-effort requests keep their anytime semantics (no token).
+  std::shared_ptr<util::CancelToken> deadline_token;
+  const util::CancelToken* cancel = req.request.cancel.get();
+  if (cancel == nullptr && req.request.fail_on_deadline &&
+      ropts.deadline_ms > 0.0) {
+    deadline_token = std::make_shared<util::CancelToken>();
+    deadline_token->ArmDeadline(ropts.deadline_ms);
+    cancel = deadline_token.get();
+  }
+  ropts.cancel = cancel;
+
+  auto plan_once = [&]() -> StatusOr<core::PlanResult> {
+    // Planning runs under the tenant's fault context, so chaos specs with
+    // only_context follow this request onto whichever worker runs it.
+    fault::ScopedContext fault_ctx(ropts.tenant_id);
     const size_t idx =
         next_slot_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
     std::lock_guard<std::mutex> lock(slots_[idx]->mu);
@@ -310,7 +396,62 @@ void PlanService::RunRequest(Request& req) {
       };
     }
     return slots_[idx]->planner->Plan(req.request.query, ropts);
-  }();
+  };
+
+  // Worker-side retry: transient planning failures re-plan here, each
+  // attempt budgeted against the request deadline. Backoff jitter is a
+  // pure function of (seed, attempt), so a fixed seed replays the same
+  // schedule — and the same plan — regardless of scheduling.
+  const RetryPolicy& retry = options_.retry;
+  int retries_taken = 0;
+  StatusOr<core::PlanResult> result = plan_once();
+  while (!result.ok()) {
+    const Status& failure = result.status();
+    const bool cancelled = util::Cancelled(cancel);
+    const int attempt = retries_taken + 1;
+    if (cancelled || !retry.ShouldRetry(failure, attempt)) break;
+    const double backoff_ms = retry.BackoffMs(attempt, req.request.seed);
+    if (!RetryPolicy::FitsBudget(backoff_ms, timer.ElapsedMillis(),
+                                 ropts.deadline_ms)) {
+      sm.retry_exhausted->Increment();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.retry_exhausted += 1;
+      }
+      break;
+    }
+    if (options_.on_attempt) {
+      options_.on_attempt(req.request, failure, /*final_attempt=*/false);
+    }
+    sm.retry_attempts->Increment();
+    sm.retry_attempts_window->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.retry_attempts += 1;
+    }
+    SleepForBackoff(backoff_ms);
+    retries_taken += 1;
+    result = plan_once();
+  }
+  if (!result.ok() && retries_taken >= retry.max_retries && retry.enabled() &&
+      result.status().IsRetryable() && !util::Cancelled(cancel)) {
+    // Ran out of attempts (as opposed to budget or a terminal failure).
+    sm.retry_exhausted->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.retry_exhausted += 1;
+    }
+  }
+  if (result.ok() && retries_taken > 0) {
+    sm.retry_success->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.retry_successes += 1;
+    }
+  }
+  if (options_.on_attempt) {
+    options_.on_attempt(req.request, result.status(), /*final_attempt=*/true);
+  }
 
   const double latency_ms = timer.ElapsedMillis();
   sm.latency_ms->Record(latency_ms);
@@ -333,6 +474,7 @@ void PlanService::RunRequest(Request& req) {
       record.fallback_reason = result->fallback_reason;
     } else {
       record.fallback_reason = result.status().ToString();
+      record.reason = result.status().reason();
     }
     options_.audit->Append(record);
   }

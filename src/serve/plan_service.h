@@ -31,15 +31,21 @@
 // such core per tenant on a shard-owned pool.
 //
 // Metrics: qps.serve.{requests,inflight,queue_depth,queue_ms,latency_ms,
-// batch_size,batch_plans,deadline_misses,shed}; services labelled with a
-// tenant id additionally feed qps.tenant.{requests,shed,latency_ms}.<id>
-// windowed series. Trace spans: serve.submit, serve.plan, serve.batch_flush.
+// batch_size,batch_plans,deadline_misses,shed} and
+// qps.serve.retries.{attempts,exhausted,success_after_retry}; services
+// labelled with a tenant id additionally feed
+// qps.tenant.{requests,shed,latency_ms}.<id> windowed series. Trace spans:
+// serve.submit, serve.plan, serve.batch_flush. Fault points (util/fault.h):
+// serve.submit fires on the submitting thread before admission;
+// planning runs under a fault::ScopedContext carrying the tenant id, so
+// chaos specs scoped with only_context hit one tenant's traffic only.
 
 #ifndef QPS_SERVE_PLAN_SERVICE_H_
 #define QPS_SERVE_PLAN_SERVICE_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -47,6 +53,8 @@
 
 #include "core/planner_backends.h"
 #include "serve/batch_rendezvous.h"
+#include "serve/retry.h"
+#include "util/cancel.h"
 
 namespace qps {
 namespace obs {
@@ -100,7 +108,27 @@ struct PlanRequest {
   /// Pins per-request MCTS randomness (0 = backend seed); plans become a
   /// function of (query, seed) alone, independent of scheduling.
   uint64_t seed = 0;
+
+  /// Cooperative cancellation: the caller keeps a reference and calls
+  /// Cancel(); planning observes it at rollout/step/DP boundaries and the
+  /// request resolves kAborted (reason "cancelled") promptly. Null = not
+  /// cancellable. When fail_on_deadline is set and no token is supplied,
+  /// the service arms one internally so a blown deadline aborts the search
+  /// instead of letting it run to its budget.
+  std::shared_ptr<util::CancelToken> cancel;
+
+  /// Set by the sharded layer when this request was admitted as a breaker
+  /// recovery probe (serve/health.h); callers leave it false.
+  bool health_probe = false;
 };
+
+/// Per-attempt outcome hook, invoked on the planning thread after every
+/// planning attempt (including each retry). `final_attempt` is true when no
+/// further retry will be taken — the request resolves with this outcome.
+/// Sheds and routing rejections do NOT reach this hook (load is not
+/// health). The sharded layer binds this to its HealthMonitor.
+using AttemptCallback =
+    std::function<void(const PlanRequest&, const Status&, bool final_attempt)>;
 
 struct PlanServiceOptions {
   /// Planner slots, and worker threads when the service owns its pool.
@@ -146,6 +174,14 @@ struct PlanServiceOptions {
   /// keeps the log alive for the service's lifetime. Every terminal
   /// outcome — ok, error, shed, shed_degraded — appends one JSON line.
   obs::AuditLog* audit = nullptr;
+
+  /// Worker-side retry policy for transient planning failures (see
+  /// serve/retry.h): a retryable attempt re-plans on the same worker after
+  /// a deadline-budgeted backoff. Disabled by default (max_retries == 0).
+  RetryPolicy retry;
+
+  /// Per-attempt outcome hook; see AttemptCallback. Null = no hook.
+  AttemptCallback on_attempt;
 };
 
 /// Owns the planning backends and the rendezvous (and the worker pool,
@@ -160,6 +196,9 @@ class PlanService {
     int64_t shed = 0;           ///< admission-control rejections + degrades
     int64_t shed_degraded = 0;  ///< of `shed`, served by the inline baseline
     int64_t deadline_hits = 0;  ///< best-effort plans under an expired deadline
+    int64_t retry_attempts = 0;  ///< worker-side retries taken
+    int64_t retry_exhausted = 0;  ///< gave up: cap or deadline budget
+    int64_t retry_successes = 0;  ///< requests that succeeded after >=1 retry
     BatchRendezvous::Stats batching;
   };
 
@@ -187,6 +226,14 @@ class PlanService {
   /// degrade to. The batch-evaluate hook is injected by the service and
   /// cannot be overridden per request.
   std::future<StatusOr<core::PlanResult>> Submit(PlanRequest request);
+
+  /// Routes the request straight down the shed path — inline baseline
+  /// degrade when shed_to_baseline is configured, reject otherwise — with
+  /// `reason` ("quarantined", ...) stamped on the audit record and the
+  /// rejection status. The sharded layer uses this to keep a quarantined
+  /// tenant's traffic off the shard pool while still serving it a plan.
+  std::future<StatusOr<core::PlanResult>> SubmitDegraded(PlanRequest request,
+                                                         const char* reason);
 
   /// Requests currently being planned (not queued).
   int inflight() const { return inflight_.load(std::memory_order_relaxed); }
@@ -237,8 +284,12 @@ class PlanService {
   void RunRequest(Request& req);
   /// Terminal shed path: degrade to the inline baseline or reject, plus
   /// metrics/audit/stats bookkeeping. Runs on the submitting thread.
-  void ShedRequest(Request& req);
-  StatusOr<core::PlanResult> PlanShedded(const query::Query& q);
+  /// `reason` is the machine-readable shed cause ("shed_queue_full",
+  /// "shed_pool_backstop", "quarantined"), stamped on the audit record and
+  /// carried in Status::reason() on rejection.
+  void ShedRequest(Request& req, const char* reason);
+  StatusOr<core::PlanResult> PlanShedded(const query::Query& q,
+                                         const char* reason);
   void TaskStarted();
   void TaskFinished();
 

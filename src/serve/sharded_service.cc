@@ -2,24 +2,53 @@
 
 #include "serve/sharded_service.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "obs/window.h"
+#include "util/fault.h"
 #include "util/metrics.h"
+#include "util/timer.h"
 
 namespace qps {
 namespace serve {
 
 namespace {
 
-/// A future already resolved to `status`, for routing errors that never
-/// reach a tenant core.
-std::future<StatusOr<core::PlanResult>> ReadyFuture(Status status) {
+/// A future already resolved to `result`, for routing errors and
+/// caller-side retry outcomes that never reach (or already left) a tenant
+/// core.
+std::future<StatusOr<core::PlanResult>> ReadyFuture(
+    StatusOr<core::PlanResult> result) {
   std::promise<StatusOr<core::PlanResult>> promise;
   auto future = promise.get_future();
-  promise.set_value(std::move(status));
+  promise.set_value(std::move(result));
   return future;
 }
+
+/// Caller-side retry accounting; same metric families the worker-side loop
+/// in PlanService feeds.
+struct RetryMetrics {
+  metrics::Counter* attempts;
+  metrics::Counter* exhausted;
+  metrics::Counter* success;
+  obs::WindowedCounter* attempts_window;
+
+  static const RetryMetrics& Get() {
+    static const RetryMetrics m = [] {
+      auto& reg = metrics::Registry::Global();
+      RetryMetrics out;
+      out.attempts = reg.GetCounter("qps.serve.retries.attempts");
+      out.exhausted = reg.GetCounter("qps.serve.retries.exhausted");
+      out.success = reg.GetCounter("qps.serve.retries.success_after_retry");
+      out.attempts_window =
+          obs::WindowRegistry::Global().GetCounter("qps.serve.retries.attempts");
+      return out;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -37,7 +66,9 @@ StatusOr<std::unique_ptr<ShardedPlanService>> ShardedPlanService::Create(
 }
 
 ShardedPlanService::ShardedPlanService(ShardedPlanServiceOptions options)
-    : options_(std::move(options)), ring_(options_.shards) {
+    : options_(std::move(options)),
+      ring_(options_.shards),
+      health_(options_.health) {
   shards_.reserve(static_cast<size_t>(options_.shards));
   for (int s = 0; s < options_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -64,7 +95,8 @@ ShardedPlanService::~ShardedPlanService() {
 Status ShardedPlanService::AddTenant(TenantSpec spec) {
   // Registry first: it owns id validation and duplicate rejection.
   QPS_RETURN_IF_ERROR(registry_.Add(spec));
-  Shard& shard = *shards_[static_cast<size_t>(ring_.ShardFor(spec.tenant_id))];
+  const int shard_index = ring_.ShardFor(spec.tenant_id);
+  Shard& shard = *shards_[static_cast<size_t>(shard_index)];
 
   PlanServiceOptions sopts;
   sopts.workers = options_.workers_per_shard;  // planner slots
@@ -77,6 +109,17 @@ Status ShardedPlanService::AddTenant(TenantSpec spec) {
   sopts.max_batch = options_.max_batch;
   sopts.flush_timeout_ms = options_.flush_timeout_ms;
   sopts.audit = options_.audit;
+  sopts.retry = options_.retry;
+  // Every planning attempt feeds the tenant breaker and the shard's shadow
+  // rate key. `this` outlives the core: RemoveTenant and the destructor
+  // quiesce the core before destroying it, and health_ is declared before
+  // shards_.
+  sopts.on_attempt = [this, shard_index](const PlanRequest& request,
+                                         const Status& outcome,
+                                         bool final_attempt) {
+    RecordAttempt("shard_" + std::to_string(shard_index), request, outcome,
+                  final_attempt);
+  };
 
   const std::string tenant_id = spec.tenant_id;
   auto core_or = PlanService::Create(std::move(spec.deps), std::move(sopts));
@@ -119,9 +162,35 @@ Status ShardedPlanService::RemoveTenant(const std::string& tenant_id) {
   return Status::OK();
 }
 
+void ShardedPlanService::RecordAttempt(const std::string& shard_key,
+                                       const PlanRequest& request,
+                                       const Status& outcome,
+                                       bool final_attempt) {
+  // Cancellation is caller-driven, not model health: a cancelled outcome
+  // must neither trip nor recover the breaker. A cancelled probe still has
+  // to give its slot back.
+  if (outcome.reason() == "cancelled") {
+    if (final_attempt && request.health_probe) {
+      health_.AbandonProbe(request.tenant_id);
+    }
+    return;
+  }
+  health_.RecordObserved(shard_key, outcome);
+  // Intermediate (retried) attempts count as plain samples; only the final
+  // outcome settles a probe admission.
+  health_.Record(request.tenant_id, outcome,
+                 final_attempt && request.health_probe);
+}
+
 Status ShardedPlanService::SwapTenantModel(
     const std::string& tenant_id,
     std::shared_ptr<const core::QpSeeker> model) {
+  {
+    // Chaos hook for control-plane swaps (e.g. a canary push racing live
+    // traffic); scoped so only_context specs can target one tenant.
+    fault::ScopedContext fault_ctx(tenant_id);
+    QPS_RETURN_IF_ERROR(fault::Check("tenant.swap"));
+  }
   std::shared_ptr<PlanService> core = FindCore(tenant_id);
   if (core == nullptr) {
     return Status::NotFound("no such tenant: " + tenant_id);
@@ -149,7 +218,80 @@ std::future<StatusOr<core::PlanResult>> ShardedPlanService::Submit(
             ? "PlanRequest.tenant_id is required for sharded serving"
             : "no such tenant: " + request.tenant_id));
   }
-  return core->Submit(std::move(request));
+  const std::string tenant_id = request.tenant_id;
+  const RetryPolicy& retry = options_.retry;
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  Timer timer;
+
+  // Caller-side retry: handles failures that resolve synchronously on this
+  // thread — injected shard.schedule/serve.submit faults, quarantine
+  // rejections, shed bursts — before the caller ever sees them. Anything
+  // that makes it onto a worker resolves through the worker-side loop
+  // instead; its future is returned as-is (never blocked on here).
+  for (int attempt = 1;; ++attempt) {
+    Status failure = Status::OK();
+    {
+      fault::ScopedContext fault_ctx(tenant_id);
+      failure = fault::Check("shard.schedule");
+    }
+    if (failure.ok()) {
+      const AdmitDecision admit = health_.Admit(tenant_id);
+      if (admit == AdmitDecision::kReject) {
+        if (core->options().shed_to_baseline) {
+          // Quarantined but degradable: serve an inline DP plan without
+          // touching the shard pool the quarantine is protecting.
+          return core->SubmitDegraded(std::move(request), "quarantined");
+        }
+        failure = Status::Unavailable("tenant quarantined by health monitor")
+                      .SetReason("quarantined");
+      } else {
+        const bool probe = (admit == AdmitDecision::kProbe);
+        request.health_probe = probe;
+        PlanRequest replay;
+        const bool may_replay = retry.enabled();
+        if (may_replay) replay = request;
+        auto future = core->Submit(std::move(request));
+        if (future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          // Admitted onto a worker; the worker-side loop owns retries and
+          // health recording from here.
+          if (attempt > 1) RetryMetrics::Get().success->Increment();
+          return future;
+        }
+        // Synchronously resolved: a shed/degrade or an injected submit
+        // fault (sharded pools always have workers, so real planning never
+        // resolves inline here) — none of which reached the worker, so the
+        // probe slot is handed back rather than judged.
+        StatusOr<core::PlanResult> ready = future.get();
+        if (probe) health_.AbandonProbe(tenant_id);
+        if (ready.ok()) {
+          if (attempt > 1) RetryMetrics::Get().success->Increment();
+          return ReadyFuture(std::move(ready));
+        }
+        failure = ready.status();
+        if (failure.reason() == "fault_injected") {
+          health_.Record(tenant_id, failure, /*probe=*/false);
+        }
+        if (!may_replay) return ReadyFuture(std::move(failure));
+        request = std::move(replay);
+      }
+    }
+    if (!retry.ShouldRetry(failure, attempt)) {
+      return ReadyFuture(std::move(failure));
+    }
+    const double backoff_ms = retry.BackoffMs(attempt, request.seed);
+    if (!RetryPolicy::FitsBudget(backoff_ms, timer.ElapsedMillis(),
+                                 deadline_ms)) {
+      RetryMetrics::Get().exhausted->Increment();
+      return ReadyFuture(std::move(failure));
+    }
+    RetryMetrics::Get().attempts->Increment();
+    RetryMetrics::Get().attempts_window->Increment();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+  }
 }
 
 void ShardedPlanService::RecordQError(const std::string& tenant_id,
@@ -186,6 +328,14 @@ StatusOr<core::GuardStats> ShardedPlanService::TenantGuardStats(
     return Status::NotFound("no such tenant: " + tenant_id);
   }
   return core->guard_stats();
+}
+
+StatusOr<HealthMonitor::KeyStats> ShardedPlanService::TenantHealth(
+    const std::string& tenant_id) const {
+  if (!registry_.Contains(tenant_id)) {
+    return Status::NotFound("no such tenant: " + tenant_id);
+  }
+  return health_.stats(tenant_id);
 }
 
 }  // namespace serve

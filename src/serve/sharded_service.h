@@ -23,9 +23,21 @@
 // kNotFound), then quiesces its core — in-flight futures resolve before
 // the core is destroyed.
 //
+// Self-healing (DESIGN.md §16): every planning attempt's outcome feeds a
+// per-tenant HealthMonitor breaker; a tenant whose error rate trips the
+// window is quarantined — Submit fast-fails kUnavailable (reason
+// "quarantined"), or degrades to the inline DP planner when the tenant's
+// quota allows — then recovered through live half-open probes. Transient
+// failures (injected chaos, shed bursts) are retried under the request's
+// deadline budget with seeded deterministic backoff, at the caller for
+// synchronously-failing submissions and on the worker for planning
+// failures.
+//
 // Metrics: every tenant core feeds qps.tenant.{requests,shed,
 // latency_ms}.<tenant_id> windowed series; RecordQError feeds
-// qps.tenant.qerr.<tenant_id> from execution feedback.
+// qps.tenant.qerr.<tenant_id> from execution feedback; the breaker feeds
+// qps.health.{state,quarantines,probes,recoveries}.<key> and the retry
+// loops qps.serve.retries.{attempts,exhausted,success_after_retry}.
 
 #ifndef QPS_SERVE_SHARDED_SERVICE_H_
 #define QPS_SERVE_SHARDED_SERVICE_H_
@@ -36,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/health.h"
 #include "serve/tenant.h"
 
 namespace qps {
@@ -65,6 +78,20 @@ struct ShardedPlanServiceOptions {
   /// Optional audit log shared by every tenant core (records carry the
   /// tenant id). Non-owning.
   obs::AuditLog* audit = nullptr;
+
+  /// Per-tenant circuit breaker (serve/health.h): planning outcomes feed a
+  /// rolling error-rate window per tenant; a tripping tenant is
+  /// quarantined (fast-fail kUnavailable, or inline DP degrade when its
+  /// quota sets shed_to_baseline) and recovered through live probes.
+  /// Per-shard rates are tracked as shadow keys "shard_<i>". Set
+  /// health.clock for ManualClock tests.
+  HealthOptions health;
+
+  /// Retry policy applied at both levels: the caller-side loop here
+  /// (synchronously-failing submissions: injected submit/schedule faults,
+  /// quarantine rejections) and each tenant core's worker-side loop
+  /// (transient planning failures). Disabled by default.
+  RetryPolicy retry;
 };
 
 class ShardedPlanService {
@@ -110,6 +137,12 @@ class ShardedPlanService {
   StatusOr<core::GuardStats> TenantGuardStats(
       const std::string& tenant_id) const;
 
+  /// Breaker stats for one tenant (kNotFound for unknown tenants) and the
+  /// whole monitor (tenants plus shard_<i> shadow keys), for qpsql \health.
+  StatusOr<HealthMonitor::KeyStats> TenantHealth(
+      const std::string& tenant_id) const;
+  const HealthMonitor& health() const { return health_; }
+
   const TenantRegistry& registry() const { return registry_; }
   std::vector<std::string> tenant_ids() const { return registry_.ids(); }
   int num_shards() const { return ring_.num_shards(); }
@@ -130,9 +163,17 @@ class ShardedPlanService {
   /// lock.
   std::shared_ptr<PlanService> FindCore(const std::string& tenant_id) const;
 
+  /// The AttemptCallback bound into every tenant core: feeds the breaker
+  /// (tenant key) and the shard shadow key, skipping cancelled outcomes.
+  void RecordAttempt(const std::string& shard_key, const PlanRequest& request,
+                     const Status& outcome, bool final_attempt);
+
   ShardedPlanServiceOptions options_;
   ShardRing ring_;
   TenantRegistry registry_;
+  /// Declared before shards_: tenant cores (owned by shards_) hold
+  /// callbacks into the monitor, so it must be destroyed after them.
+  HealthMonitor health_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex qerr_mu_;

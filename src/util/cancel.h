@@ -1,0 +1,98 @@
+// Copyright 2026 The QPSeeker Authors
+//
+// Cooperative cancellation for long-running planning work. A CancelToken
+// is a flag (plus an optional absolute deadline on an injectable clock)
+// that the owner trips and the worker polls at natural boundaries — MCTS
+// rollout gathering, greedy planning steps, DP enumeration levels — so a
+// request whose caller has given up (deadline expired, connection gone,
+// tenant quarantined) stops consuming CPU at the next check instead of
+// running to completion.
+//
+// Cost contract: Cancelled() on a token with no deadline armed is one
+// relaxed atomic load; with a deadline it adds one clock read. Callers
+// holding a possibly-null `const CancelToken*` pay a pointer test first.
+// bench_micro's CheckResilienceOverheadBound holds the polling cost to
+// <= 2x the disarmed fault-point cost, so checks may sit inside rollout
+// loops.
+//
+// Thread-safety: Cancel()/ArmDeadline() and Cancelled()/Check() may race
+// freely; the token never transitions back to un-cancelled. Ownership is
+// the caller's problem — the serving layer keeps tokens alive via
+// shared_ptr for as long as a worker might poll them.
+
+#ifndef QPS_UTIL_CANCEL_H_
+#define QPS_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace qps {
+namespace util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trips the token. Idempotent; visible to every thread polling it.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline `deadline_ms` from now on `clock`
+  /// (nullptr = Clock::Default()). After it passes, Cancelled() is true
+  /// and Check() returns kDeadlineExceeded instead of kAborted.
+  void ArmDeadline(double deadline_ms, const Clock* clock = nullptr) {
+    clock_ = clock != nullptr ? clock : Clock::Default();
+    deadline_ns_.store(
+        clock_->NowNanos() + static_cast<int64_t>(deadline_ms * 1e6),
+        std::memory_order_relaxed);
+  }
+
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != kNoDeadline && clock_->NowNanos() >= deadline;
+  }
+
+  /// OK while live; kAborted once Cancel()ed, kDeadlineExceeded once the
+  /// armed deadline passes. Both carry reason "cancelled" so audit/retry
+  /// layers treat them uniformly as caller-abandoned work.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Aborted("request cancelled").SetReason("cancelled");
+    }
+    const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline && clock_->NowNanos() >= deadline) {
+      return Status::DeadlineExceeded("planning deadline cancelled the request")
+          .SetReason("cancelled");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+  const Clock* clock_ = nullptr;
+};
+
+/// Null-tolerant polling helpers for the hot loops: a null token is the
+/// common (no cancellation requested) case and costs one pointer test.
+inline bool Cancelled(const CancelToken* token) {
+  return token != nullptr && token->Cancelled();
+}
+
+inline Status CheckCancel(const CancelToken* token) {
+  if (token == nullptr) return Status::OK();
+  return token->Check();
+}
+
+}  // namespace util
+}  // namespace qps
+
+#endif  // QPS_UTIL_CANCEL_H_

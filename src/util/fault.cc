@@ -5,9 +5,24 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <utility>
 
 namespace qps {
 namespace fault {
+
+namespace {
+/// Thread-local fault context (tenant id); "" = unscoped.
+thread_local std::string g_fault_context;
+}  // namespace
+
+ScopedContext::ScopedContext(const std::string& context)
+    : previous_(g_fault_context) {
+  g_fault_context = context;
+}
+
+ScopedContext::~ScopedContext() { g_fault_context = previous_; }
+
+const std::string& ScopedContext::Current() { return g_fault_context; }
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* instance = new FaultInjector();
@@ -76,38 +91,69 @@ void SleepLatency(double latency_ms) {
 }
 }  // namespace
 
+namespace {
+/// Builds the injected Status for a fired spec. Every injected error
+/// carries reason "fault_injected" so retry layers and audit lines can
+/// distinguish chaos from organic failures without message matching.
+Status StatusFromSpec(const FaultSpec& spec) {
+  Status st;
+  switch (spec.code) {
+    case StatusCode::kOk:
+      return Status::OK();  // latency-only spec
+    case StatusCode::kInvalidArgument:
+      st = Status::InvalidArgument(spec.message);
+      break;
+    case StatusCode::kNotFound:
+      st = Status::NotFound(spec.message);
+      break;
+    case StatusCode::kOutOfRange:
+      st = Status::OutOfRange(spec.message);
+      break;
+    case StatusCode::kAlreadyExists:
+      st = Status::AlreadyExists(spec.message);
+      break;
+    case StatusCode::kResourceExhausted:
+      st = Status::ResourceExhausted(spec.message);
+      break;
+    case StatusCode::kNotImplemented:
+      st = Status::NotImplemented(spec.message);
+      break;
+    case StatusCode::kAborted:
+      st = Status::Aborted(spec.message);
+      break;
+    case StatusCode::kIOError:
+      st = Status::IOError(spec.message);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      st = Status::DeadlineExceeded(spec.message);
+      break;
+    case StatusCode::kUnavailable:
+      st = Status::Unavailable(spec.message);
+      break;
+    case StatusCode::kInternal:
+      st = Status::Internal(spec.message);
+      break;
+  }
+  return std::move(st).SetReason("fault_injected");
+}
+}  // namespace
+
 Status FaultInjector::CheckSlow(const char* point) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return Status::OK();
   ArmedPoint& p = it->second;
+  // A context-scoped spec ignores (doesn't even count) hits from other
+  // contexts: the point was reached, but not by the targeted traffic.
+  if (!p.spec.only_context.empty() &&
+      p.spec.only_context != ScopedContext::Current()) {
+    return Status::OK();
+  }
   if (!Fire(&p)) return Status::OK();
   const FaultSpec spec = p.spec;
   lock.unlock();
   SleepLatency(spec.latency_ms);
-  switch (spec.code) {
-    case StatusCode::kOk:
-      return Status::OK();  // latency-only spec
-    case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(spec.message);
-    case StatusCode::kNotFound:
-      return Status::NotFound(spec.message);
-    case StatusCode::kOutOfRange:
-      return Status::OutOfRange(spec.message);
-    case StatusCode::kAlreadyExists:
-      return Status::AlreadyExists(spec.message);
-    case StatusCode::kResourceExhausted:
-      return Status::ResourceExhausted(spec.message);
-    case StatusCode::kNotImplemented:
-      return Status::NotImplemented(spec.message);
-    case StatusCode::kAborted:
-      return Status::Aborted(spec.message);
-    case StatusCode::kIOError:
-      return Status::IOError(spec.message);
-    case StatusCode::kInternal:
-      break;
-  }
-  return Status::Internal(spec.message);
+  return StatusFromSpec(spec);
 }
 
 double FaultInjector::CorruptSlow(const char* point, double value) {
@@ -115,6 +161,10 @@ double FaultInjector::CorruptSlow(const char* point, double value) {
   auto it = points_.find(point);
   if (it == points_.end()) return value;
   ArmedPoint& p = it->second;
+  if (!p.spec.only_context.empty() &&
+      p.spec.only_context != ScopedContext::Current()) {
+    return value;
+  }
   if (!Fire(&p)) return value;
   const FaultSpec spec = p.spec;
   lock.unlock();

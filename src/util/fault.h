@@ -50,6 +50,31 @@ struct FaultSpec {
   bool inject_nan = false;
   /// Sleep this long (wall clock) whenever the spec fires.
   double latency_ms = 0.0;
+
+  /// Scopes the spec to one fault context (see ScopedContext): the point
+  /// only counts hits — and can only fire — on threads whose current
+  /// context matches. Empty = every context. This is how chaos tooling
+  /// targets one tenant's traffic while colocated tenants run clean.
+  std::string only_context;
+};
+
+/// Sets the calling thread's fault context (typically a tenant id) for the
+/// enclosing scope; contexts nest, restoring the previous value on exit.
+/// The serving layer wraps each request's planning in one of these so
+/// context-scoped specs follow the request onto whichever worker runs it.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const std::string& context);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+  /// The calling thread's current context ("" when none).
+  static const std::string& Current();
+
+ private:
+  std::string previous_;
 };
 
 /// Global registry of named fault points. Thread-safe; the disarmed fast

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -38,6 +40,11 @@ std::string Status::ToString() const {
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  if (!reason_.empty()) {
+    out += " [reason: ";
+    out += reason_;
+    out += "]";
   }
   return out;
 }

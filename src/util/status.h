@@ -27,6 +27,7 @@ enum class StatusCode {
   kAborted,
   kIOError,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -69,6 +70,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +86,32 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// True for transient failures a caller may retry within its deadline
+  /// budget: shed load (kResourceExhausted), quarantined-but-recovering
+  /// capacity (kUnavailable), and transient I/O (kIOError). Terminal codes
+  /// — bad queries, blown deadlines, cancellations, backend defects — stay
+  /// non-retryable: repeating them burns budget without changing the
+  /// outcome.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kUnavailable || code_ == StatusCode::kIOError;
+  }
+
+  /// Machine-readable reason token ("" when unset). Layered consumers —
+  /// the audit log, the serving retry loop — branch on this instead of
+  /// string-matching human messages. Tokens are lowercase_underscore
+  /// (e.g. "shed_queue_full", "quarantined", "fault_injected").
+  const std::string& reason() const { return reason_; }
+  Status&& SetReason(std::string reason) && {
+    reason_ = std::move(reason);
+    return std::move(*this);
+  }
+  Status& SetReason(std::string reason) & {
+    reason_ = std::move(reason);
+    return *this;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -92,6 +122,7 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  std::string reason_;
 };
 
 /// A value or an error. Use `ok()` before dereferencing; `value()` on an

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/cancel.h"
 #include "util/clock.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -35,7 +36,36 @@ TEST(StatusTest, Predicates) {
   EXPECT_TRUE(Status::NotFound("x").IsNotFound());
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_FALSE(Status::OK().IsNotFound());
+}
+
+TEST(StatusTest, RetryableClassification) {
+  // Transient: worth another attempt once the condition clears.
+  EXPECT_TRUE(Status::ResourceExhausted("shed").IsRetryable());
+  EXPECT_TRUE(Status::Unavailable("quarantined").IsRetryable());
+  EXPECT_TRUE(Status::IOError("flaky disk").IsRetryable());
+  // Terminal: retrying cannot change the outcome.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("bad query").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("no tenant").IsRetryable());
+  EXPECT_FALSE(Status::Internal("defect").IsRetryable());
+  EXPECT_FALSE(Status::Aborted("cancelled").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("late").IsRetryable());
+}
+
+TEST(StatusTest, ReasonPayloadIsMachineReadable) {
+  Status plain = Status::Unavailable("tenant quarantined");
+  EXPECT_EQ(plain.reason(), "");
+  Status tagged = Status::Unavailable("tenant quarantined").SetReason("quarantined");
+  EXPECT_EQ(tagged.reason(), "quarantined");
+  EXPECT_EQ(tagged.code(), StatusCode::kUnavailable);
+  // The reason survives copies and shows in ToString for humans.
+  Status copy = tagged;
+  EXPECT_EQ(copy.reason(), "quarantined");
+  EXPECT_NE(tagged.ToString().find("quarantined"), std::string::npos);
+  // OK statuses carry no reason.
+  EXPECT_EQ(Status::OK().reason(), "");
 }
 
 StatusOr<int> ParsePositive(int x) {
@@ -299,6 +329,82 @@ TEST_F(FaultInjectorTest, RearmResetsCountersAndDisarmAllClears) {
   fi.DisarmAll();
   EXPECT_FALSE(fi.AnyArmed());
   EXPECT_TRUE(fault::Check("p").ok());
+}
+
+TEST_F(FaultInjectorTest, InjectedErrorsCarryFaultReason) {
+  fault::FaultSpec spec;
+  spec.code = StatusCode::kIOError;
+  spec.trigger_on_hit = 1;
+  fault::FaultInjector::Global().Arm("tagged", spec);
+  Status st = fault::Check("tagged");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.reason(), "fault_injected");
+  EXPECT_TRUE(st.IsRetryable());
+}
+
+TEST_F(FaultInjectorTest, ContextScopedSpecOnlyFiresInMatchingContext) {
+  fault::FaultInjector& fi = fault::FaultInjector::Global();
+  fault::FaultSpec spec;
+  spec.trigger_on_hit = 1;
+  spec.sticky = true;
+  spec.only_context = "tenant_a";
+  fi.Arm("scoped", spec);
+
+  // Wrong (and empty) contexts neither fire nor count hits.
+  EXPECT_TRUE(fault::Check("scoped").ok());
+  {
+    fault::ScopedContext ctx("tenant_b");
+    EXPECT_TRUE(fault::Check("scoped").ok());
+  }
+  EXPECT_EQ(fi.Hits("scoped"), 0);
+
+  {
+    fault::ScopedContext ctx("tenant_a");
+    EXPECT_EQ(fault::ScopedContext::Current(), "tenant_a");
+    EXPECT_FALSE(fault::Check("scoped").ok());
+    {
+      // Contexts nest and restore.
+      fault::ScopedContext inner("tenant_b");
+      EXPECT_TRUE(fault::Check("scoped").ok());
+    }
+    EXPECT_FALSE(fault::Check("scoped").ok());
+  }
+  EXPECT_EQ(fault::ScopedContext::Current(), "");
+  EXPECT_TRUE(fault::Check("scoped").ok());
+}
+
+TEST(CancelTokenTest, ExplicitCancelTripsPromptly) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_TRUE(token.Check().ok());
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  Status st = token.Check();
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(st.reason(), "cancelled");
+}
+
+TEST(CancelTokenTest, ArmedDeadlineTripsOnTheInjectedClock) {
+  ManualClock manual;
+  util::CancelToken token;
+  token.ArmDeadline(50.0, &manual);
+  EXPECT_FALSE(token.Cancelled());
+  manual.AdvanceMillis(49.0);
+  EXPECT_FALSE(token.Cancelled());
+  manual.AdvanceMillis(2.0);
+  EXPECT_TRUE(token.Cancelled());
+  Status st = token.Check();
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_EQ(st.reason(), "cancelled");
+}
+
+TEST(CancelTokenTest, NullTolerantHelpers) {
+  EXPECT_FALSE(util::Cancelled(nullptr));
+  EXPECT_TRUE(util::CheckCancel(nullptr).ok());
+  util::CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(util::Cancelled(&token));
+  EXPECT_FALSE(util::CheckCancel(&token).ok());
 }
 
 TEST(StringUtilTest, Format) {
